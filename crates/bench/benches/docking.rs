@@ -1,0 +1,64 @@
+//! Criterion benchmarks of the LiGen docking substrate: single-ligand
+//! docking across structure sizes and batch virtual screening.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use ligen::dock::{dock, DockParams};
+use ligen::library::{generate_ligand, ChemLibrary};
+use ligen::protein::Pocket;
+use ligen::screen::virtual_screening;
+
+fn bench_dock_single(c: &mut Criterion) {
+    let pocket = Pocket::synthesize(24, 20.0, 5, 7);
+    let params = DockParams::default();
+    let mut group = c.benchmark_group("ligen/dock");
+    for (atoms, frags) in [(31usize, 4usize), (31, 20 / 2), (89, 4), (89, 20)] {
+        // 20 fragments needs ≥40 atoms; clamp the small-ligand case.
+        let frags = frags.min(atoms / 2);
+        let ligand = generate_ligand(1, atoms, frags, 42);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{atoms}at_{frags}fr")),
+            &ligand,
+            |b, l| b.iter(|| dock(l, &pocket, &params)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_screening(c: &mut Criterion) {
+    let pocket = Pocket::synthesize(24, 20.0, 5, 7);
+    let params = DockParams {
+        num_restart: 4,
+        num_iterations: 2,
+        max_num_poses: 2,
+    };
+    let mut group = c.benchmark_group("ligen/virtual_screening");
+    group.sample_size(10);
+    for n in [8usize, 32, 128] {
+        let lib = ChemLibrary::generate(n, 31, 4, 3);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &lib, |b, l| {
+            b.iter(|| virtual_screening(l, &pocket, &params))
+        });
+    }
+    group.finish();
+}
+
+fn bench_pocket_sampling(c: &mut Criterion) {
+    let pocket = Pocket::synthesize(32, 20.0, 6, 9);
+    c.bench_function("ligen/pocket_sample", |b| {
+        let mut x = 0.1;
+        b.iter(|| {
+            x = (x * 1.37 + 0.11) % 20.0;
+            pocket.sample([x, 20.0 - x, x * 0.5])
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_dock_single,
+    bench_screening,
+    bench_pocket_sampling
+);
+criterion_main!(benches);

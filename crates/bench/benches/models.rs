@@ -1,0 +1,120 @@
+//! Criterion benchmarks of the ML substrate: Random Forest training and
+//! prediction (the models the paper's pipeline trains per application),
+//! plus the competing algorithm families.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ml::dataset::Matrix;
+use ml::forest::{RandomForest, RandomForestParams};
+use ml::lasso::Lasso;
+use ml::linear::LinearRegression;
+use ml::svr::SvrRbf;
+use ml::Regressor;
+
+/// A DVFS-shaped synthetic dataset: (3 input features + frequency) → time.
+fn dvfs_dataset(n_inputs: usize, n_freqs: usize) -> (Matrix, Vec<f64>) {
+    let mut x = Matrix::with_cols(4);
+    let mut y = Vec::new();
+    for i in 0..n_inputs {
+        let a = 1.0 + (i % 7) as f64;
+        let b = 1.0 + (i % 5) as f64;
+        let c = 1.0 + (i % 3) as f64;
+        for j in 0..n_freqs {
+            let f = 500.0 + j as f64 * 1100.0 / n_freqs as f64;
+            x.push_row(&[a, b, c, f]);
+            let work = a * b * c;
+            y.push((work / f.min(1000.0)).ln());
+        }
+    }
+    (x, y)
+}
+
+fn bench_forest_training(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ml/forest_fit");
+    group.sample_size(10);
+    for (inputs, freqs) in [(12usize, 75usize), (80, 75)] {
+        let (x, y) = dvfs_dataset(inputs, freqs);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}rows", x.rows())),
+            &(x, y),
+            |b, (x, y)| {
+                b.iter(|| {
+                    let mut f = RandomForest::new(
+                        RandomForestParams {
+                            n_estimators: 60,
+                            ..Default::default()
+                        },
+                        0,
+                    );
+                    f.fit(x, y);
+                    f
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_forest_prediction(c: &mut Criterion) {
+    let (x, y) = dvfs_dataset(12, 75);
+    let mut forest = RandomForest::new(
+        RandomForestParams {
+            n_estimators: 60,
+            ..Default::default()
+        },
+        0,
+    );
+    forest.fit(&x, &y);
+    c.bench_function("ml/forest_predict_row", |b| {
+        b.iter(|| forest.predict_row(&[3.0, 2.0, 1.0, 987.0]))
+    });
+}
+
+fn bench_model_families(c: &mut Criterion) {
+    let (x, y) = dvfs_dataset(8, 40);
+    let mut group = c.benchmark_group("ml/family_fit");
+    group.sample_size(10);
+    group.bench_function("linear", |b| {
+        b.iter(|| {
+            let mut m = LinearRegression::new();
+            m.fit(&x, &y);
+            m.predict_row(&[2.0, 2.0, 2.0, 900.0])
+        })
+    });
+    group.bench_function("lasso", |b| {
+        b.iter(|| {
+            let mut m = Lasso::new(1e-3);
+            m.fit(&x, &y);
+            m.predict_row(&[2.0, 2.0, 2.0, 900.0])
+        })
+    });
+    group.bench_function("svr_rbf", |b| {
+        b.iter(|| {
+            let mut m = SvrRbf::with_defaults();
+            m.fit(&x, &y);
+            m.predict_row(&[2.0, 2.0, 2.0, 900.0])
+        })
+    });
+    group.bench_function("random_forest", |b| {
+        b.iter(|| {
+            let mut m = RandomForest::new(
+                RandomForestParams {
+                    n_estimators: 60,
+                    ..Default::default()
+                },
+                0,
+            );
+            m.fit(&x, &y);
+            m.predict_row(&[2.0, 2.0, 2.0, 900.0])
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_forest_training,
+    bench_forest_prediction,
+    bench_model_families
+);
+criterion_main!(benches);

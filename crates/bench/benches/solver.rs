@@ -1,0 +1,69 @@
+//! Criterion benchmarks of the Cronos MHD solver substrate: the real CPU
+//! numerics (stencil sweep, reduction, full timestep) across grid sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use cronos::boundary::{apply_boundary, BoundaryKind};
+use cronos::eos::GAMMA;
+use cronos::grid::Grid;
+use cronos::problems;
+use cronos::reduce::max_reduce;
+use cronos::sim::Simulation;
+use cronos::stencil::compute_changes;
+
+fn bench_stencil(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cronos/compute_changes");
+    for (nx, ny, nz) in [(20, 8, 8), (40, 16, 16), (80, 32, 32)] {
+        let grid = Grid::cubic(nx, ny, nz);
+        let problem = problems::orszag_tang(grid);
+        let mut state = problem.state;
+        apply_boundary(&mut state, BoundaryKind::Periodic);
+        group.throughput(Throughput::Elements(grid.n_cells() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{nx}x{ny}x{nz}")),
+            &state,
+            |b, s| b.iter(|| compute_changes(s, GAMMA)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_reduction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cronos/reduce_cfl");
+    for n in [10_000usize, 100_000, 1_000_000] {
+        let values: Vec<f64> = (0..n).map(|i| ((i * 2654435761) % 10_007) as f64).collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &values, |b, v| {
+            b.iter(|| max_reduce(v))
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cronos/timestep");
+    group.sample_size(20);
+    for (nx, ny, nz) in [(20, 8, 8), (40, 16, 16)] {
+        let grid = Grid::cubic(nx, ny, nz);
+        group.throughput(Throughput::Elements(grid.n_cells() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{nx}x{ny}x{nz}")),
+            &grid,
+            |b, g| {
+                let sim0 = Simulation::new(problems::mhd_blast(*g), GAMMA, 0.4);
+                b.iter_batched(
+                    || sim0.clone(),
+                    |mut sim| {
+                        sim.step();
+                        sim
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stencil, bench_reduction, bench_full_step);
+criterion_main!(benches);

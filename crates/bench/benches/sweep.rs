@@ -1,0 +1,60 @@
+//! Criterion benchmarks of the characterization pipeline itself: how long
+//! a full frequency sweep (the Figure 11 training-phase data collection)
+//! takes through the simulator + SYnergy stack.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use energy_model::characterize::characterize;
+use energy_model::features::{CronosInput, LigenInput};
+use gpu_sim::DeviceSpec;
+
+fn bench_cronos_sweep(c: &mut Criterion) {
+    let spec = DeviceSpec::v100();
+    let freqs = spec.core_freqs.strided(8);
+    let mut group = c.benchmark_group("pipeline/cronos_sweep");
+    group.sample_size(10);
+    for cfg in [CronosInput::new(20, 8, 8), CronosInput::new(160, 64, 64)] {
+        let workload = cronos::GpuCronos::new(
+            cronos::Grid::cubic(cfg.grid_x, cfg.grid_y, cfg.grid_z),
+            energy_model::workflow::CRONOS_STEPS,
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(cfg.label()),
+            &workload,
+            |b, w| b.iter(|| characterize(&spec, w, &freqs, 1, None)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_ligen_sweep(c: &mut Criterion) {
+    let spec = DeviceSpec::v100();
+    let freqs = spec.core_freqs.strided(8);
+    let mut group = c.benchmark_group("pipeline/ligen_sweep");
+    group.sample_size(10);
+    for cfg in [LigenInput::new(256, 31, 4), LigenInput::new(10_000, 89, 20)] {
+        let workload =
+            ligen::GpuLigen::new(cfg.ligands as u64, cfg.atoms as u64, cfg.fragments as u64);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(cfg.label()),
+            &workload,
+            |b, w| b.iter(|| characterize(&spec, w, &freqs, 1, None)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_device_launch(c: &mut Criterion) {
+    let spec = DeviceSpec::v100();
+    let mut dev = gpu_sim::Device::new(spec);
+    let k = gpu_sim::KernelProfile::compute_bound("bench", 1 << 20, 500.0);
+    c.bench_function("pipeline/device_launch", |b| b.iter(|| dev.launch(&k)));
+}
+
+criterion_group!(
+    benches,
+    bench_cronos_sweep,
+    bench_ligen_sweep,
+    bench_device_launch
+);
+criterion_main!(benches);

@@ -1,0 +1,388 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run -p bench --release --bin figures -- <id> [<id> ...]
+//! cargo run -p bench --release --bin figures -- all
+//! ```
+//!
+//! Ids: `fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 table1 table2
+//! fig13 fig14 headline`.
+
+use bench::*;
+use energy_model::features::{CronosInput, LigenInput};
+use energy_model::workflow::{characterize_cronos, characterize_ligen};
+use gpu_sim::DeviceSpec;
+
+fn fig1() {
+    println!("\n## Figure 1 — LiGen and Cronos multi-objective characterization (V100)");
+    let spec = DeviceSpec::v100();
+    print_characterization(
+        "Fig 1a",
+        &spec,
+        &ligen_workload(&LigenInput::new(1024, 63, 8)),
+    );
+    print_characterization(
+        "Fig 1b",
+        &spec,
+        &cronos_workload(&CronosInput::new(40, 16, 16)),
+    );
+}
+
+fn fig2() {
+    println!("\n## Figure 2 — LiGen characterization vs input size (V100)");
+    let spec = DeviceSpec::v100();
+    print_characterization(
+        "Fig 2a (small: 2 lig × 89 at × 8 frag)",
+        &spec,
+        &ligen_workload(&LigenInput::new(2, 89, 8)),
+    );
+    print_characterization(
+        "Fig 2b (large: 10000 lig × 89 at × 20 frag)",
+        &spec,
+        &ligen_workload(&LigenInput::new(10_000, 89, 20)),
+    );
+}
+
+fn fig3() {
+    println!("\n## Figure 3 — Cronos characterization vs input size (V100)");
+    let spec = DeviceSpec::v100();
+    print_characterization(
+        "Fig 3a (20x8x8)",
+        &spec,
+        &cronos_workload(&CronosInput::new(20, 8, 8)),
+    );
+    print_characterization(
+        "Fig 3b (160x64x64)",
+        &spec,
+        &cronos_workload(&CronosInput::new(160, 64, 64)),
+    );
+}
+
+fn fig4() {
+    println!("\n## Figure 4 — Cronos on NVIDIA V100, small vs large grid");
+    let spec = DeviceSpec::v100();
+    print_characterization(
+        "Fig 4a (10x4x4)",
+        &spec,
+        &cronos_workload(&CronosInput::new(10, 4, 4)),
+    );
+    print_characterization(
+        "Fig 4b (160x64x64)",
+        &spec,
+        &cronos_workload(&CronosInput::new(160, 64, 64)),
+    );
+}
+
+fn fig5() {
+    println!("\n## Figure 5 — Cronos on AMD MI100 (auto-frequency baseline)");
+    let spec = DeviceSpec::mi100();
+    print_characterization(
+        "Fig 5a (10x4x4)",
+        &spec,
+        &cronos_workload(&CronosInput::new(10, 4, 4)),
+    );
+    print_characterization(
+        "Fig 5b (160x64x64)",
+        &spec,
+        &cronos_workload(&CronosInput::new(160, 64, 64)),
+    );
+}
+
+fn raw_ligen_panel(spec: &DeviceSpec, atoms: usize, frag_sweep: &[usize], ligands: usize) {
+    let freqs = sweep_freqs(spec);
+    for &f in frag_sweep {
+        let ch = energy_model::characterize::characterize(
+            spec,
+            &ligen_workload(&LigenInput::new(ligands, atoms, f)),
+            &freqs,
+            REPS,
+            Some(SEED),
+        );
+        print_table(
+            &format!(
+                "{} atoms, {} fragments, {} ligands on {}",
+                atoms, f, ligands, spec.name
+            ),
+            &["core MHz", "time [s]", "energy [kJ]"],
+            &raw_rows(&ch, 8),
+        );
+    }
+}
+
+fn fig6() {
+    println!("\n## Figure 6 — LiGen raw energy/time vs fragments (V100, 100000 ligands)");
+    let spec = DeviceSpec::v100();
+    raw_ligen_panel(&spec, 31, &[4, 8, 16, 20], 100_000);
+    raw_ligen_panel(&spec, 89, &[4, 8, 16, 20], 100_000);
+}
+
+fn fig7() {
+    println!("\n## Figure 7 — LiGen raw energy/time vs fragments (MI100, 100000 ligands)");
+    let spec = DeviceSpec::mi100();
+    raw_ligen_panel(&spec, 31, &[4, 8, 16, 20], 100_000);
+    raw_ligen_panel(&spec, 89, &[4, 8, 16, 20], 100_000);
+}
+
+fn raw_ligen_atom_panel(spec: &DeviceSpec, fragments: usize, atom_sweep: &[usize], ligands: usize) {
+    let freqs = sweep_freqs(spec);
+    for &a in atom_sweep {
+        let ch = energy_model::characterize::characterize(
+            spec,
+            &ligen_workload(&LigenInput::new(ligands, a, fragments)),
+            &freqs,
+            REPS,
+            Some(SEED),
+        );
+        print_table(
+            &format!(
+                "{} atoms, {} fragments, {} ligands on {}",
+                a, fragments, ligands, spec.name
+            ),
+            &["core MHz", "time [s]", "energy [kJ]"],
+            &raw_rows(&ch, 8),
+        );
+    }
+}
+
+fn fig8() {
+    println!("\n## Figure 8 — LiGen raw energy/time vs atoms (V100, 100000 ligands)");
+    let spec = DeviceSpec::v100();
+    raw_ligen_atom_panel(&spec, 4, &[31, 63, 74, 89], 100_000);
+    raw_ligen_atom_panel(&spec, 20, &[31, 63, 74, 89], 100_000);
+}
+
+fn fig9() {
+    println!("\n## Figure 9 — LiGen raw energy/time vs atoms (MI100, 100000 ligands)");
+    let spec = DeviceSpec::mi100();
+    raw_ligen_atom_panel(&spec, 4, &[31, 63, 74, 89], 100_000);
+    raw_ligen_atom_panel(&spec, 20, &[31, 63, 74, 89], 100_000);
+}
+
+fn fig10() {
+    println!("\n## Figure 10 — LiGen characterization, small vs large input, V100 & MI100");
+    let small = LigenInput::new(256, 31, 4);
+    let large = LigenInput::new(10_000, 89, 20);
+    for spec in [DeviceSpec::v100(), DeviceSpec::mi100()] {
+        print_characterization(
+            &format!("small input ({})", small.label()),
+            &spec,
+            &ligen_workload(&small),
+        );
+        print_characterization(
+            &format!("large input ({})", large.label()),
+            &spec,
+            &ligen_workload(&large),
+        );
+    }
+}
+
+fn table1() {
+    println!("\n## Table 1 — general-purpose model features (static code features)");
+    let names = [
+        ("f_int_add", "integer additions and subtractions"),
+        ("f_int_mul", "integer multiplications"),
+        ("f_int_div", "integer divisions"),
+        ("f_int_bw", "integer bitwise operations"),
+        ("f_float_add", "floating point additions and subtractions"),
+        ("f_float_mul", "floating point multiplications"),
+        ("f_float_div", "floating point divisions"),
+        ("f_sf", "special functions"),
+        ("f_gl_access", "global memory accesses"),
+        ("f_loc_access", "local memory accesses"),
+    ];
+    let rows: Vec<Vec<String>> = names
+        .iter()
+        .map(|(n, d)| vec![n.to_string(), d.to_string()])
+        .collect();
+    print_table("Static features", &["feature", "description"], &rows);
+    // And the two applications' extracted vectors.
+    let c = energy_model::workflow::cronos_static_features(&CronosInput::new(160, 64, 64));
+    let l = energy_model::workflow::ligen_static_features(&LigenInput::new(10_000, 89, 20));
+    let rows: Vec<Vec<String>> = names
+        .iter()
+        .enumerate()
+        .map(|(i, (n, _))| {
+            vec![
+                n.to_string(),
+                format!("{:.4}", c[i]),
+                format!("{:.4}", l[i]),
+            ]
+        })
+        .collect();
+    print_table(
+        "Extracted static feature fractions",
+        &["feature", "Cronos", "LiGen"],
+        &rows,
+    );
+}
+
+fn table2() {
+    println!("\n## Table 2 — domain-specific model features");
+    let rows = vec![
+        vec![
+            "Cronos".to_string(),
+            "f_grid_x, f_grid_y, f_grid_z".to_string(),
+        ],
+        vec![
+            "LiGen".to_string(),
+            "f_ligands, f_fragments, f_atoms".to_string(),
+        ],
+    ];
+    print_table(
+        "Domain-specific features",
+        &["application", "features"],
+        &rows,
+    );
+}
+
+fn fig13() {
+    println!("\n## Figure 13 — prediction MAPE, general-purpose vs domain-specific");
+    let spec = DeviceSpec::v100();
+    let cronos_rows = fig13_cronos(&spec);
+    print_mape_rows(
+        "Fig 13a/b — Cronos (speedup / normalized energy)",
+        &cronos_rows,
+    );
+    let ligen_rows = fig13_ligen(&spec);
+    print_mape_rows(
+        "Fig 13c/d — LiGen (speedup / normalized energy)",
+        &ligen_rows,
+    );
+
+    let (ms, me, mins, mine) = headline(&cronos_rows);
+    println!(
+        "\nCronos: mean improvement speedup {ms:.1}× energy {me:.1}× (min {mins:.1}× / {mine:.1}×)"
+    );
+    let (ms, me, mins, mine) = headline(&ligen_rows);
+    println!(
+        "LiGen:  mean improvement speedup {ms:.1}× energy {me:.1}× (min {mins:.1}× / {mine:.1}×)"
+    );
+}
+
+fn fig14() {
+    println!("\n## Figure 14 — predicted vs true Pareto sets");
+    let spec = DeviceSpec::v100();
+    let freqs = sweep_freqs(&spec);
+
+    let ligen_configs = LigenInput::figure13_configs();
+    let ligen_inputs = characterize_ligen(&spec, &ligen_configs, &freqs, REPS, Some(SEED));
+    let big = ligen_configs
+        .iter()
+        .position(|c| c.ligands == 10_000 && c.atoms == 89 && c.fragments == 20)
+        .expect("large input in the set");
+    let gpf = energy_model::workflow::ligen_static_features(&ligen_configs[big]);
+    let eval = fig14_for(&spec, &ligen_inputs, big, &gpf);
+    print_pareto_eval("Fig 14a — LiGen 10000×89×20", &eval);
+
+    let cronos_configs = CronosInput::paper_configs();
+    let cronos_inputs = characterize_cronos(&spec, &cronos_configs, &freqs, REPS, Some(SEED));
+    let gpf = energy_model::workflow::cronos_static_features(&cronos_configs[4]);
+    let eval = fig14_for(&spec, &cronos_inputs, 4, &gpf);
+    print_pareto_eval("Fig 14b — Cronos 160x64x64", &eval);
+}
+
+fn headline_cmd() {
+    println!("\n## Headline — domain-specific vs general-purpose error");
+    let spec = DeviceSpec::v100();
+    let mut all = fig13_cronos(&spec);
+    all.extend(fig13_ligen(&spec));
+    let (ms, me, mins, mine) = headline(&all);
+    println!(
+        "over all {} inputs: mean improvement speedup {ms:.1}×, energy {me:.1}×; \
+         minimum {mins:.1}× / {mine:.1}×",
+        all.len()
+    );
+}
+
+fn fig13_mi100() {
+    println!("\n## Extension — Figure-13 protocol on the AMD MI100 (methodology portability)");
+    let spec = DeviceSpec::mi100();
+    let rows = fig13_cronos(&spec);
+    print_mape_rows("Cronos on MI100 (speedup / normalized energy)", &rows);
+    let lrows = fig13_ligen(&spec);
+    print_mape_rows("LiGen on MI100 (speedup / normalized energy)", &lrows);
+    let mut all = rows;
+    all.extend(lrows);
+    let (ms, me, mins, mine) = headline(&all);
+    println!(
+        "\nMI100: mean improvement speedup {ms:.1}× energy {me:.1}× (min {mins:.1}× / {mine:.1}×)"
+    );
+}
+
+fn portability() {
+    println!("\n## Portability — the methodology across all three SYnergy vendors");
+    // Not a paper figure: the paper evaluates V100 and MI100 and lists
+    // Intel/Level Zero as supported by SYnergy; this experiment runs the
+    // same Cronos characterization on all three simulated devices.
+    for spec in [
+        DeviceSpec::v100(),
+        DeviceSpec::mi100(),
+        DeviceSpec::max1100(),
+    ] {
+        print_characterization(
+            &format!("Cronos 160x64x64 on {}", spec.name),
+            &spec,
+            &cronos_workload(&CronosInput::new(160, 64, 64)),
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!(
+            "usage: figures -- <id> [...]   ids: fig1..fig10 table1 table2 fig13 fig14 headline portability all"
+        );
+        std::process::exit(2);
+    }
+    let run = |id: &str| match id {
+        "fig1" => fig1(),
+        "fig2" => fig2(),
+        "fig3" => fig3(),
+        "fig4" => fig4(),
+        "fig5" => fig5(),
+        "fig6" => fig6(),
+        "fig7" => fig7(),
+        "fig8" => fig8(),
+        "fig9" => fig9(),
+        "fig10" => fig10(),
+        "table1" => table1(),
+        "table2" => table2(),
+        "fig13" => fig13(),
+        "fig14" => fig14(),
+        "headline" => headline_cmd(),
+        "portability" => portability(),
+        "fig13-mi100" => fig13_mi100(),
+        other => {
+            eprintln!("unknown experiment id: {other}");
+            std::process::exit(2);
+        }
+    };
+    for id in &args {
+        if id == "all" {
+            for id in [
+                "fig1",
+                "fig2",
+                "fig3",
+                "fig4",
+                "fig5",
+                "fig6",
+                "fig7",
+                "fig8",
+                "fig9",
+                "fig10",
+                "table1",
+                "table2",
+                "fig13",
+                "fig14",
+                "headline",
+                "fig13-mi100",
+                "portability",
+            ] {
+                run(id);
+            }
+        } else {
+            run(id);
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! Frequency-sweep characterization (§2–3 of the paper).
+//!
+//! Runs a workload at every requested core frequency plus the device's
+//! default configuration, repeating each measurement and taking the median
+//! (the paper repeats five times, §5.1), and normalizes into the
+//! speedup / normalized-energy plane of Figures 1–10:
+//!
+//! * **speedup** `= t_default / t(f)` — higher is better,
+//! * **normalized energy** `= e(f) / e_default` — lower is better.
+//!
+//! The baseline follows vendor semantics automatically: the fixed default
+//! application clock on NVIDIA, the auto performance level on AMD
+//! (§3.1: "AMD GPUs do not have a default frequency…").
+
+use gpu_sim::noise::NoiseModel;
+use gpu_sim::{Device, DeviceSpec};
+use serde::{Deserialize, Serialize};
+use synergy::energy::{measure_median, Measurement};
+use synergy::SynergyQueue;
+
+/// A workload that can be executed on a SYnergy queue. Implemented here
+/// for the two applications' GPU drivers.
+pub trait Workload: Sync {
+    /// Submits one complete run and returns its time/energy.
+    fn run(&self, queue: &mut SynergyQueue) -> Measurement;
+    /// Display name for reports.
+    fn name(&self) -> String;
+}
+
+impl Workload for cronos::GpuCronos {
+    fn run(&self, queue: &mut SynergyQueue) -> Measurement {
+        cronos::GpuCronos::run(self, queue)
+    }
+    fn name(&self) -> String {
+        format!("cronos {}x{}x{}", self.grid.nx, self.grid.ny, self.grid.nz)
+    }
+}
+
+impl Workload for ligen::GpuLigen {
+    fn run(&self, queue: &mut SynergyQueue) -> Measurement {
+        ligen::GpuLigen::run(self, queue)
+    }
+    fn name(&self) -> String {
+        format!(
+            "ligen {}x{}x{}",
+            self.n_atoms, self.n_fragments, self.n_ligands
+        )
+    }
+}
+
+/// One characterized operating point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CharPoint {
+    /// Core frequency (MHz).
+    pub freq_mhz: f64,
+    /// Median run time (s).
+    pub time_s: f64,
+    /// Median run energy (J).
+    pub energy_j: f64,
+    /// `t_baseline / time_s`.
+    pub speedup: f64,
+    /// `energy_j / e_baseline`.
+    pub norm_energy: f64,
+}
+
+/// A full frequency-sweep characterization of one workload on one device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Characterization {
+    /// Device name.
+    pub device: String,
+    /// Workload name.
+    pub workload: String,
+    /// Baseline (default-configuration) run time (s).
+    pub baseline_time_s: f64,
+    /// Baseline run energy (J).
+    pub baseline_energy_j: f64,
+    /// Points in ascending frequency order.
+    pub points: Vec<CharPoint>,
+}
+
+impl Characterization {
+    /// The `(speedup, norm_energy)` pairs, frequency-ascending.
+    pub fn objective_points(&self) -> Vec<(f64, f64)> {
+        self.points
+            .iter()
+            .map(|p| (p.speedup, p.norm_energy))
+            .collect()
+    }
+
+    /// Point measured at (or nearest to) the given frequency.
+    pub fn at_freq(&self, freq_mhz: f64) -> &CharPoint {
+        self.points
+            .iter()
+            .min_by(|a, b| {
+                (a.freq_mhz - freq_mhz)
+                    .abs()
+                    .partial_cmp(&(b.freq_mhz - freq_mhz).abs())
+                    .expect("finite")
+            })
+            .expect("non-empty characterization")
+    }
+}
+
+/// Sweeps `freqs` with `reps` repetitions per point (median-aggregated).
+/// `noise_seed` enables the measurement-noise model; `None` runs noiseless.
+///
+/// # Panics
+/// Panics on an empty frequency list or `reps == 0`.
+pub fn characterize(
+    spec: &DeviceSpec,
+    workload: &dyn Workload,
+    freqs: &[f64],
+    reps: usize,
+    noise_seed: Option<u64>,
+) -> Characterization {
+    assert!(!freqs.is_empty(), "need at least one frequency");
+    assert!(reps > 0, "need at least one repetition");
+
+    let make_queue = |seed_off: u64| {
+        let dev = match noise_seed {
+            Some(seed) => Device::with_noise(spec.clone(), NoiseModel::realistic(seed + seed_off)),
+            None => Device::new(spec.clone()),
+        };
+        SynergyQueue::for_device(dev)
+    };
+
+    // Baseline: the device's default configuration.
+    let mut q = make_queue(0);
+    let baseline = measure_median(&mut q, reps, |q| workload.run(q));
+
+    let mut points = Vec::with_capacity(freqs.len());
+    for (i, &f) in freqs.iter().enumerate() {
+        let mut q = make_queue(1 + i as u64);
+        q.set_policy(synergy::FrequencyPolicy::Fixed(f));
+        let m = measure_median(&mut q, reps, |q| workload.run(q));
+        points.push(CharPoint {
+            freq_mhz: f,
+            time_s: m.time_s,
+            energy_j: m.energy_j,
+            speedup: baseline.time_s / m.time_s,
+            norm_energy: m.energy_j / baseline.energy_j,
+        });
+    }
+
+    Characterization {
+        device: spec.name.clone(),
+        workload: workload.name(),
+        baseline_time_s: baseline.time_s,
+        baseline_energy_j: baseline.energy_j,
+        points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cronos::Grid;
+
+    fn v100() -> DeviceSpec {
+        DeviceSpec::v100()
+    }
+
+    fn large_cronos() -> cronos::GpuCronos {
+        cronos::GpuCronos::new(Grid::cubic(160, 64, 64), 2)
+    }
+
+    fn large_ligen() -> ligen::GpuLigen {
+        ligen::GpuLigen::new(10_000, 89, 20)
+    }
+
+    #[test]
+    fn default_frequency_point_is_unity() {
+        let spec = v100();
+        let c = characterize(&spec, &large_cronos(), &[spec.default_core_mhz], 1, None);
+        let p = &c.points[0];
+        assert!((p.speedup - 1.0).abs() < 1e-9);
+        assert!((p.norm_energy - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cronos_large_grid_shape_matches_paper() {
+        // Fig. 4b: up-clocking buys ~no speedup but much more energy;
+        // down-clocking saves ~20 % energy at near-zero slowdown.
+        let spec = v100();
+        let c = characterize(
+            &spec,
+            &large_cronos(),
+            &[900.0, spec.default_core_mhz, spec.max_core_mhz()],
+            1,
+            None,
+        );
+        let low = c.at_freq(900.0);
+        let max = c.at_freq(spec.max_core_mhz());
+        assert!(low.speedup > 0.94, "low-clock speedup {}", low.speedup);
+        assert!(
+            low.norm_energy < 0.85,
+            "low-clock energy {}",
+            low.norm_energy
+        );
+        assert!(max.speedup < 1.06, "max-clock speedup {}", max.speedup);
+        assert!(
+            max.norm_energy > 1.15,
+            "max-clock energy {}",
+            max.norm_energy
+        );
+    }
+
+    #[test]
+    fn ligen_large_input_shape_matches_paper() {
+        // Fig. 10b: up-clocking gains ~20 % speed at a large energy cost.
+        let spec = v100();
+        let c = characterize(
+            &spec,
+            &large_ligen(),
+            &[1100.0, spec.max_core_mhz()],
+            1,
+            None,
+        );
+        let max = c.at_freq(spec.max_core_mhz());
+        assert!(
+            (1.1..1.35).contains(&max.speedup),
+            "speedup {}",
+            max.speedup
+        );
+        assert!(max.norm_energy > 1.3, "energy {}", max.norm_energy);
+        let low = c.at_freq(1100.0);
+        assert!(low.norm_energy < 1.0, "down-clock should save energy");
+    }
+
+    #[test]
+    fn speedup_monotone_in_frequency() {
+        let spec = v100();
+        let freqs: Vec<f64> = spec.core_freqs.strided(20);
+        let c = characterize(&spec, &large_ligen(), &freqs, 1, None);
+        for w in c.points.windows(2) {
+            assert!(
+                w[1].speedup >= w[0].speedup * (1.0 - 1e-9),
+                "speedup must not decrease with f"
+            );
+        }
+    }
+
+    #[test]
+    fn noise_changes_values_but_not_shape() {
+        let spec = v100();
+        let freqs = [800.0, 1312.0, 1597.0];
+        let clean = characterize(&spec, &large_cronos(), &freqs, 1, None);
+        let noisy = characterize(&spec, &large_cronos(), &freqs, 5, Some(7));
+        for (a, b) in clean.points.iter().zip(&noisy.points) {
+            assert!((a.speedup - b.speedup).abs() / a.speedup < 0.05);
+            assert!((a.norm_energy - b.norm_energy).abs() / a.norm_energy < 0.05);
+        }
+    }
+
+    #[test]
+    fn amd_baseline_is_auto_configuration() {
+        let spec = DeviceSpec::mi100();
+        let c = characterize(&spec, &large_cronos(), &[1450.0], 1, None);
+        // The auto governor converges to 1450 MHz under load, so the pinned
+        // 1450 MHz point must match the auto baseline.
+        let p = c.at_freq(1450.0);
+        assert!((p.speedup - 1.0).abs() < 1e-9);
+        assert!((p.norm_energy - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn at_freq_snaps_to_nearest() {
+        let spec = v100();
+        let c = characterize(&spec, &large_cronos(), &[800.0, 1200.0], 1, None);
+        assert_eq!(c.at_freq(810.0).freq_mhz, 800.0);
+        assert_eq!(c.at_freq(1100.0).freq_mhz, 1200.0);
+    }
+}

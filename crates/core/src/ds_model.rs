@@ -1,0 +1,444 @@
+//! The domain-specific energy/time models (§4.2 of the paper).
+//!
+//! Two models per application — one for execution time, one for energy —
+//! trained on `(input features, frequency) → (time, energy)` samples
+//! gathered by running the application itself (Figure 11). At prediction
+//! time the models are evaluated at every frequency plus the default
+//! configuration, and speedup / normalized energy are computed from the
+//! *predicted* default values (Figure 12) — so any systematic per-input
+//! offset cancels in the ratios.
+//!
+//! Targets are modelled in log space: times and energies span orders of
+//! magnitude across the paper's input grid, and the quantities of interest
+//! are ratios.
+//!
+//! [`DomainSpecificModel::train_selecting`] reproduces the paper's model
+//! selection (§5.2.1): Linear, Lasso, SVR-RBF, and Random Forest compete
+//! under K-fold cross-validation; Random Forest wins.
+
+use ml::dataset::Matrix;
+use ml::forest::{RandomForest, RandomForestParams};
+use ml::lasso::Lasso;
+use ml::linear::LinearRegression;
+use ml::svr::SvrRbf;
+use ml::Regressor;
+use serde::{Deserialize, Serialize};
+
+pub use crate::gp_model::PredictedPoint;
+
+/// One training sample `s = (f⃗, c, t, e)` (§4.2.2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DsSample {
+    /// Domain-specific input features `f⃗` (Table 2).
+    pub features: Vec<f64>,
+    /// Frequency configuration `c` (MHz).
+    pub freq_mhz: f64,
+    /// Measured execution time `t` (s).
+    pub time_s: f64,
+    /// Measured energy `e` (J).
+    pub energy_j: f64,
+}
+
+/// The regression algorithms the paper compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// Ordinary least squares.
+    Linear,
+    /// L1-regularized linear regression.
+    Lasso,
+    /// ε-SVR with an RBF kernel.
+    SvrRbf,
+    /// Random Forest (the winner in the paper and here).
+    RandomForest,
+}
+
+impl Algorithm {
+    /// All four candidates, in the paper's order.
+    pub fn all() -> [Algorithm; 4] {
+        [
+            Algorithm::Linear,
+            Algorithm::Lasso,
+            Algorithm::SvrRbf,
+            Algorithm::RandomForest,
+        ]
+    }
+
+    fn build(&self, seed: u64) -> AnyModel {
+        match self {
+            Algorithm::Linear => AnyModel::Linear(LinearRegression::new()),
+            Algorithm::Lasso => AnyModel::Lasso(Lasso::new(1e-3)),
+            Algorithm::SvrRbf => AnyModel::Svr(SvrRbf::with_defaults()),
+            Algorithm::RandomForest => AnyModel::Forest(RandomForest::new(
+                RandomForestParams {
+                    n_estimators: 60,
+                    ..Default::default()
+                },
+                seed,
+            )),
+        }
+    }
+}
+
+/// Type-erased regressor covering the four candidate algorithms.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum AnyModel {
+    Linear(LinearRegression),
+    Lasso(Lasso),
+    Svr(SvrRbf),
+    Forest(RandomForest),
+}
+
+impl Regressor for AnyModel {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) {
+        match self {
+            AnyModel::Linear(m) => m.fit(x, y),
+            AnyModel::Lasso(m) => m.fit(x, y),
+            AnyModel::Svr(m) => m.fit(x, y),
+            AnyModel::Forest(m) => m.fit(x, y),
+        }
+    }
+
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        match self {
+            AnyModel::Linear(m) => m.predict_row(row),
+            AnyModel::Lasso(m) => m.predict_row(row),
+            AnyModel::Svr(m) => m.predict_row(row),
+            AnyModel::Forest(m) => m.predict_row(row),
+        }
+    }
+}
+
+/// A trained domain-specific model pair (time + energy).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DomainSpecificModel {
+    time_model: AnyModel,
+    energy_model: AnyModel,
+    /// Algorithm used for both models.
+    pub algorithm: Algorithm,
+    n_features: usize,
+    default_freq_mhz: f64,
+}
+
+fn build_design(samples: &[DsSample]) -> (Matrix, Vec<f64>, Vec<f64>) {
+    let n_features = samples[0].features.len();
+    let mut x = Matrix::with_cols(n_features + 1);
+    let mut y_time = Vec::with_capacity(samples.len());
+    let mut y_energy = Vec::with_capacity(samples.len());
+    for s in samples {
+        assert_eq!(s.features.len(), n_features, "ragged feature vectors");
+        assert!(
+            s.time_s > 0.0 && s.energy_j > 0.0,
+            "times and energies must be positive"
+        );
+        let mut row = s.features.clone();
+        row.push(s.freq_mhz);
+        x.push_row(&row);
+        y_time.push(s.time_s.ln());
+        y_energy.push(s.energy_j.ln());
+    }
+    (x, y_time, y_energy)
+}
+
+impl DomainSpecificModel {
+    /// Trains the Random Forest model pair (the paper's selected
+    /// configuration) on the sample set.
+    ///
+    /// # Panics
+    /// Panics on an empty sample set or inconsistent feature widths.
+    pub fn train(samples: &[DsSample], default_freq_mhz: f64, seed: u64) -> Self {
+        DomainSpecificModel::train_algorithm(
+            samples,
+            default_freq_mhz,
+            Algorithm::RandomForest,
+            seed,
+        )
+    }
+
+    /// Trains a specific algorithm (used by the model-selection study).
+    pub fn train_algorithm(
+        samples: &[DsSample],
+        default_freq_mhz: f64,
+        algorithm: Algorithm,
+        seed: u64,
+    ) -> Self {
+        assert!(!samples.is_empty(), "empty training set");
+        let (x, y_time, y_energy) = build_design(samples);
+        let mut time_model = algorithm.build(seed);
+        time_model.fit(&x, &y_time);
+        let mut energy_model = algorithm.build(seed ^ 0xE);
+        energy_model.fit(&x, &y_energy);
+        DomainSpecificModel {
+            time_model,
+            energy_model,
+            algorithm,
+            n_features: samples[0].features.len(),
+            default_freq_mhz,
+        }
+    }
+
+    /// The paper's model selection (§5.2.1): each of the four algorithms is
+    /// scored by leave-one-input-out cross-validation on the quantity the
+    /// paper cares about — the MAPE of the *normalized* (speedup) curve of
+    /// the held-out input. Normalizing inside the score is essential:
+    /// absolute times differ by orders of magnitude between inputs and
+    /// those offsets cancel in the prediction phase (Fig. 12), so a raw
+    /// regression loss would reward the wrong models. Under this protocol
+    /// Random Forest wins, as in the paper: linear models miss the
+    /// roofline/occupancy kinks, and SVR-RBF collapses toward its bias on
+    /// unseen inputs.
+    ///
+    /// Returns the winning model (trained on the full set) and the
+    /// per-algorithm mean CV scores.
+    ///
+    /// # Panics
+    /// Panics with fewer than three distinct input configurations or fewer
+    /// than two frequency points per input.
+    pub fn train_selecting(
+        samples: &[DsSample],
+        default_freq_mhz: f64,
+        seed: u64,
+    ) -> (Self, Vec<(Algorithm, f64)>) {
+        assert!(samples.len() >= 10, "too few samples for model selection");
+        let (x, _, _) = build_design(samples);
+        let feature_cols: Vec<usize> = (0..samples[0].features.len()).collect();
+        let groups = ml::cv::groups_from_columns(&x, &feature_cols);
+        let folds = ml::cv::leave_one_group_out(&groups);
+        assert!(folds.len() >= 3, "need at least three input configurations");
+
+        let mut scores = Vec::new();
+        for alg in Algorithm::all() {
+            let mut fold_scores = Vec::with_capacity(folds.len());
+            for (train_idx, val_idx) in &folds {
+                assert!(val_idx.len() >= 2, "need ≥2 frequency points per input");
+                let train: Vec<DsSample> = train_idx.iter().map(|&i| samples[i].clone()).collect();
+                let model =
+                    DomainSpecificModel::train_algorithm(&train, default_freq_mhz, alg, seed);
+                // Normalize truth and prediction by the held-out input's
+                // point nearest the default frequency.
+                let ref_idx = val_idx
+                    .iter()
+                    .copied()
+                    .min_by(|&a, &b| {
+                        (samples[a].freq_mhz - default_freq_mhz)
+                            .abs()
+                            .partial_cmp(&(samples[b].freq_mhz - default_freq_mhz).abs())
+                            .expect("finite")
+                    })
+                    .expect("non-empty validation group");
+                let t_ref_true = samples[ref_idx].time_s;
+                let (t_ref_pred, _) = model
+                    .predict_time_energy(&samples[ref_idx].features, samples[ref_idx].freq_mhz);
+                let mut true_speedup = Vec::with_capacity(val_idx.len());
+                let mut pred_speedup = Vec::with_capacity(val_idx.len());
+                for &i in val_idx {
+                    let s = &samples[i];
+                    let (t_pred, _) = model.predict_time_energy(&s.features, s.freq_mhz);
+                    true_speedup.push(t_ref_true / s.time_s);
+                    pred_speedup.push(t_ref_pred / t_pred);
+                }
+                fold_scores.push(ml::metrics::mape(&true_speedup, &pred_speedup));
+            }
+            let mean = fold_scores.iter().sum::<f64>() / fold_scores.len() as f64;
+            scores.push((alg, mean));
+        }
+        let best = scores
+            .iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .map(|(a, _)| *a)
+            .expect("non-empty");
+        (
+            DomainSpecificModel::train_algorithm(samples, default_freq_mhz, best, seed),
+            scores,
+        )
+    }
+
+    /// Predicts raw `(time, energy)` for an input at one frequency.
+    ///
+    /// # Panics
+    /// Panics on a feature-width mismatch.
+    pub fn predict_time_energy(&self, features: &[f64], freq_mhz: f64) -> (f64, f64) {
+        assert_eq!(features.len(), self.n_features, "feature width mismatch");
+        let mut row = features.to_vec();
+        row.push(freq_mhz);
+        (
+            self.time_model.predict_row(&row).exp(),
+            self.energy_model.predict_row(&row).exp(),
+        )
+    }
+
+    /// The Figure-12 prediction phase: predicted speedup and normalized
+    /// energy over `freqs`, normalized by the *predicted* default-frequency
+    /// values.
+    pub fn predict_curve(&self, features: &[f64], freqs: &[f64]) -> Vec<PredictedPoint> {
+        let (t_def, e_def) = self.predict_time_energy(features, self.default_freq_mhz);
+        freqs
+            .iter()
+            .map(|&f| {
+                let (t, e) = self.predict_time_energy(features, f);
+                PredictedPoint {
+                    freq_mhz: f,
+                    speedup: t_def / t,
+                    norm_energy: e / e_def,
+                }
+            })
+            .collect()
+    }
+
+    /// Default frequency used for normalization.
+    pub fn default_freq_mhz(&self) -> f64 {
+        self.default_freq_mhz
+    }
+
+    /// Serializes the trained model pair to JSON — train once during the
+    /// (expensive) training phase, ship the model to the runtime that does
+    /// frequency selection.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("model serialization cannot fail")
+    }
+
+    /// Restores a model pair from [`DomainSpecificModel::to_json`] output.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic app with a roofline kink: compute time ∝ work/f competes
+    /// with a frequency-independent memory floor — the nonsmooth response
+    /// surface real DVFS data has.
+    fn synth_samples(inputs: &[(f64, f64)], freqs: &[f64]) -> Vec<DsSample> {
+        let mut out = Vec::new();
+        for &(a, b) in inputs {
+            let work = a * b * 1e6;
+            for &f in freqs {
+                // The memory roof caps the effective rate at 900 MHz.
+                let eff = f.min(900.0);
+                let time = work / (eff * 1e6) + 4.0e-5;
+                let power = 50.0 + 0.1 * f;
+                out.push(DsSample {
+                    features: vec![a, b],
+                    freq_mhz: f,
+                    time_s: time,
+                    energy_j: time * power,
+                });
+            }
+        }
+        out
+    }
+
+    fn freqs() -> Vec<f64> {
+        (0..40).map(|i| 500.0 + i as f64 * 27.5).collect()
+    }
+
+    #[test]
+    fn fits_training_inputs_accurately() {
+        let inputs = [(2.0, 3.0), (4.0, 5.0), (8.0, 2.0), (10.0, 10.0)];
+        let samples = synth_samples(&inputs, &freqs());
+        let model = DomainSpecificModel::train(&samples, 1315.0, 0);
+        for s in samples.iter().step_by(7) {
+            let (t, e) = model.predict_time_energy(&s.features, s.freq_mhz);
+            assert!((t - s.time_s).abs() / s.time_s < 0.1, "time");
+            assert!((e - s.energy_j).abs() / s.energy_j < 0.1, "energy");
+        }
+    }
+
+    #[test]
+    fn curve_normalizes_to_predicted_default() {
+        let inputs = [(2.0, 3.0), (4.0, 5.0), (8.0, 2.0)];
+        let samples = synth_samples(&inputs, &freqs());
+        let default = 855.0;
+        let model = DomainSpecificModel::train(&samples, default, 0);
+        let curve = model.predict_curve(&[4.0, 5.0], &[default]);
+        assert!((curve[0].speedup - 1.0).abs() < 1e-9);
+        assert!((curve[0].norm_energy - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalization_cancels_systematic_offset() {
+        // Hold out an unseen input whose absolute time the forest cannot
+        // extrapolate; the speedup *curve* must still be accurate because
+        // the offset cancels in the ratio (the mechanism that makes the
+        // paper's LOOCV errors tiny).
+        let train_inputs = [(2.0, 3.0), (4.0, 5.0), (8.0, 2.0), (6.0, 6.0)];
+        let samples = synth_samples(&train_inputs, &freqs());
+        let model = DomainSpecificModel::train(&samples, 855.0, 0);
+        let unseen = [12.0, 9.0];
+        let fs = freqs();
+        let curve = model.predict_curve(&unseen, &fs);
+        for p in &curve {
+            let true_speedup = p.freq_mhz.min(900.0) / 855.0;
+            assert!(
+                (p.speedup - true_speedup).abs() / true_speedup < 0.08,
+                "freq {}: predicted {} vs true {}",
+                p.freq_mhz,
+                p.speedup,
+                true_speedup
+            );
+        }
+    }
+
+    #[test]
+    fn selection_prefers_random_forest() {
+        // The synthetic response is multiplicative/nonlinear in features ×
+        // frequency; the paper (and this pipeline) select Random Forest.
+        let inputs = [
+            (2.0, 3.0),
+            (4.0, 5.0),
+            (8.0, 2.0),
+            (6.0, 6.0),
+            (3.0, 9.0),
+            (12.0, 4.0),
+        ];
+        let samples = synth_samples(&inputs, &freqs());
+        let (model, scores) = DomainSpecificModel::train_selecting(&samples, 855.0, 1);
+        assert_eq!(scores.len(), 4);
+        assert_eq!(model.algorithm, Algorithm::RandomForest);
+    }
+
+    #[test]
+    fn deterministic_training() {
+        let samples = synth_samples(&[(2.0, 3.0), (4.0, 5.0)], &freqs());
+        let a = DomainSpecificModel::train(&samples, 855.0, 9);
+        let b = DomainSpecificModel::train(&samples, 855.0, 9);
+        let pa = a.predict_time_energy(&[2.0, 3.0], 500.0);
+        let pb = b.predict_time_energy(&[2.0, 3.0], 500.0);
+        assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_predictions() {
+        let samples = synth_samples(&[(2.0, 3.0), (4.0, 5.0), (8.0, 2.0)], &freqs());
+        let model = DomainSpecificModel::train(&samples, 855.0, 4);
+        let json = model.to_json();
+        let back = DomainSpecificModel::from_json(&json).unwrap();
+        assert_eq!(back.algorithm, model.algorithm);
+        for &f in freqs().iter().step_by(5) {
+            let (t0, e0) = model.predict_time_energy(&[4.0, 5.0], f);
+            let (t1, e1) = back.predict_time_energy(&[4.0, 5.0], f);
+            assert!(((t1 - t0) / t0).abs() < 1e-12);
+            assert!(((e1 - e0) / e0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(DomainSpecificModel::from_json("{not json").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty training set")]
+    fn empty_training_rejected() {
+        let _ = DomainSpecificModel::train(&[], 1312.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature width mismatch")]
+    fn wrong_feature_width_rejected() {
+        let samples = synth_samples(&[(2.0, 3.0), (4.0, 5.0)], &freqs());
+        let model = DomainSpecificModel::train(&samples, 855.0, 0);
+        let _ = model.predict_time_energy(&[1.0], 500.0);
+    }
+}

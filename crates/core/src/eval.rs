@@ -1,0 +1,363 @@
+//! The §5.2 evaluation protocol.
+//!
+//! * [`evaluate_loocv`] — leave-one-input-out cross-validation: for each
+//!   input configuration `f⃗`, the domain-specific model trains on
+//!   `D \ D_v` and predicts the held-out input's speedup and normalized
+//!   energy across all frequencies; the general-purpose model predicts
+//!   from the application's static code features. Accuracy is MAPE over
+//!   the frequency configurations (Figure 13).
+//! * [`evaluate_pareto`] — the §5.2.2 Pareto-set analysis: both models'
+//!   predicted Pareto-optimal frequency sets are *realized* (looked up in
+//!   the measured characterization) and compared against the true front
+//!   (Figure 14).
+
+use serde::{Deserialize, Serialize};
+
+use crate::characterize::Characterization;
+use crate::ds_model::{DomainSpecificModel, PredictedPoint};
+use crate::features::N_STATIC_FEATURES;
+use crate::gp_model::GeneralPurposeModel;
+use crate::pareto::{compare_pareto_sets, pareto_front_indices, ParetoComparison};
+use crate::workflow::{predicted_pareto_frequencies, training_set, CharacterizedInput};
+
+/// Per-input MAPE of both models on both targets — one group of bars in
+/// Figure 13.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MapeRow {
+    /// Input label (paper-figure format).
+    pub label: String,
+    /// General-purpose model speedup MAPE.
+    pub gp_speedup: f64,
+    /// Domain-specific model speedup MAPE.
+    pub ds_speedup: f64,
+    /// General-purpose model normalized-energy MAPE.
+    pub gp_energy: f64,
+    /// Domain-specific model normalized-energy MAPE.
+    pub ds_energy: f64,
+}
+
+impl MapeRow {
+    /// GP-to-DS error ratio on speedup (the "×10 better" headline).
+    pub fn speedup_improvement(&self) -> f64 {
+        self.gp_speedup / self.ds_speedup
+    }
+
+    /// GP-to-DS error ratio on normalized energy.
+    pub fn energy_improvement(&self) -> f64 {
+        self.gp_energy / self.ds_energy
+    }
+}
+
+fn curve_mape(truth: &Characterization, pred: &[PredictedPoint]) -> (f64, f64) {
+    assert_eq!(truth.points.len(), pred.len(), "frequency grids must match");
+    let true_speedup: Vec<f64> = truth.points.iter().map(|p| p.speedup).collect();
+    let true_energy: Vec<f64> = truth.points.iter().map(|p| p.norm_energy).collect();
+    let pred_speedup: Vec<f64> = pred.iter().map(|p| p.speedup).collect();
+    let pred_energy: Vec<f64> = pred.iter().map(|p| p.norm_energy).collect();
+    (
+        ml::metrics::mape(&true_speedup, &pred_speedup),
+        ml::metrics::mape(&true_energy, &pred_energy),
+    )
+}
+
+/// Runs the full leave-one-input-out comparison.
+///
+/// `inputs` are the characterized configurations; `gp_features[i]` is the
+/// static feature vector the GP model sees for input `i` (extracted from
+/// the application code, §4.1); `default_freq_mhz` anchors DS
+/// normalization; `seed` makes forest training reproducible.
+///
+/// # Panics
+/// Panics with fewer than two inputs (LOOCV needs a nonempty training
+/// remainder) or mismatched `gp_features` length.
+pub fn evaluate_loocv(
+    inputs: &[CharacterizedInput],
+    gp_model: &GeneralPurposeModel,
+    gp_features: &[[f64; N_STATIC_FEATURES]],
+    default_freq_mhz: f64,
+    seed: u64,
+) -> Vec<MapeRow> {
+    assert!(inputs.len() >= 2, "LOOCV needs at least two inputs");
+    assert_eq!(
+        inputs.len(),
+        gp_features.len(),
+        "one feature vector per input"
+    );
+
+    let freqs: Vec<f64> = inputs[0]
+        .characterization
+        .points
+        .iter()
+        .map(|p| p.freq_mhz)
+        .collect();
+
+    inputs
+        .iter()
+        .enumerate()
+        .map(|(i, held_out)| {
+            // D_t = D \ D_v
+            let train_inputs: Vec<CharacterizedInput> = inputs
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, c)| c.clone())
+                .collect();
+            let samples = training_set(&train_inputs);
+            let ds = DomainSpecificModel::train(&samples, default_freq_mhz, seed);
+            let ds_curve = ds.predict_curve(&held_out.features, &freqs);
+            let (ds_speedup, ds_energy) = curve_mape(&held_out.characterization, &ds_curve);
+
+            let gp_curve = gp_model.predict_curve(&gp_features[i], &freqs);
+            let (gp_speedup, gp_energy) = curve_mape(&held_out.characterization, &gp_curve);
+
+            MapeRow {
+                label: held_out.label.clone(),
+                gp_speedup,
+                ds_speedup,
+                gp_energy,
+                ds_energy,
+            }
+        })
+        .collect()
+}
+
+/// Outcome of the Pareto-set analysis for one input (Figure 14).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParetoEval {
+    /// Input label.
+    pub label: String,
+    /// The true Pareto-optimal frequencies.
+    pub true_freqs: Vec<f64>,
+    /// The true Pareto points `(speedup, norm_energy)`.
+    pub true_points: Vec<(f64, f64)>,
+    /// GP-predicted set vs truth.
+    pub gp: ParetoComparison,
+    /// Realized objective points of the GP predictions.
+    pub gp_realized: Vec<(f64, f64)>,
+    /// DS-predicted set vs truth.
+    pub ds: ParetoComparison,
+    /// Realized objective points of the DS predictions.
+    pub ds_realized: Vec<(f64, f64)>,
+}
+
+/// Realizes a predicted frequency set against the measured sweep: the
+/// (speedup, energy) actually obtained when running at those frequencies.
+fn realize(ch: &Characterization, freqs: &[f64]) -> Vec<(f64, f64)> {
+    freqs
+        .iter()
+        .map(|&f| {
+            let p = ch.at_freq(f);
+            (p.speedup, p.norm_energy)
+        })
+        .collect()
+}
+
+/// Runs the §5.2.2 Pareto comparison for one held-out input, with the DS
+/// model trained on the remaining inputs (same protocol as the MAPE study).
+pub fn evaluate_pareto(
+    inputs: &[CharacterizedInput],
+    held_out_index: usize,
+    gp_model: &GeneralPurposeModel,
+    gp_features: &[f64; N_STATIC_FEATURES],
+    default_freq_mhz: f64,
+    seed: u64,
+) -> ParetoEval {
+    assert!(held_out_index < inputs.len(), "index out of range");
+    let held_out = &inputs[held_out_index];
+    let freqs: Vec<f64> = held_out
+        .characterization
+        .points
+        .iter()
+        .map(|p| p.freq_mhz)
+        .collect();
+
+    // True front.
+    let objective = held_out.characterization.objective_points();
+    let true_idx = pareto_front_indices(&objective);
+    let true_freqs: Vec<f64> = true_idx.iter().map(|&i| freqs[i]).collect();
+    let true_points: Vec<(f64, f64)> = true_idx.iter().map(|&i| objective[i]).collect();
+
+    // DS prediction (trained without the held-out input).
+    let train_inputs: Vec<CharacterizedInput> = inputs
+        .iter()
+        .enumerate()
+        .filter(|(j, _)| *j != held_out_index)
+        .map(|(_, c)| c.clone())
+        .collect();
+    let samples = training_set(&train_inputs);
+    let ds_model = DomainSpecificModel::train(&samples, default_freq_mhz, seed);
+    let ds_curve = ds_model.predict_curve(&held_out.features, &freqs);
+    let ds_freqs = predicted_pareto_frequencies(&ds_curve);
+    let ds_realized = realize(&held_out.characterization, &ds_freqs);
+    let ds = compare_pareto_sets(&true_freqs, &true_points, &ds_freqs, &ds_realized);
+
+    // GP prediction.
+    let gp_curve = gp_model.predict_curve(gp_features, &freqs);
+    let gp_freqs = predicted_pareto_frequencies(&gp_curve);
+    let gp_realized = realize(&held_out.characterization, &gp_freqs);
+    let gp = compare_pareto_sets(&true_freqs, &true_points, &gp_freqs, &gp_realized);
+
+    ParetoEval {
+        label: held_out.label.clone(),
+        true_freqs,
+        true_points,
+        gp,
+        gp_realized,
+        ds,
+        ds_realized,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::CronosInput;
+    use crate::workflow::{characterize_cronos, cronos_static_features};
+    use gpu_sim::DeviceSpec;
+    use ml::forest::RandomForestParams;
+    use ml::tree::TreeParams;
+
+    fn quick_gp(spec: &DeviceSpec, freqs: &[f64]) -> GeneralPurposeModel {
+        GeneralPurposeModel::train_with(
+            spec,
+            freqs,
+            0,
+            RandomForestParams {
+                n_estimators: 12,
+                tree: TreeParams::default(),
+                bootstrap: true,
+            },
+        )
+    }
+
+    fn cronos_setup() -> (
+        DeviceSpec,
+        Vec<f64>,
+        Vec<CharacterizedInput>,
+        Vec<[f64; N_STATIC_FEATURES]>,
+        GeneralPurposeModel,
+    ) {
+        let spec = DeviceSpec::v100();
+        let freqs = crate::workflow::experiment_frequencies(&spec, 4);
+        let configs = CronosInput::paper_configs();
+        let inputs = characterize_cronos(&spec, &configs, &freqs, 1, None);
+        let gp_features: Vec<_> = configs.iter().map(cronos_static_features).collect();
+        let gp = quick_gp(&spec, &freqs);
+        (spec, freqs, inputs, gp_features, gp)
+    }
+
+    #[test]
+    fn loocv_produces_row_per_input() {
+        let (spec, _freqs, inputs, gp_features, gp) = cronos_setup();
+        let rows = evaluate_loocv(&inputs, &gp, &gp_features, spec.default_core_mhz, 0);
+        assert_eq!(rows.len(), 5);
+        for r in &rows {
+            assert!(r.ds_speedup >= 0.0 && r.ds_speedup.is_finite());
+            assert!(r.gp_speedup >= 0.0 && r.gp_speedup.is_finite());
+        }
+    }
+
+    #[test]
+    fn domain_specific_beats_general_purpose_on_cronos() {
+        // The headline claim on the Cronos side. Speedup: DS beats GP on
+        // every input with a large aggregate factor. Energy: DS wins
+        // clearly below the device's saturation point; on the largest
+        // grids the simulated GP happens to be accurate for energy (both
+        // micro-bench and app worlds are fully saturated and memory-bound
+        // there), so we assert the win below saturation plus the aggregate
+        // factors — the honest state of this reproduction, recorded in
+        // EXPERIMENTS.md.
+        let (spec, _freqs, inputs, gp_features, gp) = cronos_setup();
+        let rows = evaluate_loocv(&inputs, &gp, &gp_features, spec.default_core_mhz, 0);
+        for r in &rows {
+            assert!(
+                r.ds_speedup < r.gp_speedup,
+                "{}: DS speedup MAPE {} vs GP {}",
+                r.label,
+                r.ds_speedup,
+                r.gp_speedup
+            );
+        }
+        for r in rows.iter().take(3) {
+            assert!(
+                r.ds_energy < r.gp_energy,
+                "{}: DS energy MAPE {} vs GP {}",
+                r.label,
+                r.ds_energy,
+                r.gp_energy
+            );
+        }
+        let mean_speedup_ratio: f64 =
+            rows.iter().map(|r| r.speedup_improvement()).sum::<f64>() / rows.len() as f64;
+        assert!(
+            mean_speedup_ratio > 5.0,
+            "mean speedup improvement {mean_speedup_ratio}"
+        );
+        let mean_energy_ratio: f64 =
+            rows.iter().map(|r| r.energy_improvement()).sum::<f64>() / rows.len() as f64;
+        assert!(
+            mean_energy_ratio > 2.0,
+            "mean energy improvement {mean_energy_ratio}"
+        );
+    }
+
+    #[test]
+    fn ds_errors_are_small_in_absolute_terms() {
+        let (spec, _freqs, inputs, gp_features, gp) = cronos_setup();
+        let rows = evaluate_loocv(&inputs, &gp, &gp_features, spec.default_core_mhz, 0);
+        for r in &rows {
+            assert!(
+                r.ds_speedup < 0.02,
+                "{} DS speedup MAPE too large: {}",
+                r.label,
+                r.ds_speedup
+            );
+            assert!(
+                r.ds_energy < 0.08,
+                "{} DS energy MAPE {}",
+                r.label,
+                r.ds_energy
+            );
+        }
+    }
+
+    #[test]
+    fn pareto_eval_produces_realizable_sets() {
+        let (spec, _freqs, inputs, gp_features, gp) = cronos_setup();
+        let eval = evaluate_pareto(&inputs, 4, &gp, &gp_features[4], spec.default_core_mhz, 0);
+        assert!(!eval.true_freqs.is_empty());
+        assert_eq!(eval.ds_realized.len(), eval.ds.predicted_size);
+        assert_eq!(eval.gp_realized.len(), eval.gp.predicted_size);
+        // The DS realized points must track the true front closely.
+        assert!(
+            eval.ds.mean_distance < 0.1,
+            "DS realized distance {}",
+            eval.ds.mean_distance
+        );
+    }
+
+    #[test]
+    fn ds_pareto_at_least_as_close_as_gp() {
+        let (spec, _freqs, inputs, gp_features, gp) = cronos_setup();
+        let eval = evaluate_pareto(&inputs, 4, &gp, &gp_features[4], spec.default_core_mhz, 0);
+        assert!(
+            eval.ds.mean_distance <= eval.gp.mean_distance + 1e-9,
+            "DS {} vs GP {}",
+            eval.ds.mean_distance,
+            eval.gp.mean_distance
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two inputs")]
+    fn loocv_rejects_single_input() {
+        let (spec, _freqs, inputs, gp_features, gp) = cronos_setup();
+        let _ = evaluate_loocv(
+            &inputs[..1],
+            &gp,
+            &gp_features[..1],
+            spec.default_core_mhz,
+            0,
+        );
+    }
+}

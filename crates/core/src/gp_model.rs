@@ -1,0 +1,252 @@
+//! The general-purpose energy model (the Fan et al. baseline, §4.1).
+//!
+//! Two-phase supervised learning. **Training**: every micro-benchmark of
+//! [`crate::microbench`] is executed at every frequency configuration; its
+//! static code features, the frequency, and the measured normalized
+//! energy / speedup form the training set of two Random Forests.
+//! **Prediction**: a new application contributes only its *static code
+//! features* (extracted without running it), and the model predicts its
+//! speedup / normalized-energy curve over frequency.
+//!
+//! Because static features are input-independent, the model emits one
+//! curve per application regardless of workload — the inaccuracy the
+//! domain-specific models remove.
+
+use gpu_sim::{Device, DeviceSpec, KernelProfile};
+use ml::dataset::{Dataset, Matrix};
+use ml::forest::{RandomForest, RandomForestParams};
+use ml::Regressor;
+
+use crate::features::{static_features, N_STATIC_FEATURES};
+use crate::microbench::microbenchmarks;
+
+/// A trained general-purpose model for one device.
+#[derive(Debug, Clone)]
+pub struct GeneralPurposeModel {
+    speedup_model: RandomForest,
+    energy_model: RandomForest,
+    default_freq_mhz: f64,
+}
+
+/// A predicted operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PredictedPoint {
+    /// Core frequency (MHz).
+    pub freq_mhz: f64,
+    /// Predicted speedup vs the default configuration.
+    pub speedup: f64,
+    /// Predicted normalized energy vs the default configuration.
+    pub norm_energy: f64,
+}
+
+impl GeneralPurposeModel {
+    /// Trains on the 106 micro-benchmarks swept over `freqs`, with
+    /// scikit-learn-default forests (the paper's grid search concludes the
+    /// defaults win).
+    pub fn train(spec: &DeviceSpec, freqs: &[f64], seed: u64) -> Self {
+        GeneralPurposeModel::train_with(spec, freqs, seed, RandomForestParams::default())
+    }
+
+    /// Trains with explicit forest hyper-parameters (used by tests and the
+    /// ablation benches to trade accuracy for speed).
+    ///
+    /// # Panics
+    /// Panics on an empty frequency list.
+    pub fn train_with(
+        spec: &DeviceSpec,
+        freqs: &[f64],
+        seed: u64,
+        params: RandomForestParams,
+    ) -> Self {
+        assert!(!freqs.is_empty(), "need at least one training frequency");
+        let dev = Device::new(spec.clone());
+        let suite = microbenchmarks();
+
+        let mut x = Matrix::with_cols(N_STATIC_FEATURES + 1);
+        let mut y_speedup = Vec::new();
+        let mut y_energy = Vec::new();
+
+        for bench in &suite {
+            let sf = static_features(std::slice::from_ref(bench));
+            // Ground truth from the simulator (noiseless peek).
+            let (t_def, e_def) = dev.peek_cost(bench, spec.default_core_mhz);
+            for &f in freqs {
+                let (t, e) = dev.peek_cost(bench, f);
+                let mut row = sf.to_vec();
+                row.push(f);
+                x.push_row(&row);
+                y_speedup.push(t_def / t);
+                y_energy.push(e / e_def);
+            }
+        }
+
+        let mut speedup_model = RandomForest::new(params, seed);
+        speedup_model.fit(&x, &y_speedup);
+        let mut energy_model = RandomForest::new(params, seed ^ 0xE);
+        energy_model.fit(&x, &y_energy);
+
+        GeneralPurposeModel {
+            speedup_model,
+            energy_model,
+            default_freq_mhz: spec.default_core_mhz,
+        }
+    }
+
+    /// The training set the model was built from, exposed for diagnostics.
+    pub fn training_dataset(spec: &DeviceSpec, freqs: &[f64]) -> (Dataset, Dataset) {
+        let dev = Device::new(spec.clone());
+        let suite = microbenchmarks();
+        let mut x = Matrix::with_cols(N_STATIC_FEATURES + 1);
+        let mut y_speedup = Vec::new();
+        let mut y_energy = Vec::new();
+        for bench in &suite {
+            let sf = static_features(std::slice::from_ref(bench));
+            let (t_def, e_def) = dev.peek_cost(bench, spec.default_core_mhz);
+            for &f in freqs {
+                let (t, e) = dev.peek_cost(bench, f);
+                let mut row = sf.to_vec();
+                row.push(f);
+                x.push_row(&row);
+                y_speedup.push(t_def / t);
+                y_energy.push(e / e_def);
+            }
+        }
+        (
+            Dataset::new(x.clone(), y_speedup),
+            Dataset::new(x, y_energy),
+        )
+    }
+
+    /// Extracts the static feature vector of an application from its
+    /// kernel profiles (the "static code features … extracted from a new
+    /// input code" of the prediction phase).
+    pub fn application_features(kernels: &[KernelProfile]) -> [f64; N_STATIC_FEATURES] {
+        static_features(kernels)
+    }
+
+    /// Predicts (speedup, normalized energy) at one frequency.
+    pub fn predict(&self, app_features: &[f64; N_STATIC_FEATURES], freq_mhz: f64) -> (f64, f64) {
+        let mut row = app_features.to_vec();
+        row.push(freq_mhz);
+        (
+            self.speedup_model.predict_row(&row),
+            self.energy_model.predict_row(&row),
+        )
+    }
+
+    /// Predicts the full curve over `freqs`.
+    pub fn predict_curve(
+        &self,
+        app_features: &[f64; N_STATIC_FEATURES],
+        freqs: &[f64],
+    ) -> Vec<PredictedPoint> {
+        freqs
+            .iter()
+            .map(|&f| {
+                let (s, e) = self.predict(app_features, f);
+                PredictedPoint {
+                    freq_mhz: f,
+                    speedup: s,
+                    norm_energy: e,
+                }
+            })
+            .collect()
+    }
+
+    /// Default frequency of the device this model was trained for.
+    pub fn default_freq_mhz(&self) -> f64 {
+        self.default_freq_mhz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ml::tree::TreeParams;
+
+    fn quick_params() -> RandomForestParams {
+        RandomForestParams {
+            n_estimators: 15,
+            tree: TreeParams::default(),
+            bootstrap: true,
+        }
+    }
+
+    fn quick_model(spec: &DeviceSpec) -> GeneralPurposeModel {
+        let freqs = spec.core_freqs.strided(12);
+        GeneralPurposeModel::train_with(spec, &freqs, 0, quick_params())
+    }
+
+    #[test]
+    fn predicts_unity_at_default_frequency() {
+        let spec = DeviceSpec::v100();
+        let model = quick_model(&spec);
+        // A compute-heavy mix the suite covers well.
+        let k = KernelProfile::compute_bound("app", 4_000_000, 2000.0);
+        let sf = GeneralPurposeModel::application_features(&[k]);
+        let (s, e) = model.predict(&sf, spec.default_core_mhz);
+        assert!((s - 1.0).abs() < 0.05, "speedup at default ≈ 1, got {s}");
+        assert!((e - 1.0).abs() < 0.05, "energy at default ≈ 1, got {e}");
+    }
+
+    #[test]
+    fn compute_bound_app_predicted_to_scale_with_frequency() {
+        let spec = DeviceSpec::v100();
+        let model = quick_model(&spec);
+        let k = KernelProfile::compute_bound("app", 4_000_000, 2000.0);
+        let sf = GeneralPurposeModel::application_features(&[k]);
+        let (s_low, _) = model.predict(&sf, 700.0);
+        let (s_high, _) = model.predict(&sf, spec.max_core_mhz());
+        assert!(s_low < 0.75, "700 MHz speedup {s_low}");
+        assert!(s_high > 1.1, "max-clock speedup {s_high}");
+    }
+
+    #[test]
+    fn memory_bound_app_predicted_flat_under_downclock() {
+        let spec = DeviceSpec::v100();
+        let model = quick_model(&spec);
+        let k = KernelProfile::memory_bound("app", 4_000_000, 64.0);
+        let sf = GeneralPurposeModel::application_features(&[k]);
+        let (s_low, e_low) = model.predict(&sf, 950.0);
+        assert!(s_low > 0.9, "memory-bound down-clock speedup {s_low}");
+        assert!(e_low < 0.95, "memory-bound down-clock energy {e_low}");
+    }
+
+    #[test]
+    fn prediction_is_input_size_independent() {
+        // The defining limitation: scaling the workload does not change the
+        // static features, so the prediction cannot change.
+        let spec = DeviceSpec::v100();
+        let model = quick_model(&spec);
+        let small = KernelProfile::compute_bound("app", 1_000, 2000.0);
+        let big = KernelProfile::compute_bound("app", 100_000_000, 2000.0);
+        let sf_small = GeneralPurposeModel::application_features(&[small]);
+        let sf_big = GeneralPurposeModel::application_features(&[big]);
+        assert_eq!(
+            model.predict(&sf_small, 800.0),
+            model.predict(&sf_big, 800.0)
+        );
+    }
+
+    #[test]
+    fn curve_has_requested_frequencies() {
+        let spec = DeviceSpec::v100();
+        let model = quick_model(&spec);
+        let k = KernelProfile::compute_bound("app", 4_000_000, 2000.0);
+        let sf = GeneralPurposeModel::application_features(&[k]);
+        let freqs = [500.0, 1000.0, 1500.0];
+        let curve = model.predict_curve(&sf, &freqs);
+        assert_eq!(curve.len(), 3);
+        assert_eq!(curve[1].freq_mhz, 1000.0);
+    }
+
+    #[test]
+    fn training_dataset_shape() {
+        let spec = DeviceSpec::v100();
+        let freqs = spec.core_freqs.strided(40);
+        let (ds_s, ds_e) = GeneralPurposeModel::training_dataset(&spec, &freqs);
+        assert_eq!(ds_s.len(), 106 * freqs.len());
+        assert_eq!(ds_s.x.cols(), 11);
+        assert_eq!(ds_e.len(), ds_s.len());
+    }
+}

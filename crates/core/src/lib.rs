@@ -1,0 +1,47 @@
+//! # energy-model — domain-specific DVFS energy/time modeling
+//!
+//! The primary contribution of *"Domain-Specific Energy Modeling for Drug
+//! Discovery and Magnetohydrodynamics Applications"* (SC-W 2023),
+//! implemented over the simulated substrates of this workspace:
+//!
+//! * [`features`] — the two feature spaces: the general-purpose model's
+//!   *static code features* (Table 1) extracted from kernel profiles, and
+//!   the *domain-specific input features* (Table 2: grid dimensions for
+//!   Cronos; #ligands/#fragments/#atoms for LiGen);
+//! * [`mod@characterize`] — the frequency-sweep runner producing the
+//!   speedup/normalized-energy characterizations of §2–3 (five-repetition
+//!   medians, vendor-correct baselines: fixed default clock on NVIDIA,
+//!   auto governor on AMD);
+//! * [`pareto`] — Pareto-front computation over (speedup, normalized
+//!   energy) and the predicted-vs-true Pareto set accuracy metrics of
+//!   §5.2.2;
+//! * [`microbench`] — the 106-kernel synthetic training suite of the
+//!   general-purpose baseline (Fan et al., ICPP'19);
+//! * [`gp_model`] — the general-purpose model: Random Forests over
+//!   (static features ‖ frequency), trained on the micro-benchmarks;
+//! * [`ds_model`] — the domain-specific models: per-application Random
+//!   Forests over (input features ‖ frequency) predicting time and energy,
+//!   normalized into speedup / normalized energy at prediction time
+//!   (Figures 11–12);
+//! * [`workflow`] — the end-to-end training/prediction phases;
+//! * [`eval`] — the §5.2 evaluation protocol: leave-one-input-out
+//!   cross-validation, per-input MAPE, and Pareto set comparison;
+//! * [`per_kernel`] — the paper's future work implemented: per-kernel
+//!   domain-specific models and per-kernel frequency plans that drop into
+//!   SYnergy's per-kernel scaling.
+
+pub mod characterize;
+pub mod ds_model;
+pub mod eval;
+pub mod features;
+pub mod gp_model;
+pub mod microbench;
+pub mod pareto;
+pub mod per_kernel;
+pub mod workflow;
+
+pub use characterize::{characterize, CharPoint, Characterization, Workload};
+pub use ds_model::DomainSpecificModel;
+pub use features::{CronosInput, LigenInput};
+pub use gp_model::GeneralPurposeModel;
+pub use pareto::pareto_front_indices;

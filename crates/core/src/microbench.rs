@@ -1,0 +1,202 @@
+//! The general-purpose model's micro-benchmark training suite.
+//!
+//! Fan et al. (ICPP'19) train their model on **106 carefully-designed
+//! micro-benchmarks**, each built "to stress one or more features that
+//! characterize the device's energy consumption" (§4.1 of the paper). We
+//! generate the same structure synthetically:
+//!
+//! * 10 single-feature stressors — one per Table-1 category;
+//! * 45 pairwise blends — every unordered pair of categories, 50/50;
+//! * 45 intensity ramps — compute/memory mixtures spanning the roofline
+//!   from strongly memory-bound to strongly compute-bound at nine
+//!   intensity levels × five mix flavours;
+//! * 6 irregular kernels with divergence-like overheads (extra integer and
+//!   bitwise work).
+//!
+//! All run at full occupancy (the suite stresses the *code* axis, not the
+//! input axis — which is exactly why the resulting model cannot see
+//! workload effects).
+
+use gpu_sim::kernel::{KernelProfile, OpMix};
+
+/// Number of micro-benchmarks in the suite, matching Fan et al.
+pub const N_MICROBENCHES: usize = 106;
+
+/// Work items per micro-benchmark: large enough to saturate V100/MI100
+/// occupancy.
+const WORK_ITEMS: u64 = 4_000_000;
+
+fn unit_mix(category: usize, amount: f64) -> OpMix {
+    let mut m = OpMix::default();
+    match category {
+        0 => m.int_add = amount,
+        1 => m.int_mul = amount,
+        2 => m.int_div = amount,
+        3 => m.int_bw = amount,
+        4 => m.float_add = amount,
+        5 => m.float_mul = amount,
+        6 => m.float_div = amount,
+        7 => m.special = amount,
+        8 => m.global_access = amount,
+        _ => m.local_access = amount,
+    }
+    m
+}
+
+/// Generates the 106-kernel suite, deterministically.
+pub fn microbenchmarks() -> Vec<KernelProfile> {
+    let mut out = Vec::with_capacity(N_MICROBENCHES);
+
+    // 1. Ten single-feature stressors. Every kernel gets a trickle of
+    // global traffic so timing stays well-defined.
+    for cat in 0..10 {
+        let mut mix = unit_mix(cat, 120.0);
+        mix.global_access += 2.0;
+        out.push(KernelProfile::new(
+            format!("mb::single::{cat}"),
+            WORK_ITEMS,
+            mix,
+        ));
+    }
+
+    // 2. Forty-five pairwise blends.
+    for a in 0..10 {
+        for b in (a + 1)..10 {
+            let mut mix = unit_mix(a, 60.0).combine(&unit_mix(b, 60.0));
+            mix.global_access += 2.0;
+            out.push(KernelProfile::new(
+                format!("mb::pair::{a}x{b}"),
+                WORK_ITEMS,
+                mix,
+            ));
+        }
+    }
+
+    // 3. Forty-five roofline ramps: arithmetic intensity from ~0.1 to ~25
+    // issue-cycles per DRAM byte across nine levels, with five flavours of
+    // arithmetic (fp-add-heavy, fp-mul-heavy, mixed, int-heavy,
+    // special-heavy).
+    for level in 0..9 {
+        let intensity = 0.1 * 1.85f64.powi(level); // ~0.1 … ~25 cyc/B
+        for flavour in 0..5 {
+            let bytes = 64.0;
+            let cycles = intensity * bytes;
+            let mut mix = OpMix {
+                global_access: bytes / 4.0,
+                ..Default::default()
+            };
+            match flavour {
+                0 => mix.float_add = cycles,
+                1 => mix.float_mul = cycles,
+                2 => {
+                    mix.float_add = cycles * 0.5;
+                    mix.float_mul = cycles * 0.5;
+                }
+                3 => {
+                    mix.int_add = cycles * 0.7;
+                    mix.int_mul = cycles * 0.15;
+                }
+                _ => {
+                    mix.special = cycles * 0.2;
+                    mix.float_add = cycles * 0.2;
+                }
+            }
+            out.push(KernelProfile::new(
+                format!("mb::roofline::{level}x{flavour}"),
+                WORK_ITEMS,
+                mix,
+            ));
+        }
+    }
+
+    // 4. Six irregular kernels: heavy index arithmetic + bitwise work over
+    // scattered memory, emulating divergent access patterns.
+    for i in 0..6 {
+        let scatter = 1.0 + i as f64;
+        let mix = OpMix {
+            int_add: 30.0 * scatter,
+            int_bw: 12.0 * scatter,
+            int_div: 2.0 * scatter,
+            global_access: 8.0 * scatter,
+            local_access: 16.0,
+            float_add: 10.0,
+            ..Default::default()
+        };
+        out.push(KernelProfile::new(
+            format!("mb::irregular::{i}"),
+            WORK_ITEMS,
+            mix,
+        ));
+    }
+
+    debug_assert_eq!(out.len(), N_MICROBENCHES);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::timing::occupancy;
+    use gpu_sim::DeviceSpec;
+
+    #[test]
+    fn suite_has_106_kernels() {
+        assert_eq!(microbenchmarks().len(), N_MICROBENCHES);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let suite = microbenchmarks();
+        let mut names: Vec<&str> = suite.iter().map(|k| k.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), N_MICROBENCHES);
+    }
+
+    #[test]
+    fn all_run_at_full_occupancy() {
+        let spec = DeviceSpec::v100();
+        for k in microbenchmarks() {
+            assert!(occupancy(&spec, k.work_items) > 0.99, "{}", k.name);
+        }
+    }
+
+    #[test]
+    fn suite_spans_memory_and_compute_bound() {
+        let spec = DeviceSpec::v100();
+        let dev = gpu_sim::Device::new(spec.clone());
+        let mut mem_bound = 0;
+        let mut comp_bound = 0;
+        for k in microbenchmarks() {
+            let (t, _) = dev.peek(&k, spec.default_core_mhz);
+            if t.mem_s > t.comp_s {
+                mem_bound += 1;
+            } else {
+                comp_bound += 1;
+            }
+        }
+        assert!(mem_bound >= 10, "only {mem_bound} memory-bound benches");
+        assert!(comp_bound >= 40, "only {comp_bound} compute-bound benches");
+    }
+
+    #[test]
+    fn feature_vectors_are_diverse() {
+        let suite = microbenchmarks();
+        let mut vecs: Vec<[u64; 10]> = suite
+            .iter()
+            .map(|k| k.mix.as_feature_vector().map(|v| v.to_bits()))
+            .collect();
+        vecs.sort_unstable();
+        vecs.dedup();
+        assert!(
+            vecs.len() > 95,
+            "feature vectors should be (almost) all distinct, got {}",
+            vecs.len()
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(microbenchmarks(), microbenchmarks());
+    }
+}

@@ -1,0 +1,189 @@
+//! Pareto-front computation and set-accuracy metrics (§2.1 and §5.2.2).
+//!
+//! Points live in the (speedup, normalized-energy) plane: speedup is
+//! maximized, normalized energy minimized. A point is Pareto-optimal when
+//! no other point weakly dominates it ("no improvement can be made in one
+//! objective without sacrificing the other").
+
+use serde::{Deserialize, Serialize};
+
+/// Whether `a` dominates `b`: at least as good in both objectives and
+/// strictly better in one. Objective order: `(speedup ↑, energy ↓)`.
+pub fn dominates(a: (f64, f64), b: (f64, f64)) -> bool {
+    let ge = a.0 >= b.0 && a.1 <= b.1;
+    let strict = a.0 > b.0 || a.1 < b.1;
+    ge && strict
+}
+
+/// Indices of the Pareto-optimal points, in input order. Duplicate
+/// non-dominated points are all kept (they correspond to distinct
+/// frequency configurations with identical outcomes).
+pub fn pareto_front_indices(points: &[(f64, f64)]) -> Vec<usize> {
+    (0..points.len())
+        .filter(|&i| !points.iter().any(|&q| dominates(q, points[i])))
+        .collect()
+}
+
+/// Accuracy of a predicted Pareto frequency set against the true one
+/// (§5.2.2's two metrics).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParetoComparison {
+    /// Frequencies in the predicted set that exactly match a true
+    /// Pareto-optimal frequency.
+    pub exact_matches: usize,
+    /// Size of the predicted set.
+    pub predicted_size: usize,
+    /// Size of the true set.
+    pub true_size: usize,
+    /// Mean distance from each *realized* predicted point (the measured
+    /// speedup/energy when running at the predicted frequency) to its
+    /// nearest true Pareto point, in objective space.
+    pub mean_distance: f64,
+}
+
+impl ParetoComparison {
+    /// Fraction of predicted frequencies that are truly Pareto-optimal.
+    pub fn precision(&self) -> f64 {
+        if self.predicted_size == 0 {
+            0.0
+        } else {
+            self.exact_matches as f64 / self.predicted_size as f64
+        }
+    }
+
+    /// Fraction of the true Pareto set that was predicted.
+    pub fn recall(&self) -> f64 {
+        if self.true_size == 0 {
+            0.0
+        } else {
+            self.exact_matches as f64 / self.true_size as f64
+        }
+    }
+}
+
+/// Compares a predicted Pareto frequency set against the truth.
+///
+/// * `true_freqs` / `true_points` — the actual Pareto-optimal frequencies
+///   and their (speedup, energy) values;
+/// * `predicted_freqs` — the frequencies a model predicted as
+///   Pareto-optimal;
+/// * `realized_points` — the *measured* (speedup, energy) when the
+///   application actually runs at each predicted frequency ("these are the
+///   real values that would be obtained if the applications were executed
+///   with the predicted Pareto-optimal frequencies", §5.2.2).
+///
+/// # Panics
+/// Panics if `predicted_freqs` and `realized_points` lengths differ.
+pub fn compare_pareto_sets(
+    true_freqs: &[f64],
+    true_points: &[(f64, f64)],
+    predicted_freqs: &[f64],
+    realized_points: &[(f64, f64)],
+) -> ParetoComparison {
+    assert_eq!(
+        predicted_freqs.len(),
+        realized_points.len(),
+        "each predicted frequency needs its realized outcome"
+    );
+    let exact_matches = predicted_freqs
+        .iter()
+        .filter(|p| true_freqs.iter().any(|t| (*t - **p).abs() < 1e-6))
+        .count();
+    let mean_distance = if realized_points.is_empty() || true_points.is_empty() {
+        f64::INFINITY
+    } else {
+        realized_points
+            .iter()
+            .map(|r| {
+                true_points
+                    .iter()
+                    .map(|t| ((r.0 - t.0).powi(2) + (r.1 - t.1).powi(2)).sqrt())
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .sum::<f64>()
+            / realized_points.len() as f64
+    };
+    ParetoComparison {
+        exact_matches,
+        predicted_size: predicted_freqs.len(),
+        true_size: true_freqs.len(),
+        mean_distance,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominance_cases() {
+        assert!(dominates((1.2, 0.9), (1.0, 1.0)));
+        assert!(dominates((1.0, 0.9), (1.0, 1.0)));
+        assert!(!dominates((1.0, 1.0), (1.0, 1.0)), "no self-domination");
+        assert!(!dominates((1.2, 1.1), (1.0, 1.0)), "trade-off ≠ dominance");
+    }
+
+    #[test]
+    fn front_of_staircase() {
+        // Classic trade-off curve: all points non-dominated.
+        let pts = vec![(0.8, 0.7), (0.9, 0.8), (1.0, 1.0), (1.2, 1.5)];
+        assert_eq!(pareto_front_indices(&pts), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn dominated_points_excluded() {
+        let pts = vec![
+            (1.0, 1.0), // dominated by (1.1, 0.9)
+            (1.1, 0.9),
+            (0.9, 1.2), // dominated by both
+            (1.2, 1.05),
+        ];
+        assert_eq!(pareto_front_indices(&pts), vec![1, 3]);
+    }
+
+    #[test]
+    fn duplicates_all_kept() {
+        let pts = vec![(1.0, 1.0), (1.0, 1.0)];
+        assert_eq!(pareto_front_indices(&pts), vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_input_empty_front() {
+        assert!(pareto_front_indices(&[]).is_empty());
+    }
+
+    #[test]
+    fn comparison_counts_exact_matches() {
+        let true_freqs = [800.0, 900.0, 1000.0];
+        let true_pts = [(0.8, 0.8), (0.9, 0.85), (1.0, 1.0)];
+        let pred_freqs = [900.0, 1100.0];
+        let realized = [(0.9, 0.85), (1.02, 1.1)];
+        let cmp = compare_pareto_sets(&true_freqs, &true_pts, &pred_freqs, &realized);
+        assert_eq!(cmp.exact_matches, 1);
+        assert_eq!(cmp.predicted_size, 2);
+        assert_eq!(cmp.true_size, 3);
+        assert!((cmp.precision() - 0.5).abs() < 1e-12);
+        assert!((cmp.recall() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_prediction_zero_distance() {
+        let freqs = [800.0, 1000.0];
+        let pts = [(0.8, 0.8), (1.0, 1.0)];
+        let cmp = compare_pareto_sets(&freqs, &pts, &freqs, &pts);
+        assert_eq!(cmp.exact_matches, 2);
+        assert_eq!(cmp.mean_distance, 0.0);
+        assert_eq!(cmp.precision(), 1.0);
+        assert_eq!(cmp.recall(), 1.0);
+    }
+
+    #[test]
+    fn distance_measures_realized_gap() {
+        let true_freqs = [1000.0];
+        let true_pts = [(1.0, 1.0)];
+        let pred = [500.0];
+        let realized = [(1.0, 1.5)]; // 0.5 away in energy
+        let cmp = compare_pareto_sets(&true_freqs, &true_pts, &pred, &realized);
+        assert!((cmp.mean_distance - 0.5).abs() < 1e-12);
+    }
+}

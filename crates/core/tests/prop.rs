@@ -1,0 +1,97 @@
+//! Property-based tests of the Pareto machinery and the model layer's
+//! structural invariants.
+
+use energy_model::ds_model::{DomainSpecificModel, DsSample};
+use energy_model::pareto::{compare_pareto_sets, dominates, pareto_front_indices};
+use proptest::prelude::*;
+
+fn arb_points() -> impl Strategy<Value = Vec<(f64, f64)>> {
+    proptest::collection::vec((0.1..2.0f64, 0.1..2.0f64), 1..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// No point on the front is dominated by any other point; every point
+    /// off the front is dominated by someone.
+    #[test]
+    fn pareto_front_is_exactly_the_nondominated_set(pts in arb_points()) {
+        let front = pareto_front_indices(&pts);
+        for &i in &front {
+            prop_assert!(!pts.iter().any(|&q| dominates(q, pts[i])));
+        }
+        for i in 0..pts.len() {
+            if !front.contains(&i) {
+                prop_assert!(pts.iter().any(|&q| dominates(q, pts[i])));
+            }
+        }
+    }
+
+    /// The front is never empty for non-empty input, and adding a
+    /// dominated point never changes the front's member values.
+    #[test]
+    fn front_stable_under_dominated_insertions(pts in arb_points()) {
+        let front_a: Vec<(f64, f64)> = pareto_front_indices(&pts)
+            .into_iter()
+            .map(|i| pts[i])
+            .collect();
+        prop_assert!(!front_a.is_empty());
+        // Insert a point dominated by the first front member.
+        let (s, e) = front_a[0];
+        let mut extended = pts.clone();
+        extended.push((s - 0.05, e + 0.05));
+        let front_b: Vec<(f64, f64)> = pareto_front_indices(&extended)
+            .into_iter()
+            .map(|i| extended[i])
+            .collect();
+        for p in &front_a {
+            prop_assert!(front_b.contains(p));
+        }
+        prop_assert!(!front_b.contains(&(s - 0.05, e + 0.05)));
+    }
+
+    /// Self-comparison of any Pareto set is perfect.
+    #[test]
+    fn self_comparison_is_perfect(pts in arb_points()) {
+        let front_idx = pareto_front_indices(&pts);
+        let freqs: Vec<f64> = front_idx.iter().map(|&i| 500.0 + i as f64).collect();
+        let points: Vec<(f64, f64)> = front_idx.iter().map(|&i| pts[i]).collect();
+        let cmp = compare_pareto_sets(&freqs, &points, &freqs, &points);
+        prop_assert_eq!(cmp.exact_matches, freqs.len());
+        prop_assert!(cmp.mean_distance < 1e-12);
+        prop_assert_eq!(cmp.precision(), 1.0);
+        prop_assert_eq!(cmp.recall(), 1.0);
+    }
+
+    /// The DS model is scale-consistent: scaling every training time by a
+    /// constant leaves the predicted *speedup* curve unchanged (the
+    /// normalization of Fig. 12 cancels units). Exact in real arithmetic —
+    /// in floating point, split-score rounding can flip tie-close tree
+    /// splits, so we assert it to 2 %.
+    #[test]
+    fn ds_speedup_invariant_to_time_units(scale in 0.01..100.0f64) {
+        let freqs: Vec<f64> = (0..12).map(|i| 500.0 + 100.0 * i as f64).collect();
+        let mk = |unit: f64| -> Vec<DsSample> {
+            let mut out = Vec::new();
+            for &(a, b) in &[(2.0, 3.0), (4.0, 1.0), (8.0, 5.0)] {
+                for &f in &freqs {
+                    let t = unit * a * b / f;
+                    out.push(DsSample {
+                        features: vec![a, b],
+                        freq_mhz: f,
+                        time_s: t,
+                        energy_j: t * (40.0 + 0.1 * f),
+                    });
+                }
+            }
+            out
+        };
+        let m1 = DomainSpecificModel::train(&mk(1.0), 1000.0, 7);
+        let m2 = DomainSpecificModel::train(&mk(scale), 1000.0, 7);
+        let c1 = m1.predict_curve(&[4.0, 1.0], &freqs);
+        let c2 = m2.predict_curve(&[4.0, 1.0], &freqs);
+        for (p, q) in c1.iter().zip(&c2) {
+            prop_assert!((p.speedup - q.speedup).abs() / q.speedup < 0.02, "{} vs {}", p.speedup, q.speedup);
+        }
+    }
+}

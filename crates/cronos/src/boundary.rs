@@ -1,0 +1,242 @@
+//! Ghost-cell boundary handling (the `applyBoundary` of Algorithm 1).
+//!
+//! Fills the two ghost layers on every face. The paper notes this kernel
+//! "only touches the outermost surfaces of the entire grid in parallel,
+//! rather than every cell" — its work scales with the surface area, which
+//! is also how [`crate::kernelize`] sizes the corresponding GPU kernel.
+
+use serde::{Deserialize, Serialize};
+
+use crate::grid::NGHOST;
+use crate::state::{comp, Cons, State};
+
+/// Mirrors a cell across a wall normal to axis `axis` (0 = x, 1 = y,
+/// 2 = z): the normal momentum and normal field flip sign.
+fn reflect(mut c: Cons, axis: usize) -> Cons {
+    c[comp::MX + axis] = -c[comp::MX + axis];
+    c[comp::BX + axis] = -c[comp::BX + axis];
+    c
+}
+
+/// Supported boundary conditions (applied to all six faces).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BoundaryKind {
+    /// Wrap-around: ghost cells copy the opposite interior edge.
+    Periodic,
+    /// Zero-gradient outflow: ghost cells copy the nearest interior cell.
+    Outflow,
+    /// Reflecting wall: ghost cells mirror the interior with the
+    /// face-normal momentum and magnetic-field components negated.
+    Reflecting,
+}
+
+/// Fills all ghost layers of `state` according to `kind`.
+///
+/// The sweep order is x, then y, then z; later sweeps read the ghosts the
+/// earlier sweeps wrote, which fills edges and corners correctly.
+pub fn apply_boundary(state: &mut State, kind: BoundaryKind) {
+    let g = state.grid;
+    let (sx, sy, sz) = (g.sx(), g.sy(), g.sz());
+
+    // X faces.
+    for k in 0..sz {
+        for j in 0..sy {
+            for layer in 0..NGHOST {
+                let (src_lo, src_hi) = match kind {
+                    // Interior runs [NGHOST, NGHOST + nx).
+                    BoundaryKind::Periodic => (g.nx + layer, NGHOST + (NGHOST - 1 - layer)),
+                    BoundaryKind::Outflow => (NGHOST, NGHOST + g.nx - 1),
+                    // Mirror: ghost layer L reflects interior layer L.
+                    BoundaryKind::Reflecting => {
+                        (2 * NGHOST - 1 - layer, NGHOST + g.nx - NGHOST + layer)
+                    }
+                };
+                let lo = state.cells[g.idx(src_lo, j, k)];
+                let hi = state.cells[g.idx(src_hi, j, k)];
+                let (lo, hi) = if kind == BoundaryKind::Reflecting {
+                    (reflect(lo, 0), reflect(hi, 0))
+                } else {
+                    (lo, hi)
+                };
+                state.cells[g.idx(layer, j, k)] = lo;
+                state.cells[g.idx(sx - 1 - layer, j, k)] = hi;
+            }
+        }
+    }
+    // Y faces.
+    for k in 0..sz {
+        for i in 0..sx {
+            for layer in 0..NGHOST {
+                let (src_lo, src_hi) = match kind {
+                    BoundaryKind::Periodic => (g.ny + layer, NGHOST + (NGHOST - 1 - layer)),
+                    BoundaryKind::Outflow => (NGHOST, NGHOST + g.ny - 1),
+                    BoundaryKind::Reflecting => {
+                        (2 * NGHOST - 1 - layer, NGHOST + g.ny - NGHOST + layer)
+                    }
+                };
+                let lo = state.cells[g.idx(i, src_lo, k)];
+                let hi = state.cells[g.idx(i, src_hi, k)];
+                let (lo, hi) = if kind == BoundaryKind::Reflecting {
+                    (reflect(lo, 1), reflect(hi, 1))
+                } else {
+                    (lo, hi)
+                };
+                state.cells[g.idx(i, layer, k)] = lo;
+                state.cells[g.idx(i, sy - 1 - layer, k)] = hi;
+            }
+        }
+    }
+    // Z faces.
+    for j in 0..sy {
+        for i in 0..sx {
+            for layer in 0..NGHOST {
+                let (src_lo, src_hi) = match kind {
+                    BoundaryKind::Periodic => (g.nz + layer, NGHOST + (NGHOST - 1 - layer)),
+                    BoundaryKind::Outflow => (NGHOST, NGHOST + g.nz - 1),
+                    BoundaryKind::Reflecting => {
+                        (2 * NGHOST - 1 - layer, NGHOST + g.nz - NGHOST + layer)
+                    }
+                };
+                let lo = state.cells[g.idx(i, j, src_lo)];
+                let hi = state.cells[g.idx(i, j, src_hi)];
+                let (lo, hi) = if kind == BoundaryKind::Reflecting {
+                    (reflect(lo, 2), reflect(hi, 2))
+                } else {
+                    (lo, hi)
+                };
+                state.cells[g.idx(i, j, layer)] = lo;
+                state.cells[g.idx(i, j, sz - 1 - layer)] = hi;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::Grid;
+    use crate::state::comp;
+
+    /// Interior cell (i,0,0) tagged with its x index for tracing copies.
+    fn tagged_state(g: Grid) -> State {
+        let mut s = State::quiescent(g);
+        for (i, j, k) in g.interior_coords() {
+            s.interior_mut(i, j, k)[comp::RHO] = (i + 10 * j + 100 * k) as f64 + 1.0;
+        }
+        s
+    }
+
+    #[test]
+    fn periodic_wraps_x() {
+        let g = Grid::cubic(4, 4, 4);
+        let mut s = tagged_state(g);
+        apply_boundary(&mut s, BoundaryKind::Periodic);
+        // Ghost layer just left of the interior mirrors the rightmost cell.
+        let ghost = s.cells[g.idx(NGHOST - 1, NGHOST, NGHOST)];
+        let wrap = *s.interior(g.nx - 1, 0, 0);
+        assert_eq!(ghost[comp::RHO], wrap[comp::RHO]);
+        // Outer ghost layer mirrors the second-from-right cell.
+        let ghost2 = s.cells[g.idx(0, NGHOST, NGHOST)];
+        let wrap2 = *s.interior(g.nx - 2, 0, 0);
+        assert_eq!(ghost2[comp::RHO], wrap2[comp::RHO]);
+    }
+
+    #[test]
+    fn periodic_right_ghosts_wrap_to_left_interior() {
+        let g = Grid::cubic(4, 4, 4);
+        let mut s = tagged_state(g);
+        apply_boundary(&mut s, BoundaryKind::Periodic);
+        let ghost = s.cells[g.idx(g.sx() - NGHOST, NGHOST, NGHOST)];
+        assert_eq!(ghost[comp::RHO], s.interior(0, 0, 0)[comp::RHO]);
+    }
+
+    #[test]
+    fn outflow_extends_edge_values() {
+        let g = Grid::cubic(4, 4, 4);
+        let mut s = tagged_state(g);
+        apply_boundary(&mut s, BoundaryKind::Outflow);
+        let ghost = s.cells[g.idx(0, NGHOST, NGHOST)];
+        assert_eq!(ghost[comp::RHO], s.interior(0, 0, 0)[comp::RHO]);
+        let ghost_hi = s.cells[g.idx(g.sx() - 1, NGHOST, NGHOST)];
+        assert_eq!(ghost_hi[comp::RHO], s.interior(g.nx - 1, 0, 0)[comp::RHO]);
+    }
+
+    #[test]
+    fn corners_are_filled() {
+        let g = Grid::cubic(4, 4, 4);
+        let mut s = tagged_state(g);
+        apply_boundary(&mut s, BoundaryKind::Periodic);
+        // Corner ghost (0,0,0) must hold a copy of some interior value
+        // (non-zero tag), proving the sweep cascade fills corners.
+        assert!(s.cells[g.idx(0, 0, 0)][comp::RHO] >= 1.0);
+    }
+
+    #[test]
+    fn interior_is_untouched() {
+        let g = Grid::cubic(5, 3, 3);
+        let mut s = tagged_state(g);
+        let before: Vec<f64> = g
+            .interior_coords()
+            .map(|(i, j, k)| s.interior(i, j, k)[comp::RHO])
+            .collect();
+        apply_boundary(&mut s, BoundaryKind::Periodic);
+        let after: Vec<f64> = g
+            .interior_coords()
+            .map(|(i, j, k)| s.interior(i, j, k)[comp::RHO])
+            .collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn reflecting_mirrors_and_flips_normal_components() {
+        let g = Grid::cubic(4, 4, 4);
+        let mut s = State::quiescent(g);
+        for (i, j, k) in g.interior_coords() {
+            let c = s.interior_mut(i, j, k);
+            c[comp::MX] = 1.0 + i as f64;
+            c[comp::BX] = 0.5;
+            c[comp::MY] = 7.0;
+        }
+        apply_boundary(&mut s, BoundaryKind::Reflecting);
+        // Ghost layer adjacent to the low-x wall mirrors interior cell 0
+        // with flipped x-momentum and x-field.
+        let ghost = s.cells[g.idx(NGHOST - 1, NGHOST, NGHOST)];
+        let mirror = *s.interior(0, 0, 0);
+        assert_eq!(ghost[comp::MX], -mirror[comp::MX]);
+        assert_eq!(ghost[comp::BX], -mirror[comp::BX]);
+        assert_eq!(ghost[comp::RHO], mirror[comp::RHO]);
+        // Tangential momentum is preserved.
+        assert_eq!(ghost[comp::MY], mirror[comp::MY]);
+        // Outer ghost layer mirrors interior cell 1.
+        let ghost2 = s.cells[g.idx(0, NGHOST, NGHOST)];
+        let mirror2 = *s.interior(1, 0, 0);
+        assert_eq!(ghost2[comp::MX], -mirror2[comp::MX]);
+    }
+
+    #[test]
+    fn reflecting_wall_conserves_mass_in_simulation() {
+        // A blast in a closed box: nothing leaves, mass is exactly conserved.
+        let g = Grid::cubic(12, 12, 12);
+        let mut problem = crate::problems::mhd_blast(g);
+        problem.boundary = BoundaryKind::Reflecting;
+        let mut sim = crate::sim::Simulation::new(problem, crate::eos::GAMMA, 0.4);
+        let mass0 = sim.state.total(comp::RHO);
+        sim.run_steps(10);
+        let mass1 = sim.state.total(comp::RHO);
+        assert!(
+            ((mass1 - mass0) / mass0).abs() < 1e-11,
+            "closed box must conserve mass: {mass0} -> {mass1}"
+        );
+        assert!(sim.state.is_physical(crate::eos::GAMMA));
+    }
+
+    #[test]
+    fn periodic_uniform_stays_uniform() {
+        let g = Grid::cubic(3, 3, 3);
+        let mut s = State::quiescent(g);
+        apply_boundary(&mut s, BoundaryKind::Periodic);
+        for cell in &s.cells {
+            assert_eq!(cell[comp::RHO], 1.0);
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Solver diagnostics: the global quantities astrophysics runs monitor,
+//! plus a plain-text slice writer for inspecting fields.
+
+use std::fmt::Write as _;
+
+use crate::eos::pressure;
+use crate::state::{comp, State};
+
+/// Volume-integrated diagnostics of a state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GlobalDiagnostics {
+    /// Total mass ∫ρ dV (cell-sum × cell volume).
+    pub mass: f64,
+    /// Total energy ∫E dV.
+    pub total_energy: f64,
+    /// Kinetic energy ∫ ρ|u|²/2 dV.
+    pub kinetic_energy: f64,
+    /// Magnetic energy ∫ |B|²/2 dV.
+    pub magnetic_energy: f64,
+    /// Momentum components ∫ρu dV.
+    pub momentum: [f64; 3],
+    /// Maximum Mach number over the grid.
+    pub max_mach: f64,
+    /// Minimum gas pressure over the grid.
+    pub min_pressure: f64,
+}
+
+/// Computes the global diagnostics for `state` with adiabatic index `gamma`.
+pub fn global_diagnostics(state: &State, gamma: f64) -> GlobalDiagnostics {
+    let g = state.grid;
+    let dv = g.dx() * g.dy() * g.dz();
+    let mut mass = 0.0;
+    let mut total_energy = 0.0;
+    let mut kinetic = 0.0;
+    let mut magnetic = 0.0;
+    let mut momentum = [0.0; 3];
+    let mut max_mach = 0.0f64;
+    let mut min_p = f64::INFINITY;
+
+    for (i, j, k) in g.interior_coords() {
+        let u = state.interior(i, j, k);
+        let rho = u[comp::RHO];
+        mass += rho;
+        total_energy += u[comp::EN];
+        let m2 = u[comp::MX] * u[comp::MX] + u[comp::MY] * u[comp::MY] + u[comp::MZ] * u[comp::MZ];
+        kinetic += 0.5 * m2 / rho;
+        magnetic += 0.5
+            * (u[comp::BX] * u[comp::BX] + u[comp::BY] * u[comp::BY] + u[comp::BZ] * u[comp::BZ]);
+        for ax in 0..3 {
+            momentum[ax] += u[comp::MX + ax];
+        }
+        let p = pressure(u, gamma);
+        min_p = min_p.min(p);
+        let speed = (m2 / (rho * rho)).sqrt();
+        let a = crate::eos::sound_speed(u, gamma);
+        if a > 0.0 {
+            max_mach = max_mach.max(speed / a);
+        }
+    }
+
+    GlobalDiagnostics {
+        mass: mass * dv,
+        total_energy: total_energy * dv,
+        kinetic_energy: kinetic * dv,
+        magnetic_energy: magnetic * dv,
+        momentum: [momentum[0] * dv, momentum[1] * dv, momentum[2] * dv],
+        max_mach,
+        min_pressure: min_p,
+    }
+}
+
+/// Renders a z-slice of one conserved component as CSV (`x fastest`, one
+/// row per y), for quick plotting or inspection.
+///
+/// # Panics
+/// Panics on out-of-range `component` or `k` slice index.
+pub fn slice_csv(state: &State, component: usize, k: usize) -> String {
+    let g = state.grid;
+    assert!(component < crate::state::NCOMP, "component out of range");
+    assert!(k < g.nz, "slice index out of range");
+    let mut out = String::with_capacity(g.nx * g.ny * 12);
+    for j in 0..g.ny {
+        for i in 0..g.nx {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{:.6e}", state.interior(i, j, k)[component]);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eos::GAMMA;
+    use crate::grid::Grid;
+    use crate::problems;
+
+    #[test]
+    fn quiescent_diagnostics_are_exact() {
+        let g = Grid::cubic(4, 4, 4);
+        let s = State::quiescent(g);
+        let d = global_diagnostics(&s, GAMMA);
+        // Unit density over the unit cube.
+        assert!((d.mass - 1.0).abs() < 1e-12);
+        assert_eq!(d.kinetic_energy, 0.0);
+        assert_eq!(d.magnetic_energy, 0.0);
+        assert_eq!(d.momentum, [0.0; 3]);
+        assert_eq!(d.max_mach, 0.0);
+        assert!((d.min_pressure - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_partition_sums_consistently() {
+        let g = Grid::cubic(8, 8, 8);
+        let p = problems::orszag_tang(g);
+        let d = global_diagnostics(&p.state, GAMMA);
+        // Internal = total − kinetic − magnetic must be positive.
+        let internal = d.total_energy - d.kinetic_energy - d.magnetic_energy;
+        assert!(internal > 0.0);
+        assert!(d.kinetic_energy > 0.0);
+        assert!(d.magnetic_energy > 0.0);
+    }
+
+    #[test]
+    fn diagnostics_track_simulation_conservation() {
+        let g = Grid::cubic(8, 8, 4);
+        let mut sim = crate::sim::Simulation::new(problems::orszag_tang(g), GAMMA, 0.4);
+        let d0 = global_diagnostics(&sim.state, GAMMA);
+        sim.run_steps(3);
+        let d1 = global_diagnostics(&sim.state, GAMMA);
+        assert!(((d1.mass - d0.mass) / d0.mass).abs() < 1e-12);
+        assert!(((d1.total_energy - d0.total_energy) / d0.total_energy).abs() < 1e-12);
+        // Kinetic↔magnetic exchange is allowed (and expected).
+    }
+
+    #[test]
+    fn slice_csv_shape() {
+        let g = Grid::cubic(3, 2, 2);
+        let s = State::quiescent(g);
+        let csv = slice_csv(&s, comp::RHO, 0);
+        let lines: Vec<&str> = csv.trim_end().lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            assert_eq!(line.split(',').count(), 3);
+            for v in line.split(',') {
+                assert!((v.parse::<f64>().unwrap() - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "slice index out of range")]
+    fn slice_bounds_checked() {
+        let s = State::quiescent(Grid::cubic(2, 2, 2));
+        let _ = slice_csv(&s, 0, 5);
+    }
+}

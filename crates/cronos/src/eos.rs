@@ -1,0 +1,148 @@
+//! Ideal-gas equation of state and MHD wave speeds.
+
+use crate::state::{comp, Cons};
+
+/// Default adiabatic index (monatomic ideal gas).
+pub const GAMMA: f64 = 5.0 / 3.0;
+
+/// Gas pressure from conserved variables:
+/// `p = (γ−1)(E − ρ|u|²/2 − |B|²/2)`.
+pub fn pressure(u: &Cons, gamma: f64) -> f64 {
+    let rho = u[comp::RHO];
+    debug_assert!(rho > 0.0, "non-positive density");
+    let kin = 0.5
+        * (u[comp::MX] * u[comp::MX] + u[comp::MY] * u[comp::MY] + u[comp::MZ] * u[comp::MZ])
+        / rho;
+    let mag =
+        0.5 * (u[comp::BX] * u[comp::BX] + u[comp::BY] * u[comp::BY] + u[comp::BZ] * u[comp::BZ]);
+    (gamma - 1.0) * (u[comp::EN] - kin - mag)
+}
+
+/// Total (gas + magnetic) pressure `p* = p + |B|²/2`.
+pub fn total_pressure(u: &Cons, gamma: f64) -> f64 {
+    let mag =
+        0.5 * (u[comp::BX] * u[comp::BX] + u[comp::BY] * u[comp::BY] + u[comp::BZ] * u[comp::BZ]);
+    pressure(u, gamma) + mag
+}
+
+/// Total energy from primitive variables `(ρ, u, v, w, p, B)`.
+#[allow(clippy::too_many_arguments)]
+pub fn energy_from_primitive(
+    rho: f64,
+    u: f64,
+    v: f64,
+    w: f64,
+    p: f64,
+    bx: f64,
+    by: f64,
+    bz: f64,
+    gamma: f64,
+) -> f64 {
+    p / (gamma - 1.0) + 0.5 * rho * (u * u + v * v + w * w) + 0.5 * (bx * bx + by * by + bz * bz)
+}
+
+/// Builds a conserved vector from primitives.
+#[allow(clippy::too_many_arguments)]
+pub fn cons_from_primitive(
+    rho: f64,
+    u: f64,
+    v: f64,
+    w: f64,
+    p: f64,
+    bx: f64,
+    by: f64,
+    bz: f64,
+    gamma: f64,
+) -> Cons {
+    [
+        rho,
+        rho * u,
+        rho * v,
+        rho * w,
+        energy_from_primitive(rho, u, v, w, p, bx, by, bz, gamma),
+        bx,
+        by,
+        bz,
+    ]
+}
+
+/// Adiabatic sound speed `a = √(γp/ρ)`. Pressure is floored at zero to keep
+/// the speed real in marginally unphysical transients.
+pub fn sound_speed(u: &Cons, gamma: f64) -> f64 {
+    let p = pressure(u, gamma).max(0.0);
+    (gamma * p / u[comp::RHO]).sqrt()
+}
+
+/// Fast magnetosonic speed along direction `dir` (0 = x, 1 = y, 2 = z):
+///
+/// `c_f² = ½ (a² + b² + √((a² + b²)² − 4 a² b_d²))`
+///
+/// with `a` the sound speed, `b² = |B|²/ρ`, and `b_d` the Alfvén speed
+/// component along `dir`.
+pub fn fast_speed(u: &Cons, gamma: f64, dir: usize) -> f64 {
+    debug_assert!(dir < 3);
+    let rho = u[comp::RHO];
+    let a2 = {
+        let a = sound_speed(u, gamma);
+        a * a
+    };
+    let b2 =
+        (u[comp::BX] * u[comp::BX] + u[comp::BY] * u[comp::BY] + u[comp::BZ] * u[comp::BZ]) / rho;
+    let bd = u[comp::BX + dir];
+    let bd2 = bd * bd / rho;
+    let sum = a2 + b2;
+    let disc = (sum * sum - 4.0 * a2 * bd2).max(0.0);
+    (0.5 * (sum + disc.sqrt())).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gas(rho: f64, p: f64) -> Cons {
+        cons_from_primitive(rho, 0.0, 0.0, 0.0, p, 0.0, 0.0, 0.0, GAMMA)
+    }
+
+    #[test]
+    fn pressure_round_trips_through_energy() {
+        let u = cons_from_primitive(1.2, 0.3, -0.1, 0.7, 2.5, 0.4, -0.2, 0.9, GAMMA);
+        assert!((pressure(&u, GAMMA) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sound_speed_of_unit_gas() {
+        let u = gas(1.0, 1.0);
+        assert!((sound_speed(&u, GAMMA) - GAMMA.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fast_speed_reduces_to_sound_without_field() {
+        let u = gas(1.0, 1.0);
+        for dir in 0..3 {
+            assert!((fast_speed(&u, GAMMA, dir) - sound_speed(&u, GAMMA)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fast_speed_exceeds_sound_with_transverse_field() {
+        let u = cons_from_primitive(1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 2.0, 0.0, GAMMA);
+        // Field along y: fast speed in x must exceed the sound speed.
+        assert!(fast_speed(&u, GAMMA, 0) > sound_speed(&u, GAMMA) + 0.1);
+    }
+
+    #[test]
+    fn fast_speed_along_field_is_max_of_sound_and_alfven() {
+        // For B aligned with the propagation direction the fast speed is
+        // max(a, b_x); with b_x > a it equals the Alfvén speed.
+        let bx: f64 = 3.0;
+        let u = cons_from_primitive(1.0, 0.0, 0.0, 0.0, 1.0, bx, 0.0, 0.0, GAMMA);
+        let alfven = bx / 1.0_f64.sqrt();
+        assert!((fast_speed(&u, GAMMA, 0) - alfven).abs() < 1e-9);
+    }
+
+    #[test]
+    fn total_pressure_adds_magnetic_part() {
+        let u = cons_from_primitive(1.0, 0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 0.0, GAMMA);
+        assert!((total_pressure(&u, GAMMA) - 1.5).abs() < 1e-12);
+    }
+}

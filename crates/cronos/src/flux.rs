@@ -1,0 +1,152 @@
+//! Ideal-MHD physical fluxes and the Rusanov Riemann solver.
+//!
+//! The physical flux along direction `d` (with velocity `u_d` and field
+//! `B_d` the components along `d`) is
+//!
+//! ```text
+//! F(U) = [ ρ u_d,
+//!          ρ u u_d − B B_d + p* ê_d,
+//!          (E + p*) u_d − B_d (u·B),
+//!          u_d B − u B_d ]            (B_d flux component is 0)
+//! ```
+//!
+//! Interface fluxes use the Rusanov (local Lax–Friedrichs) approximation
+//! `F = ½(F_L + F_R) − ½ s_max (U_R − U_L)` with `s_max` the largest fast
+//! magnetosonic signal speed of the two states — robust, positive, and the
+//! standard baseline scheme for finite-volume MHD.
+
+use crate::eos::{fast_speed, total_pressure};
+use crate::state::{comp, Cons, NCOMP};
+
+/// Physical flux of state `u` along direction `dir` (0 = x, 1 = y, 2 = z).
+pub fn physical_flux(u: &Cons, gamma: f64, dir: usize) -> Cons {
+    debug_assert!(dir < 3);
+    let rho = u[comp::RHO];
+    let inv_rho = 1.0 / rho;
+    let vel = [
+        u[comp::MX] * inv_rho,
+        u[comp::MY] * inv_rho,
+        u[comp::MZ] * inv_rho,
+    ];
+    let b = [u[comp::BX], u[comp::BY], u[comp::BZ]];
+    let vd = vel[dir];
+    let bd = b[dir];
+    let ptot = total_pressure(u, gamma);
+    let udotb = vel[0] * b[0] + vel[1] * b[1] + vel[2] * b[2];
+
+    let mut f: Cons = [0.0; NCOMP];
+    f[comp::RHO] = rho * vd;
+    for ax in 0..3 {
+        f[comp::MX + ax] = u[comp::MX + ax] * vd - b[ax] * bd;
+        // Induction: ∂B_ax/∂t + ∂_d (u_d B_ax − B_d u_ax) = 0.
+        f[comp::BX + ax] = vd * b[ax] - vel[ax] * bd;
+    }
+    f[comp::MX + dir] += ptot;
+    f[comp::EN] = (u[comp::EN] + ptot) * vd - bd * udotb;
+    // Flux of B_d along d is identically zero (set again for clarity).
+    f[comp::BX + dir] = 0.0;
+    f
+}
+
+/// Largest signal speed of a state along `dir`: `|u_d| + c_fast`.
+pub fn max_signal_speed(u: &Cons, gamma: f64, dir: usize) -> f64 {
+    let vd = (u[comp::MX + dir] / u[comp::RHO]).abs();
+    vd + fast_speed(u, gamma, dir)
+}
+
+/// Rusanov interface flux between a left and right state along `dir`.
+pub fn rusanov_flux(left: &Cons, right: &Cons, gamma: f64, dir: usize) -> Cons {
+    let fl = physical_flux(left, gamma, dir);
+    let fr = physical_flux(right, gamma, dir);
+    let s = max_signal_speed(left, gamma, dir).max(max_signal_speed(right, gamma, dir));
+    let mut f: Cons = [0.0; NCOMP];
+    for c in 0..NCOMP {
+        f[c] = 0.5 * (fl[c] + fr[c]) - 0.5 * s * (right[c] - left[c]);
+    }
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eos::{cons_from_primitive, GAMMA};
+
+    #[allow(clippy::too_many_arguments)]
+    fn state(rho: f64, u: f64, v: f64, w: f64, p: f64, bx: f64, by: f64, bz: f64) -> Cons {
+        cons_from_primitive(rho, u, v, w, p, bx, by, bz, GAMMA)
+    }
+
+    #[test]
+    fn static_gas_flux_is_pure_pressure() {
+        let u = state(1.0, 0.0, 0.0, 0.0, 2.0, 0.0, 0.0, 0.0);
+        let f = physical_flux(&u, GAMMA, 0);
+        assert_eq!(f[comp::RHO], 0.0);
+        assert!((f[comp::MX] - 2.0).abs() < 1e-12);
+        assert_eq!(f[comp::MY], 0.0);
+        assert_eq!(f[comp::EN], 0.0);
+    }
+
+    #[test]
+    fn advection_flux_carries_mass() {
+        let u = state(2.0, 3.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0);
+        let f = physical_flux(&u, GAMMA, 0);
+        assert!((f[comp::RHO] - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flux_of_parallel_field_component_is_zero() {
+        let u = state(1.0, 1.0, 2.0, 3.0, 1.0, 0.5, -0.3, 0.8);
+        for dir in 0..3 {
+            let f = physical_flux(&u, GAMMA, dir);
+            assert_eq!(f[comp::BX + dir], 0.0, "B_d flux along d must vanish");
+        }
+    }
+
+    #[test]
+    fn rusanov_consistent_with_physical_flux() {
+        // F(u, u) must equal the physical flux (consistency of the solver).
+        let u = state(1.3, 0.4, -0.2, 0.1, 1.7, 0.3, 0.6, -0.4);
+        for dir in 0..3 {
+            let fr = rusanov_flux(&u, &u, GAMMA, dir);
+            let fp = physical_flux(&u, GAMMA, dir);
+            for c in 0..NCOMP {
+                assert!((fr[c] - fp[c]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn rusanov_adds_dissipation_proportional_to_jump() {
+        let l = state(1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0);
+        let r = state(2.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0);
+        let f = rusanov_flux(&l, &r, GAMMA, 0);
+        // Density flux = −½ s (ρ_R − ρ_L) < 0: dissipation pushes mass from
+        // the dense side toward the light side.
+        assert!(f[comp::RHO] < 0.0);
+    }
+
+    #[test]
+    fn rusanov_is_rotationally_consistent() {
+        // A state symmetric under x↔y must give symmetric fluxes.
+        let u = state(1.0, 0.7, 0.7, 0.0, 1.0, 0.2, 0.2, 0.0);
+        let fx = physical_flux(&u, GAMMA, 0);
+        let fy = physical_flux(&u, GAMMA, 1);
+        assert!((fx[comp::RHO] - fy[comp::RHO]).abs() < 1e-12);
+        assert!((fx[comp::MX] - fy[comp::MY]).abs() < 1e-12);
+        assert!((fx[comp::EN] - fy[comp::EN]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transverse_field_advects_with_flow() {
+        // u = (1,0,0), B = (0,1,0): the flux of By along x is u·By = 1.
+        let u = state(1.0, 1.0, 0.0, 0.0, 1.0, 0.0, 1.0, 0.0);
+        let f = physical_flux(&u, GAMMA, 0);
+        assert!((f[comp::BY] - 1.0).abs() < 1e-12, "induction flux sign");
+    }
+
+    #[test]
+    fn signal_speed_positive() {
+        let u = state(1.0, -5.0, 0.0, 0.0, 1.0, 1.0, 1.0, 1.0);
+        assert!(max_signal_speed(&u, GAMMA, 0) > 5.0);
+    }
+}

@@ -1,0 +1,197 @@
+//! Grid geometry.
+//!
+//! A uniform Cartesian grid with `NGHOST = 2` ghost layers per side — the
+//! two-cell neighbourhood the paper's finite-volume scheme needs ("access
+//! to their neighborhood of 2 cells in each direction", §3.1).
+
+use serde::{Deserialize, Serialize};
+
+/// Ghost-cell layers on each side of the domain.
+pub const NGHOST: usize = 2;
+
+/// A uniform 3D grid: interior extents, physical domain size, spacing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Grid {
+    /// Interior cells along x.
+    pub nx: usize,
+    /// Interior cells along y.
+    pub ny: usize,
+    /// Interior cells along z.
+    pub nz: usize,
+    /// Physical domain length along x.
+    pub lx: f64,
+    /// Physical domain length along y.
+    pub ly: f64,
+    /// Physical domain length along z.
+    pub lz: f64,
+}
+
+impl Grid {
+    /// A grid over the unit cube.
+    ///
+    /// # Panics
+    /// Panics if any extent is zero.
+    pub fn cubic(nx: usize, ny: usize, nz: usize) -> Self {
+        Grid::new(nx, ny, nz, 1.0, 1.0, 1.0)
+    }
+
+    /// A grid with explicit physical dimensions.
+    ///
+    /// # Panics
+    /// Panics if any extent is zero or any length non-positive.
+    pub fn new(nx: usize, ny: usize, nz: usize, lx: f64, ly: f64, lz: f64) -> Self {
+        assert!(nx > 0 && ny > 0 && nz > 0, "grid extents must be positive");
+        assert!(
+            lx > 0.0 && ly > 0.0 && lz > 0.0,
+            "domain lengths must be positive"
+        );
+        Grid {
+            nx,
+            ny,
+            nz,
+            lx,
+            ly,
+            lz,
+        }
+    }
+
+    /// Cell spacing along x.
+    pub fn dx(&self) -> f64 {
+        self.lx / self.nx as f64
+    }
+
+    /// Cell spacing along y.
+    pub fn dy(&self) -> f64 {
+        self.ly / self.ny as f64
+    }
+
+    /// Cell spacing along z.
+    pub fn dz(&self) -> f64 {
+        self.lz / self.nz as f64
+    }
+
+    /// Interior cell count.
+    pub fn n_cells(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// Storage extent (interior + ghosts) along x.
+    pub fn sx(&self) -> usize {
+        self.nx + 2 * NGHOST
+    }
+
+    /// Storage extent along y.
+    pub fn sy(&self) -> usize {
+        self.ny + 2 * NGHOST
+    }
+
+    /// Storage extent along z.
+    pub fn sz(&self) -> usize {
+        self.nz + 2 * NGHOST
+    }
+
+    /// Total storage cells (including ghosts).
+    pub fn n_storage(&self) -> usize {
+        self.sx() * self.sy() * self.sz()
+    }
+
+    /// Flat index of storage coordinates `(i, j, k)` (ghost-inclusive,
+    /// `0 ≤ i < sx()` etc.), x fastest.
+    #[inline]
+    pub fn idx(&self, i: usize, j: usize, k: usize) -> usize {
+        debug_assert!(i < self.sx() && j < self.sy() && k < self.sz());
+        (k * self.sy() + j) * self.sx() + i
+    }
+
+    /// Flat index of *interior* coordinates `(i, j, k)` (0-based within the
+    /// interior), offset past the ghost layers.
+    #[inline]
+    pub fn interior_idx(&self, i: usize, j: usize, k: usize) -> usize {
+        debug_assert!(i < self.nx && j < self.ny && k < self.nz);
+        self.idx(i + NGHOST, j + NGHOST, k + NGHOST)
+    }
+
+    /// Cell-centre physical coordinates of interior cell `(i, j, k)`.
+    pub fn cell_center(&self, i: usize, j: usize, k: usize) -> (f64, f64, f64) {
+        (
+            (i as f64 + 0.5) * self.dx(),
+            (j as f64 + 0.5) * self.dy(),
+            (k as f64 + 0.5) * self.dz(),
+        )
+    }
+
+    /// Iterates interior coordinates `(i, j, k)` in storage order.
+    pub fn interior_coords(&self) -> impl Iterator<Item = (usize, usize, usize)> + '_ {
+        let (nx, ny, nz) = (self.nx, self.ny, self.nz);
+        (0..nz).flat_map(move |k| (0..ny).flat_map(move |j| (0..nx).map(move |i| (i, j, k))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spacing_and_counts() {
+        let g = Grid::cubic(10, 4, 4);
+        assert_eq!(g.n_cells(), 160);
+        assert_eq!(g.sx(), 14);
+        assert_eq!(g.n_storage(), 14 * 8 * 8);
+        assert!((g.dx() - 0.1).abs() < 1e-15);
+        assert!((g.dy() - 0.25).abs() < 1e-15);
+    }
+
+    #[test]
+    fn flat_indexing_is_bijective_on_storage() {
+        let g = Grid::cubic(3, 4, 5);
+        let mut seen = vec![false; g.n_storage()];
+        for k in 0..g.sz() {
+            for j in 0..g.sy() {
+                for i in 0..g.sx() {
+                    let idx = g.idx(i, j, k);
+                    assert!(!seen[idx]);
+                    seen[idx] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn interior_index_offsets_by_ghosts() {
+        let g = Grid::cubic(4, 4, 4);
+        assert_eq!(g.interior_idx(0, 0, 0), g.idx(NGHOST, NGHOST, NGHOST));
+    }
+
+    #[test]
+    fn x_is_fastest_axis() {
+        let g = Grid::cubic(4, 4, 4);
+        assert_eq!(g.idx(1, 0, 0), g.idx(0, 0, 0) + 1);
+        assert_eq!(g.idx(0, 1, 0), g.idx(0, 0, 0) + g.sx());
+        assert_eq!(g.idx(0, 0, 1), g.idx(0, 0, 0) + g.sx() * g.sy());
+    }
+
+    #[test]
+    fn interior_coords_cover_interior() {
+        let g = Grid::cubic(2, 3, 2);
+        let coords: Vec<_> = g.interior_coords().collect();
+        assert_eq!(coords.len(), g.n_cells());
+        assert_eq!(coords[0], (0, 0, 0));
+        assert_eq!(*coords.last().unwrap(), (1, 2, 1));
+    }
+
+    #[test]
+    fn cell_centers_inside_domain() {
+        let g = Grid::new(8, 8, 8, 2.0, 1.0, 1.0);
+        let (x, y, z) = g.cell_center(7, 7, 7);
+        assert!(x < 2.0 && y < 1.0 && z < 1.0);
+        let (x0, _, _) = g.cell_center(0, 0, 0);
+        assert!(x0 > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "extents must be positive")]
+    fn zero_extent_rejected() {
+        let _ = Grid::cubic(0, 4, 4);
+    }
+}

@@ -1,0 +1,289 @@
+//! Standard MHD test problems.
+//!
+//! The plasma-physics setups CRONOS-class codes validate against:
+//!
+//! * [`brio_wu`] — the canonical 1D MHD shock tube;
+//! * [`orszag_tang`] — the 2D vortex that stresses nonlinear MHD coupling;
+//! * [`mhd_blast`] — a 3D over-pressured sphere in a magnetized medium;
+//! * [`sound_wave`] — a smooth small-amplitude acoustic wave (convergence
+//!   and dispersion checks);
+//! * [`uniform`] — quiescent magnetized gas (equilibrium preservation).
+
+use std::f64::consts::PI;
+
+use crate::boundary::BoundaryKind;
+use crate::eos::{cons_from_primitive, GAMMA};
+use crate::grid::Grid;
+use crate::state::State;
+
+/// A ready-to-run problem: initial state plus its boundary treatment.
+#[derive(Debug, Clone)]
+pub struct Problem {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Initial condition (interior filled; ghosts unfilled).
+    pub state: State,
+    /// Boundary condition the problem needs.
+    pub boundary: BoundaryKind,
+}
+
+/// Brio–Wu shock tube along x: left state (ρ=1, p=1, By=1), right state
+/// (ρ=0.125, p=0.1, By=−1), Bx=0.75 everywhere.
+pub fn brio_wu(grid: Grid) -> Problem {
+    let state = State::from_fn(grid, |x, _, _| {
+        if x < 0.5 * grid.lx {
+            cons_from_primitive(1.0, 0.0, 0.0, 0.0, 1.0, 0.75, 1.0, 0.0, GAMMA)
+        } else {
+            cons_from_primitive(0.125, 0.0, 0.0, 0.0, 0.1, 0.75, -1.0, 0.0, GAMMA)
+        }
+    });
+    Problem {
+        name: "brio-wu",
+        state,
+        boundary: BoundaryKind::Outflow,
+    }
+}
+
+/// Orszag–Tang vortex in the x–y plane (uniform along z):
+/// ρ = γ², p = γ, u = (−sin 2πy, sin 2πx, 0), B = (−sin 2πy, sin 4πx, 0).
+pub fn orszag_tang(grid: Grid) -> Problem {
+    let rho = GAMMA * GAMMA;
+    let p = GAMMA;
+    let state = State::from_fn(grid, |x, y, _| {
+        let u = -(2.0 * PI * y / grid.ly).sin();
+        let v = (2.0 * PI * x / grid.lx).sin();
+        let bx = -(2.0 * PI * y / grid.ly).sin();
+        let by = (4.0 * PI * x / grid.lx).sin();
+        cons_from_primitive(rho, u, v, 0.0, p, bx, by, 0.0, GAMMA)
+    });
+    Problem {
+        name: "orszag-tang",
+        state,
+        boundary: BoundaryKind::Periodic,
+    }
+}
+
+/// 3D MHD blast: ambient (ρ=1, p=0.1) with a high-pressure sphere (p=10)
+/// of radius `0.1·lx` at the domain centre, uniform diagonal field.
+pub fn mhd_blast(grid: Grid) -> Problem {
+    let r0 = 0.1 * grid.lx;
+    let (cx, cy, cz) = (0.5 * grid.lx, 0.5 * grid.ly, 0.5 * grid.lz);
+    let b0 = 1.0 / 2.0f64.sqrt();
+    let state = State::from_fn(grid, |x, y, z| {
+        let r2 = (x - cx).powi(2) + (y - cy).powi(2) + (z - cz).powi(2);
+        let p = if r2 < r0 * r0 { 10.0 } else { 0.1 };
+        cons_from_primitive(1.0, 0.0, 0.0, 0.0, p, b0, b0, 0.0, GAMMA)
+    });
+    Problem {
+        name: "mhd-blast",
+        state,
+        boundary: BoundaryKind::Outflow,
+    }
+}
+
+/// Smooth acoustic wave along x: density/pressure/velocity perturbed with
+/// relative amplitude `amp` over a uniform background with unit sound speed
+/// crossing time, no magnetic field.
+pub fn sound_wave(grid: Grid, amp: f64) -> Problem {
+    assert!(amp.abs() < 0.1, "amplitude must stay in the linear regime");
+    let rho0 = 1.0;
+    let p0 = 1.0 / GAMMA; // unit sound speed: a² = γ p / ρ = 1
+    let a0 = 1.0;
+    let state = State::from_fn(grid, |x, _, _| {
+        let phase = (2.0 * PI * x / grid.lx).sin();
+        let drho = amp * phase;
+        // Linear acoustics: δu = a·δρ/ρ, δp = a²·δρ.
+        cons_from_primitive(
+            rho0 + drho,
+            a0 * drho / rho0,
+            0.0,
+            0.0,
+            p0 + a0 * a0 * drho,
+            0.0,
+            0.0,
+            0.0,
+            GAMMA,
+        )
+    });
+    Problem {
+        name: "sound-wave",
+        state,
+        boundary: BoundaryKind::Periodic,
+    }
+}
+
+/// MHD rotor: a dense disc spinning inside a light ambient medium with a
+/// uniform x-field — torsional Alfvén waves spin down the rotor.
+/// Standard parameters (Balsara & Spicer): disc ρ=10, ω=2/r₀ inside
+/// r₀=0.1·lx, ambient ρ=1, p=1 everywhere, Bx=5/√(4π).
+pub fn mhd_rotor(grid: Grid) -> Problem {
+    let r0 = 0.1 * grid.lx;
+    let (cx, cy) = (0.5 * grid.lx, 0.5 * grid.ly);
+    let omega = 2.0 / r0;
+    let bx = 5.0 / (4.0 * PI).sqrt();
+    let state = State::from_fn(grid, |x, y, _| {
+        let r = ((x - cx).powi(2) + (y - cy).powi(2)).sqrt();
+        // Smooth taper between disc and ambient over one disc radius.
+        let taper = ((2.0 * r0 - r) / r0).clamp(0.0, 1.0);
+        let rho = 1.0 + 9.0 * taper;
+        let (u, v) = if r < 2.0 * r0 && r > 1e-12 {
+            let w = omega * taper * r0 / r.max(0.5 * r0 / 10.0);
+            (-w * (y - cy), w * (x - cx))
+        } else {
+            (0.0, 0.0)
+        };
+        cons_from_primitive(rho, u, v, 0.0, 1.0, bx, 0.0, 0.0, GAMMA)
+    });
+    Problem {
+        name: "mhd-rotor",
+        state,
+        boundary: BoundaryKind::Outflow,
+    }
+}
+
+/// Kelvin–Helmholtz shear layer: two counter-streaming slabs with a small
+/// transverse velocity seed; a weak parallel field delays the roll-up.
+pub fn kelvin_helmholtz(grid: Grid, seed_amp: f64) -> Problem {
+    assert!(
+        seed_amp.abs() < 0.1,
+        "seed amplitude must stay perturbative"
+    );
+    let state = State::from_fn(grid, |x, y, _| {
+        let inner = (y / grid.ly - 0.25).abs() < 0.25; // middle band streams +x
+        let (rho, u) = if inner { (2.0, 0.5) } else { (1.0, -0.5) };
+        let v = seed_amp * (2.0 * PI * x / grid.lx).sin();
+        cons_from_primitive(rho, u, v, 0.0, 2.5, 0.1, 0.0, 0.0, GAMMA)
+    });
+    Problem {
+        name: "kelvin-helmholtz",
+        state,
+        boundary: BoundaryKind::Periodic,
+    }
+}
+
+/// Quiescent magnetized gas — any solver must hold it exactly.
+pub fn uniform(grid: Grid) -> Problem {
+    let state = State::from_fn(grid, |_, _, _| {
+        cons_from_primitive(1.0, 0.0, 0.0, 0.0, 1.0, 0.1, 0.2, 0.3, GAMMA)
+    });
+    Problem {
+        name: "uniform",
+        state,
+        boundary: BoundaryKind::Periodic,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::comp;
+
+    #[test]
+    fn all_problems_start_physical() {
+        let g = Grid::cubic(8, 8, 8);
+        for p in [
+            brio_wu(g),
+            orszag_tang(g),
+            mhd_blast(g),
+            sound_wave(g, 1e-3),
+            mhd_rotor(g),
+            kelvin_helmholtz(g, 0.01),
+            uniform(g),
+        ] {
+            assert!(p.state.is_physical(GAMMA), "{} unphysical at t=0", p.name);
+        }
+    }
+
+    #[test]
+    fn rotor_spins_and_is_dense() {
+        let g = Grid::cubic(32, 32, 4);
+        let p = mhd_rotor(g);
+        let center = p.state.interior(16, 16, 2);
+        assert!(center[comp::RHO] > 5.0, "disc must be dense");
+        // A cell off-centre inside the disc carries angular momentum.
+        let off = p.state.interior(18, 16, 2);
+        assert!(off[comp::MY].abs() > 0.1, "disc must rotate");
+        let far = p.state.interior(1, 1, 2);
+        assert!((far[comp::RHO] - 1.0).abs() < 1e-12);
+        assert_eq!(far[comp::MX], 0.0);
+    }
+
+    #[test]
+    fn kelvin_helmholtz_has_counter_streams() {
+        let g = Grid::cubic(16, 16, 4);
+        let p = kelvin_helmholtz(g, 0.01);
+        let mid = p.state.interior(4, 6, 1); // y/ly = 0.406 → inner band
+        let outer = p.state.interior(4, 14, 1);
+        assert!(mid[comp::MX] > 0.0);
+        assert!(outer[comp::MX] < 0.0);
+    }
+
+    #[test]
+    fn kelvin_helmholtz_grows_transverse_motion() {
+        // Fine enough that the fundamental mode's growth (k·Δv/2 ≈ π)
+        // outruns the Rusanov diffusion's damping.
+        let g = Grid::new(64, 64, 4, 1.0, 1.0, 0.0625);
+        let mut sim = crate::sim::Simulation::new(kelvin_helmholtz(g, 0.01), GAMMA, 0.4);
+        let ke_y = |s: &State| -> f64 {
+            g.interior_coords()
+                .map(|(i, j, k)| {
+                    let u = s.interior(i, j, k);
+                    u[comp::MY] * u[comp::MY] / u[comp::RHO]
+                })
+                .sum()
+        };
+        let before = ke_y(&sim.state);
+        sim.run_until(0.8, 10_000);
+        let after = ke_y(&sim.state);
+        assert!(
+            after > 2.0 * before,
+            "shear instability must amplify transverse motion: {before} -> {after}"
+        );
+        assert!(sim.state.is_physical(GAMMA));
+    }
+
+    #[test]
+    fn brio_wu_has_density_jump() {
+        let g = Grid::cubic(16, 4, 4);
+        let p = brio_wu(g);
+        let left = p.state.interior(0, 0, 0)[comp::RHO];
+        let right = p.state.interior(15, 0, 0)[comp::RHO];
+        assert!((left - 1.0).abs() < 1e-12);
+        assert!((right - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn orszag_tang_has_zero_mean_velocity() {
+        let g = Grid::cubic(16, 16, 4);
+        let p = orszag_tang(g);
+        let mx = p.state.total(comp::MX);
+        let my = p.state.total(comp::MY);
+        assert!(mx.abs() < 1e-9, "sinusoidal momenta integrate to zero");
+        assert!(my.abs() < 1e-9);
+    }
+
+    #[test]
+    fn blast_center_is_hot() {
+        let g = Grid::cubic(16, 16, 16);
+        let p = mhd_blast(g);
+        let center = p.state.interior(8, 8, 8);
+        let corner = p.state.interior(0, 0, 0);
+        assert!(crate::eos::pressure(center, GAMMA) > 50.0 * crate::eos::pressure(corner, GAMMA));
+    }
+
+    #[test]
+    fn sound_wave_amplitude_bounded() {
+        let g = Grid::cubic(32, 4, 4);
+        let p = sound_wave(g, 0.01);
+        for (i, j, k) in g.interior_coords() {
+            let rho = p.state.interior(i, j, k)[comp::RHO];
+            assert!((rho - 1.0).abs() <= 0.01 + 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "linear regime")]
+    fn sound_wave_rejects_large_amplitude() {
+        let _ = sound_wave(Grid::cubic(8, 4, 4), 0.5);
+    }
+}

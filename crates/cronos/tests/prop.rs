@@ -1,0 +1,111 @@
+//! Property-based tests of the MHD solver's invariants: conservation,
+//! positivity on smooth data, and equilibrium preservation under random
+//! uniform states.
+
+use cronos::boundary::{apply_boundary, BoundaryKind};
+use cronos::eos::{cons_from_primitive, GAMMA};
+use cronos::grid::Grid;
+use cronos::sim::Simulation;
+use cronos::state::State;
+use cronos::stencil::compute_changes;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any uniform state (arbitrary velocity, pressure, field) is an exact
+    /// equilibrium of the scheme.
+    #[test]
+    fn uniform_states_are_equilibria(
+        rho in 0.1..10.0f64,
+        u in -3.0..3.0f64,
+        v in -3.0..3.0f64,
+        w in -3.0..3.0f64,
+        p in 0.1..10.0f64,
+        bx in -2.0..2.0f64,
+        by in -2.0..2.0f64,
+        bz in -2.0..2.0f64,
+    ) {
+        let g = Grid::cubic(6, 4, 4);
+        let mut s = State::from_fn(g, |_, _, _| {
+            cons_from_primitive(rho, u, v, w, p, bx, by, bz, GAMMA)
+        });
+        apply_boundary(&mut s, BoundaryKind::Periodic);
+        let ch = compute_changes(&s, GAMMA);
+        for d in &ch.dudt {
+            for (c, v) in d.iter().enumerate() {
+                prop_assert!(v.abs() < 1e-9, "component {} rate {}", c, v);
+            }
+        }
+    }
+
+    /// Smooth periodic perturbations conserve every component over full
+    /// timesteps, whatever the perturbation phase/amplitude.
+    #[test]
+    fn conservation_under_random_smooth_fields(
+        amp in 0.01..0.3f64,
+        phase in 0.0..std::f64::consts::TAU,
+        kx in 1u32..3,
+        steps in 1u64..4,
+    ) {
+        let g = Grid::cubic(8, 4, 4);
+        let problem = cronos::problems::Problem {
+            name: "prop",
+            state: State::from_fn(g, |x, y, _| {
+                let s = (std::f64::consts::TAU * kx as f64 * x + phase).sin();
+                cons_from_primitive(
+                    1.0 + amp * s,
+                    0.1 * (std::f64::consts::TAU * y).cos(),
+                    0.0,
+                    0.0,
+                    1.0,
+                    0.1,
+                    0.05,
+                    0.0,
+                    GAMMA,
+                )
+            }),
+            boundary: BoundaryKind::Periodic,
+        };
+        let mut sim = Simulation::new(problem, GAMMA, 0.3);
+        let before: Vec<f64> = (0..8).map(|c| sim.state.total(c)).collect();
+        sim.run_steps(steps);
+        for (c, b) in before.iter().enumerate() {
+            let after = sim.state.total(c);
+            let scale = b.abs().max(1.0);
+            prop_assert!(
+                (after - b).abs() / scale < 1e-10,
+                "component {} drifted {} -> {}", c, b, after
+            );
+        }
+        prop_assert!(sim.state.is_physical(GAMMA));
+    }
+
+    /// Boundary filling is idempotent for both boundary kinds.
+    #[test]
+    fn boundary_fill_is_idempotent(kind in prop_oneof![Just(BoundaryKind::Periodic), Just(BoundaryKind::Outflow), Just(BoundaryKind::Reflecting)], seed in 0u64..1000) {
+        let g = Grid::cubic(5, 4, 3);
+        let mut s = State::from_fn(g, |x, y, z| {
+            let r = ((seed as f64).sin() * 43758.5453).fract().abs() + 0.5;
+            cons_from_primitive(r + x, y - z, 0.1, 0.0, 1.0 + x * y, 0.1, 0.0, 0.2, GAMMA)
+        });
+        apply_boundary(&mut s, kind);
+        let once = s.clone();
+        apply_boundary(&mut s, kind);
+        prop_assert_eq!(once, s);
+    }
+
+    /// The CFL rate is positive and finite for any physical uniform state.
+    #[test]
+    fn cfl_rates_are_positive(rho in 0.1..10.0f64, p in 0.1..10.0f64, bx in -2.0..2.0f64) {
+        let g = Grid::cubic(4, 4, 4);
+        let mut s = State::from_fn(g, |_, _, _| {
+            cons_from_primitive(rho, 0.0, 0.0, 0.0, p, bx, 0.0, 0.0, GAMMA)
+        });
+        apply_boundary(&mut s, BoundaryKind::Periodic);
+        let ch = compute_changes(&s, GAMMA);
+        for r in &ch.cfl {
+            prop_assert!(r.is_finite() && *r > 0.0);
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! The device execution engine.
+//!
+//! [`Device`] owns the mutable state of one simulated GPU: current clocks,
+//! cumulative energy counter, device clock, execution trace, and the
+//! optional measurement-noise stream. The vendor-specific management layers
+//! ([`crate::nvml`], [`crate::rocm`]) and the portable `synergy` crate all
+//! drive this type.
+
+use serde::{Deserialize, Serialize};
+
+use crate::kernel::KernelProfile;
+use crate::noise::NoiseModel;
+use crate::power::{kernel_power, PowerBreakdown};
+use crate::spec::DeviceSpec;
+use crate::timing::{kernel_timing, TimingBreakdown};
+use crate::trace::{Trace, TraceEvent};
+
+/// Result of one kernel launch: what a profiler would hand back.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LaunchRecord {
+    /// Wall-clock duration (s), including launch overhead.
+    pub time_s: f64,
+    /// Energy consumed by the launch (J).
+    pub energy_j: f64,
+    /// Average power over the launch (W).
+    pub avg_power_w: f64,
+    /// Core clock the kernel ran at (MHz).
+    pub core_mhz: f64,
+    /// Memory clock the kernel ran at (MHz).
+    pub mem_mhz: f64,
+}
+
+/// A simulated GPU with mutable clock and counter state.
+#[derive(Debug, Clone)]
+pub struct Device {
+    spec: DeviceSpec,
+    core_mhz: f64,
+    mem_mhz: f64,
+    /// Cumulative energy counter in joules (NVML reports millijoules; the
+    /// NVML layer converts).
+    energy_counter_j: f64,
+    /// Device-side clock, seconds since creation.
+    clock_s: f64,
+    /// Power reading of the most recent activity (W).
+    last_power_w: f64,
+    trace: Trace,
+    noise: NoiseModel,
+}
+
+impl Device {
+    /// Creates a device at its default clocks, with noise disabled and an
+    /// unbounded trace.
+    pub fn new(spec: DeviceSpec) -> Self {
+        let core = spec.default_core_mhz;
+        let mem = spec.mem_freqs.max();
+        let idle = spec.idle_power_w;
+        Device {
+            spec,
+            core_mhz: core,
+            mem_mhz: mem,
+            energy_counter_j: 0.0,
+            clock_s: 0.0,
+            last_power_w: idle,
+            trace: Trace::with_capacity_limit(100_000),
+            noise: NoiseModel::disabled(),
+        }
+    }
+
+    /// Creates a device with a seeded measurement-noise model.
+    pub fn with_noise(spec: DeviceSpec, noise: NoiseModel) -> Self {
+        let mut d = Device::new(spec);
+        d.noise = noise;
+        d
+    }
+
+    /// The static descriptor of this device.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// Current core clock (MHz).
+    pub fn core_mhz(&self) -> f64 {
+        self.core_mhz
+    }
+
+    /// Current memory clock (MHz).
+    pub fn mem_mhz(&self) -> f64 {
+        self.mem_mhz
+    }
+
+    /// Sets the core clock, snapping to the nearest supported frequency.
+    /// Returns the frequency actually applied — the same contract as
+    /// `nvmlDeviceSetApplicationsClocks`.
+    pub fn set_core_mhz(&mut self, mhz: f64) -> f64 {
+        self.core_mhz = self.spec.core_freqs.snap(mhz);
+        self.core_mhz
+    }
+
+    /// Sets the memory clock, snapping to the nearest supported frequency.
+    pub fn set_mem_mhz(&mut self, mhz: f64) -> f64 {
+        self.mem_mhz = self.spec.mem_freqs.snap(mhz);
+        self.mem_mhz
+    }
+
+    /// Restores the default clock configuration
+    /// (`nvmlDeviceResetApplicationsClocks` analogue).
+    pub fn reset_clocks(&mut self) {
+        self.core_mhz = self.spec.default_core_mhz;
+        self.mem_mhz = self.spec.mem_freqs.max();
+    }
+
+    /// Executes a kernel at the current clocks, advancing the device clock
+    /// and energy counter, and returns the measured record.
+    pub fn launch(&mut self, kernel: &KernelProfile) -> LaunchRecord {
+        self.launch_at(kernel, self.core_mhz)
+    }
+
+    /// Executes a kernel at an explicit core clock without changing the
+    /// device's configured clock (per-kernel frequency scaling, as SYnergy
+    /// does). The clock is snapped to a supported frequency.
+    pub fn launch_at(&mut self, kernel: &KernelProfile, core_mhz: f64) -> LaunchRecord {
+        let f = self.spec.core_freqs.snap(core_mhz);
+        let timing = kernel_timing(&self.spec, kernel, f, self.mem_mhz);
+
+        let time_s = timing.total_s * self.noise.time_factor();
+        let energy_j =
+            crate::power::kernel_energy(&self.spec, &timing, f) * self.noise.energy_factor();
+        let avg_power_w = energy_j / time_s;
+
+        let rec = LaunchRecord {
+            time_s,
+            energy_j,
+            avg_power_w,
+            core_mhz: f,
+            mem_mhz: self.mem_mhz,
+        };
+        self.trace.push(TraceEvent {
+            kernel: kernel.name.clone(),
+            start_s: self.clock_s,
+            duration_s: time_s,
+            energy_j,
+            core_mhz: f,
+            mem_mhz: self.mem_mhz,
+            avg_power_w,
+            work_items: kernel.work_items,
+        });
+        self.clock_s += time_s;
+        self.energy_counter_j += energy_j;
+        self.last_power_w = avg_power_w;
+        rec
+    }
+
+    /// Dry-run: computes what a launch *would* cost at `core_mhz` without
+    /// mutating any state (no trace, no counters, no noise). Used by models
+    /// that need ground truth independent of measurement jitter.
+    pub fn peek(&self, kernel: &KernelProfile, core_mhz: f64) -> (TimingBreakdown, PowerBreakdown) {
+        let f = self.spec.core_freqs.snap(core_mhz);
+        let timing = kernel_timing(&self.spec, kernel, f, self.mem_mhz);
+        let power = kernel_power(&self.spec, &timing, f);
+        (timing, power)
+    }
+
+    /// Dry-run returning `(time_s, energy_j)` with the same phase-split
+    /// energy accounting as [`Device::launch`], noise-free.
+    pub fn peek_cost(&self, kernel: &KernelProfile, core_mhz: f64) -> (f64, f64) {
+        let f = self.spec.core_freqs.snap(core_mhz);
+        let timing = kernel_timing(&self.spec, kernel, f, self.mem_mhz);
+        let energy = crate::power::kernel_energy(&self.spec, &timing, f);
+        (timing.total_s, energy)
+    }
+
+    /// Advances the device clock by `dt` seconds of idleness, charging idle
+    /// power to the energy counter (host-side gaps between kernels).
+    ///
+    /// # Panics
+    /// Panics on negative `dt`.
+    pub fn idle_advance(&mut self, dt_s: f64) {
+        assert!(dt_s >= 0.0, "time cannot run backwards");
+        self.clock_s += dt_s;
+        self.energy_counter_j += self.spec.idle_power_w * dt_s;
+        self.last_power_w = self.spec.idle_power_w;
+    }
+
+    /// Cumulative energy counter (J) since creation — the
+    /// `nvmlDeviceGetTotalEnergyConsumption` analogue (which reports mJ).
+    pub fn energy_counter_j(&self) -> f64 {
+        self.energy_counter_j
+    }
+
+    /// Device clock (s since creation).
+    pub fn clock_s(&self) -> f64 {
+        self.clock_s
+    }
+
+    /// Most recent power reading (W) — the `nvmlDeviceGetPowerUsage`
+    /// analogue (which reports mW).
+    pub fn power_usage_w(&self) -> f64 {
+        self.last_power_w
+    }
+
+    /// The execution trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Clears the execution trace (counters are unaffected).
+    pub fn clear_trace(&mut self) {
+        self.trace.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::DeviceSpec;
+
+    #[test]
+    fn launch_advances_counters() {
+        let mut d = Device::new(DeviceSpec::v100());
+        let k = KernelProfile::compute_bound("k", 1_000_000, 100.0);
+        let before = d.energy_counter_j();
+        let rec = d.launch(&k);
+        assert!(rec.time_s > 0.0);
+        assert!(d.energy_counter_j() > before);
+        assert!((d.clock_s() - rec.time_s).abs() < 1e-15);
+        assert_eq!(d.trace().events().len(), 1);
+    }
+
+    #[test]
+    fn set_core_snaps() {
+        let mut d = Device::new(DeviceSpec::v100());
+        let applied = d.set_core_mhz(1000.0);
+        assert!(d.spec().core_freqs.contains(applied));
+        assert_eq!(d.core_mhz(), applied);
+    }
+
+    #[test]
+    fn reset_restores_defaults() {
+        let mut d = Device::new(DeviceSpec::v100());
+        d.set_core_mhz(300.0);
+        d.reset_clocks();
+        assert_eq!(d.core_mhz(), d.spec().default_core_mhz);
+    }
+
+    #[test]
+    fn launch_at_does_not_change_configured_clock() {
+        let mut d = Device::new(DeviceSpec::v100());
+        let k = KernelProfile::compute_bound("k", 1_000_000, 100.0);
+        let configured = d.core_mhz();
+        let rec = d.launch_at(&k, 300.0);
+        assert!(rec.core_mhz < configured);
+        assert_eq!(d.core_mhz(), configured);
+    }
+
+    #[test]
+    fn peek_is_pure() {
+        let d = Device::new(DeviceSpec::v100());
+        let k = KernelProfile::memory_bound("k", 1_000_000, 32.0);
+        let (t1, p1) = d.peek(&k, 800.0);
+        let (t2, p2) = d.peek(&k, 800.0);
+        assert_eq!(t1.total_s, t2.total_s);
+        assert_eq!(p1.total_w, p2.total_w);
+        assert_eq!(d.energy_counter_j(), 0.0);
+        assert!(d.trace().events().is_empty());
+    }
+
+    #[test]
+    fn idle_charges_idle_power() {
+        let mut d = Device::new(DeviceSpec::v100());
+        d.idle_advance(2.0);
+        let expected = d.spec().idle_power_w * 2.0;
+        assert!((d.energy_counter_j() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noise_preserves_determinism_per_seed() {
+        let spec = DeviceSpec::v100();
+        let k = KernelProfile::compute_bound("k", 1_000_000, 100.0);
+        let mut a = Device::with_noise(spec.clone(), NoiseModel::realistic(9));
+        let mut b = Device::with_noise(spec, NoiseModel::realistic(9));
+        for _ in 0..10 {
+            let ra = a.launch(&k);
+            let rb = b.launch(&k);
+            assert_eq!(ra.time_s, rb.time_s);
+            assert_eq!(ra.energy_j, rb.energy_j);
+        }
+    }
+
+    #[test]
+    fn record_power_consistent() {
+        let mut d = Device::new(DeviceSpec::mi100());
+        let k = KernelProfile::memory_bound("k", 10_000_000, 48.0);
+        let rec = d.launch(&k);
+        assert!((rec.avg_power_w - rec.energy_j / rec.time_s).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,176 @@
+//! Frequency tables.
+//!
+//! Real GPUs expose a discrete set of supported clock frequencies (the V100
+//! reports 196 graphics clocks through `nvmlDeviceGetSupportedGraphicsClocks`).
+//! [`FrequencyTable`] models that set: an ascending, deduplicated list of
+//! frequencies in MHz with nearest-neighbour snapping, which is exactly what
+//! the driver does when asked for an unsupported clock.
+
+use serde::{Deserialize, Serialize};
+
+/// An ascending table of supported frequencies in MHz.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrequencyTable {
+    freqs: Vec<f64>,
+}
+
+impl FrequencyTable {
+    /// Builds a table from arbitrary frequencies; sorts ascending and
+    /// removes duplicates (within 1 kHz).
+    ///
+    /// # Panics
+    /// Panics if `freqs` is empty or contains a non-finite or non-positive
+    /// frequency — a device with no valid clocks is a programming error.
+    pub fn new(mut freqs: Vec<f64>) -> Self {
+        assert!(!freqs.is_empty(), "frequency table must not be empty");
+        assert!(
+            freqs.iter().all(|f| f.is_finite() && *f > 0.0),
+            "frequencies must be finite and positive"
+        );
+        freqs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        freqs.dedup_by(|a, b| (*a - *b).abs() < 1e-3);
+        FrequencyTable { freqs }
+    }
+
+    /// Builds `n` evenly spaced frequencies over `[lo, hi]` (inclusive).
+    ///
+    /// # Panics
+    /// Panics if `n < 2` or `lo >= hi`.
+    pub fn linspace(lo: f64, hi: f64, n: usize) -> Self {
+        assert!(n >= 2, "linspace needs at least two points");
+        assert!(lo < hi, "lo must be < hi");
+        let step = (hi - lo) / (n as f64 - 1.0);
+        let freqs = (0..n).map(|i| lo + step * i as f64).collect();
+        FrequencyTable::new(freqs)
+    }
+
+    /// Number of supported frequencies.
+    pub fn len(&self) -> usize {
+        self.freqs.len()
+    }
+
+    /// True when the table is empty (never, by construction, but kept for
+    /// API completeness / clippy's `len_without_is_empty`).
+    pub fn is_empty(&self) -> bool {
+        self.freqs.is_empty()
+    }
+
+    /// Lowest supported frequency (MHz).
+    pub fn min(&self) -> f64 {
+        self.freqs[0]
+    }
+
+    /// Highest supported frequency (MHz).
+    pub fn max(&self) -> f64 {
+        *self.freqs.last().expect("non-empty")
+    }
+
+    /// All supported frequencies, ascending.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.freqs
+    }
+
+    /// Iterator over supported frequencies, ascending.
+    pub fn iter(&self) -> impl Iterator<Item = f64> + '_ {
+        self.freqs.iter().copied()
+    }
+
+    /// Snaps `mhz` to the nearest supported frequency, like the driver does.
+    pub fn snap(&self, mhz: f64) -> f64 {
+        self.freqs
+            .iter()
+            .copied()
+            .min_by(|a, b| {
+                (a - mhz)
+                    .abs()
+                    .partial_cmp(&(b - mhz).abs())
+                    .expect("finite")
+            })
+            .expect("non-empty")
+    }
+
+    /// Index of the nearest supported frequency.
+    pub fn snap_index(&self, mhz: f64) -> usize {
+        let snapped = self.snap(mhz);
+        self.freqs
+            .iter()
+            .position(|f| (*f - snapped).abs() < 1e-9)
+            .expect("snapped frequency is in table")
+    }
+
+    /// Whether `mhz` is (within 1 kHz of) a supported frequency.
+    pub fn contains(&self, mhz: f64) -> bool {
+        self.freqs.iter().any(|f| (*f - mhz).abs() < 1e-3)
+    }
+
+    /// Returns every `stride`-th frequency (ascending), always including the
+    /// highest one. Used by sweep drivers to thin very dense tables.
+    ///
+    /// # Panics
+    /// Panics if `stride == 0`.
+    pub fn strided(&self, stride: usize) -> Vec<f64> {
+        assert!(stride > 0, "stride must be positive");
+        let mut out: Vec<f64> = self.freqs.iter().copied().step_by(stride).collect();
+        let max = self.max();
+        if out.last().map(|f| (*f - max).abs() > 1e-9).unwrap_or(true) {
+            out.push(max);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linspace_endpoints_and_count() {
+        let t = FrequencyTable::linspace(135.0, 1597.0, 196);
+        assert_eq!(t.len(), 196);
+        assert!((t.min() - 135.0).abs() < 1e-12);
+        assert!((t.max() - 1597.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn new_sorts_and_dedups() {
+        let t = FrequencyTable::new(vec![500.0, 100.0, 500.0, 300.0]);
+        assert_eq!(t.as_slice(), &[100.0, 300.0, 500.0]);
+    }
+
+    #[test]
+    fn snap_picks_nearest() {
+        let t = FrequencyTable::new(vec![100.0, 200.0, 300.0]);
+        assert_eq!(t.snap(149.0), 100.0);
+        assert_eq!(t.snap(151.0), 200.0);
+        assert_eq!(t.snap(1000.0), 300.0);
+        assert_eq!(t.snap(-5.0), 100.0);
+    }
+
+    #[test]
+    fn snap_index_roundtrips() {
+        let t = FrequencyTable::linspace(135.0, 1597.0, 196);
+        for (i, f) in t.iter().enumerate() {
+            assert_eq!(t.snap_index(f), i);
+        }
+    }
+
+    #[test]
+    fn strided_includes_max() {
+        let t = FrequencyTable::linspace(100.0, 1000.0, 10);
+        let s = t.strided(4);
+        assert!((s.last().unwrap() - 1000.0).abs() < 1e-9);
+        assert!(s.len() < t.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_table_panics() {
+        let _ = FrequencyTable::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn negative_frequency_panics() {
+        let _ = FrequencyTable::new(vec![-1.0]);
+    }
+}

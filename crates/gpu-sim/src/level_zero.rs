@@ -1,0 +1,259 @@
+//! Level-Zero-like (Intel oneAPI sysman) management API.
+//!
+//! Mirrors the subset of the Level Zero Sysman interface SYnergy's Intel
+//! backend uses: frequency-domain enumeration and range control
+//! (`zesFrequencySetRange`), the energy counter (`zesPowerGetEnergyCounter`,
+//! microjoules), and power sampling. Intel GPUs, like AMD ones, have no
+//! fixed default clock: the stock configuration is the full frequency range
+//! with a firmware governor choosing within it; pinning means collapsing
+//! the range to a single bin.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::device::{Device, LaunchRecord};
+use crate::kernel::KernelProfile;
+use crate::spec::{DeviceSpec, Vendor};
+
+/// Level-Zero-style error codes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ZeError {
+    /// Device index out of range (`ZE_RESULT_ERROR_INVALID_ARGUMENT`).
+    InvalidIndex(usize),
+    /// The device is not an Intel GPU (`ZE_RESULT_ERROR_UNSUPPORTED_FEATURE`).
+    Unsupported(String),
+    /// An invalid frequency range was requested.
+    InvalidRange {
+        /// Requested minimum (MHz).
+        min_mhz: f64,
+        /// Requested maximum (MHz).
+        max_mhz: f64,
+    },
+}
+
+impl std::fmt::Display for ZeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ZeError::InvalidIndex(i) => write!(f, "invalid device index {i}"),
+            ZeError::Unsupported(n) => write!(f, "device '{n}' is not managed by Level Zero"),
+            ZeError::InvalidRange { min_mhz, max_mhz } => {
+                write!(f, "invalid frequency range [{min_mhz}, {max_mhz}] MHz")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ZeError {}
+
+/// The driver handle (`zeInit` + `zesDriverGet` analogue).
+#[derive(Debug, Clone, Default)]
+pub struct ZeDriver {
+    devices: Vec<Arc<Mutex<Device>>>,
+}
+
+impl ZeDriver {
+    /// Initializes the driver over a set of simulated devices.
+    pub fn init(devices: Vec<Device>) -> Self {
+        ZeDriver {
+            devices: devices
+                .into_iter()
+                .map(|d| Arc::new(Mutex::new(d)))
+                .collect(),
+        }
+    }
+
+    /// Initializes over shared device handles.
+    pub fn init_shared(devices: Vec<Arc<Mutex<Device>>>) -> Self {
+        ZeDriver { devices }
+    }
+
+    /// `zesDeviceGet` count.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Returns a sysman handle for device `index`.
+    pub fn device_by_index(&self, index: usize) -> Result<ZeDevice, ZeError> {
+        let handle = self
+            .devices
+            .get(index)
+            .ok_or(ZeError::InvalidIndex(index))?
+            .clone();
+        let vendor = handle.lock().spec().vendor;
+        if vendor != Vendor::Intel {
+            let name = handle.lock().spec().name.clone();
+            return Err(ZeError::Unsupported(name));
+        }
+        Ok(ZeDevice::from_shared(handle))
+    }
+}
+
+/// A sysman handle to one Intel device.
+#[derive(Debug, Clone)]
+pub struct ZeDevice {
+    inner: Arc<Mutex<Device>>,
+    /// The active frequency range `[min, max]` (MHz). Stock = full range.
+    range: (f64, f64),
+}
+
+impl ZeDevice {
+    /// A standalone handle over a fresh Max 1100 at the stock range.
+    pub fn max1100() -> Self {
+        ZeDevice::from_shared(Arc::new(Mutex::new(Device::new(DeviceSpec::max1100()))))
+    }
+
+    /// Wraps a shared device (caller guarantees it is an Intel device).
+    pub fn from_shared(inner: Arc<Mutex<Device>>) -> Self {
+        let range = {
+            let dev = inner.lock();
+            (dev.spec().min_core_mhz(), dev.spec().max_core_mhz())
+        };
+        ZeDevice { inner, range }
+    }
+
+    /// The underlying shared device handle.
+    pub fn shared(&self) -> Arc<Mutex<Device>> {
+        self.inner.clone()
+    }
+
+    /// `zesDeviceGetProperties` — device name.
+    pub fn name(&self) -> String {
+        self.inner.lock().spec().name.clone()
+    }
+
+    /// `zesFrequencyGetAvailableClocks` — the supported core clocks.
+    pub fn available_clocks(&self) -> Vec<f64> {
+        self.inner.lock().spec().core_freqs.as_slice().to_vec()
+    }
+
+    /// `zesFrequencyGetRange` — the active `[min, max]` range (MHz).
+    pub fn frequency_range(&self) -> (f64, f64) {
+        self.range
+    }
+
+    /// `zesFrequencySetRange`: constrains the governor to `[min, max]`.
+    /// Pinning a clock is `set_frequency_range(f, f)`. Both endpoints snap
+    /// to supported clocks; returns the applied range.
+    pub fn set_frequency_range(
+        &mut self,
+        min_mhz: f64,
+        max_mhz: f64,
+    ) -> Result<(f64, f64), ZeError> {
+        if !(min_mhz.is_finite() && max_mhz.is_finite()) || min_mhz > max_mhz || min_mhz <= 0.0 {
+            return Err(ZeError::InvalidRange { min_mhz, max_mhz });
+        }
+        let dev = self.inner.lock();
+        let lo = dev.spec().core_freqs.snap(min_mhz);
+        let hi = dev.spec().core_freqs.snap(max_mhz);
+        drop(dev);
+        if lo > hi {
+            return Err(ZeError::InvalidRange { min_mhz, max_mhz });
+        }
+        self.range = (lo, hi);
+        Ok(self.range)
+    }
+
+    /// Restores the stock (full) range.
+    pub fn reset_frequency_range(&mut self) {
+        let dev = self.inner.lock();
+        self.range = (dev.spec().min_core_mhz(), dev.spec().max_core_mhz());
+    }
+
+    /// The frequency the firmware governor actually runs a loaded kernel
+    /// at: its preferred sustained clock, clamped into the active range.
+    pub fn governor_frequency(&self) -> f64 {
+        let dev = self.inner.lock();
+        dev.spec()
+            .default_core_mhz
+            .clamp(self.range.0, self.range.1)
+    }
+
+    /// `zesPowerGetEnergyCounter` — cumulative energy in **microjoules**.
+    pub fn energy_counter_uj(&self) -> u64 {
+        (self.inner.lock().energy_counter_j() * 1e6).round() as u64
+    }
+
+    /// Last power sample in **milliwatts** (`zesPowerGetProperties` +
+    /// sampling analogue).
+    pub fn power_mw(&self) -> u64 {
+        (self.inner.lock().power_usage_w() * 1e3).round() as u64
+    }
+
+    /// Executes a kernel at the governor-selected clock within the active
+    /// range (the simulator stand-in for a SYCL launch on this device).
+    pub fn launch(&self, kernel: &KernelProfile) -> LaunchRecord {
+        let f = self.governor_frequency();
+        self.inner.lock().launch_at(kernel, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumerates_and_rejects_other_vendors() {
+        let drv = ZeDriver::init(vec![
+            Device::new(DeviceSpec::max1100()),
+            Device::new(DeviceSpec::v100()),
+        ]);
+        assert_eq!(drv.device_count(), 2);
+        assert!(drv.device_by_index(0).is_ok());
+        assert!(matches!(
+            drv.device_by_index(1),
+            Err(ZeError::Unsupported(_))
+        ));
+        assert!(matches!(
+            drv.device_by_index(9),
+            Err(ZeError::InvalidIndex(9))
+        ));
+    }
+
+    #[test]
+    fn stock_range_is_full_table() {
+        let dev = ZeDevice::max1100();
+        let (lo, hi) = dev.frequency_range();
+        assert_eq!(lo, 300.0);
+        assert_eq!(hi, 1550.0);
+        assert_eq!(dev.governor_frequency(), 1450.0);
+    }
+
+    #[test]
+    fn range_pinning_snaps_and_governs() {
+        let mut dev = ZeDevice::max1100();
+        let (lo, hi) = dev.set_frequency_range(912.0, 912.0).unwrap();
+        assert_eq!(lo, hi);
+        assert!(dev.available_clocks().contains(&lo));
+        assert_eq!(dev.governor_frequency(), lo);
+        let rec = dev.launch(&KernelProfile::compute_bound("k", 1 << 20, 200.0));
+        assert_eq!(rec.core_mhz, lo);
+    }
+
+    #[test]
+    fn capping_the_range_caps_the_governor() {
+        let mut dev = ZeDevice::max1100();
+        dev.set_frequency_range(300.0, 1000.0).unwrap();
+        assert!(dev.governor_frequency() <= 1000.0);
+        dev.reset_frequency_range();
+        assert_eq!(dev.governor_frequency(), 1450.0);
+    }
+
+    #[test]
+    fn invalid_ranges_rejected() {
+        let mut dev = ZeDevice::max1100();
+        assert!(dev.set_frequency_range(1000.0, 500.0).is_err());
+        assert!(dev.set_frequency_range(f64::NAN, 1000.0).is_err());
+        assert!(dev.set_frequency_range(-5.0, 1000.0).is_err());
+    }
+
+    #[test]
+    fn energy_counter_microjoules() {
+        let dev = ZeDevice::max1100();
+        let k = KernelProfile::memory_bound("k", 10_000_000, 64.0);
+        let rec = dev.launch(&k);
+        let uj = dev.energy_counter_uj();
+        assert!((uj as f64 - rec.energy_j * 1e6).abs() <= 1.0);
+        assert!(dev.power_mw() > 0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Deterministic measurement-noise model.
+//!
+//! Real energy counters and wall clocks jitter run to run; the paper repeats
+//! every measurement five times and takes a robust aggregate (§5.1). To
+//! exercise that pipeline the simulator can inject small multiplicative
+//! noise on reported time and energy. The noise stream is a seeded ChaCha
+//! RNG, so experiments stay bit-reproducible.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A seeded multiplicative-noise source.
+///
+/// Each sample returns a factor `exp(σ·z)` with `z` approximately standard
+/// normal (sum of uniforms), i.e. log-normal noise with median 1.
+#[derive(Debug, Clone)]
+pub struct NoiseModel {
+    rng: ChaCha8Rng,
+    sigma_time: f64,
+    sigma_energy: f64,
+}
+
+impl NoiseModel {
+    /// Creates a noise model with separate relative σ for time and energy.
+    ///
+    /// # Panics
+    /// Panics on negative sigmas.
+    pub fn new(seed: u64, sigma_time: f64, sigma_energy: f64) -> Self {
+        assert!(sigma_time >= 0.0 && sigma_energy >= 0.0, "σ must be ≥ 0");
+        NoiseModel {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            sigma_time,
+            sigma_energy,
+        }
+    }
+
+    /// A disabled noise model: every factor is exactly 1.
+    pub fn disabled() -> Self {
+        NoiseModel::new(0, 0.0, 0.0)
+    }
+
+    /// Typical measurement jitter (~1 % on time, ~1.5 % on energy).
+    pub fn realistic(seed: u64) -> Self {
+        NoiseModel::new(seed, 0.01, 0.015)
+    }
+
+    /// Whether this model perturbs measurements at all.
+    pub fn is_enabled(&self) -> bool {
+        self.sigma_time > 0.0 || self.sigma_energy > 0.0
+    }
+
+    fn standard_normal(&mut self) -> f64 {
+        // Irwin–Hall sum of 12 uniforms: mean 6, variance 1.
+        let s: f64 = (0..12).map(|_| self.rng.gen::<f64>()).sum();
+        s - 6.0
+    }
+
+    /// Multiplicative factor to apply to a time measurement.
+    pub fn time_factor(&mut self) -> f64 {
+        if self.sigma_time == 0.0 {
+            return 1.0;
+        }
+        let z = self.standard_normal();
+        (self.sigma_time * z).exp()
+    }
+
+    /// Multiplicative factor to apply to an energy measurement.
+    pub fn energy_factor(&mut self) -> f64 {
+        if self.sigma_energy == 0.0 {
+            return 1.0;
+        }
+        let z = self.standard_normal();
+        (self.sigma_energy * z).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_is_exactly_one() {
+        let mut n = NoiseModel::disabled();
+        for _ in 0..100 {
+            assert_eq!(n.time_factor(), 1.0);
+            assert_eq!(n.energy_factor(), 1.0);
+        }
+        assert!(!n.is_enabled());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = NoiseModel::realistic(42);
+        let mut b = NoiseModel::realistic(42);
+        for _ in 0..50 {
+            assert_eq!(a.time_factor(), b.time_factor());
+            assert_eq!(a.energy_factor(), b.energy_factor());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = NoiseModel::realistic(1);
+        let mut b = NoiseModel::realistic(2);
+        let same = (0..20)
+            .filter(|_| a.time_factor() == b.time_factor())
+            .count();
+        assert!(same < 20);
+    }
+
+    #[test]
+    fn factors_close_to_one() {
+        let mut n = NoiseModel::realistic(7);
+        let mut sum = 0.0;
+        let trials = 2000;
+        for _ in 0..trials {
+            let f = n.time_factor();
+            assert!((0.9..1.1).contains(&f), "1% noise should stay within ±10%");
+            sum += f;
+        }
+        let mean = sum / trials as f64;
+        assert!((mean - 1.0).abs() < 0.01, "mean factor ≈ 1, got {mean}");
+    }
+}

@@ -1,0 +1,244 @@
+//! NVML-like management API.
+//!
+//! Mirrors the subset of the NVIDIA Management Library the paper's pipeline
+//! needs — supported-clock enumeration, application-clock control, the power
+//! sampler, and the total-energy counter — with Rust naming and `Result`
+//! error handling instead of `nvmlReturn_t` codes. Units follow NVML: power
+//! in milliwatts, energy in millijoules, clocks in MHz.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::device::{Device, LaunchRecord};
+use crate::kernel::KernelProfile;
+use crate::spec::{DeviceSpec, Vendor};
+
+/// NVML-style error codes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NvmlError {
+    /// Device index out of range (`NVML_ERROR_INVALID_ARGUMENT`).
+    InvalidIndex(usize),
+    /// The device is not an NVIDIA GPU (`NVML_ERROR_NOT_SUPPORTED`).
+    NotSupported(String),
+    /// Requested memory clock is not supported.
+    InvalidMemoryClock(f64),
+}
+
+impl std::fmt::Display for NvmlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NvmlError::InvalidIndex(i) => write!(f, "invalid device index {i}"),
+            NvmlError::NotSupported(name) => {
+                write!(f, "device '{name}' is not managed by NVML")
+            }
+            NvmlError::InvalidMemoryClock(mhz) => {
+                write!(f, "unsupported memory clock {mhz} MHz")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NvmlError {}
+
+/// The NVML library handle (the `nvmlInit` analogue).
+#[derive(Debug, Clone, Default)]
+pub struct Nvml {
+    devices: Vec<Arc<Mutex<Device>>>,
+}
+
+impl Nvml {
+    /// Initializes NVML over a set of simulated devices. Non-NVIDIA devices
+    /// are accepted but refuse management calls, like a hybrid node.
+    pub fn init(devices: Vec<Device>) -> Self {
+        Nvml {
+            devices: devices
+                .into_iter()
+                .map(|d| Arc::new(Mutex::new(d)))
+                .collect(),
+        }
+    }
+
+    /// Initializes NVML over shared device handles (for co-management with
+    /// other layers, e.g. the `synergy` queue).
+    pub fn init_shared(devices: Vec<Arc<Mutex<Device>>>) -> Self {
+        Nvml { devices }
+    }
+
+    /// `nvmlDeviceGetCount`.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// `nvmlDeviceGetHandleByIndex`.
+    pub fn device_by_index(&self, index: usize) -> Result<NvmlDevice, NvmlError> {
+        let handle = self
+            .devices
+            .get(index)
+            .ok_or(NvmlError::InvalidIndex(index))?
+            .clone();
+        let vendor = handle.lock().spec().vendor;
+        if vendor != Vendor::Nvidia {
+            let name = handle.lock().spec().name.clone();
+            return Err(NvmlError::NotSupported(name));
+        }
+        Ok(NvmlDevice { inner: handle })
+    }
+}
+
+/// A handle to one NVML-managed device.
+#[derive(Debug, Clone)]
+pub struct NvmlDevice {
+    inner: Arc<Mutex<Device>>,
+}
+
+impl NvmlDevice {
+    /// Creates a standalone NVML handle over a fresh V100.
+    pub fn v100() -> Self {
+        NvmlDevice {
+            inner: Arc::new(Mutex::new(Device::new(DeviceSpec::v100()))),
+        }
+    }
+
+    /// Wraps a shared device. The caller must ensure it is an NVIDIA device
+    /// (use [`Nvml::device_by_index`] for checked access).
+    pub fn from_shared(inner: Arc<Mutex<Device>>) -> Self {
+        NvmlDevice { inner }
+    }
+
+    /// The underlying shared device handle.
+    pub fn shared(&self) -> Arc<Mutex<Device>> {
+        self.inner.clone()
+    }
+
+    /// `nvmlDeviceGetName`.
+    pub fn name(&self) -> String {
+        self.inner.lock().spec().name.clone()
+    }
+
+    /// `nvmlDeviceGetSupportedMemoryClocks`.
+    pub fn supported_memory_clocks(&self) -> Vec<f64> {
+        self.inner.lock().spec().mem_freqs.as_slice().to_vec()
+    }
+
+    /// `nvmlDeviceGetSupportedGraphicsClocks(mem_mhz)`.
+    pub fn supported_graphics_clocks(&self, mem_mhz: f64) -> Result<Vec<f64>, NvmlError> {
+        let dev = self.inner.lock();
+        if !dev.spec().mem_freqs.contains(mem_mhz) {
+            return Err(NvmlError::InvalidMemoryClock(mem_mhz));
+        }
+        Ok(dev.spec().core_freqs.as_slice().to_vec())
+    }
+
+    /// `nvmlDeviceSetApplicationsClocks(mem, core)`. Returns the clocks
+    /// actually applied (snapped to supported values).
+    pub fn set_applications_clocks(
+        &self,
+        mem_mhz: f64,
+        core_mhz: f64,
+    ) -> Result<(f64, f64), NvmlError> {
+        let mut dev = self.inner.lock();
+        if !dev.spec().mem_freqs.contains(mem_mhz) {
+            return Err(NvmlError::InvalidMemoryClock(mem_mhz));
+        }
+        let m = dev.set_mem_mhz(mem_mhz);
+        let c = dev.set_core_mhz(core_mhz);
+        Ok((m, c))
+    }
+
+    /// `nvmlDeviceResetApplicationsClocks`.
+    pub fn reset_applications_clocks(&self) {
+        self.inner.lock().reset_clocks();
+    }
+
+    /// `nvmlDeviceGetClockInfo(NVML_CLOCK_GRAPHICS)` — current core clock.
+    pub fn clock_info_graphics(&self) -> f64 {
+        self.inner.lock().core_mhz()
+    }
+
+    /// `nvmlDeviceGetPowerUsage` — last power sample in **milliwatts**.
+    pub fn power_usage_mw(&self) -> u64 {
+        (self.inner.lock().power_usage_w() * 1e3).round() as u64
+    }
+
+    /// `nvmlDeviceGetTotalEnergyConsumption` — cumulative energy in
+    /// **millijoules**.
+    pub fn total_energy_consumption_mj(&self) -> u64 {
+        (self.inner.lock().energy_counter_j() * 1e3).round() as u64
+    }
+
+    /// Executes a kernel at the configured application clocks. Not part of
+    /// NVML (which only manages), but the simulator's stand-in for the CUDA
+    /// launch the managed device would perform.
+    pub fn launch(&self, kernel: &KernelProfile) -> LaunchRecord {
+        self.inner.lock().launch(kernel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::DeviceSpec;
+
+    fn one_v100() -> Nvml {
+        Nvml::init(vec![Device::new(DeviceSpec::v100())])
+    }
+
+    #[test]
+    fn enumerates_devices() {
+        let nvml = one_v100();
+        assert_eq!(nvml.device_count(), 1);
+        assert!(nvml.device_by_index(0).is_ok());
+        assert!(matches!(
+            nvml.device_by_index(1),
+            Err(NvmlError::InvalidIndex(1))
+        ));
+    }
+
+    #[test]
+    fn rejects_amd_devices() {
+        let nvml = Nvml::init(vec![Device::new(DeviceSpec::mi100())]);
+        match nvml.device_by_index(0) {
+            Err(NvmlError::NotSupported(name)) => assert!(name.contains("MI100")),
+            other => panic!("expected NotSupported, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn supported_clocks_match_spec() {
+        let dev = one_v100().device_by_index(0).unwrap();
+        let mems = dev.supported_memory_clocks();
+        assert_eq!(mems, vec![1107.0]);
+        let clocks = dev.supported_graphics_clocks(1107.0).unwrap();
+        assert_eq!(clocks.len(), 196);
+        assert!(dev.supported_graphics_clocks(999.0).is_err());
+    }
+
+    #[test]
+    fn set_clocks_snaps_and_applies() {
+        let dev = one_v100().device_by_index(0).unwrap();
+        let (m, c) = dev.set_applications_clocks(1107.0, 1000.0).unwrap();
+        assert_eq!(m, 1107.0);
+        assert_eq!(dev.clock_info_graphics(), c);
+        dev.reset_applications_clocks();
+        assert!((dev.clock_info_graphics() - 1312.1).abs() < 1.0);
+    }
+
+    #[test]
+    fn energy_counter_in_millijoules() {
+        let dev = NvmlDevice::v100();
+        let k = KernelProfile::compute_bound("k", 1_000_000, 100.0);
+        let rec = dev.launch(&k);
+        let mj = dev.total_energy_consumption_mj();
+        assert!((mj as f64 - rec.energy_j * 1e3).abs() <= 1.0);
+    }
+
+    #[test]
+    fn power_usage_in_milliwatts() {
+        let dev = NvmlDevice::v100();
+        let k = KernelProfile::memory_bound("k", 10_000_000, 64.0);
+        let rec = dev.launch(&k);
+        let mw = dev.power_usage_mw();
+        assert!((mw as f64 - rec.avg_power_w * 1e3).abs() <= 1.0);
+    }
+}

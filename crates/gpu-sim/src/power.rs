@@ -1,0 +1,202 @@
+//! CMOS power model.
+//!
+//! Average power during a kernel body is modelled as
+//!
+//! ```text
+//! P = P_idle
+//!   + P_core_max · dyn_scale(f) · (gating_floor + (1-gating_floor) · act_c · occ_mix)
+//!   + P_mem_max  · (mem_floor  + (1-mem_floor)  · act_m · bw_util)
+//! ```
+//!
+//! `dyn_scale(f) = (V(f)/V_max)² · f/f_max` is the classic CMOS dynamic-power
+//! factor ([`crate::voltage::dynamic_scale`]). The gating floor models
+//! imperfect clock gating: even when the compute pipes stall on memory, the
+//! clock tree and issue logic keep switching, so core power still falls with
+//! `V²·f` — this is precisely why down-clocking a *memory-bound* kernel saves
+//! energy (Cronos, §3.1 of the paper) while barely affecting runtime.
+
+use serde::{Deserialize, Serialize};
+
+use crate::spec::DeviceSpec;
+use crate::timing::TimingBreakdown;
+use crate::voltage::dynamic_scale;
+
+/// Average-power breakdown for one kernel launch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerBreakdown {
+    /// Total average power over the kernel body (W).
+    pub total_w: f64,
+    /// Idle/static component (W).
+    pub idle_w: f64,
+    /// Core dynamic component (W).
+    pub core_w: f64,
+    /// Memory subsystem component (W).
+    pub mem_w: f64,
+}
+
+/// Average power drawn while executing a kernel with the given timing
+/// breakdown at core frequency `core_mhz`.
+pub fn kernel_power(spec: &DeviceSpec, timing: &TimingBreakdown, core_mhz: f64) -> PowerBreakdown {
+    assert!(core_mhz > 0.0, "core frequency must be positive");
+    let dyn_scale = dynamic_scale(spec, core_mhz);
+
+    // Occupancy gates how many SMs actually switch: idle SMs are
+    // clock-gated, so an almost-empty launch only lights up a fraction of
+    // the chip ([`crate::timing::occupancy`] already encodes the
+    // logarithmic rise of chip activity with launch size); the gating
+    // floor then applies *within* the active SMs.
+    let lam = spec.occ_amplitude;
+    let occ_mix = (1.0 - lam) + lam * timing.occupancy;
+    let gf = spec.clock_gating_floor;
+    let core_activity = occ_mix * (gf + (1.0 - gf) * timing.comp_activity);
+    let core_w = spec.core_power_w * dyn_scale * core_activity;
+
+    let mf = spec.mem_power_floor;
+    // Memory power follows achieved bandwidth; activity already encodes how
+    // much of the body the memory system is busy.
+    let mem_activity = mf + (1.0 - mf) * timing.mem_activity * occ_mix;
+    let mem_w = spec.mem_power_w * mem_activity;
+
+    // Static/idle power rises with the pinned voltage and clock (leakage ∝
+    // V, global clock distribution ∝ V²f): a V100 idling at its top
+    // application clocks draws roughly twice its minimum-clock idle power.
+    let idle_w = spec.idle_power_w * (0.55 + 0.45 * dyn_scale);
+
+    // The board firmware enforces the power limit (TDP clamp).
+    let total_w = (idle_w + core_w + mem_w).min(spec.tdp_w);
+    PowerBreakdown {
+        total_w,
+        idle_w,
+        core_w,
+        mem_w,
+    }
+}
+
+/// Energy (J) for a launch, split into its two phases: the kernel *body*
+/// runs at [`kernel_power`], while the launch-overhead window (host
+/// submission + pipeline fill) leaves the chip near its clock-dependent
+/// idle floor. Charging body power across the overhead would grossly
+/// inflate tiny launches — which are precisely the workloads whose energy
+/// behaviour the paper's small-input experiments probe.
+pub fn kernel_energy(spec: &DeviceSpec, timing: &TimingBreakdown, core_mhz: f64) -> f64 {
+    let p = kernel_power(spec, timing, core_mhz);
+    let body_s = (timing.total_s - timing.overhead_s).max(0.0);
+    let overhead_power = p.idle_w + spec.mem_power_floor * spec.mem_power_w;
+    p.total_w * body_s + overhead_power * timing.overhead_s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelProfile;
+    use crate::spec::DeviceSpec;
+    use crate::timing::kernel_timing;
+
+    fn run(spec: &DeviceSpec, k: &KernelProfile, f: f64) -> (TimingBreakdown, PowerBreakdown) {
+        let t = kernel_timing(spec, k, f, spec.mem_freqs.max());
+        let p = kernel_power(spec, &t, f);
+        (t, p)
+    }
+
+    #[test]
+    fn power_within_physical_envelope() {
+        let spec = DeviceSpec::v100();
+        let tdp = spec.tdp_w;
+        for k in [
+            KernelProfile::compute_bound("cb", 50_000_000, 100.0),
+            KernelProfile::memory_bound("mb", 50_000_000, 64.0),
+        ] {
+            for f in spec.core_freqs.strided(20) {
+                let (_, p) = run(&spec, &k, f);
+                assert!(p.total_w >= spec.idle_power_w, "below idle floor");
+                assert!(p.total_w <= tdp * 1.001, "exceeds TDP: {}", p.total_w);
+            }
+        }
+    }
+
+    #[test]
+    fn power_monotone_in_frequency() {
+        let spec = DeviceSpec::v100();
+        let k = KernelProfile::compute_bound("cb", 50_000_000, 100.0);
+        let mut prev = 0.0;
+        for f in spec.core_freqs.strided(10) {
+            let (_, p) = run(&spec, &k, f);
+            assert!(p.total_w >= prev - 1e-9, "power must rise with f");
+            prev = p.total_w;
+        }
+    }
+
+    #[test]
+    fn full_load_near_tdp_at_max_clock() {
+        let spec = DeviceSpec::v100();
+        // A kernel that is simultaneously compute- and memory-saturated.
+        let k = KernelProfile::new(
+            "burn",
+            200_000_000,
+            crate::kernel::OpMix {
+                float_add: 150.0,
+                float_mul: 150.0,
+                global_access: 5.0,
+                ..Default::default()
+            },
+        );
+        let (_, p) = run(&spec, &k, spec.max_core_mhz());
+        let tdp = spec.tdp_w;
+        assert!(
+            p.total_w > 0.75 * tdp,
+            "saturating kernel should be near TDP, got {} of {}",
+            p.total_w,
+            tdp
+        );
+    }
+
+    #[test]
+    fn memory_bound_downclock_saves_energy() {
+        let spec = DeviceSpec::v100();
+        let k = KernelProfile::memory_bound("mb", 100_000_000, 64.0);
+        let (t_def, _) = run(&spec, &k, spec.default_core_mhz);
+        let (t_lo, _) = run(&spec, &k, 900.0);
+        let e_def = kernel_energy(&spec, &t_def, spec.default_core_mhz);
+        let e_lo = kernel_energy(&spec, &t_lo, 900.0);
+        assert!(
+            e_lo < e_def * 0.9,
+            "down-clocking a memory-bound kernel must save >10% energy \
+             (got {e_lo:.3} vs {e_def:.3})"
+        );
+        assert!(t_lo.total_s < t_def.total_s * 1.05, "with minimal slowdown");
+    }
+
+    #[test]
+    fn compute_bound_has_interior_energy_minimum() {
+        // For a compute-bound kernel, energy falls as V² while above the
+        // voltage knee, then rises as static energy dominates — so the
+        // minimum must be strictly inside the frequency range.
+        let spec = DeviceSpec::v100();
+        let k = KernelProfile::compute_bound("cb", 100_000_000, 200.0);
+        let energies: Vec<(f64, f64)> = spec
+            .core_freqs
+            .iter()
+            .map(|f| {
+                let (t, _) = run(&spec, &k, f);
+                (f, kernel_energy(&spec, &t, f))
+            })
+            .collect();
+        let (f_min, _) = energies
+            .iter()
+            .copied()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        assert!(f_min > spec.min_core_mhz() + 1.0, "minimum not at bottom");
+        assert!(f_min < spec.max_core_mhz() - 1.0, "minimum not at top");
+    }
+
+    #[test]
+    fn low_occupancy_draws_less_power() {
+        let spec = DeviceSpec::v100();
+        let big = KernelProfile::compute_bound("b", 50_000_000, 100.0);
+        let tiny = KernelProfile::compute_bound("t", 5_000, 100.0);
+        let (_, p_big) = run(&spec, &big, spec.default_core_mhz);
+        let (_, p_tiny) = run(&spec, &tiny, spec.default_core_mhz);
+        assert!(p_tiny.total_w < p_big.total_w);
+    }
+}

@@ -1,0 +1,268 @@
+//! Roofline execution-time model with occupancy effects.
+//!
+//! A kernel's duration is modelled as
+//!
+//! ```text
+//! T = overhead + pipeline_depth / f + max(T_comp, T_mem)
+//!               + overlap_penalty · min(T_comp, T_mem)
+//! ```
+//!
+//! where `T_comp` scales with 1/f_core and the achieved compute throughput
+//! (degraded at low occupancy), and `T_mem` depends only on the memory
+//! subsystem (degraded when too few threads are in flight to saturate DRAM).
+//!
+//! These are the mechanics behind every observation in §2–3 of the paper:
+//!
+//! * memory-bound kernels (`T_mem > T_comp` at the default clock) keep their
+//!   duration nearly flat as the core clock drops — until the compute roof
+//!   crosses the memory roof;
+//! * compute-bound kernels scale ∝ 1/f over the whole range;
+//! * small launches sit on the `overhead + depth/f` floor with low
+//!   utilization, which moves the crossover point — making the
+//!   energy-optimal frequency depend on the *input*.
+
+use serde::{Deserialize, Serialize};
+
+use crate::kernel::KernelProfile;
+use crate::spec::DeviceSpec;
+
+/// Timing breakdown of a single kernel launch at a fixed frequency pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimingBreakdown {
+    /// Total wall-clock duration (s).
+    pub total_s: f64,
+    /// Compute-roof time (s).
+    pub comp_s: f64,
+    /// Memory-roof time (s).
+    pub mem_s: f64,
+    /// Fixed overhead + pipeline latency (s).
+    pub overhead_s: f64,
+    /// Compute-pipe activity during the kernel body, in `[0, 1]`:
+    /// the fraction of body time the compute units are busy.
+    pub comp_activity: f64,
+    /// Memory-system activity during the kernel body, in `[0, 1]`.
+    pub mem_activity: f64,
+    /// Achieved occupancy (resident-thread utilization), in `[0, 1]`.
+    pub occupancy: f64,
+}
+
+/// Saturating utilization curve: `x / (x + half)`, where `x` is the load
+/// relative to capacity. Reaches 0.5 at `x = half`, → 1 as `x → ∞`.
+fn saturate(x: f64, half: f64) -> f64 {
+    debug_assert!(x >= 0.0 && half > 0.0);
+    x / (x + half)
+}
+
+/// Power occupancy of a launch: how much of the chip the launch lights up
+/// (1.0 = the power plateau). Measured GPU power rises roughly with the
+/// *logarithm* of the launch size between "one warp" and "every SM full":
+/// scheduling spreads blocks across SMs first (waking clock trees fast),
+/// then additional warps per SM add progressively less switching. We model
+/// that directly: 0 below ~50 threads, then logarithmic up to 64× the
+/// power-saturation pool.
+pub fn occupancy(spec: &DeviceSpec, work_items: u64) -> f64 {
+    let n = work_items as f64;
+    let n0 = 50.0;
+    let n1 = spec.power_saturation_threads();
+    if n <= n0 {
+        return 0.0;
+    }
+    ((n / n0).ln() / (n1 / n0).ln()).min(1.0)
+}
+
+/// Computes the timing breakdown for `kernel` at `core_mhz` / `mem_mhz`.
+///
+/// `mem_mhz` scales bandwidth relative to the device's top memory frequency
+/// (the V100 has a single memory frequency, so this is a no-op there).
+pub fn kernel_timing(
+    spec: &DeviceSpec,
+    kernel: &KernelProfile,
+    core_mhz: f64,
+    mem_mhz: f64,
+) -> TimingBreakdown {
+    assert!(
+        core_mhz > 0.0 && mem_mhz > 0.0,
+        "frequencies must be positive"
+    );
+    let n = kernel.work_items as f64;
+    let f_hz = core_mhz * 1e6;
+
+    // --- Compute roof -----------------------------------------------------
+    // Issue-cycles per item divided over all lanes, degraded by how well the
+    // launch can keep the lanes fed (half-speed at 6 % of resident
+    // capacity). Compute and memory share the saturation curve: once a
+    // launch saturates the device, its *normalized* speedup/energy curves
+    // stop moving with input size — the convergence the paper's
+    // leave-one-out validation relies on — while under-filled launches stay
+    // latency- and overhead-dominated.
+    let resident = spec.saturation_threads();
+    let comp_util = saturate(n / resident, 0.06);
+    let lane_throughput = spec.total_lanes() * spec.ilp * kernel.ilp_efficiency * comp_util;
+    let comp_s = n * kernel.mix.issue_cycles() / (lane_throughput * f_hz);
+
+    // --- Memory roof -------------------------------------------------------
+    // Bandwidth scales with the memory clock relative to its maximum.
+    let mem_scale = mem_mhz / spec.mem_freqs.max();
+    let mem_util = saturate(n / resident, 0.06);
+    let bw = spec.mem_bandwidth_gbs * 1e9 * mem_scale * mem_util;
+    let bytes = kernel.total_global_bytes();
+    let mem_s = if bytes > 0.0 { bytes / bw } else { 0.0 };
+
+    // --- Fixed costs --------------------------------------------------------
+    let overhead_s = spec.launch_overhead_s + spec.pipeline_depth_cycles / f_hz;
+
+    // --- Roofline composition ----------------------------------------------
+    let body = comp_s.max(mem_s) + spec.overlap_penalty * comp_s.min(mem_s);
+    let total_s = overhead_s + body;
+
+    // Activities: what fraction of the body each subsystem is busy for.
+    // Guard against a zero-length body (can't happen for valid kernels, but
+    // keeps the math total).
+    let (comp_activity, mem_activity) = if body > 0.0 {
+        ((comp_s / body).min(1.0), (mem_s / body).min(1.0))
+    } else {
+        (0.0, 0.0)
+    };
+
+    TimingBreakdown {
+        total_s,
+        comp_s,
+        mem_s,
+        overhead_s,
+        comp_activity,
+        mem_activity,
+        occupancy: occupancy(spec, kernel.work_items),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelProfile;
+    use crate::spec::DeviceSpec;
+
+    fn v100() -> DeviceSpec {
+        DeviceSpec::v100()
+    }
+
+    #[test]
+    fn compute_bound_scales_inversely_with_core_clock() {
+        let spec = v100();
+        let k = KernelProfile::compute_bound("cb", 10_000_000, 2000.0);
+        let t_lo = kernel_timing(&spec, &k, 800.0, 1107.0).total_s;
+        let t_hi = kernel_timing(&spec, &k, 1600.0, 1107.0).total_s;
+        let ratio = t_lo / t_hi;
+        assert!(
+            (ratio - 2.0).abs() < 0.1,
+            "compute-bound time should halve when f doubles, ratio={ratio}"
+        );
+    }
+
+    #[test]
+    fn memory_bound_flat_under_downclock() {
+        let spec = v100();
+        let k = KernelProfile::memory_bound("mb", 50_000_000, 64.0);
+        let t_def = kernel_timing(&spec, &k, 1312.0, 1107.0).total_s;
+        let t_lo = kernel_timing(&spec, &k, 1000.0, 1107.0).total_s;
+        let slowdown = t_lo / t_def;
+        assert!(
+            slowdown < 1.05,
+            "memory-bound kernel should barely slow down, got {slowdown}"
+        );
+    }
+
+    #[test]
+    fn memory_bound_eventually_becomes_compute_bound() {
+        // A stencil-like kernel with moderate arithmetic intensity
+        // (~3 issue-cycles per DRAM byte): memory-bound at the default
+        // clock, but the compute roof crosses over near 300 MHz.
+        let spec = v100();
+        let k = KernelProfile::new(
+            "stencil",
+            50_000_000,
+            crate::kernel::OpMix {
+                float_add: 100.0,
+                float_mul: 85.0,
+                global_access: 16.0,
+                ..Default::default()
+            },
+        );
+        let at_default = kernel_timing(&spec, &k, 1312.0, 1107.0);
+        assert!(
+            at_default.mem_s > at_default.comp_s,
+            "must be memory-bound at the default clock"
+        );
+        let t_min = kernel_timing(&spec, &k, spec.min_core_mhz(), 1107.0).total_s;
+        assert!(
+            t_min / at_default.total_s > 1.3,
+            "at 135 MHz the same kernel is compute-limited"
+        );
+    }
+
+    #[test]
+    fn time_monotone_nonincreasing_in_frequency() {
+        let spec = v100();
+        for k in [
+            KernelProfile::compute_bound("cb", 1_000_000, 100.0),
+            KernelProfile::memory_bound("mb", 1_000_000, 32.0),
+            KernelProfile::compute_bound("tiny", 640, 50.0),
+        ] {
+            let mut prev = f64::INFINITY;
+            for f in spec.core_freqs.iter() {
+                let t = kernel_timing(&spec, &k, f, 1107.0).total_s;
+                assert!(
+                    t <= prev * (1.0 + 1e-12),
+                    "raising f must never slow a kernel down ({})",
+                    k.name
+                );
+                prev = t;
+            }
+        }
+    }
+
+    #[test]
+    fn small_launch_dominated_by_overhead() {
+        let spec = v100();
+        let k = KernelProfile::compute_bound("tiny", 64, 10.0);
+        let t = kernel_timing(&spec, &k, 1312.0, 1107.0);
+        assert!(
+            t.overhead_s / t.total_s > 0.5,
+            "a 64-thread launch should be overhead-dominated"
+        );
+    }
+
+    #[test]
+    fn occupancy_saturates_at_one() {
+        let spec = v100();
+        assert!(occupancy(&spec, u64::MAX / 2) <= 1.0);
+        assert_eq!(occupancy(&spec, 1), 0.0, "sub-warp launches are noise");
+        assert!(occupancy(&spec, 500) > 0.0);
+        let full = spec.power_saturation_threads() as u64;
+        assert!((occupancy(&spec, full) - 1.0).abs() < 1e-9);
+        // The rise is logarithmic: equal multiplicative steps in size give
+        // equal additive steps in occupancy (below the plateau).
+        let a = occupancy(&spec, 200);
+        let b = occupancy(&spec, 800);
+        let c = occupancy(&spec, 3_200);
+        assert!((2.0 * b - a - c).abs() < 1e-9);
+    }
+
+    #[test]
+    fn activities_within_unit_interval() {
+        let spec = v100();
+        let k = KernelProfile::memory_bound("mb", 123_456, 48.0);
+        let t = kernel_timing(&spec, &k, 700.0, 1107.0);
+        assert!((0.0..=1.0).contains(&t.comp_activity));
+        assert!((0.0..=1.0).contains(&t.mem_activity));
+    }
+
+    #[test]
+    fn larger_launches_take_longer() {
+        let spec = v100();
+        let small = KernelProfile::compute_bound("s", 1_000_000, 100.0);
+        let big = KernelProfile::compute_bound("b", 4_000_000, 100.0);
+        let ts = kernel_timing(&spec, &small, 1312.0, 1107.0).total_s;
+        let tb = kernel_timing(&spec, &big, 1312.0, 1107.0).total_s;
+        assert!(tb > ts);
+    }
+}

@@ -1,0 +1,158 @@
+//! Per-kernel execution trace.
+//!
+//! Every launch appends a [`TraceEvent`] so tools (and tests) can inspect
+//! what ran, at which clock, and what it cost — the simulator's analogue of
+//! an NVML sampling log or an `nsys` timeline.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+/// One executed kernel, as recorded by the device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Kernel name.
+    pub kernel: String,
+    /// Device timestamp at launch (s since device creation).
+    pub start_s: f64,
+    /// Duration (s).
+    pub duration_s: f64,
+    /// Energy consumed (J).
+    pub energy_j: f64,
+    /// Core clock during the launch (MHz).
+    pub core_mhz: f64,
+    /// Memory clock during the launch (MHz).
+    pub mem_mhz: f64,
+    /// Average power (W).
+    pub avg_power_w: f64,
+    /// Work items in the launch.
+    pub work_items: u64,
+}
+
+/// An append-only log of executed kernels with bounded memory use.
+///
+/// Backed by a ring buffer so eviction at the capacity limit is O(1) —
+/// long-running sweeps launch millions of kernels through one device.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    events: VecDeque<TraceEvent>,
+    capacity: Option<usize>,
+    dropped: u64,
+}
+
+impl Trace {
+    /// Unbounded trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Trace that keeps only the most recent `capacity` events (older events
+    /// are dropped and counted).
+    pub fn with_capacity_limit(capacity: usize) -> Self {
+        Trace {
+            events: VecDeque::new(),
+            capacity: Some(capacity),
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event, evicting the oldest if over capacity.
+    pub fn push(&mut self, ev: TraceEvent) {
+        if let Some(cap) = self.capacity {
+            if self.events.len() == cap {
+                if cap == 0 {
+                    self.dropped += 1;
+                    return;
+                }
+                self.events.pop_front();
+                self.dropped += 1;
+            }
+        }
+        self.events.push_back(ev);
+    }
+
+    /// Recorded events, oldest first.
+    pub fn events(&self) -> &VecDeque<TraceEvent> {
+        &self.events
+    }
+
+    /// Number of events evicted due to the capacity limit.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total energy across recorded events (J).
+    pub fn total_energy_j(&self) -> f64 {
+        self.events.iter().map(|e| e.energy_j).sum()
+    }
+
+    /// Total kernel time across recorded events (s).
+    pub fn total_time_s(&self) -> f64 {
+        self.events.iter().map(|e| e.duration_s).sum()
+    }
+
+    /// Clears all recorded events (the drop counter survives).
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// Events for one kernel name.
+    pub fn by_kernel<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a TraceEvent> + 'a {
+        self.events.iter().filter(move |e| e.kernel == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &str, e: f64) -> TraceEvent {
+        TraceEvent {
+            kernel: name.to_string(),
+            start_s: 0.0,
+            duration_s: 1.0,
+            energy_j: e,
+            core_mhz: 1000.0,
+            mem_mhz: 1107.0,
+            avg_power_w: e,
+            work_items: 1,
+        }
+    }
+
+    #[test]
+    fn totals_accumulate() {
+        let mut t = Trace::new();
+        t.push(ev("a", 2.0));
+        t.push(ev("b", 3.0));
+        assert_eq!(t.total_energy_j(), 5.0);
+        assert_eq!(t.total_time_s(), 2.0);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut t = Trace::with_capacity_limit(2);
+        t.push(ev("a", 1.0));
+        t.push(ev("b", 1.0));
+        t.push(ev("c", 1.0));
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.events()[0].kernel, "b");
+        assert_eq!(t.dropped(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_records_nothing() {
+        let mut t = Trace::with_capacity_limit(0);
+        t.push(ev("a", 1.0));
+        assert!(t.events().is_empty());
+        assert_eq!(t.dropped(), 1);
+    }
+
+    #[test]
+    fn filter_by_kernel() {
+        let mut t = Trace::new();
+        t.push(ev("x", 1.0));
+        t.push(ev("y", 1.0));
+        t.push(ev("x", 1.0));
+        assert_eq!(t.by_kernel("x").count(), 2);
+    }
+}

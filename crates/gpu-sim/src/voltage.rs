@@ -1,0 +1,127 @@
+//! The voltage/frequency curve.
+//!
+//! DVFS couples voltage to frequency. On V100/MI100-class parts the
+//! measured curve is *convex*: voltage creeps up slowly through the low and
+//! middle of the frequency range and rises steeply toward the top bins. We
+//! model it as a power law,
+//!
+//! ```text
+//! V(f) = v_min + (v_max − v_min) · ((f − f_min)/(f_max − f_min))^q
+//! ```
+//!
+//! with `q > 1`. Because dynamic power goes as `V²·f`, the convexity is
+//! what produces both headline behaviours in the paper's characterization:
+//! the top frequency bins are disproportionately expensive (LiGen pays
+//! ~60 % more energy for ~22 % speedup, Fig. 10b), while moderate
+//! down-clocking still lowers `V²` enough to save energy (~10 % for LiGen,
+//! ~20 % for memory-bound Cronos) before static energy takes over at the
+//! bottom of the range.
+
+use crate::spec::{DeviceSpec, VoltageCurve};
+
+/// Operating voltage (V) at core frequency `f_mhz` for the given curve over
+/// the device range `[f_min_mhz, f_max_mhz]`. Frequencies outside the range
+/// are clamped.
+pub fn voltage_at(curve: &VoltageCurve, f_mhz: f64, f_min_mhz: f64, f_max_mhz: f64) -> f64 {
+    debug_assert!(f_max_mhz > f_min_mhz);
+    let f = f_mhz.clamp(f_min_mhz, f_max_mhz);
+    let x = (f - f_min_mhz) / (f_max_mhz - f_min_mhz);
+    curve.v_min + (curve.v_max - curve.v_min) * x.powf(curve.exponent)
+}
+
+/// Voltage at `f_mhz` for a device spec (convenience wrapper).
+pub fn device_voltage(spec: &DeviceSpec, f_mhz: f64) -> f64 {
+    voltage_at(
+        &spec.voltage,
+        f_mhz,
+        spec.min_core_mhz(),
+        spec.max_core_mhz(),
+    )
+}
+
+/// The `V(f)²·f` dynamic-power scale factor, normalized so it equals 1.0 at
+/// `f_max`. This is the factor by which per-cycle switching energy × cycle
+/// rate varies across the frequency range.
+pub fn dynamic_scale(spec: &DeviceSpec, f_mhz: f64) -> f64 {
+    let f_max = spec.max_core_mhz();
+    let v = device_voltage(spec, f_mhz);
+    let v_max = spec.voltage.v_max;
+    (v / v_max).powi(2) * (f_mhz / f_max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::DeviceSpec;
+
+    #[test]
+    fn voltage_monotone_nondecreasing() {
+        let spec = DeviceSpec::v100();
+        let mut prev = 0.0;
+        for f in spec.core_freqs.iter() {
+            let v = device_voltage(&spec, f);
+            assert!(v >= prev - 1e-12, "voltage must not decrease with f");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn voltage_bounds() {
+        let spec = DeviceSpec::v100();
+        assert!((device_voltage(&spec, spec.min_core_mhz()) - spec.voltage.v_min).abs() < 1e-9);
+        assert!((device_voltage(&spec, spec.max_core_mhz()) - spec.voltage.v_max).abs() < 1e-9);
+    }
+
+    #[test]
+    fn curve_is_convex() {
+        // The midpoint voltage must sit below the linear interpolant.
+        let spec = DeviceSpec::v100();
+        let f_mid = 0.5 * (spec.min_core_mhz() + spec.max_core_mhz());
+        let linear = 0.5 * (spec.voltage.v_min + spec.voltage.v_max);
+        assert!(device_voltage(&spec, f_mid) < linear);
+    }
+
+    #[test]
+    fn dynamic_scale_normalized_at_fmax() {
+        let spec = DeviceSpec::mi100();
+        assert!((dynamic_scale(&spec, spec.max_core_mhz()) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dynamic_scale_monotone_increasing() {
+        let spec = DeviceSpec::v100();
+        let mut prev = -1.0;
+        for f in spec.core_freqs.iter() {
+            let d = dynamic_scale(&spec, f);
+            assert!(d > prev, "V²f must rise with f");
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn top_bins_are_disproportionately_expensive() {
+        // Going from the default clock to f_max must raise V²f much faster
+        // than frequency — the mechanism behind the paper's +60 % energy
+        // for +22 % speedup on LiGen.
+        let spec = DeviceSpec::v100();
+        let f_def = spec.default_core_mhz;
+        let f_max = spec.max_core_mhz();
+        let ratio = dynamic_scale(&spec, f_max) / dynamic_scale(&spec, f_def);
+        let freq_ratio = f_max / f_def;
+        assert!(
+            ratio > 1.4 * freq_ratio,
+            "top-bin V²f ratio {ratio:.2} vs frequency ratio {freq_ratio:.2}"
+        );
+    }
+
+    #[test]
+    fn moderate_downclock_still_lowers_v_squared() {
+        // V(0.85·f_def) must be visibly below V(f_def): the convex curve
+        // keeps falling below the default clock, so down-clocking saves
+        // dynamic energy per unit work.
+        let spec = DeviceSpec::v100();
+        let v_def = device_voltage(&spec, spec.default_core_mhz);
+        let v_low = device_voltage(&spec, 0.85 * spec.default_core_mhz);
+        assert!(v_low < v_def * 0.97, "v_low {v_low} vs v_def {v_def}");
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests of the simulator's physical invariants: for *any*
+//! kernel shape and frequency, the model must behave like hardware.
+
+use gpu_sim::kernel::{KernelProfile, OpMix};
+use gpu_sim::noise::NoiseModel;
+use gpu_sim::power::{kernel_energy, kernel_power};
+use gpu_sim::timing::kernel_timing;
+use gpu_sim::{Device, DeviceSpec};
+use proptest::prelude::*;
+
+fn arb_mix() -> impl Strategy<Value = OpMix> {
+    (
+        0.0..200.0f64,
+        0.0..200.0f64,
+        0.0..20.0f64,
+        0.0..50.0f64,
+        0.0..500.0f64,
+        0.0..500.0f64,
+        0.0..20.0f64,
+        0.0..40.0f64,
+        0.1..200.0f64,
+        0.0..100.0f64,
+    )
+        .prop_map(|(ia, im, id, ib, fa, fm, fd, sf, ga, la)| OpMix {
+            int_add: ia,
+            int_mul: im,
+            int_div: id,
+            int_bw: ib,
+            float_add: fa,
+            float_mul: fm,
+            float_div: fd,
+            special: sf,
+            global_access: ga,
+            local_access: la,
+        })
+}
+
+fn arb_kernel() -> impl Strategy<Value = KernelProfile> {
+    (arb_mix(), 1u64..100_000_000, 0.5..1.0f64)
+        .prop_map(|(mix, n, ilp)| KernelProfile::new("prop", n, mix).with_ilp_efficiency(ilp))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Raising the core clock never slows a kernel down.
+    #[test]
+    fn time_monotone_in_frequency(k in arb_kernel(), lo in 0usize..195, hi in 0usize..195) {
+        let spec = DeviceSpec::v100();
+        let fs = spec.core_freqs.as_slice();
+        let (lo, hi) = (lo.min(hi), lo.max(hi));
+        let t_lo = kernel_timing(&spec, &k, fs[lo], 1107.0).total_s;
+        let t_hi = kernel_timing(&spec, &k, fs[hi], 1107.0).total_s;
+        prop_assert!(t_hi <= t_lo * (1.0 + 1e-12));
+    }
+
+    /// Power stays inside [idle floor at min clock, TDP] at any frequency.
+    #[test]
+    fn power_within_envelope(k in arb_kernel(), fi in 0usize..195) {
+        let spec = DeviceSpec::v100();
+        let f = spec.core_freqs.as_slice()[fi];
+        let t = kernel_timing(&spec, &k, f, 1107.0);
+        let p = kernel_power(&spec, &t, f);
+        prop_assert!(p.total_w > 0.0);
+        prop_assert!(p.total_w <= spec.tdp_w * (1.0 + 1e-12));
+    }
+
+    /// Energy is positive and equals at most TDP × duration.
+    #[test]
+    fn energy_bounded_by_tdp(k in arb_kernel(), fi in 0usize..195) {
+        let spec = DeviceSpec::v100();
+        let f = spec.core_freqs.as_slice()[fi];
+        let t = kernel_timing(&spec, &k, f, 1107.0);
+        let e = kernel_energy(&spec, &t, f);
+        prop_assert!(e > 0.0);
+        prop_assert!(e <= spec.tdp_w * t.total_s * (1.0 + 1e-12));
+    }
+
+    /// More work items never reduce wall-clock time.
+    #[test]
+    fn time_monotone_in_work(mix in arb_mix(), n in 1u64..10_000_000, k_factor in 2u64..16) {
+        let spec = DeviceSpec::v100();
+        let small = KernelProfile::new("s", n, mix);
+        let big = KernelProfile::new("b", n.saturating_mul(k_factor), mix);
+        let ts = kernel_timing(&spec, &small, 1000.0, 1107.0).total_s;
+        let tb = kernel_timing(&spec, &big, 1000.0, 1107.0).total_s;
+        prop_assert!(tb >= ts * (1.0 - 1e-12));
+    }
+
+    /// Frequency snapping always lands on a supported frequency and is
+    /// idempotent.
+    #[test]
+    fn snap_is_idempotent(mhz in 0.0..3000.0f64) {
+        let spec = DeviceSpec::v100();
+        let s1 = spec.core_freqs.snap(mhz);
+        prop_assert!(spec.core_freqs.contains(s1));
+        prop_assert_eq!(spec.core_freqs.snap(s1), s1);
+    }
+
+    /// The device's cumulative counters are consistent with the per-launch
+    /// records under any launch sequence.
+    #[test]
+    fn device_counters_are_sums(seq in proptest::collection::vec((arb_kernel(), 0usize..195), 1..8)) {
+        let spec = DeviceSpec::v100();
+        let fs: Vec<f64> = spec.core_freqs.as_slice().to_vec();
+        let mut dev = Device::new(spec);
+        let mut t_sum = 0.0;
+        let mut e_sum = 0.0;
+        for (k, fi) in &seq {
+            let rec = dev.launch_at(k, fs[*fi]);
+            t_sum += rec.time_s;
+            e_sum += rec.energy_j;
+        }
+        prop_assert!((dev.clock_s() - t_sum).abs() < 1e-9 * t_sum.max(1.0));
+        prop_assert!((dev.energy_counter_j() - e_sum).abs() < 1e-9 * e_sum.max(1.0));
+    }
+
+    /// Noise factors stay within ±20 % at realistic σ and are reproducible.
+    #[test]
+    fn noise_bounded_and_deterministic(seed in 0u64..1_000_000) {
+        let mut a = NoiseModel::realistic(seed);
+        let mut b = NoiseModel::realistic(seed);
+        for _ in 0..20 {
+            let fa = a.time_factor();
+            prop_assert!((0.8..1.2).contains(&fa));
+            prop_assert_eq!(fa, b.time_factor());
+        }
+    }
+}

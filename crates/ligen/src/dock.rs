@@ -1,0 +1,232 @@
+//! The docking loop — Algorithm 2 of the paper.
+//!
+//! `dock` estimates the best 3D displacement of a ligand inside the target:
+//! `num_restart` independent starting orientations, each aligned into the
+//! pocket, then `num_iterations` sweeps of per-fragment rotation search,
+//! then evaluation; the best `max_num_poses` poses are kept and re-scored,
+//! and the best score is the ligand's result.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::molecule::Ligand;
+use crate::pose::Pose;
+use crate::protein::Pocket;
+use crate::score::compute_score;
+use crate::{vec3, Vec3};
+
+/// Docking loop parameters (the `Data:` line of Algorithm 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DockParams {
+    /// Independent restarts (`num_restart`).
+    pub num_restart: usize,
+    /// Optimization sweeps per restart (`num_iterations`).
+    pub num_iterations: usize,
+    /// Poses kept for the scoring phase (`max_num_poses`).
+    pub max_num_poses: usize,
+}
+
+impl Default for DockParams {
+    fn default() -> Self {
+        DockParams {
+            num_restart: 8,
+            num_iterations: 4,
+            max_num_poses: 4,
+        }
+    }
+}
+
+/// Candidate fragment-rotation angles tried by one `optimize` call:
+/// ±30°, ±15°, ±5°.
+const TRIAL_ANGLES: [f64; 6] = [
+    -std::f64::consts::FRAC_PI_6,
+    -std::f64::consts::FRAC_PI_6 * 0.5,
+    -std::f64::consts::FRAC_PI_6 / 6.0,
+    std::f64::consts::FRAC_PI_6 / 6.0,
+    std::f64::consts::FRAC_PI_6 * 0.5,
+    std::f64::consts::FRAC_PI_6,
+];
+
+/// `initialize_pose(ligand, i)`: the reference conformation under a
+/// restart-indexed random rigid orientation.
+pub fn initialize_pose(ligand: &Ligand, restart: usize) -> Pose {
+    let mut pose = Pose::from_ligand(ligand);
+    let mut rng = ChaCha8Rng::seed_from_u64(ligand.id ^ ((restart as u64) << 32));
+    let axis: Vec3 = vec3::normalize([
+        rng.gen_range(-1.0..1.0),
+        rng.gen_range(-1.0..1.0),
+        rng.gen_range(-1.0..1.0f64) + 1e-3,
+    ]);
+    let angle = rng.gen_range(0.0..std::f64::consts::TAU);
+    pose.rotate_rigid(axis, angle);
+    pose
+}
+
+/// `align(pose, target)`: translate the pose centroid onto the pocket
+/// centre (the constant-protein precomputation LiGen exploits).
+pub fn align(pose: &mut Pose, pocket: &Pocket) {
+    let delta = vec3::sub(pocket.center(), pose.centroid());
+    pose.translate(delta);
+}
+
+/// `optimize(pose, fragment, target)`: greedy search over trial rotation
+/// angles of one rotamer; keeps the best-scoring rotation (or leaves the
+/// pose unchanged if nothing improves).
+pub fn optimize_fragment(ligand: &Ligand, pose: &mut Pose, rotamer: usize, pocket: &Pocket) {
+    let base_score = compute_score(ligand, pose, pocket);
+    let mut best_angle = 0.0;
+    let mut best_score = base_score;
+    for &angle in &TRIAL_ANGLES {
+        let mut trial = pose.clone();
+        trial.rotate_fragment(ligand, rotamer, angle);
+        let s = compute_score(ligand, &trial, pocket);
+        if s < best_score {
+            best_score = s;
+            best_angle = angle;
+        }
+    }
+    if best_angle != 0.0 {
+        pose.rotate_fragment(ligand, rotamer, best_angle);
+    }
+    pose.score = Some(best_score);
+}
+
+/// The full Algorithm 2 for one ligand. Returns the ligand's score (lower
+/// = stronger predicted interaction) and the scored pose set, best first.
+pub fn dock(ligand: &Ligand, pocket: &Pocket, params: &DockParams) -> (f64, Vec<Pose>) {
+    assert!(params.num_restart > 0, "need at least one restart");
+    assert!(params.max_num_poses > 0, "need at least one pose");
+    let mut poses: Vec<Pose> = Vec::with_capacity(params.num_restart);
+
+    for restart in 0..params.num_restart {
+        let mut pose = initialize_pose(ligand, restart);
+        align(&mut pose, pocket);
+        for _iter in 0..params.num_iterations {
+            for r in 0..ligand.rotamers.len() {
+                optimize_fragment(ligand, &mut pose, r, pocket);
+            }
+        }
+        // evaluate(pose, target)
+        pose.score = Some(compute_score(ligand, &pose, pocket));
+        poses.push(pose);
+    }
+
+    // poses ← clip(sort(poses), max_num_poses)
+    poses.sort_by(|a, b| {
+        a.score
+            .expect("evaluated")
+            .partial_cmp(&b.score.expect("evaluated"))
+            .expect("finite scores")
+    });
+    poses.truncate(params.max_num_poses);
+
+    // Scoring phase: re-score the clipped set; return the best.
+    let mut best = f64::INFINITY;
+    for pose in &mut poses {
+        let s = compute_score(ligand, pose, pocket);
+        pose.score = Some(s);
+        best = best.min(s);
+    }
+    (best, poses)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::generate_ligand;
+    use crate::protein::Pocket;
+
+    fn setup() -> (Ligand, Pocket) {
+        (
+            generate_ligand(3, 16, 4, 21),
+            Pocket::synthesize(20, 20.0, 5, 13),
+        )
+    }
+
+    #[test]
+    fn initialize_is_deterministic_per_restart() {
+        let (ligand, _) = setup();
+        let a = initialize_pose(&ligand, 2);
+        let b = initialize_pose(&ligand, 2);
+        assert_eq!(a.coords, b.coords);
+        let c = initialize_pose(&ligand, 3);
+        assert_ne!(a.coords, c.coords, "restarts must differ");
+    }
+
+    #[test]
+    fn align_centres_pose() {
+        let (ligand, pocket) = setup();
+        let mut pose = initialize_pose(&ligand, 0);
+        align(&mut pose, &pocket);
+        let c = pose.centroid();
+        for (a, b) in c.iter().zip(&pocket.center()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn optimize_never_worsens_score() {
+        let (ligand, pocket) = setup();
+        let mut pose = initialize_pose(&ligand, 0);
+        align(&mut pose, &pocket);
+        let before = compute_score(&ligand, &pose, &pocket);
+        optimize_fragment(&ligand, &mut pose, 0, &pocket);
+        let after = compute_score(&ligand, &pose, &pocket);
+        assert!(after <= before + 1e-12);
+    }
+
+    #[test]
+    fn docking_improves_over_unoptimized_placement() {
+        let (ligand, pocket) = setup();
+        let mut raw = initialize_pose(&ligand, 0);
+        align(&mut raw, &pocket);
+        let raw_score = compute_score(&ligand, &raw, &pocket);
+        let (docked_score, _) = dock(&ligand, &pocket, &DockParams::default());
+        assert!(
+            docked_score <= raw_score,
+            "docking must not be worse than the raw aligned pose"
+        );
+    }
+
+    #[test]
+    fn returns_sorted_clipped_poses() {
+        let (ligand, pocket) = setup();
+        let params = DockParams {
+            num_restart: 6,
+            num_iterations: 2,
+            max_num_poses: 3,
+        };
+        let (best, poses) = dock(&ligand, &pocket, &params);
+        assert_eq!(poses.len(), 3);
+        for w in poses.windows(2) {
+            assert!(w[0].score.unwrap() <= w[1].score.unwrap());
+        }
+        assert!((best - poses[0].score.unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn docking_is_deterministic() {
+        let (ligand, pocket) = setup();
+        let (a, _) = dock(&ligand, &pocket, &DockParams::default());
+        let (b, _) = dock(&ligand, &pocket, &DockParams::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn more_restarts_cannot_hurt() {
+        let (ligand, pocket) = setup();
+        let few = DockParams {
+            num_restart: 2,
+            ..Default::default()
+        };
+        let many = DockParams {
+            num_restart: 10,
+            ..Default::default()
+        };
+        let (s_few, _) = dock(&ligand, &pocket, &few);
+        let (s_many, _) = dock(&ligand, &pocket, &many);
+        // Restart set of `few` is a prefix of `many`'s, so the best over
+        // more restarts can only improve.
+        assert!(s_many <= s_few + 1e-12);
+    }
+}

@@ -1,0 +1,317 @@
+//! Ligand text serialization — a minimal MOL-style interchange format so
+//! libraries can be persisted, inspected, and round-tripped.
+//!
+//! ```text
+//! ligand 42
+//! atoms 3
+//! C 0.000000 0.000000 0.000000
+//! N 1.500000 0.000000 0.000000
+//! O 3.000000 0.000000 0.000000
+//! bonds 2
+//! 0 1
+//! 1 2
+//! rotamers 1
+//! 0 1 : 1 2
+//! end
+//! ```
+
+use crate::molecule::{Atom, Bond, Element, Ligand, Rotamer};
+
+/// Parse error with a line number and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn element_symbol(e: Element) -> &'static str {
+    match e {
+        Element::C => "C",
+        Element::N => "N",
+        Element::O => "O",
+        Element::S => "S",
+    }
+}
+
+fn element_from(s: &str) -> Option<Element> {
+    match s {
+        "C" => Some(Element::C),
+        "N" => Some(Element::N),
+        "O" => Some(Element::O),
+        "S" => Some(Element::S),
+        _ => None,
+    }
+}
+
+/// Serializes a ligand into the text format.
+pub fn write_ligand(ligand: &Ligand) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "ligand {}", ligand.id);
+    let _ = writeln!(out, "atoms {}", ligand.atoms.len());
+    for a in &ligand.atoms {
+        let _ = writeln!(
+            out,
+            "{} {:.6} {:.6} {:.6}",
+            element_symbol(a.element),
+            a.pos[0],
+            a.pos[1],
+            a.pos[2]
+        );
+    }
+    let _ = writeln!(out, "bonds {}", ligand.bonds.len());
+    for b in &ligand.bonds {
+        let _ = writeln!(out, "{} {}", b.a, b.b);
+    }
+    let _ = writeln!(out, "rotamers {}", ligand.rotamers.len());
+    for r in &ligand.rotamers {
+        let moving: Vec<String> = r.moving.iter().map(|i| i.to_string()).collect();
+        let _ = writeln!(out, "{} {} : {}", r.pivot, r.partner, moving.join(" "));
+    }
+    out.push_str("end\n");
+    out
+}
+
+/// Serializes a whole library, ligands separated by their own `end` lines.
+pub fn write_library(ligands: &[Ligand]) -> String {
+    ligands.iter().map(write_ligand).collect()
+}
+
+struct Lines<'a> {
+    iter: std::iter::Enumerate<std::str::Lines<'a>>,
+}
+
+impl<'a> Lines<'a> {
+    fn next_content(&mut self) -> Option<(usize, &'a str)> {
+        for (i, line) in self.iter.by_ref() {
+            let t = line.trim();
+            if !t.is_empty() && !t.starts_with('#') {
+                return Some((i + 1, t));
+            }
+        }
+        None
+    }
+}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn expect_header<'a>(lines: &mut Lines<'a>, keyword: &str) -> Result<(usize, &'a str), ParseError> {
+    let (n, l) = lines
+        .next_content()
+        .ok_or_else(|| err(0, format!("unexpected end of input, expected '{keyword}'")))?;
+    let rest = l
+        .strip_prefix(keyword)
+        .ok_or_else(|| err(n, format!("expected '{keyword}', found '{l}'")))?;
+    Ok((n, rest.trim()))
+}
+
+fn parse_one(lines: &mut Lines<'_>) -> Result<Ligand, ParseError> {
+    let (n, id_str) = expect_header(lines, "ligand")?;
+    let id: u64 = id_str.parse().map_err(|_| err(n, "invalid ligand id"))?;
+
+    let (n, count) = expect_header(lines, "atoms")?;
+    let n_atoms: usize = count.parse().map_err(|_| err(n, "invalid atom count"))?;
+    let mut atoms = Vec::with_capacity(n_atoms);
+    for _ in 0..n_atoms {
+        let (n, l) = lines
+            .next_content()
+            .ok_or_else(|| err(0, "unexpected end of input in atoms"))?;
+        let mut parts = l.split_whitespace();
+        let element = parts
+            .next()
+            .and_then(element_from)
+            .ok_or_else(|| err(n, "unknown element"))?;
+        let mut pos = [0.0; 3];
+        for p in pos.iter_mut() {
+            *p = parts
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| err(n, "invalid coordinate"))?;
+        }
+        atoms.push(Atom { element, pos });
+    }
+
+    let (n, count) = expect_header(lines, "bonds")?;
+    let n_bonds: usize = count.parse().map_err(|_| err(n, "invalid bond count"))?;
+    let mut bonds = Vec::with_capacity(n_bonds);
+    for _ in 0..n_bonds {
+        let (n, l) = lines
+            .next_content()
+            .ok_or_else(|| err(0, "unexpected end of input in bonds"))?;
+        let mut parts = l.split_whitespace();
+        let a = parts
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| err(n, "invalid bond index"))?;
+        let b = parts
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| err(n, "invalid bond index"))?;
+        bonds.push(Bond { a, b });
+    }
+
+    let (n, count) = expect_header(lines, "rotamers")?;
+    let n_rot: usize = count.parse().map_err(|_| err(n, "invalid rotamer count"))?;
+    let mut rotamers = Vec::with_capacity(n_rot);
+    for _ in 0..n_rot {
+        let (n, l) = lines
+            .next_content()
+            .ok_or_else(|| err(0, "unexpected end of input in rotamers"))?;
+        let (axis, moving) = l
+            .split_once(':')
+            .ok_or_else(|| err(n, "rotamer line needs 'pivot partner : moving…'"))?;
+        let mut ax = axis.split_whitespace();
+        let pivot = ax
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| err(n, "invalid pivot"))?;
+        let partner = ax
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| err(n, "invalid partner"))?;
+        let moving: Result<Vec<usize>, _> = moving
+            .split_whitespace()
+            .map(|v| {
+                v.parse::<usize>()
+                    .map_err(|_| err(n, "invalid moving index"))
+            })
+            .collect();
+        rotamers.push(Rotamer {
+            pivot,
+            partner,
+            moving: moving?,
+        });
+    }
+
+    let (n, l) = lines
+        .next_content()
+        .ok_or_else(|| err(0, "unexpected end of input, expected 'end'"))?;
+    if l != "end" {
+        return Err(err(n, format!("expected 'end', found '{l}'")));
+    }
+
+    let ligand = Ligand {
+        id,
+        atoms,
+        bonds,
+        rotamers,
+    };
+    ligand.validate().map_err(|m| err(n, m))?;
+    Ok(ligand)
+}
+
+/// Parses one ligand from the text format (validates structure).
+pub fn read_ligand(input: &str) -> Result<Ligand, ParseError> {
+    let mut lines = Lines {
+        iter: input.lines().enumerate(),
+    };
+    parse_one(&mut lines)
+}
+
+/// Parses a concatenated library (zero or more ligands).
+pub fn read_library(input: &str) -> Result<Vec<Ligand>, ParseError> {
+    let mut lines = Lines {
+        iter: input.lines().enumerate(),
+    };
+    let mut out = Vec::new();
+    loop {
+        // Peek: is there any content left?
+        let mut probe = lines.iter.clone();
+        let has_more = probe.any(|(_, l)| {
+            let t = l.trim();
+            !t.is_empty() && !t.starts_with('#')
+        });
+        if !has_more {
+            return Ok(out);
+        }
+        out.push(parse_one(&mut lines)?);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::{generate_ligand, ChemLibrary};
+
+    #[test]
+    fn single_ligand_round_trip() {
+        let l = generate_ligand(42, 20, 4, 7);
+        let text = write_ligand(&l);
+        let back = read_ligand(&text).unwrap();
+        assert_eq!(back.id, l.id);
+        assert_eq!(back.bonds, l.bonds);
+        assert_eq!(back.rotamers, l.rotamers);
+        assert_eq!(back.n_atoms(), l.n_atoms());
+        for (a, b) in back.atoms.iter().zip(&l.atoms) {
+            assert_eq!(a.element, b.element);
+            for (p, q) in a.pos.iter().zip(&b.pos) {
+                assert!((p - q).abs() < 1e-5, "coordinates to 6 decimals");
+            }
+        }
+    }
+
+    #[test]
+    fn library_round_trip() {
+        let lib = ChemLibrary::generate(5, 12, 3, 3);
+        let text = write_library(&lib.ligands);
+        let back = read_library(&text).unwrap();
+        assert_eq!(back.len(), 5);
+        for (a, b) in back.iter().zip(&lib.ligands) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.n_fragments(), b.n_fragments());
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let l = generate_ligand(1, 6, 2, 1);
+        let text = format!("# a library\n\n{}", write_ligand(&l));
+        assert!(read_ligand(&text).is_ok());
+    }
+
+    #[test]
+    fn empty_input_is_empty_library() {
+        assert_eq!(read_library("  \n# nothing\n").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let e = read_ligand("ligand x\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("invalid ligand id"));
+
+        let bad = "ligand 1\natoms 1\nXX 0 0 0\nbonds 0\nrotamers 0\nend\n";
+        let e = read_ligand(bad).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("unknown element"));
+    }
+
+    #[test]
+    fn structural_validation_applies_on_read() {
+        // A bond index out of range must be rejected by validate().
+        let bad = "ligand 1\natoms 2\nC 0 0 0\nC 1.5 0 0\nbonds 1\n0 9\nrotamers 0\nend\n";
+        let e = read_ligand(bad).unwrap_err();
+        assert!(e.message.contains("invalid bond"));
+    }
+
+    #[test]
+    fn truncated_input_reports_eof() {
+        let e = read_ligand("ligand 1\natoms 2\nC 0 0 0\n").unwrap_err();
+        assert!(e.message.contains("unexpected end of input"));
+    }
+}

@@ -1,0 +1,186 @@
+//! Synthetic chemical-library generation.
+//!
+//! The paper cannot ship its chemical library (proprietary, and the real
+//! campaigns screen billions of molecules), so we generate structurally
+//! controlled synthetic ligands: self-avoiding 3D chains with branch
+//! points, a requested atom count, and a requested fragment count
+//! (rotatable bonds = fragments − 1). This is exactly the knob set the
+//! paper's experiments sweep: `(l, a, f) ∈ {2…10000} × {31…89} × {4…20}`.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::molecule::{Atom, Bond, Element, Ligand, Rotamer};
+use crate::{vec3, Vec3};
+
+/// A generated set of ligands with homogeneous structure parameters.
+#[derive(Debug, Clone)]
+pub struct ChemLibrary {
+    /// The ligands.
+    pub ligands: Vec<Ligand>,
+}
+
+impl ChemLibrary {
+    /// Generates `n_ligands` ligands of `n_atoms` atoms and `n_fragments`
+    /// fragments each, deterministically from `seed`.
+    ///
+    /// # Panics
+    /// Panics if `n_atoms < 2` or `n_fragments < 1` or
+    /// `n_fragments > n_atoms / 2` (each fragment needs at least two atoms
+    /// to be chemically meaningful).
+    pub fn generate(n_ligands: usize, n_atoms: usize, n_fragments: usize, seed: u64) -> Self {
+        assert!(n_atoms >= 2, "a ligand needs at least two atoms");
+        assert!(n_fragments >= 1, "a ligand has at least one fragment");
+        assert!(
+            n_fragments <= n_atoms / 2,
+            "each fragment needs at least two atoms ({n_fragments} fragments × 2 > {n_atoms} atoms)"
+        );
+        let ligands = (0..n_ligands)
+            .map(|i| generate_ligand(i as u64, n_atoms, n_fragments, seed))
+            .collect();
+        ChemLibrary { ligands }
+    }
+
+    /// Number of ligands.
+    pub fn len(&self) -> usize {
+        self.ligands.len()
+    }
+
+    /// True when the library is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ligands.is_empty()
+    }
+}
+
+/// Builds one ligand as a bonded chain with `n_fragments − 1` rotatable
+/// bonds at (roughly) evenly spaced chain positions.
+pub fn generate_ligand(id: u64, n_atoms: usize, n_fragments: usize, seed: u64) -> Ligand {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ id.wrapping_mul(0x9E3779B97F4A7C15));
+    const BOND_LEN: f64 = 1.5;
+
+    // Self-avoiding-ish random walk for the backbone.
+    let mut atoms: Vec<Atom> = Vec::with_capacity(n_atoms);
+    let mut bonds: Vec<Bond> = Vec::with_capacity(n_atoms - 1);
+    let elements = [Element::C, Element::C, Element::N, Element::O, Element::S];
+    let mut pos: Vec3 = [0.0, 0.0, 0.0];
+    let mut dir: Vec3 = [1.0, 0.0, 0.0];
+    for i in 0..n_atoms {
+        let element = elements[rng.gen_range(0..elements.len())];
+        atoms.push(Atom { element, pos });
+        if i + 1 < n_atoms {
+            // Perturb direction, renormalize, step one bond length.
+            let jitter: Vec3 = [
+                rng.gen_range(-0.8..0.8),
+                rng.gen_range(-0.8..0.8),
+                rng.gen_range(-0.8..0.8),
+            ];
+            dir = vec3::normalize(vec3::add(dir, jitter));
+            pos = vec3::add(pos, vec3::scale(dir, BOND_LEN));
+            bonds.push(Bond { a: i, b: i + 1 });
+        }
+    }
+
+    // Place rotatable bonds so the chain splits into n_fragments pieces of
+    // roughly equal size; the moving set of the rotamer at chain position p
+    // is everything downstream (indices > p), matching a chain topology.
+    let mut rotamers = Vec::with_capacity(n_fragments - 1);
+    for r in 1..n_fragments {
+        let cut = r * n_atoms / n_fragments;
+        debug_assert!(cut >= 1 && cut < n_atoms);
+        rotamers.push(Rotamer {
+            pivot: cut - 1,
+            partner: cut,
+            moving: (cut..n_atoms).collect(),
+        });
+    }
+
+    let ligand = Ligand {
+        id,
+        atoms,
+        bonds,
+        rotamers,
+    };
+    debug_assert!(
+        ligand.validate().is_ok(),
+        "generator produced invalid ligand"
+    );
+    ligand
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_structure() {
+        let lib = ChemLibrary::generate(5, 31, 4, 42);
+        assert_eq!(lib.len(), 5);
+        for l in &lib.ligands {
+            assert_eq!(l.n_atoms(), 31);
+            assert_eq!(l.n_fragments(), 4);
+            assert!(l.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = ChemLibrary::generate(3, 20, 2, 7);
+        let b = ChemLibrary::generate(3, 20, 2, 7);
+        assert_eq!(a.ligands, b.ligands);
+    }
+
+    #[test]
+    fn different_ligands_in_one_library_differ() {
+        let lib = ChemLibrary::generate(2, 20, 2, 7);
+        assert_ne!(lib.ligands[0].atoms, lib.ligands[1].atoms);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = ChemLibrary::generate(1, 20, 2, 1);
+        let b = ChemLibrary::generate(1, 20, 2, 2);
+        assert_ne!(a.ligands[0].atoms, b.ligands[0].atoms);
+    }
+
+    #[test]
+    fn bond_lengths_are_physical() {
+        let lib = ChemLibrary::generate(1, 40, 5, 3);
+        let l = &lib.ligands[0];
+        for b in &l.bonds {
+            let d = vec3::norm(vec3::sub(l.atoms[b.a].pos, l.atoms[b.b].pos));
+            assert!((d - 1.5).abs() < 1e-9, "bond length {d}");
+        }
+    }
+
+    #[test]
+    fn rotamer_moving_sets_are_nested_downstream() {
+        let lib = ChemLibrary::generate(1, 30, 5, 9);
+        let l = &lib.ligands[0];
+        assert_eq!(l.rotamers.len(), 4);
+        for w in l.rotamers.windows(2) {
+            assert!(w[0].moving.len() > w[1].moving.len());
+        }
+    }
+
+    #[test]
+    fn paper_extreme_sizes_generate() {
+        // The largest experiment tuple: 89 atoms × 20 fragments.
+        let lib = ChemLibrary::generate(2, 89, 20, 0);
+        assert_eq!(lib.ligands[0].n_fragments(), 20);
+        // And the smallest: 31 atoms × 4 fragments.
+        let lib = ChemLibrary::generate(2, 31, 4, 0);
+        assert_eq!(lib.ligands[0].n_atoms(), 31);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two atoms")]
+    fn rejects_single_atom() {
+        let _ = ChemLibrary::generate(1, 1, 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fragments × 2")]
+    fn rejects_too_many_fragments() {
+        let _ = ChemLibrary::generate(1, 10, 6, 0);
+    }
+}

@@ -1,0 +1,248 @@
+//! Ligand topology: atoms, bonds, rotamers, fragments.
+//!
+//! A rotamer is a rotatable bond; rotating about its axis moves one of the
+//! two disjoint atom sets the bond separates ("each rotamer splits the
+//! ligand's atoms into two disjoint sets that can rotate independently
+//! along the rotamer axis" — §3.2 of the paper). With `r` rotamers a tree-
+//! shaped ligand has `r + 1` fragments.
+
+use serde::{Deserialize, Serialize};
+
+use crate::Vec3;
+
+/// Chemical element of an atom (a coarse pharmacophore alphabet).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Element {
+    /// Carbon — neutral.
+    C,
+    /// Nitrogen — hydrogen-bond donor flavour.
+    N,
+    /// Oxygen — hydrogen-bond acceptor flavour.
+    O,
+    /// Sulphur — hydrophobic/bulky flavour.
+    S,
+}
+
+impl Element {
+    /// Van der Waals radius (Å), used by the clash term.
+    pub fn vdw_radius(&self) -> f64 {
+        match self {
+            Element::C => 1.70,
+            Element::N => 1.55,
+            Element::O => 1.52,
+            Element::S => 1.80,
+        }
+    }
+
+    /// Interaction weight against the pocket field (affinity proxy).
+    pub fn field_weight(&self) -> f64 {
+        match self {
+            Element::C => 1.0,
+            Element::N => 1.4,
+            Element::O => 1.5,
+            Element::S => 1.2,
+        }
+    }
+}
+
+/// One atom: element plus reference coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Atom {
+    /// Element.
+    pub element: Element,
+    /// Reference position (Å) in the ligand frame.
+    pub pos: Vec3,
+}
+
+/// A covalent bond between two atom indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Bond {
+    /// First atom index.
+    pub a: usize,
+    /// Second atom index.
+    pub b: usize,
+}
+
+/// A rotatable bond: the rotation axis runs from atom `pivot` to atom
+/// `partner`, and `moving` lists the atoms on the partner side (the set
+/// that rotates).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Rotamer {
+    /// Axis start atom (stays fixed).
+    pub pivot: usize,
+    /// Axis end atom (first moving atom).
+    pub partner: usize,
+    /// Indices of all atoms that rotate with this rotamer (includes
+    /// `partner`, excludes `pivot`).
+    pub moving: Vec<usize>,
+}
+
+/// A small molecule: atoms, bonds, and rotatable-bond structure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ligand {
+    /// Library identifier.
+    pub id: u64,
+    /// Atoms with reference coordinates.
+    pub atoms: Vec<Atom>,
+    /// Covalent bonds (tree topology).
+    pub bonds: Vec<Bond>,
+    /// Rotatable bonds.
+    pub rotamers: Vec<Rotamer>,
+}
+
+impl Ligand {
+    /// Number of atoms.
+    pub fn n_atoms(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Number of fragments (`rotamers + 1` for a tree-shaped molecule) —
+    /// the `f` of the paper's `(l, a, f)` experiment tuples.
+    pub fn n_fragments(&self) -> usize {
+        self.rotamers.len() + 1
+    }
+
+    /// Geometric centroid of the reference coordinates.
+    pub fn centroid(&self) -> Vec3 {
+        let n = self.atoms.len() as f64;
+        let mut c = [0.0; 3];
+        for a in &self.atoms {
+            c[0] += a.pos[0];
+            c[1] += a.pos[1];
+            c[2] += a.pos[2];
+        }
+        [c[0] / n, c[1] / n, c[2] / n]
+    }
+
+    /// Radius of gyration (Å) — a size diagnostic.
+    pub fn radius_of_gyration(&self) -> f64 {
+        let c = self.centroid();
+        let n = self.atoms.len() as f64;
+        let s: f64 = self
+            .atoms
+            .iter()
+            .map(|a| {
+                let d = crate::vec3::sub(a.pos, c);
+                crate::vec3::dot(d, d)
+            })
+            .sum();
+        (s / n).sqrt()
+    }
+
+    /// Validates structural invariants: bond indices in range, rotamer
+    /// moving sets disjoint from their pivots, tree bond count.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.atoms.len();
+        if n == 0 {
+            return Err("ligand has no atoms".into());
+        }
+        for b in &self.bonds {
+            if b.a >= n || b.b >= n || b.a == b.b {
+                return Err(format!("invalid bond {}–{}", b.a, b.b));
+            }
+        }
+        if self.bonds.len() != n - 1 {
+            return Err(format!(
+                "expected tree topology ({} bonds for {} atoms)",
+                n - 1,
+                n
+            ));
+        }
+        for r in &self.rotamers {
+            if r.pivot >= n || r.partner >= n {
+                return Err("rotamer axis out of range".into());
+            }
+            if r.moving.contains(&r.pivot) {
+                return Err("rotamer moving set contains its pivot".into());
+            }
+            if !r.moving.contains(&r.partner) {
+                return Err("rotamer moving set must contain the partner".into());
+            }
+            if r.moving.iter().any(|&i| i >= n) {
+                return Err("rotamer moving index out of range".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_atom_ligand() -> Ligand {
+        Ligand {
+            id: 0,
+            atoms: vec![
+                Atom {
+                    element: Element::C,
+                    pos: [0.0, 0.0, 0.0],
+                },
+                Atom {
+                    element: Element::N,
+                    pos: [1.5, 0.0, 0.0],
+                },
+                Atom {
+                    element: Element::O,
+                    pos: [3.0, 0.0, 0.0],
+                },
+            ],
+            bonds: vec![Bond { a: 0, b: 1 }, Bond { a: 1, b: 2 }],
+            rotamers: vec![Rotamer {
+                pivot: 0,
+                partner: 1,
+                moving: vec![1, 2],
+            }],
+        }
+    }
+
+    #[test]
+    fn counts_and_centroid() {
+        let l = three_atom_ligand();
+        assert_eq!(l.n_atoms(), 3);
+        assert_eq!(l.n_fragments(), 2);
+        let c = l.centroid();
+        assert!((c[0] - 1.5).abs() < 1e-12);
+        assert_eq!(c[1], 0.0);
+    }
+
+    #[test]
+    fn validation_accepts_wellformed() {
+        assert!(three_atom_ligand().validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_bond() {
+        let mut l = three_atom_ligand();
+        l.bonds[0].b = 99;
+        assert!(l.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_pivot_in_moving_set() {
+        let mut l = three_atom_ligand();
+        l.rotamers[0].moving.push(0);
+        assert!(l.validate().is_err());
+    }
+
+    #[test]
+    fn validation_requires_tree() {
+        let mut l = three_atom_ligand();
+        l.bonds.push(Bond { a: 0, b: 2 });
+        assert!(l.validate().is_err());
+    }
+
+    #[test]
+    fn gyration_radius_grows_with_extent() {
+        let compact = three_atom_ligand();
+        let mut stretched = compact.clone();
+        stretched.atoms[2].pos = [30.0, 0.0, 0.0];
+        assert!(stretched.radius_of_gyration() > compact.radius_of_gyration());
+    }
+
+    #[test]
+    fn element_properties_are_distinct() {
+        assert!(Element::S.vdw_radius() > Element::O.vdw_radius());
+        assert!(Element::O.field_weight() > Element::C.field_weight());
+    }
+}

@@ -1,0 +1,182 @@
+//! Ligand poses: world-frame coordinates under rigid and rotameric moves.
+//!
+//! A [`Pose`] owns a copy of the ligand's atom coordinates and mutates them
+//! through whole-body translations/rotations (pose initialization and
+//! alignment) and per-fragment rotations about rotamer axes (the
+//! `optimize` move of Algorithm 2).
+
+use crate::molecule::Ligand;
+use crate::{vec3, Vec3};
+
+/// A ligand conformation placed in the target frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pose {
+    /// World-frame atom positions, parallel to `ligand.atoms`.
+    pub coords: Vec<Vec3>,
+    /// Score assigned by `evaluate`/`compute_score` (lower = better);
+    /// `None` until evaluated.
+    pub score: Option<f64>,
+}
+
+impl Pose {
+    /// A pose at the ligand's reference coordinates.
+    pub fn from_ligand(ligand: &Ligand) -> Self {
+        Pose {
+            coords: ligand.atoms.iter().map(|a| a.pos).collect(),
+            score: None,
+        }
+    }
+
+    /// Number of atoms.
+    pub fn n_atoms(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Centroid of the current coordinates.
+    pub fn centroid(&self) -> Vec3 {
+        let n = self.coords.len() as f64;
+        let mut c = [0.0; 3];
+        for p in &self.coords {
+            c = vec3::add(c, *p);
+        }
+        vec3::scale(c, 1.0 / n)
+    }
+
+    /// Translates every atom by `delta`.
+    pub fn translate(&mut self, delta: Vec3) {
+        for p in &mut self.coords {
+            *p = vec3::add(*p, delta);
+        }
+        self.score = None;
+    }
+
+    /// Rotates the whole pose about its centroid: axis (unit) + angle.
+    pub fn rotate_rigid(&mut self, axis: Vec3, angle: f64) {
+        let c = self.centroid();
+        for p in &mut self.coords {
+            let rel = vec3::sub(*p, c);
+            *p = vec3::add(c, vec3::rotate_about(rel, axis, angle));
+        }
+        self.score = None;
+    }
+
+    /// Rotates rotamer `r` of `ligand` by `angle` radians: the moving atom
+    /// set turns rigidly about the pivot→partner axis.
+    ///
+    /// # Panics
+    /// Panics if `r` is out of range or the axis is degenerate.
+    pub fn rotate_fragment(&mut self, ligand: &Ligand, r: usize, angle: f64) {
+        let rot = &ligand.rotamers[r];
+        let origin = self.coords[rot.pivot];
+        let axis = vec3::normalize(vec3::sub(self.coords[rot.partner], origin));
+        for &i in &rot.moving {
+            let rel = vec3::sub(self.coords[i], origin);
+            self.coords[i] = vec3::add(origin, vec3::rotate_about(rel, axis, angle));
+        }
+        self.score = None;
+    }
+
+    /// Largest inter-atomic distance (a conformation diagnostic).
+    pub fn diameter(&self) -> f64 {
+        let mut best = 0.0f64;
+        for i in 0..self.coords.len() {
+            for j in (i + 1)..self.coords.len() {
+                best = best.max(vec3::norm(vec3::sub(self.coords[i], self.coords[j])));
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::generate_ligand;
+
+    fn ligand() -> Ligand {
+        generate_ligand(0, 12, 3, 99)
+    }
+
+    #[test]
+    fn translation_moves_centroid() {
+        let l = ligand();
+        let mut p = Pose::from_ligand(&l);
+        let c0 = p.centroid();
+        p.translate([1.0, -2.0, 0.5]);
+        let c1 = p.centroid();
+        assert!((c1[0] - c0[0] - 1.0).abs() < 1e-12);
+        assert!((c1[1] - c0[1] + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rigid_rotation_preserves_all_distances() {
+        let l = ligand();
+        let mut p = Pose::from_ligand(&l);
+        let d0 = p.diameter();
+        p.rotate_rigid(vec3::normalize([1.0, 2.0, 3.0]), 0.8);
+        assert!((p.diameter() - d0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rigid_rotation_fixes_centroid() {
+        let l = ligand();
+        let mut p = Pose::from_ligand(&l);
+        let c0 = p.centroid();
+        p.rotate_rigid([0.0, 0.0, 1.0], 1.0);
+        let c1 = p.centroid();
+        for (a, b) in c0.iter().zip(&c1) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fragment_rotation_preserves_bond_lengths() {
+        let l = ligand();
+        let mut p = Pose::from_ligand(&l);
+        p.rotate_fragment(&l, 1, 0.9);
+        for b in &l.bonds {
+            let d = vec3::norm(vec3::sub(p.coords[b.a], p.coords[b.b]));
+            assert!((d - 1.5).abs() < 1e-9, "bond {}–{} length {d}", b.a, b.b);
+        }
+    }
+
+    #[test]
+    fn fragment_rotation_moves_only_moving_set() {
+        let l = ligand();
+        let mut p = Pose::from_ligand(&l);
+        let before = p.coords.clone();
+        p.rotate_fragment(&l, 0, 1.2);
+        let moving = &l.rotamers[0].moving;
+        for (i, (a, b)) in before.iter().zip(&p.coords).enumerate() {
+            let dist = vec3::norm(vec3::sub(*a, *b));
+            if moving.contains(&i) && i != l.rotamers[0].partner {
+                // Downstream atoms (beyond the axis partner) generally move.
+                continue;
+            }
+            if !moving.contains(&i) {
+                assert!(dist < 1e-12, "fixed atom {i} moved by {dist}");
+            }
+        }
+    }
+
+    #[test]
+    fn fragment_rotation_round_trip() {
+        let l = ligand();
+        let mut p = Pose::from_ligand(&l);
+        let before = p.coords.clone();
+        p.rotate_fragment(&l, 1, 0.7);
+        p.rotate_fragment(&l, 1, -0.7);
+        for (a, b) in before.iter().zip(&p.coords) {
+            assert!(vec3::norm(vec3::sub(*a, *b)) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn mutation_clears_score() {
+        let l = ligand();
+        let mut p = Pose::from_ligand(&l);
+        p.score = Some(-3.0);
+        p.translate([0.1, 0.0, 0.0]);
+        assert_eq!(p.score, None);
+    }
+}

@@ -1,0 +1,210 @@
+//! The protein target: a binding-pocket potential field.
+//!
+//! The paper's target protein "is a constant for each virtual screening
+//! campaign" (§3.2), so LiGen precomputes grid maps of the pocket once and
+//! scores ligand poses against them. [`Pocket`] is that representation: a
+//! 3D grid of interaction energies synthesized from a set of attraction
+//! sites (favourable wells) inside a box, sampled with trilinear
+//! interpolation. Lower values are better (more negative = stronger
+//! attraction); positions outside the box are strongly penalized, which
+//! keeps optimization inside the pocket.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::{vec3, Vec3};
+
+/// A cubic pocket potential-field grid.
+#[derive(Debug, Clone)]
+pub struct Pocket {
+    /// Grid points per axis.
+    pub resolution: usize,
+    /// Box edge length (Å); the box spans `[0, size]³`.
+    pub size: f64,
+    /// Field values, x fastest.
+    field: Vec<f64>,
+    /// Attraction-site centres (for diagnostics/tests).
+    sites: Vec<Vec3>,
+}
+
+/// Penalty per ångström for leaving the pocket box.
+const OUTSIDE_PENALTY: f64 = 25.0;
+
+impl Pocket {
+    /// Synthesizes a pocket: `n_sites` attraction wells at seeded random
+    /// interior positions, each a Gaussian well of depth ~1–3 and width
+    /// ~2–4 Å, plus a soft repulsive core near the walls.
+    ///
+    /// # Panics
+    /// Panics on a degenerate resolution/size or zero sites.
+    pub fn synthesize(resolution: usize, size: f64, n_sites: usize, seed: u64) -> Self {
+        assert!(resolution >= 4, "resolution too small");
+        assert!(size > 1.0, "pocket too small");
+        assert!(n_sites > 0, "need at least one attraction site");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let sites: Vec<Vec3> = (0..n_sites)
+            .map(|_| {
+                [
+                    rng.gen_range(0.25 * size..0.75 * size),
+                    rng.gen_range(0.25 * size..0.75 * size),
+                    rng.gen_range(0.25 * size..0.75 * size),
+                ]
+            })
+            .collect();
+        let depths: Vec<f64> = (0..n_sites).map(|_| rng.gen_range(1.0..3.0)).collect();
+        let widths: Vec<f64> = (0..n_sites).map(|_| rng.gen_range(2.0..4.0)).collect();
+
+        let step = size / (resolution - 1) as f64;
+        let mut field = vec![0.0; resolution * resolution * resolution];
+        for k in 0..resolution {
+            for j in 0..resolution {
+                for i in 0..resolution {
+                    let p: Vec3 = [i as f64 * step, j as f64 * step, k as f64 * step];
+                    let mut v = 0.0;
+                    for ((s, d), w) in sites.iter().zip(&depths).zip(&widths) {
+                        let r2 = {
+                            let dd = vec3::sub(p, *s);
+                            vec3::dot(dd, dd)
+                        };
+                        v -= d * (-r2 / (w * w)).exp();
+                    }
+                    // Soft repulsion near the walls (protein bulk).
+                    let wall = p
+                        .iter()
+                        .map(|&c| (c.min(size - c)).max(0.0))
+                        .fold(f64::INFINITY, f64::min);
+                    if wall < 0.15 * size {
+                        v += 2.0 * (0.15 * size - wall) / (0.15 * size);
+                    }
+                    field[(k * resolution + j) * resolution + i] = v;
+                }
+            }
+        }
+        Pocket {
+            resolution,
+            size,
+            field,
+            sites,
+        }
+    }
+
+    /// The geometric centre of the pocket box.
+    pub fn center(&self) -> Vec3 {
+        [0.5 * self.size; 3]
+    }
+
+    /// Attraction-site positions.
+    pub fn sites(&self) -> &[Vec3] {
+        &self.sites
+    }
+
+    /// Samples the field at `p` by trilinear interpolation; positions
+    /// outside the box pay a fixed penalty per ångström of excursion.
+    pub fn sample(&self, p: Vec3) -> f64 {
+        let mut penalty = 0.0;
+        let mut q = p;
+        for c in q.iter_mut() {
+            if *c < 0.0 {
+                penalty += OUTSIDE_PENALTY * (-*c);
+                *c = 0.0;
+            } else if *c > self.size {
+                penalty += OUTSIDE_PENALTY * (*c - self.size);
+                *c = self.size;
+            }
+        }
+        let step = self.size / (self.resolution - 1) as f64;
+        let gx = (q[0] / step).min((self.resolution - 1) as f64);
+        let gy = (q[1] / step).min((self.resolution - 1) as f64);
+        let gz = (q[2] / step).min((self.resolution - 1) as f64);
+        let i0 = (gx as usize).min(self.resolution - 2);
+        let j0 = (gy as usize).min(self.resolution - 2);
+        let k0 = (gz as usize).min(self.resolution - 2);
+        let (fx, fy, fz) = (gx - i0 as f64, gy - j0 as f64, gz - k0 as f64);
+        let at = |i: usize, j: usize, k: usize| {
+            self.field[(k * self.resolution + j) * self.resolution + i]
+        };
+        let mut acc = 0.0;
+        for (di, wi) in [(0usize, 1.0 - fx), (1, fx)] {
+            for (dj, wj) in [(0usize, 1.0 - fy), (1, fy)] {
+                for (dk, wk) in [(0usize, 1.0 - fz), (1, fz)] {
+                    acc += wi * wj * wk * at(i0 + di, j0 + dj, k0 + dk);
+                }
+            }
+        }
+        acc + penalty
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pocket() -> Pocket {
+        Pocket::synthesize(24, 20.0, 5, 11)
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = Pocket::synthesize(16, 20.0, 3, 5);
+        let b = Pocket::synthesize(16, 20.0, 3, 5);
+        assert_eq!(a.field, b.field);
+    }
+
+    #[test]
+    fn sites_are_favourable() {
+        let p = pocket();
+        let center_of_mass = p.sites()[0];
+        let far = [1.0, 1.0, 1.0];
+        assert!(
+            p.sample(center_of_mass) < p.sample(far),
+            "attraction sites must score better than the walls"
+        );
+    }
+
+    #[test]
+    fn field_is_negative_somewhere() {
+        let p = pocket();
+        let best = p
+            .sites()
+            .iter()
+            .map(|s| p.sample(*s))
+            .fold(f64::INFINITY, f64::min);
+        assert!(best < -0.5, "wells must be attractive, best {best}");
+    }
+
+    #[test]
+    fn outside_positions_pay_linear_penalty() {
+        let p = pocket();
+        let inside = p.sample([10.0, 10.0, 10.0]);
+        let out1 = p.sample([-1.0, 10.0, 10.0]);
+        let out2 = p.sample([-2.0, 10.0, 10.0]);
+        assert!(out1 > inside);
+        assert!((out2 - out1 - OUTSIDE_PENALTY).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interpolation_matches_grid_points() {
+        let p = pocket();
+        let step = p.size / (p.resolution - 1) as f64;
+        // Sample exactly on a grid node and compare with direct lookup.
+        let (i, j, k) = (5usize, 7usize, 9usize);
+        let pos = [i as f64 * step, j as f64 * step, k as f64 * step];
+        let direct = p.field[(k * p.resolution + j) * p.resolution + i];
+        assert!((p.sample(pos) - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interpolation_is_continuous() {
+        let p = pocket();
+        let a = p.sample([10.0, 10.0, 10.0]);
+        let b = p.sample([10.01, 10.0, 10.0]);
+        assert!((a - b).abs() < 0.05, "field must vary smoothly");
+    }
+
+    #[test]
+    fn center_is_inside() {
+        let p = pocket();
+        let c = p.center();
+        assert!(c.iter().all(|&v| v > 0.0 && v < p.size));
+    }
+}

@@ -1,0 +1,135 @@
+//! Pose scoring.
+//!
+//! Lower is better. Two terms:
+//!
+//! * **field term** — each atom samples the pocket potential weighted by
+//!   its element affinity (the grid-map scoring LiGen-class engines use);
+//! * **clash term** — a soft-sphere intra-molecular penalty for non-bonded
+//!   atom pairs closer than the sum of their van-der-Waals radii, which
+//!   stops fragment rotations from folding the ligand through itself.
+
+use crate::molecule::Ligand;
+use crate::pose::Pose;
+use crate::protein::Pocket;
+use crate::vec3;
+
+/// Weight of the intra-molecular clash penalty relative to the field term.
+const CLASH_WEIGHT: f64 = 4.0;
+
+/// Fraction of the vdW-sum below which two atoms are "in clash".
+const CLASH_TOLERANCE: f64 = 0.8;
+
+/// The pocket-field interaction term (lower = better bound).
+pub fn field_score(ligand: &Ligand, pose: &Pose, pocket: &Pocket) -> f64 {
+    ligand
+        .atoms
+        .iter()
+        .zip(&pose.coords)
+        .map(|(atom, p)| atom.element.field_weight() * pocket.sample(*p))
+        .sum()
+}
+
+/// Soft-sphere intra-molecular clash penalty (≥ 0). Bonded pairs and
+/// next-nearest chain neighbours are exempt (their proximity is covalent).
+pub fn clash_score(ligand: &Ligand, pose: &Pose) -> f64 {
+    let n = pose.coords.len();
+    let mut bonded = vec![false; n * n];
+    for b in &ligand.bonds {
+        bonded[b.a * n + b.b] = true;
+        bonded[b.b * n + b.a] = true;
+    }
+    let mut penalty = 0.0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if bonded[i * n + j] {
+                continue;
+            }
+            // Exempt 1–3 neighbours along the chain (indices differ by 2 in
+            // our chain topology).
+            if j - i <= 2 {
+                continue;
+            }
+            let d = vec3::norm(vec3::sub(pose.coords[i], pose.coords[j]));
+            let limit = CLASH_TOLERANCE
+                * (ligand.atoms[i].element.vdw_radius() + ligand.atoms[j].element.vdw_radius());
+            if d < limit {
+                let overlap = (limit - d) / limit;
+                penalty += overlap * overlap;
+            }
+        }
+    }
+    penalty
+}
+
+/// The full score: field term + weighted clash term. This is both the
+/// `evaluate` of the docking loop and the `compute_score` of the scoring
+/// phase (LiGen uses a cheaper evaluator during optimization; we keep one
+/// evaluator and document the simplification in DESIGN.md).
+pub fn compute_score(ligand: &Ligand, pose: &Pose, pocket: &Pocket) -> f64 {
+    field_score(ligand, pose, pocket) + CLASH_WEIGHT * clash_score(ligand, pose)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::generate_ligand;
+    use crate::pose::Pose;
+    use crate::protein::Pocket;
+
+    fn setup() -> (Ligand, Pose, Pocket) {
+        let ligand = generate_ligand(0, 16, 3, 5);
+        let pose = Pose::from_ligand(&ligand);
+        let pocket = Pocket::synthesize(20, 20.0, 4, 7);
+        (ligand, pose, pocket)
+    }
+
+    #[test]
+    fn extended_chain_has_no_clash() {
+        let (ligand, pose, _) = setup();
+        // The generator's self-avoiding walk may graze occasionally but the
+        // penalty must be tiny for an extended conformation.
+        assert!(clash_score(&ligand, &pose) < 1.0);
+    }
+
+    #[test]
+    fn folded_pose_pays_clash_penalty() {
+        let (ligand, mut pose, _) = setup();
+        // Collapse every atom toward the centroid — massive overlap.
+        let c = pose.centroid();
+        for p in &mut pose.coords {
+            *p = crate::vec3::add(c, crate::vec3::scale(crate::vec3::sub(*p, c), 0.05));
+        }
+        assert!(clash_score(&ligand, &pose) > 1.0);
+    }
+
+    #[test]
+    fn pose_in_pocket_scores_better_than_outside() {
+        let (ligand, mut pose, pocket) = setup();
+        let c = pose.centroid();
+        // Place at the pocket centre…
+        pose.translate(crate::vec3::sub(pocket.center(), c));
+        let inside = compute_score(&ligand, &pose, &pocket);
+        // …then 30 Å outside the box.
+        pose.translate([3.0 * pocket.size, 0.0, 0.0]);
+        let outside = compute_score(&ligand, &pose, &pocket);
+        assert!(inside < outside);
+    }
+
+    #[test]
+    fn heavier_field_weights_amplify_attraction() {
+        let (ligand, mut pose, pocket) = setup();
+        pose.translate(crate::vec3::sub(pocket.center(), pose.centroid()));
+        let f = field_score(&ligand, &pose, &pocket);
+        // The field term at the pocket centre must be attractive overall.
+        assert!(f < 0.0, "field score at centre should be negative, got {f}");
+    }
+
+    #[test]
+    fn score_is_deterministic() {
+        let (ligand, pose, pocket) = setup();
+        assert_eq!(
+            compute_score(&ligand, &pose, &pocket),
+            compute_score(&ligand, &pose, &pocket)
+        );
+    }
+}

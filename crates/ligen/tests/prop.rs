@@ -1,0 +1,103 @@
+//! Property-based tests of the docking engine's geometric and search
+//! invariants.
+
+use ligen::dock::{dock, initialize_pose, optimize_fragment, DockParams};
+use ligen::library::generate_ligand;
+use ligen::pose::Pose;
+use ligen::protein::Pocket;
+use ligen::score::compute_score;
+use ligen::vec3;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Generated ligands are structurally valid for any parameters in the
+    /// paper's experiment ranges.
+    #[test]
+    fn generated_ligands_are_valid(atoms in 8usize..96, frag_divisor in 2usize..8, seed in 0u64..10_000) {
+        let fragments = (atoms / frag_divisor).max(1).min(atoms / 2);
+        let l = generate_ligand(0, atoms, fragments, seed);
+        prop_assert!(l.validate().is_ok());
+        prop_assert_eq!(l.n_atoms(), atoms);
+        prop_assert_eq!(l.n_fragments(), fragments);
+    }
+
+    /// Rigid-body moves preserve all pairwise distances.
+    #[test]
+    fn rigid_moves_are_isometries(
+        seed in 0u64..1000,
+        angle in -3.0..3.0f64,
+        dx in -5.0..5.0f64,
+        dy in -5.0..5.0f64,
+    ) {
+        let l = generate_ligand(0, 14, 3, seed);
+        let mut pose = Pose::from_ligand(&l);
+        let d_before = pose.diameter();
+        pose.translate([dx, dy, 1.0]);
+        pose.rotate_rigid(vec3::normalize([1.0, dy + 10.0, dx]), angle);
+        prop_assert!((pose.diameter() - d_before).abs() < 1e-9);
+    }
+
+    /// Fragment rotations preserve every covalent bond length, for any
+    /// rotamer and angle.
+    #[test]
+    fn fragment_rotations_preserve_bonds(seed in 0u64..1000, angle in -3.0..3.0f64, rot_pick in 0usize..100) {
+        let l = generate_ligand(0, 20, 4, seed);
+        let r = rot_pick % l.rotamers.len();
+        let mut pose = Pose::from_ligand(&l);
+        pose.rotate_fragment(&l, r, angle);
+        for b in &l.bonds {
+            let d = vec3::norm(vec3::sub(pose.coords[b.a], pose.coords[b.b]));
+            prop_assert!((d - 1.5).abs() < 1e-9);
+        }
+    }
+
+    /// `optimize` never worsens the score (greedy acceptance), from any
+    /// restart orientation.
+    #[test]
+    fn optimize_is_monotone(seed in 0u64..500, restart in 0usize..6) {
+        let l = generate_ligand(seed, 16, 3, 11);
+        let pocket = Pocket::synthesize(16, 20.0, 4, 3);
+        let mut pose = initialize_pose(&l, restart);
+        ligen::dock::align(&mut pose, &pocket);
+        let before = compute_score(&l, &pose, &pocket);
+        optimize_fragment(&l, &mut pose, 0, &pocket);
+        let after = compute_score(&l, &pose, &pocket);
+        prop_assert!(after <= before + 1e-9);
+    }
+
+    /// Docking output is sorted, clipped, and its best score equals the
+    /// returned score, for any loop parameters.
+    #[test]
+    fn dock_output_contract(
+        restarts in 1usize..6,
+        iterations in 1usize..4,
+        max_poses in 1usize..5,
+        seed in 0u64..200,
+    ) {
+        let l = generate_ligand(seed, 12, 2, 9);
+        let pocket = Pocket::synthesize(12, 20.0, 3, 5);
+        let params = DockParams {
+            num_restart: restarts,
+            num_iterations: iterations,
+            max_num_poses: max_poses,
+        };
+        let (best, poses) = dock(&l, &pocket, &params);
+        prop_assert!(poses.len() <= max_poses.min(restarts).max(1));
+        prop_assert!(!poses.is_empty());
+        for w in poses.windows(2) {
+            prop_assert!(w[0].score.unwrap() <= w[1].score.unwrap());
+        }
+        prop_assert!((best - poses[0].score.unwrap()).abs() < 1e-12);
+        prop_assert!(best.is_finite());
+    }
+
+    /// Pocket sampling is finite everywhere, including far outside the box.
+    #[test]
+    fn pocket_sampling_is_total(x in -100.0..100.0f64, y in -100.0..100.0f64, z in -100.0..100.0f64) {
+        let pocket = Pocket::synthesize(12, 20.0, 3, 1);
+        let v = pocket.sample([x, y, z]);
+        prop_assert!(v.is_finite());
+    }
+}

@@ -1,0 +1,283 @@
+//! Random Forest regression.
+//!
+//! Bagged CART trees with per-split feature subsampling, averaged at
+//! prediction time. This is the model the paper selects for both the
+//! speedup and normalized-energy domain-specific models (§5.2.1: "Random
+//! Forest achieves the maximum accuracy for both"), with the grid-searched
+//! hyper-parameters `max_depth`, `n_estimators`, and `max_features`.
+//!
+//! Trees are trained in parallel with rayon; each tree draws its bootstrap
+//! sample and split-feature subsets from its own ChaCha stream derived from
+//! the forest seed, so the fitted model is independent of thread schedule.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::{Dataset, Matrix};
+use crate::tree::{DecisionTree, MaxFeatures, TreeParams};
+use crate::Regressor;
+
+/// Random Forest hyper-parameters (the paper's grid-search space).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RandomForestParams {
+    /// Number of trees (`n_estimators`; scikit-learn default 100).
+    pub n_estimators: usize,
+    /// Per-tree growth controls.
+    pub tree: TreeParams,
+    /// Draw bootstrap samples (true for classic bagging).
+    pub bootstrap: bool,
+}
+
+impl Default for RandomForestParams {
+    fn default() -> Self {
+        RandomForestParams {
+            n_estimators: 100,
+            tree: TreeParams::default(),
+            bootstrap: true,
+        }
+    }
+}
+
+/// A fitted Random Forest regressor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RandomForest {
+    /// Hyper-parameters.
+    pub params: RandomForestParams,
+    seed: u64,
+    trees: Vec<DecisionTree>,
+}
+
+impl RandomForest {
+    /// Forest with explicit parameters and seed.
+    ///
+    /// # Panics
+    /// Panics if `n_estimators == 0`.
+    pub fn new(params: RandomForestParams, seed: u64) -> Self {
+        assert!(params.n_estimators > 0, "need at least one tree");
+        RandomForest {
+            params,
+            seed,
+            trees: Vec::new(),
+        }
+    }
+
+    /// Forest with scikit-learn-like defaults (100 trees, unlimited depth,
+    /// all features per split, bootstrap on) — the configuration the
+    /// paper's grid search lands on.
+    pub fn with_defaults(seed: u64) -> Self {
+        RandomForest::new(RandomForestParams::default(), seed)
+    }
+
+    /// Number of fitted trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Per-tree predictions for one row (useful for uncertainty probes).
+    ///
+    /// # Panics
+    /// Panics before `fit`.
+    pub fn tree_predictions(&self, row: &[f64]) -> Vec<f64> {
+        assert!(!self.trees.is_empty(), "predict before fit");
+        self.trees.iter().map(|t| t.predict_row(row)).collect()
+    }
+}
+
+impl Regressor for RandomForest {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) {
+        assert_eq!(x.rows(), y.len(), "x/y length mismatch");
+        assert!(x.rows() > 0, "cannot fit on an empty dataset");
+        let ds = Dataset::new(x.clone(), y.to_vec());
+        let params = self.params;
+        let seed = self.seed;
+        self.trees = (0..params.n_estimators)
+            .into_par_iter()
+            .map(|t| {
+                // Independent, schedule-free stream per tree.
+                let tree_seed = seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(t as u64);
+                let mut tree = DecisionTree::new(params.tree, tree_seed);
+                if params.bootstrap {
+                    let mut rng = ChaCha8Rng::seed_from_u64(tree_seed ^ 0xB0075);
+                    let sample = ds.bootstrap(&mut rng);
+                    tree.fit(&sample.x, &sample.y);
+                } else {
+                    tree.fit(x, y);
+                }
+                tree
+            })
+            .collect();
+    }
+
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        assert!(!self.trees.is_empty(), "predict before fit");
+        let s: f64 = self.trees.iter().map(|t| t.predict_row(row)).sum();
+        s / self.trees.len() as f64
+    }
+}
+
+/// Convenience: a forest whose trees see ⌈p/3⌉ features per split — the
+/// classic regression-forest setting, used by the ablation benches.
+pub fn regression_forest_third(n_estimators: usize, seed: u64) -> RandomForest {
+    RandomForest::new(
+        RandomForestParams {
+            n_estimators,
+            tree: TreeParams {
+                max_features: MaxFeatures::Third,
+                ..Default::default()
+            },
+            bootstrap: true,
+        },
+        seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::r2;
+
+    fn friedman_like(n: usize) -> (Matrix, Vec<f64>) {
+        // Deterministic quasi-random design over 3 features.
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let a = ((i * 7919) % 1000) as f64 / 1000.0;
+                let b = ((i * 104729) % 1000) as f64 / 1000.0;
+                let c = ((i * 1299709) % 1000) as f64 / 1000.0;
+                vec![a, b, c]
+            })
+            .collect();
+        let y = rows
+            .iter()
+            .map(|r| 10.0 * (std::f64::consts::PI * r[0]).sin() + 5.0 * r[1] * r[1] + 2.0 * r[2])
+            .collect();
+        (Matrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn fits_nonlinear_function_well() {
+        let (x, y) = friedman_like(400);
+        let mut f = RandomForest::new(
+            RandomForestParams {
+                n_estimators: 30,
+                ..Default::default()
+            },
+            42,
+        );
+        f.fit(&x, &y);
+        let pred = f.predict(&x);
+        assert!(r2(&y, &pred) > 0.95, "in-sample R² should be high");
+    }
+
+    #[test]
+    fn deterministic_across_fits() {
+        let (x, y) = friedman_like(100);
+        let params = RandomForestParams {
+            n_estimators: 10,
+            ..Default::default()
+        };
+        let mut a = RandomForest::new(params, 7);
+        let mut b = RandomForest::new(params, 7);
+        a.fit(&x, &y);
+        b.fit(&x, &y);
+        let pa = a.predict(&x);
+        let pb = b.predict(&x);
+        assert_eq!(pa, pb, "same seed ⇒ identical forests");
+    }
+
+    #[test]
+    fn different_seeds_give_different_forests() {
+        let (x, y) = friedman_like(100);
+        let params = RandomForestParams {
+            n_estimators: 5,
+            ..Default::default()
+        };
+        let mut a = RandomForest::new(params, 1);
+        let mut b = RandomForest::new(params, 2);
+        a.fit(&x, &y);
+        b.fit(&x, &y);
+        assert_ne!(a.predict(&x), b.predict(&x));
+    }
+
+    #[test]
+    fn prediction_is_tree_mean() {
+        let (x, y) = friedman_like(80);
+        let mut f = RandomForest::new(
+            RandomForestParams {
+                n_estimators: 7,
+                ..Default::default()
+            },
+            3,
+        );
+        f.fit(&x, &y);
+        let row = x.row(5);
+        let per_tree = f.tree_predictions(row);
+        let mean = per_tree.iter().sum::<f64>() / per_tree.len() as f64;
+        assert!((f.predict_row(row) - mean).abs() < 1e-12);
+        assert_eq!(f.n_trees(), 7);
+    }
+
+    #[test]
+    fn forest_beats_single_tree_on_noisy_data() {
+        // Bagging reduces variance: train on noisy targets, evaluate against
+        // the clean function. A single deep tree memorizes the noise.
+        let (x, y_clean) = friedman_like(600);
+        let y_noisy: Vec<f64> = y_clean
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                // Deterministic pseudo-noise in [-1.5, 1.5].
+                let u = ((i * 2654435761) % 1000) as f64 / 1000.0;
+                v + (u - 0.5) * 3.0
+            })
+            .collect();
+        let ds = Dataset::new(x, y_noisy);
+        let (train, test_noisy) = ds.train_test_split(0.3, 11);
+        // Clean targets for the test rows: recompute from the features.
+        let test_clean: Vec<f64> = test_noisy
+            .x
+            .iter_rows()
+            .map(|r| 10.0 * (std::f64::consts::PI * r[0]).sin() + 5.0 * r[1] * r[1] + 2.0 * r[2])
+            .collect();
+
+        let mut tree = DecisionTree::new(TreeParams::default(), 0);
+        tree.fit(&train.x, &train.y);
+        let tree_pred: Vec<f64> = test_noisy
+            .x
+            .iter_rows()
+            .map(|r| tree.predict_row(r))
+            .collect();
+
+        let mut forest = RandomForest::new(
+            RandomForestParams {
+                n_estimators: 40,
+                ..Default::default()
+            },
+            0,
+        );
+        forest.fit(&train.x, &train.y);
+        let forest_pred = forest.predict(&test_noisy.x);
+
+        let r2_tree = r2(&test_clean, &tree_pred);
+        let r2_forest = r2(&test_clean, &forest_pred);
+        assert!(
+            r2_forest > r2_tree,
+            "bagging should beat one deep tree on noisy data: {r2_forest} vs {r2_tree}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tree")]
+    fn zero_trees_rejected() {
+        let _ = RandomForest::new(
+            RandomForestParams {
+                n_estimators: 0,
+                ..Default::default()
+            },
+            0,
+        );
+    }
+}

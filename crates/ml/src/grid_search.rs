@@ -1,0 +1,169 @@
+//! Exhaustive hyper-parameter grid search.
+//!
+//! The paper tunes its Random Forest "through a grid search method" over
+//! `max_depth`, `n_estimators`, and `max_features` (§5.2.1), concluding the
+//! defaults win. [`grid_search_forest`] reproduces that protocol: every
+//! grid point is scored by K-fold cross-validation and the best
+//! configuration (lowest mean score) is returned. A generic
+//! [`grid_search`] is provided for other model families.
+
+use crate::cv::{cross_val_scores, kfold_indices};
+use crate::dataset::Dataset;
+use crate::forest::{RandomForest, RandomForestParams};
+use crate::tree::{MaxFeatures, TreeParams};
+use crate::Regressor;
+
+/// Result of a grid search: the winning configuration and its score, plus
+/// the full scoreboard for reporting.
+#[derive(Debug, Clone)]
+pub struct GridSearchResult<P> {
+    /// The best (lowest mean CV score) parameter set.
+    pub best_params: P,
+    /// The best mean CV score.
+    pub best_score: f64,
+    /// Every `(params, mean score)` evaluated, in grid order.
+    pub scores: Vec<(P, f64)>,
+}
+
+/// Scores every candidate in `grid` by K-fold CV and returns the best.
+/// `score` must be a loss (lower = better), e.g. MAPE or MSE.
+///
+/// # Panics
+/// Panics on an empty grid.
+pub fn grid_search<P, M, F>(
+    grid: Vec<P>,
+    build: impl Fn(&P) -> M,
+    data: &Dataset,
+    k_folds: usize,
+    seed: u64,
+    score: F,
+) -> GridSearchResult<P>
+where
+    P: Clone,
+    M: Regressor,
+    F: Fn(&[f64], &[f64]) -> f64 + Copy,
+{
+    assert!(!grid.is_empty(), "empty parameter grid");
+    let folds = kfold_indices(data.len(), k_folds, seed);
+    let mut scores = Vec::with_capacity(grid.len());
+    for p in &grid {
+        let fold_scores = cross_val_scores(|| build(p), data, &folds, score);
+        let mean = fold_scores.iter().sum::<f64>() / fold_scores.len() as f64;
+        scores.push((p.clone(), mean));
+    }
+    let (best_params, best_score) = scores
+        .iter()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite scores"))
+        .map(|(p, s)| (p.clone(), *s))
+        .expect("non-empty grid");
+    GridSearchResult {
+        best_params,
+        best_score,
+        scores,
+    }
+}
+
+/// The paper's Random Forest grid: `max_depth` ∈ {None, 5, 10, 20},
+/// `n_estimators` ∈ {50, 100, 200}, `max_features` ∈ {All, Sqrt, Third}.
+pub fn paper_forest_grid() -> Vec<RandomForestParams> {
+    let depths = [None, Some(5), Some(10), Some(20)];
+    let estimators = [50usize, 100, 200];
+    let feats = [MaxFeatures::All, MaxFeatures::Sqrt, MaxFeatures::Third];
+    let mut grid = Vec::new();
+    for &max_depth in &depths {
+        for &n_estimators in &estimators {
+            for &max_features in &feats {
+                grid.push(RandomForestParams {
+                    n_estimators,
+                    tree: TreeParams {
+                        max_depth,
+                        max_features,
+                        ..Default::default()
+                    },
+                    bootstrap: true,
+                });
+            }
+        }
+    }
+    grid
+}
+
+/// Grid search over Random Forest hyper-parameters with a shared seed for
+/// both the folds and the forests.
+pub fn grid_search_forest(
+    grid: Vec<RandomForestParams>,
+    data: &Dataset,
+    k_folds: usize,
+    seed: u64,
+    score: impl Fn(&[f64], &[f64]) -> f64 + Copy,
+) -> GridSearchResult<RandomForestParams> {
+    grid_search(
+        grid,
+        |p| RandomForest::new(*p, seed),
+        data,
+        k_folds,
+        seed,
+        score,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Matrix;
+    use crate::metrics::mse;
+
+    fn quadratic_data() -> Dataset {
+        let rows: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64 / 10.0]).collect();
+        let y = rows.iter().map(|r| r[0] * r[0]).collect();
+        Dataset::new(Matrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn paper_grid_has_36_points() {
+        assert_eq!(paper_forest_grid().len(), 36);
+    }
+
+    #[test]
+    fn picks_deeper_forest_over_stump_forest() {
+        let data = quadratic_data();
+        let grid = vec![
+            RandomForestParams {
+                n_estimators: 10,
+                tree: TreeParams {
+                    max_depth: Some(1),
+                    ..Default::default()
+                },
+                bootstrap: true,
+            },
+            RandomForestParams {
+                n_estimators: 10,
+                tree: TreeParams {
+                    max_depth: None,
+                    ..Default::default()
+                },
+                bootstrap: true,
+            },
+        ];
+        let res = grid_search_forest(grid, &data, 3, 0, mse);
+        assert_eq!(res.best_params.tree.max_depth, None);
+        assert_eq!(res.scores.len(), 2);
+        assert!(res.best_score <= res.scores[0].1);
+    }
+
+    #[test]
+    fn deterministic_result() {
+        let data = quadratic_data();
+        let a = grid_search_forest(paper_forest_grid()[..4].to_vec(), &data, 3, 5, mse);
+        let b = grid_search_forest(paper_forest_grid()[..4].to_vec(), &data, 3, 5, mse);
+        assert_eq!(a.best_score, b.best_score);
+        assert_eq!(a.best_params, b.best_params);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty parameter grid")]
+    fn empty_grid_rejected() {
+        let data = quadratic_data();
+        let _ = grid_search_forest(vec![], &data, 3, 0, mse);
+    }
+}

@@ -1,0 +1,148 @@
+//! Permutation feature importance.
+//!
+//! Model-agnostic importance, the standard tool behind feature-selection
+//! arguments like the paper's §4.2.1: shuffle one feature column and
+//! measure how much the model's error grows. A feature whose permutation
+//! barely moves the error carries no signal for the model.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::dataset::Matrix;
+use crate::Regressor;
+
+/// Permutation importance of every feature: the mean *increase* of
+/// `metric(y, ŷ)` over `n_repeats` independent shuffles of that feature
+/// column (baseline subtracted; can be slightly negative for pure-noise
+/// features).
+///
+/// `metric` must be a loss (lower = better), e.g. [`crate::metrics::mse`].
+///
+/// # Panics
+/// Panics on empty data, mismatched lengths, or `n_repeats == 0`.
+pub fn permutation_importance<M, F>(
+    model: &M,
+    x: &Matrix,
+    y: &[f64],
+    metric: F,
+    n_repeats: usize,
+    seed: u64,
+) -> Vec<f64>
+where
+    M: Regressor,
+    F: Fn(&[f64], &[f64]) -> f64,
+{
+    assert!(x.rows() > 1, "need at least two samples");
+    assert_eq!(x.rows(), y.len(), "x/y length mismatch");
+    assert!(n_repeats > 0, "need at least one repeat");
+
+    let baseline = metric(y, &model.predict(x));
+    let n = x.rows();
+    let p = x.cols();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut importances = vec![0.0; p];
+
+    for (col, imp) in importances.iter_mut().enumerate() {
+        let mut total = 0.0;
+        for _ in 0..n_repeats {
+            // Shuffle the target column's values across rows.
+            let mut perm: Vec<usize> = (0..n).collect();
+            perm.shuffle(&mut rng);
+            let mut shuffled = x.clone();
+            for (dst, &src) in perm.iter().enumerate() {
+                *shuffled.get_mut(dst, col) = x.get(src, col);
+            }
+            total += metric(y, &model.predict(&shuffled)) - baseline;
+        }
+        *imp = total / n_repeats as f64;
+    }
+    importances
+}
+
+/// Importances normalized to fractions of their (non-negative) total.
+/// All-zero importances normalize to all-zeros.
+pub fn normalized_importance(importances: &[f64]) -> Vec<f64> {
+    let clipped: Vec<f64> = importances.iter().map(|v| v.max(0.0)).collect();
+    let total: f64 = clipped.iter().sum();
+    if total <= 0.0 {
+        vec![0.0; importances.len()]
+    } else {
+        clipped.iter().map(|v| v / total).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forest::{RandomForest, RandomForestParams};
+    use crate::metrics::mse;
+
+    fn fit_forest(x: &Matrix, y: &[f64]) -> RandomForest {
+        let mut f = RandomForest::new(
+            RandomForestParams {
+                n_estimators: 25,
+                ..Default::default()
+            },
+            0,
+        );
+        f.fit(x, y);
+        f
+    }
+
+    /// y depends strongly on feature 0, weakly on feature 1, and not at all
+    /// on feature 2.
+    fn data() -> (Matrix, Vec<f64>) {
+        let rows: Vec<Vec<f64>> = (0..200)
+            .map(|i| {
+                let a = (i % 20) as f64;
+                let b = ((i / 20) % 10) as f64; // independent of `a`
+                let c = ((i * 13) % 17) as f64; // pure noise
+                vec![a, b, c]
+            })
+            .collect();
+        let y: Vec<f64> = rows.iter().map(|r| 10.0 * r[0] + r[1]).collect();
+        (Matrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn ranks_features_by_signal() {
+        let (x, y) = data();
+        let model = fit_forest(&x, &y);
+        let imp = permutation_importance(&model, &x, &y, mse, 3, 7);
+        assert!(imp[0] > imp[1], "strong beats weak: {imp:?}");
+        assert!(imp[1] > imp[2], "weak beats noise: {imp:?}");
+        assert!(imp[0] > 10.0 * imp[2].max(1e-9), "strong dwarfs noise");
+    }
+
+    #[test]
+    fn noise_feature_importance_near_zero() {
+        let (x, y) = data();
+        let model = fit_forest(&x, &y);
+        let imp = permutation_importance(&model, &x, &y, mse, 3, 7);
+        let scale = imp[0];
+        assert!(imp[2].abs() < 0.05 * scale);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = data();
+        let model = fit_forest(&x, &y);
+        let a = permutation_importance(&model, &x, &y, mse, 2, 9);
+        let b = permutation_importance(&model, &x, &y, mse, 2, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn normalization_sums_to_one() {
+        let n = normalized_importance(&[3.0, 1.0, -0.5]);
+        assert!((n.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(n[2], 0.0, "negative importances clip to zero");
+        assert!((n[0] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_zero_normalizes_to_zero() {
+        assert_eq!(normalized_importance(&[0.0, -1.0]), vec![0.0, 0.0]);
+    }
+}

@@ -1,0 +1,197 @@
+//! Lasso regression via cyclic coordinate descent.
+//!
+//! Minimizes `(1/2n)·‖y − Xw − b‖² + α·‖w‖₁` with the standard
+//! soft-thresholding update, iterating until the maximum coefficient change
+//! drops below tolerance. Features are standardized internally (and the
+//! learned weights folded back), so the penalty treats features evenly —
+//! the same convention scikit-learn's `Lasso` uses after a `StandardScaler`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::Matrix;
+use crate::scaler::StandardScaler;
+use crate::Regressor;
+
+/// L1-regularized linear regression.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Lasso {
+    /// L1 penalty strength.
+    pub alpha: f64,
+    /// Convergence tolerance on the max coefficient update.
+    pub tol: f64,
+    /// Iteration cap.
+    pub max_iter: usize,
+    weights: Vec<f64>,
+    intercept: f64,
+    scaler: Option<StandardScaler>,
+    fitted: bool,
+}
+
+impl Lasso {
+    /// Lasso with penalty `alpha` and default convergence settings.
+    ///
+    /// # Panics
+    /// Panics on negative `alpha`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha >= 0.0, "alpha must be ≥ 0");
+        Lasso {
+            alpha,
+            tol: 1e-8,
+            max_iter: 10_000,
+            weights: Vec::new(),
+            intercept: 0.0,
+            scaler: None,
+            fitted: false,
+        }
+    }
+
+    /// Fitted coefficients in the *standardized* feature space.
+    pub fn coefficients(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Number of exactly-zero coefficients (sparsity induced by the L1
+    /// penalty).
+    pub fn n_zero_coefficients(&self) -> usize {
+        self.weights.iter().filter(|w| **w == 0.0).count()
+    }
+}
+
+fn soft_threshold(z: f64, gamma: f64) -> f64 {
+    if z > gamma {
+        z - gamma
+    } else if z < -gamma {
+        z + gamma
+    } else {
+        0.0
+    }
+}
+
+impl Regressor for Lasso {
+    fn fit(&mut self, x_raw: &Matrix, y: &[f64]) {
+        assert_eq!(x_raw.rows(), y.len(), "x/y length mismatch");
+        assert!(x_raw.rows() > 0, "cannot fit on an empty dataset");
+        let scaler = StandardScaler::fit(x_raw);
+        let x = scaler.transform(x_raw);
+        let n = x.rows();
+        let p = x.cols();
+        let nf = n as f64;
+
+        let y_mean = y.iter().sum::<f64>() / nf;
+        let mut w = vec![0.0; p];
+        // Residual r = y_centered - Xw; starts at y_centered since w = 0.
+        let mut r: Vec<f64> = y.iter().map(|v| v - y_mean).collect();
+        // Column squared norms (constant across iterations).
+        let col_sq: Vec<f64> = (0..p)
+            .map(|j| x.iter_rows().map(|row| row[j] * row[j]).sum::<f64>())
+            .collect();
+
+        for _ in 0..self.max_iter {
+            let mut max_delta: f64 = 0.0;
+            for j in 0..p {
+                if col_sq[j] == 0.0 {
+                    continue;
+                }
+                let w_old = w[j];
+                // ρ = xⱼ·(r + xⱼ wⱼ)
+                let mut rho = 0.0;
+                for (i, row) in x.iter_rows().enumerate() {
+                    rho += row[j] * (r[i] + row[j] * w_old);
+                }
+                let w_new = soft_threshold(rho / nf, self.alpha) / (col_sq[j] / nf);
+                if w_new != w_old {
+                    let delta = w_new - w_old;
+                    for (i, row) in x.iter_rows().enumerate() {
+                        r[i] -= row[j] * delta;
+                    }
+                    w[j] = w_new;
+                    max_delta = max_delta.max(delta.abs());
+                }
+            }
+            if max_delta < self.tol {
+                break;
+            }
+        }
+
+        self.weights = w;
+        self.intercept = y_mean;
+        self.scaler = Some(scaler);
+        self.fitted = true;
+    }
+
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        assert!(self.fitted, "predict before fit");
+        let scaler = self.scaler.as_ref().expect("fitted");
+        let mut buf = row.to_vec();
+        scaler.transform_row(&mut buf);
+        self.intercept
+            + self
+                .weights
+                .iter()
+                .zip(&buf)
+                .map(|(w, x)| w * x)
+                .sum::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_data() -> (Matrix, Vec<f64>) {
+        // y = 4x₀ + 0·x₁ + 1
+        let rows: Vec<Vec<f64>> = (0..40)
+            .map(|i| {
+                let a = i as f64 / 4.0;
+                let b = ((i * 7919) % 13) as f64; // irrelevant feature
+                vec![a, b]
+            })
+            .collect();
+        let y = rows.iter().map(|r| 4.0 * r[0] + 1.0).collect();
+        (Matrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn small_alpha_recovers_regression() {
+        let (x, y) = linear_data();
+        let mut m = Lasso::new(1e-6);
+        m.fit(&x, &y);
+        for (i, r) in x.iter_rows().enumerate().take(5) {
+            assert!((m.predict_row(r) - y[i]).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn l1_penalty_zeroes_irrelevant_feature() {
+        let (x, y) = linear_data();
+        let mut m = Lasso::new(0.1);
+        m.fit(&x, &y);
+        // Feature 1 carries no signal; the L1 penalty must kill it.
+        assert_eq!(m.coefficients()[1], 0.0);
+        assert!(m.coefficients()[0].abs() > 1.0);
+        assert_eq!(m.n_zero_coefficients(), 1);
+    }
+
+    #[test]
+    fn huge_alpha_predicts_mean() {
+        let (x, y) = linear_data();
+        let mut m = Lasso::new(1e6);
+        m.fit(&x, &y);
+        let mean = y.iter().sum::<f64>() / y.len() as f64;
+        assert!((m.predict_row(x.row(0)) - mean).abs() < 1e-9);
+        assert_eq!(m.n_zero_coefficients(), 2);
+    }
+
+    #[test]
+    fn soft_threshold_cases() {
+        assert_eq!(soft_threshold(3.0, 1.0), 2.0);
+        assert_eq!(soft_threshold(-3.0, 1.0), -2.0);
+        assert_eq!(soft_threshold(0.5, 1.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be ≥ 0")]
+    fn negative_alpha_rejected() {
+        let _ = Lasso::new(-1.0);
+    }
+}

@@ -1,0 +1,223 @@
+//! Ordinary least squares via the normal equations.
+//!
+//! Solves `(XᵀX + λI) w = Xᵀy` with Gaussian elimination and partial
+//! pivoting. A tiny default ridge `λ` keeps rank-deficient designs (e.g.
+//! constant features after one-hot workload encodings) solvable, matching
+//! scikit-learn's practical robustness without an SVD dependency.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::Matrix;
+use crate::Regressor;
+
+/// Linear regression `ŷ = w·x + b`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearRegression {
+    /// Ridge stabilizer added to the normal-equation diagonal.
+    pub ridge: f64,
+    weights: Vec<f64>,
+    intercept: f64,
+    fitted: bool,
+}
+
+impl Default for LinearRegression {
+    fn default() -> Self {
+        LinearRegression::new()
+    }
+}
+
+impl LinearRegression {
+    /// OLS with the default numerical stabilizer (λ = 1e-8).
+    pub fn new() -> Self {
+        LinearRegression {
+            ridge: 1e-8,
+            weights: Vec::new(),
+            intercept: 0.0,
+            fitted: false,
+        }
+    }
+
+    /// Ridge regression with an explicit λ.
+    ///
+    /// # Panics
+    /// Panics on negative λ.
+    pub fn with_ridge(ridge: f64) -> Self {
+        assert!(ridge >= 0.0, "ridge penalty must be ≥ 0");
+        LinearRegression {
+            ridge,
+            ..LinearRegression::new()
+        }
+    }
+
+    /// Fitted coefficients (empty before `fit`).
+    pub fn coefficients(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Fitted intercept.
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+}
+
+/// Solves `A x = b` in place with partial pivoting.
+///
+/// # Panics
+/// Panics if the system is numerically singular even after stabilization.
+// Indexed loops keep the triangular-elimination math readable.
+#[allow(clippy::needless_range_loop)]
+pub(crate) fn solve_dense(a: &mut [Vec<f64>], b: &mut [f64]) -> Vec<f64> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot: largest |value| in this column at/under the diagonal.
+        let pivot = (col..n)
+            .max_by(|&i, &j| {
+                a[i][col]
+                    .abs()
+                    .partial_cmp(&a[j][col].abs())
+                    .expect("finite")
+            })
+            .expect("non-empty range");
+        assert!(
+            a[pivot][col].abs() > 1e-300,
+            "singular system in linear solve"
+        );
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in (col + 1)..n {
+            let factor = a[row][col] / a[col][col];
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in (row + 1)..n {
+            acc -= a[row][k] * x[k];
+        }
+        x[row] = acc / a[row][row];
+    }
+    x
+}
+
+impl Regressor for LinearRegression {
+    // Indexed loops mirror the XᵀX accumulation formulas.
+    #[allow(clippy::needless_range_loop)]
+    fn fit(&mut self, x: &Matrix, y: &[f64]) {
+        assert_eq!(x.rows(), y.len(), "x/y length mismatch");
+        assert!(x.rows() > 0, "cannot fit on an empty dataset");
+        let n = x.rows();
+        let p = x.cols();
+        // Augmented design: [X | 1] so the intercept is the last weight.
+        let d = p + 1;
+        let mut xtx = vec![vec![0.0; d]; d];
+        let mut xty = vec![0.0; d];
+        for (i, row) in x.iter_rows().enumerate() {
+            for a in 0..d {
+                let xa = if a < p { row[a] } else { 1.0 };
+                xty[a] += xa * y[i];
+                for b in a..d {
+                    let xb = if b < p { row[b] } else { 1.0 };
+                    xtx[a][b] += xa * xb;
+                }
+            }
+        }
+        // Mirror the upper triangle and stabilize the diagonal.
+        for a in 0..d {
+            for b in 0..a {
+                xtx[a][b] = xtx[b][a];
+            }
+            xtx[a][a] += self.ridge * n as f64;
+        }
+        let w = solve_dense(&mut xtx, &mut xty);
+        self.intercept = w[p];
+        self.weights = w[..p].to_vec();
+        self.fitted = true;
+    }
+
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        assert!(self.fitted, "predict before fit");
+        assert_eq!(row.len(), self.weights.len(), "feature count mismatch");
+        self.intercept
+            + self
+                .weights
+                .iter()
+                .zip(row)
+                .map(|(w, x)| w * x)
+                .sum::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_linear_relationship() {
+        // y = 3x₀ - 2x₁ + 5
+        let x = Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![2.0, 3.0],
+            vec![-1.0, 4.0],
+        ]);
+        let y: Vec<f64> = x
+            .iter_rows()
+            .map(|r| 3.0 * r[0] - 2.0 * r[1] + 5.0)
+            .collect();
+        let mut m = LinearRegression::new();
+        m.fit(&x, &y);
+        assert!((m.coefficients()[0] - 3.0).abs() < 1e-6);
+        assert!((m.coefficients()[1] + 2.0).abs() < 1e-6);
+        assert!((m.intercept() - 5.0).abs() < 1e-6);
+        assert!((m.predict_row(&[10.0, 10.0]) - 15.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn handles_collinear_features_with_ridge() {
+        // Second feature duplicates the first: rank deficient.
+        let x = Matrix::from_rows(&[
+            vec![1.0, 1.0],
+            vec![2.0, 2.0],
+            vec![3.0, 3.0],
+            vec![4.0, 4.0],
+        ]);
+        let y = vec![2.0, 4.0, 6.0, 8.0];
+        let mut m = LinearRegression::with_ridge(1e-6);
+        m.fit(&x, &y);
+        let pred = m.predict_row(&[5.0, 5.0]);
+        assert!((pred - 10.0).abs() < 1e-3, "got {pred}");
+    }
+
+    #[test]
+    fn fits_intercept_only_on_constant_features() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![1.0], vec![1.0]]);
+        let y = vec![4.0, 6.0, 8.0];
+        let mut m = LinearRegression::new();
+        m.fit(&x, &y);
+        assert!((m.predict_row(&[1.0]) - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "predict before fit")]
+    fn predict_before_fit_panics() {
+        let m = LinearRegression::new();
+        let _ = m.predict_row(&[1.0]);
+    }
+
+    #[test]
+    fn solver_solves_small_system() {
+        let mut a = vec![vec![2.0, 1.0], vec![1.0, 3.0]];
+        let mut b = vec![5.0, 10.0];
+        let x = solve_dense(&mut a, &mut b);
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,135 @@
+//! Regression quality metrics.
+//!
+//! The paper's accuracy analysis is based on the **mean absolute percentage
+//! error** (MAPE, §5.2.1): per-frequency absolute percentage errors averaged
+//! over all frequency configurations. MAE/MSE/RMSE/R² are provided for model
+//! selection.
+
+/// Mean absolute percentage error: `mean(|ŷ - y| / |y|)`.
+///
+/// Reported as a fraction (0.01 = 1 %), matching the paper's Figure 13 axis.
+///
+/// # Panics
+/// Panics on length mismatch, empty input, or a zero true value (percentage
+/// error is undefined there; the paper's targets — speedups, normalized
+/// energies, times, energies — are all strictly positive).
+pub fn mape(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    check(y_true, y_pred);
+    let s: f64 = y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(t, p)| {
+            assert!(*t != 0.0, "MAPE undefined for zero true value");
+            ((p - t) / t).abs()
+        })
+        .sum();
+    s / y_true.len() as f64
+}
+
+/// Mean absolute error.
+pub fn mae(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    check(y_true, y_pred);
+    let s: f64 = y_true.iter().zip(y_pred).map(|(t, p)| (p - t).abs()).sum();
+    s / y_true.len() as f64
+}
+
+/// Mean squared error.
+pub fn mse(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    check(y_true, y_pred);
+    let s: f64 = y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(t, p)| (p - t) * (p - t))
+        .sum();
+    s / y_true.len() as f64
+}
+
+/// Root mean squared error.
+pub fn rmse(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    mse(y_true, y_pred).sqrt()
+}
+
+/// Coefficient of determination R². A constant-target input yields 1.0 for
+/// a perfect prediction and `-inf`-free 0.0 otherwise (scikit-learn returns
+/// 0.0 in the degenerate case too).
+pub fn r2(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    check(y_true, y_pred);
+    let mean = y_true.iter().sum::<f64>() / y_true.len() as f64;
+    let ss_tot: f64 = y_true.iter().map(|t| (t - mean) * (t - mean)).sum();
+    let ss_res: f64 = y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(t, p)| (t - p) * (t - p))
+        .sum();
+    if ss_tot == 0.0 {
+        if ss_res == 0.0 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+fn check(y_true: &[f64], y_pred: &[f64]) {
+    assert_eq!(y_true.len(), y_pred.len(), "length mismatch");
+    assert!(!y_true.is_empty(), "metrics need at least one sample");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_zero_error() {
+        let y = [1.0, 2.0, 3.0];
+        assert_eq!(mape(&y, &y), 0.0);
+        assert_eq!(mae(&y, &y), 0.0);
+        assert_eq!(mse(&y, &y), 0.0);
+        assert_eq!(r2(&y, &y), 1.0);
+    }
+
+    #[test]
+    fn mape_is_relative() {
+        // 10% over-prediction everywhere → MAPE = 0.10 exactly.
+        let y_true = [1.0, 10.0, 100.0];
+        let y_pred = [1.1, 11.0, 110.0];
+        assert!((mape(&y_true, &y_pred) - 0.10).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mae_mse_relationship() {
+        let y_true = [0.0, 0.0];
+        let y_pred = [1.0, -1.0];
+        assert_eq!(mae(&y_true, &y_pred), 1.0);
+        assert_eq!(mse(&y_true, &y_pred), 1.0);
+        assert_eq!(rmse(&y_true, &y_pred), 1.0);
+    }
+
+    #[test]
+    fn r2_of_mean_prediction_is_zero() {
+        let y_true = [1.0, 2.0, 3.0];
+        let y_pred = [2.0, 2.0, 2.0];
+        assert!(r2(&y_true, &y_pred).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_degenerate_constant_target() {
+        let y = [5.0, 5.0];
+        assert_eq!(r2(&y, &[5.0, 5.0]), 1.0);
+        assert_eq!(r2(&y, &[4.0, 6.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero true value")]
+    fn mape_rejects_zero_truth() {
+        let _ = mape(&[0.0], &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = mae(&[1.0], &[1.0, 2.0]);
+    }
+}

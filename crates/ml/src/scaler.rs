@@ -1,0 +1,150 @@
+//! Feature standardization.
+//!
+//! Zero-mean / unit-variance scaling, fit on the training split only (the
+//! standard leakage-free protocol). The SVR and Lasso models are
+//! scale-sensitive; trees and forests are not, but the shared pipeline
+//! standardizes uniformly so model comparison is apples-to-apples.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::Matrix;
+
+/// Per-feature standardizer: `x' = (x - mean) / std`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StandardScaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Fits means and standard deviations on `x`. Constant features get a
+    /// standard deviation of 1 so they pass through centered (scikit-learn
+    /// behaviour).
+    ///
+    /// # Panics
+    /// Panics on an empty matrix.
+    pub fn fit(x: &Matrix) -> Self {
+        assert!(x.rows() > 0, "cannot fit a scaler on an empty matrix");
+        let n = x.rows() as f64;
+        let p = x.cols();
+        let mut means = vec![0.0; p];
+        for row in x.iter_rows() {
+            for (m, v) in means.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut vars = vec![0.0; p];
+        for row in x.iter_rows() {
+            for ((v, m), x) in vars.iter_mut().zip(&means).zip(row) {
+                let d = x - m;
+                *v += d * d;
+            }
+        }
+        let stds = vars
+            .iter()
+            .map(|v| {
+                let s = (v / n).sqrt();
+                if s > 1e-12 {
+                    s
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        StandardScaler { means, stds }
+    }
+
+    /// Number of features this scaler was fit on.
+    pub fn n_features(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Transforms a matrix.
+    ///
+    /// # Panics
+    /// Panics on a feature-count mismatch.
+    pub fn transform(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.n_features(), "feature count mismatch");
+        let mut out = Matrix::with_cols(x.cols());
+        let mut buf = vec![0.0; x.cols()];
+        for row in x.iter_rows() {
+            for (o, ((v, m), s)) in buf
+                .iter_mut()
+                .zip(row.iter().zip(&self.means).zip(&self.stds))
+            {
+                *o = (v - m) / s;
+            }
+            out.push_row(&buf);
+        }
+        out
+    }
+
+    /// Transforms one row in place.
+    pub fn transform_row(&self, row: &mut [f64]) {
+        assert_eq!(row.len(), self.n_features(), "feature count mismatch");
+        for ((v, m), s) in row.iter_mut().zip(&self.means).zip(&self.stds) {
+            *v = (*v - m) / s;
+        }
+    }
+
+    /// Inverse transform of one row in place.
+    pub fn inverse_transform_row(&self, row: &mut [f64]) {
+        assert_eq!(row.len(), self.n_features(), "feature count mismatch");
+        for ((v, m), s) in row.iter_mut().zip(&self.means).zip(&self.stds) {
+            *v = *v * s + m;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardizes_to_zero_mean_unit_var() {
+        let x = Matrix::from_rows(&[vec![1.0, 10.0], vec![2.0, 20.0], vec![3.0, 30.0]]);
+        let sc = StandardScaler::fit(&x);
+        let t = sc.transform(&x);
+        for j in 0..2 {
+            let col = t.column(j);
+            let mean: f64 = col.iter().sum::<f64>() / col.len() as f64;
+            let var: f64 =
+                col.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / col.len() as f64;
+            assert!(mean.abs() < 1e-12);
+            assert!((var - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_feature_passes_through_centered() {
+        let x = Matrix::from_rows(&[vec![5.0], vec![5.0]]);
+        let sc = StandardScaler::fit(&x);
+        let t = sc.transform(&x);
+        assert_eq!(t.column(0), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn round_trip_inverse() {
+        let x = Matrix::from_rows(&[vec![1.0, -4.0], vec![7.0, 2.5]]);
+        let sc = StandardScaler::fit(&x);
+        let mut row = vec![3.0, 0.5];
+        let orig = row.clone();
+        sc.transform_row(&mut row);
+        sc.inverse_transform_row(&mut row);
+        for (a, b) in row.iter().zip(&orig) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "feature count mismatch")]
+    fn transform_checks_width() {
+        let x = Matrix::from_rows(&[vec![1.0, 2.0]]);
+        let sc = StandardScaler::fit(&x);
+        let bad = Matrix::from_rows(&[vec![1.0]]);
+        let _ = sc.transform(&bad);
+    }
+}

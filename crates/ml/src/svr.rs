@@ -1,0 +1,273 @@
+//! ε-insensitive support-vector regression with an RBF kernel.
+//!
+//! Solves the SVR dual in the `β = α − α*` parameterization with cyclic
+//! coordinate descent (a sequential-minimal-optimization variant that
+//! updates one dual variable per step):
+//!
+//! ```text
+//! min_β  ½ βᵀKβ − βᵀy + ε‖β‖₁     s.t.  −C ≤ βᵢ ≤ C
+//! ```
+//!
+//! The bias is handled by centering the targets, and features are
+//! standardized internally (RBF kernels are scale-sensitive). `gamma`
+//! defaults to scikit-learn's `"scale"` heuristic, which after
+//! standardization reduces to `1/p`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::Matrix;
+use crate::scaler::StandardScaler;
+use crate::Regressor;
+
+/// SVR hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SvrParams {
+    /// Box constraint (regularization strength; larger = less regular).
+    pub c: f64,
+    /// ε-insensitive tube half-width.
+    pub epsilon: f64,
+    /// RBF width; `None` = `"scale"` (1/p after standardization).
+    pub gamma: Option<f64>,
+    /// Convergence tolerance on the largest dual update per sweep.
+    pub tol: f64,
+    /// Sweep cap.
+    pub max_iter: usize,
+}
+
+impl Default for SvrParams {
+    fn default() -> Self {
+        SvrParams {
+            c: 10.0,
+            epsilon: 0.01,
+            gamma: None,
+            tol: 1e-6,
+            max_iter: 2_000,
+        }
+    }
+}
+
+/// A fitted RBF-kernel support-vector regressor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SvrRbf {
+    /// Hyper-parameters.
+    pub params: SvrParams,
+    scaler: Option<StandardScaler>,
+    support_x: Option<Matrix>,
+    beta: Vec<f64>,
+    bias: f64,
+    gamma: f64,
+}
+
+impl SvrRbf {
+    /// SVR with explicit parameters.
+    ///
+    /// # Panics
+    /// Panics on non-positive `C` or negative `epsilon`.
+    pub fn new(params: SvrParams) -> Self {
+        assert!(params.c > 0.0, "C must be positive");
+        assert!(params.epsilon >= 0.0, "epsilon must be ≥ 0");
+        SvrRbf {
+            params,
+            scaler: None,
+            support_x: None,
+            beta: Vec::new(),
+            bias: 0.0,
+            gamma: 0.0,
+        }
+    }
+
+    /// SVR with default parameters.
+    pub fn with_defaults() -> Self {
+        SvrRbf::new(SvrParams::default())
+    }
+
+    /// Number of support vectors (non-zero dual coefficients).
+    pub fn n_support(&self) -> usize {
+        self.beta.iter().filter(|b| b.abs() > 1e-12).count()
+    }
+
+    fn rbf(&self, a: &[f64], b: &[f64]) -> f64 {
+        let d2: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+        (-self.gamma * d2).exp()
+    }
+}
+
+impl Regressor for SvrRbf {
+    fn fit(&mut self, x_raw: &Matrix, y: &[f64]) {
+        assert_eq!(x_raw.rows(), y.len(), "x/y length mismatch");
+        assert!(x_raw.rows() > 0, "cannot fit on an empty dataset");
+        let scaler = StandardScaler::fit(x_raw);
+        let x = scaler.transform(x_raw);
+        let n = x.rows();
+        self.gamma = self.params.gamma.unwrap_or(1.0 / x.cols() as f64);
+
+        // Center targets; the mean is the bias.
+        let y_mean = y.iter().sum::<f64>() / n as f64;
+        let yc: Vec<f64> = y.iter().map(|v| v - y_mean).collect();
+
+        // Dense kernel matrix. The paper's datasets are a few thousand rows
+        // at most (inputs × frequencies), so O(n²) memory is fine; guard
+        // against accidental misuse anyway.
+        assert!(
+            n <= 20_000,
+            "dense-kernel SVR is limited to 20k samples (got {n})"
+        );
+        let mut k = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in i..n {
+                let v = self.rbf(x.row(i), x.row(j));
+                k[i * n + j] = v;
+                k[j * n + i] = v;
+            }
+        }
+
+        let c = self.params.c;
+        let eps = self.params.epsilon;
+        let mut beta = vec![0.0f64; n];
+        // f_i = Σ_j K_ij β_j, maintained incrementally.
+        let mut f = vec![0.0f64; n];
+
+        for _ in 0..self.params.max_iter {
+            let mut max_delta: f64 = 0.0;
+            for i in 0..n {
+                let kii = k[i * n + i];
+                if kii <= 0.0 {
+                    continue;
+                }
+                let b_old = beta[i];
+                // Gradient of the smooth part w.r.t. β_i, excluding the
+                // diagonal contribution of β_i itself.
+                let g = f[i] - kii * b_old - yc[i];
+                // Unconstrained soft-threshold minimizer, then box-clip.
+                let raw = -g;
+                let b_new = if raw > eps {
+                    (raw - eps) / kii
+                } else if raw < -eps {
+                    (raw + eps) / kii
+                } else {
+                    0.0
+                }
+                .clamp(-c, c);
+                if b_new != b_old {
+                    let delta = b_new - b_old;
+                    let krow = &k[i * n..(i + 1) * n];
+                    for (fj, kij) in f.iter_mut().zip(krow) {
+                        *fj += kij * delta;
+                    }
+                    beta[i] = b_new;
+                    max_delta = max_delta.max(delta.abs());
+                }
+            }
+            if max_delta < self.params.tol {
+                break;
+            }
+        }
+
+        self.scaler = Some(scaler);
+        self.support_x = Some(x);
+        self.beta = beta;
+        self.bias = y_mean;
+    }
+
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        let scaler = self.scaler.as_ref().expect("predict before fit");
+        let sx = self.support_x.as_ref().expect("fitted");
+        let mut buf = row.to_vec();
+        scaler.transform_row(&mut buf);
+        let mut acc = self.bias;
+        for (i, b) in self.beta.iter().enumerate() {
+            if b.abs() > 1e-12 {
+                acc += b * self.rbf(sx.row(i), &buf);
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{mape, r2};
+
+    fn sine_data(n: usize) -> (Matrix, Vec<f64>) {
+        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 / n as f64 * 4.0]).collect();
+        let y = rows.iter().map(|r| r[0].sin() + 2.0).collect();
+        (Matrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn fits_smooth_nonlinear_function() {
+        let (x, y) = sine_data(120);
+        let mut m = SvrRbf::with_defaults();
+        m.fit(&x, &y);
+        let pred = m.predict(&x);
+        assert!(r2(&y, &pred) > 0.99, "R² = {}", r2(&y, &pred));
+        assert!(mape(&y, &pred) < 0.02);
+    }
+
+    #[test]
+    fn epsilon_tube_creates_sparsity() {
+        let (x, y) = sine_data(100);
+        let mut tight = SvrRbf::new(SvrParams {
+            epsilon: 0.0,
+            ..Default::default()
+        });
+        tight.fit(&x, &y);
+        let mut loose = SvrRbf::new(SvrParams {
+            epsilon: 0.3,
+            ..Default::default()
+        });
+        loose.fit(&x, &y);
+        assert!(
+            loose.n_support() < tight.n_support(),
+            "wider tube ⇒ fewer support vectors ({} vs {})",
+            loose.n_support(),
+            tight.n_support()
+        );
+    }
+
+    #[test]
+    fn heavy_regularization_flattens_prediction() {
+        let (x, y) = sine_data(80);
+        let mut m = SvrRbf::new(SvrParams {
+            c: 1e-6,
+            ..Default::default()
+        });
+        m.fit(&x, &y);
+        let mean = y.iter().sum::<f64>() / y.len() as f64;
+        // With a vanishing box, predictions collapse to the bias (= mean).
+        for r in x.iter_rows().step_by(9) {
+            assert!((m.predict_row(r) - mean).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn interpolates_between_training_points() {
+        let (x, y) = sine_data(100);
+        let mut m = SvrRbf::with_defaults();
+        m.fit(&x, &y);
+        let mid = 1.02f64; // between grid points
+        let expect = mid.sin() + 2.0;
+        let pred = m.predict_row(&[mid]);
+        assert!((pred - expect).abs() < 0.05, "pred {pred} vs {expect}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let (x, y) = sine_data(60);
+        let mut a = SvrRbf::with_defaults();
+        let mut b = SvrRbf::with_defaults();
+        a.fit(&x, &y);
+        b.fit(&x, &y);
+        assert_eq!(a.predict(&x), b.predict(&x));
+    }
+
+    #[test]
+    #[should_panic(expected = "C must be positive")]
+    fn zero_c_rejected() {
+        let _ = SvrRbf::new(SvrParams {
+            c: 0.0,
+            ..Default::default()
+        });
+    }
+}

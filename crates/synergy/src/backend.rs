@@ -1,0 +1,265 @@
+//! Vendor backend dispatch.
+//!
+//! SYnergy hides NVML / ROCm-SMI / Level Zero behind one interface; this
+//! module does the same over the simulated vendor layers. The essential
+//! vendor asymmetry the paper leans on is preserved: NVIDIA devices have a
+//! *fixed default clock* while AMD devices default to an *auto* governor, so
+//! [`Backend::default_config`] returns a [`DefaultConfig`] rather than a
+//! number.
+
+use gpu_sim::device::LaunchRecord;
+use gpu_sim::kernel::KernelProfile;
+use gpu_sim::level_zero::ZeDevice;
+use gpu_sim::nvml::NvmlDevice;
+use gpu_sim::rocm::RocmDevice;
+use gpu_sim::Vendor;
+
+/// What "default frequency configuration" means on this device — the
+/// baseline every speedup/normalized-energy figure in the paper divides by.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DefaultConfig {
+    /// A fixed default core clock in MHz (NVIDIA application clocks).
+    FixedMhz(f64),
+    /// The vendor's automatic DVFS governor (AMD performance level "auto").
+    Auto,
+}
+
+/// A vendor-specific management + execution backend.
+pub trait Backend: Send {
+    /// Device marketing name.
+    fn device_name(&self) -> String;
+    /// Device vendor.
+    fn vendor(&self) -> Vendor;
+    /// All core frequencies the device supports, ascending (MHz).
+    fn supported_core_frequencies(&self) -> Vec<f64>;
+    /// The device's default configuration.
+    fn default_config(&self) -> DefaultConfig;
+    /// Cumulative device energy counter (J).
+    fn energy_counter_j(&self) -> f64;
+    /// Runs a kernel at `freq`; `None` means the default configuration
+    /// (fixed default clock or auto governor, per vendor).
+    fn launch(&mut self, kernel: &KernelProfile, freq_mhz: Option<f64>) -> LaunchRecord;
+}
+
+/// NVML-backed (NVIDIA) implementation.
+#[derive(Debug, Clone)]
+pub struct NvmlBackend {
+    device: NvmlDevice,
+}
+
+impl NvmlBackend {
+    /// Wraps an NVML device handle.
+    pub fn new(device: NvmlDevice) -> Self {
+        NvmlBackend { device }
+    }
+}
+
+impl Backend for NvmlBackend {
+    fn device_name(&self) -> String {
+        self.device.name()
+    }
+
+    fn vendor(&self) -> Vendor {
+        Vendor::Nvidia
+    }
+
+    fn supported_core_frequencies(&self) -> Vec<f64> {
+        let mem = self.device.supported_memory_clocks()[0];
+        self.device
+            .supported_graphics_clocks(mem)
+            .expect("own memory clock is supported")
+    }
+
+    fn default_config(&self) -> DefaultConfig {
+        let shared = self.device.shared();
+        let mhz = shared.lock().spec().default_core_mhz;
+        DefaultConfig::FixedMhz(mhz)
+    }
+
+    fn energy_counter_j(&self) -> f64 {
+        self.device.total_energy_consumption_mj() as f64 * 1e-3
+    }
+
+    fn launch(&mut self, kernel: &KernelProfile, freq_mhz: Option<f64>) -> LaunchRecord {
+        let shared = self.device.shared();
+        let mut dev = shared.lock();
+        match freq_mhz {
+            Some(f) => dev.launch_at(kernel, f),
+            None => {
+                let f = dev.spec().default_core_mhz;
+                dev.launch_at(kernel, f)
+            }
+        }
+    }
+}
+
+/// ROCm-SMI-backed (AMD) implementation.
+#[derive(Debug, Clone)]
+pub struct RocmBackend {
+    device: RocmDevice,
+}
+
+impl RocmBackend {
+    /// Wraps a ROCm-SMI device handle.
+    pub fn new(device: RocmDevice) -> Self {
+        RocmBackend { device }
+    }
+}
+
+impl Backend for RocmBackend {
+    fn device_name(&self) -> String {
+        self.device.name()
+    }
+
+    fn vendor(&self) -> Vendor {
+        Vendor::Amd
+    }
+
+    fn supported_core_frequencies(&self) -> Vec<f64> {
+        self.device.supported_core_clocks()
+    }
+
+    fn default_config(&self) -> DefaultConfig {
+        DefaultConfig::Auto
+    }
+
+    fn energy_counter_j(&self) -> f64 {
+        self.device.energy_count_uj() as f64 * 1e-6
+    }
+
+    fn launch(&mut self, kernel: &KernelProfile, freq_mhz: Option<f64>) -> LaunchRecord {
+        match freq_mhz {
+            Some(f) => {
+                let shared = self.device.shared();
+                let mut dev = shared.lock();
+                dev.launch_at(kernel, f)
+            }
+            // Default on AMD = the auto governor decides.
+            None => self.device.launch(kernel),
+        }
+    }
+}
+
+/// Level-Zero-backed (Intel) implementation.
+#[derive(Debug, Clone)]
+pub struct LevelZeroBackend {
+    device: ZeDevice,
+}
+
+impl LevelZeroBackend {
+    /// Wraps a Level Zero sysman handle.
+    pub fn new(device: ZeDevice) -> Self {
+        LevelZeroBackend { device }
+    }
+}
+
+impl Backend for LevelZeroBackend {
+    fn device_name(&self) -> String {
+        self.device.name()
+    }
+
+    fn vendor(&self) -> Vendor {
+        Vendor::Intel
+    }
+
+    fn supported_core_frequencies(&self) -> Vec<f64> {
+        self.device.available_clocks()
+    }
+
+    fn default_config(&self) -> DefaultConfig {
+        // Intel, like AMD, defaults to a governor (full frequency range).
+        DefaultConfig::Auto
+    }
+
+    fn energy_counter_j(&self) -> f64 {
+        self.device.energy_counter_uj() as f64 * 1e-6
+    }
+
+    fn launch(&mut self, kernel: &KernelProfile, freq_mhz: Option<f64>) -> LaunchRecord {
+        match freq_mhz {
+            // Per-kernel pinning = collapse the range around the request.
+            Some(f) => {
+                let shared = self.device.shared();
+                let mut dev = shared.lock();
+                dev.launch_at(kernel, f)
+            }
+            None => self.device.launch(kernel),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{Device, DeviceSpec};
+
+    #[test]
+    fn nvml_backend_reports_fixed_default() {
+        let b = NvmlBackend::new(NvmlDevice::v100());
+        assert_eq!(b.vendor(), Vendor::Nvidia);
+        match b.default_config() {
+            DefaultConfig::FixedMhz(f) => assert!((f - 1312.1).abs() < 1.0),
+            other => panic!("expected fixed default, got {other:?}"),
+        }
+        assert_eq!(b.supported_core_frequencies().len(), 196);
+    }
+
+    #[test]
+    fn rocm_backend_reports_auto_default() {
+        let b = RocmBackend::new(RocmDevice::mi100());
+        assert_eq!(b.vendor(), Vendor::Amd);
+        assert_eq!(b.default_config(), DefaultConfig::Auto);
+    }
+
+    #[test]
+    fn level_zero_backend_reports_auto_default() {
+        let b = LevelZeroBackend::new(ZeDevice::max1100());
+        assert_eq!(b.vendor(), Vendor::Intel);
+        assert_eq!(b.default_config(), DefaultConfig::Auto);
+        assert_eq!(b.supported_core_frequencies().len(), 26);
+    }
+
+    #[test]
+    fn level_zero_launch_paths() {
+        let k = KernelProfile::compute_bound("k", 1_000_000, 100.0);
+        let mut b = LevelZeroBackend::new(ZeDevice::max1100());
+        assert_eq!(b.launch(&k, None).core_mhz, 1450.0);
+        let rec = b.launch(&k, Some(600.0));
+        assert!((rec.core_mhz - 600.0).abs() < 30.0);
+    }
+
+    #[test]
+    fn launch_with_explicit_frequency_uses_it() {
+        let mut b = NvmlBackend::new(NvmlDevice::v100());
+        let k = KernelProfile::compute_bound("k", 1_000_000, 100.0);
+        let rec = b.launch(&k, Some(500.0));
+        assert!((rec.core_mhz - 500.0).abs() < 10.0);
+    }
+
+    #[test]
+    fn launch_default_uses_vendor_baseline() {
+        let k = KernelProfile::compute_bound("k", 1_000_000, 100.0);
+        let mut nv = NvmlBackend::new(NvmlDevice::v100());
+        assert!((nv.launch(&k, None).core_mhz - 1312.1).abs() < 1.0);
+        let mut amd = RocmBackend::new(RocmDevice::mi100());
+        assert_eq!(amd.launch(&k, None).core_mhz, 1450.0);
+    }
+
+    #[test]
+    fn energy_counter_advances() {
+        let mut b = RocmBackend::new(RocmDevice::mi100());
+        let before = b.energy_counter_j();
+        let k = KernelProfile::memory_bound("k", 5_000_000, 32.0);
+        b.launch(&k, None);
+        assert!(b.energy_counter_j() > before);
+    }
+
+    #[test]
+    fn backends_are_object_safe() {
+        let dev = Device::new(DeviceSpec::v100());
+        let nvml = gpu_sim::nvml::Nvml::init(vec![dev]);
+        let handle = nvml.device_by_index(0).unwrap();
+        let boxed: Box<dyn Backend> = Box::new(NvmlBackend::new(handle));
+        assert_eq!(boxed.device_name(), "NVIDIA V100");
+    }
+}

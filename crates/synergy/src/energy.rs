@@ -1,0 +1,134 @@
+//! Scoped energy measurement.
+//!
+//! The paper profiles whole-application energy "through the SYnergy API"
+//! (§5.1): read the device energy counter, run the phase, read it again.
+//! [`measure`] and [`measure_median`] package that pattern, including the
+//! five-repetition robust aggregation the paper uses against outliers.
+
+use crate::queue::SynergyQueue;
+
+/// An energy/time measurement of one profiled region.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// Wall-clock time of the region (s).
+    pub time_s: f64,
+    /// Energy consumed by the region (J).
+    pub energy_j: f64,
+}
+
+impl Measurement {
+    /// Average power over the region (W). Zero-duration regions report 0.
+    pub fn avg_power_w(&self) -> f64 {
+        if self.time_s > 0.0 {
+            self.energy_j / self.time_s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Measures the kernels a closure submits to `queue`.
+///
+/// Returns the closure's result plus the time/energy delta of everything it
+/// submitted.
+pub fn measure<R>(
+    queue: &mut SynergyQueue,
+    f: impl FnOnce(&mut SynergyQueue) -> R,
+) -> (R, Measurement) {
+    let t0 = queue.total_time_s();
+    let e0 = queue.total_energy_j();
+    let out = f(queue);
+    let m = Measurement {
+        time_s: queue.total_time_s() - t0,
+        energy_j: queue.total_energy_j() - e0,
+    };
+    (out, m)
+}
+
+/// Runs a region `reps` times and returns the median-by-energy measurement —
+/// the paper's "each experiment is repeated five times to reduce the impact
+/// of any outliers" (§5.1).
+///
+/// # Panics
+/// Panics if `reps == 0`.
+pub fn measure_median<R>(
+    queue: &mut SynergyQueue,
+    reps: usize,
+    mut f: impl FnMut(&mut SynergyQueue) -> R,
+) -> Measurement {
+    assert!(reps > 0, "need at least one repetition");
+    let mut samples: Vec<Measurement> = (0..reps)
+        .map(|_| {
+            let (_r, m) = measure(queue, &mut f);
+            m
+        })
+        .collect();
+    samples.sort_by(|a, b| a.energy_j.partial_cmp(&b.energy_j).expect("finite energy"));
+    samples[samples.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{Device, DeviceSpec, KernelProfile};
+
+    fn queue() -> SynergyQueue {
+        SynergyQueue::nvidia(Device::new(DeviceSpec::v100()))
+    }
+
+    #[test]
+    fn measure_captures_submitted_work() {
+        let mut q = queue();
+        let k = KernelProfile::compute_bound("k", 1_000_000, 100.0);
+        let (n, m) = measure(&mut q, |q| {
+            q.submit(&k);
+            q.submit(&k);
+            2
+        });
+        assert_eq!(n, 2);
+        assert!(m.time_s > 0.0);
+        assert!(m.energy_j > 0.0);
+        assert!(m.avg_power_w() > 0.0);
+    }
+
+    #[test]
+    fn measure_isolates_regions() {
+        let mut q = queue();
+        let k = KernelProfile::compute_bound("k", 1_000_000, 100.0);
+        q.submit(&k); // outside the measured region
+        let (_, m) = measure(&mut q, |q| {
+            q.submit(&k);
+        });
+        let single = q.total_energy_j() / 2.0;
+        assert!((m.energy_j - single).abs() < single * 1e-9);
+    }
+
+    #[test]
+    fn median_of_identical_runs_matches_single() {
+        let mut q = queue();
+        let k = KernelProfile::memory_bound("k", 1_000_000, 32.0);
+        let m5 = measure_median(&mut q, 5, |q| {
+            q.submit(&k);
+        });
+        let (_, m1) = measure(&mut q, |q| {
+            q.submit(&k);
+        });
+        assert!((m5.energy_j - m1.energy_j).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_duration_measurement_power_is_zero() {
+        let m = Measurement {
+            time_s: 0.0,
+            energy_j: 0.0,
+        };
+        assert_eq!(m.avg_power_w(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one repetition")]
+    fn zero_reps_panics() {
+        let mut q = queue();
+        let _ = measure_median(&mut q, 0, |_q| {});
+    }
+}

@@ -1,0 +1,142 @@
+//! Target-metric frequency selection.
+//!
+//! SYnergy lets users declare an energy target metric (min-energy, EDP,
+//! ED²P, bounded performance loss) and picks the frequency that optimizes
+//! it. The paper's future-work section plugs its domain-specific models into
+//! exactly this hook: given predicted `(frequency, time, energy)` triples,
+//! select the frequency for the chosen metric.
+
+/// One (frequency, time, energy) operating point — measured or predicted.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperatingPoint {
+    /// Core frequency (MHz).
+    pub freq_mhz: f64,
+    /// Execution time (s).
+    pub time_s: f64,
+    /// Energy (J).
+    pub energy_j: f64,
+}
+
+/// The metric to optimize when choosing a frequency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TargetMetric {
+    /// Minimize energy.
+    MinEnergy,
+    /// Minimize execution time.
+    MaxPerformance,
+    /// Minimize energy-delay product `E·T`.
+    Edp,
+    /// Minimize energy-delay-squared product `E·T²`.
+    Ed2p,
+    /// Minimize energy subject to `time ≤ (1 + max_slowdown) · best_time`.
+    /// E.g. `max_slowdown = 0.05` tolerates a 5 % performance loss.
+    BoundedSlowdown {
+        /// Tolerated relative slowdown vs the fastest point (≥ 0).
+        max_slowdown: f64,
+    },
+}
+
+/// Selects the operating point optimizing `metric`. Returns `None` for an
+/// empty input or if no point satisfies a `BoundedSlowdown` constraint
+/// (impossible, since the fastest point always does, but typed defensively).
+pub fn select(points: &[OperatingPoint], metric: TargetMetric) -> Option<OperatingPoint> {
+    if points.is_empty() {
+        return None;
+    }
+    let by_key = |key: fn(&OperatingPoint) -> f64| {
+        points
+            .iter()
+            .copied()
+            .min_by(|a, b| key(a).partial_cmp(&key(b)).expect("finite metric"))
+    };
+    match metric {
+        TargetMetric::MinEnergy => by_key(|p| p.energy_j),
+        TargetMetric::MaxPerformance => by_key(|p| p.time_s),
+        TargetMetric::Edp => by_key(|p| p.energy_j * p.time_s),
+        TargetMetric::Ed2p => by_key(|p| p.energy_j * p.time_s * p.time_s),
+        TargetMetric::BoundedSlowdown { max_slowdown } => {
+            assert!(max_slowdown >= 0.0, "slowdown bound must be ≥ 0");
+            let t_best = by_key(|p| p.time_s)?.time_s;
+            points
+                .iter()
+                .copied()
+                .filter(|p| p.time_s <= t_best * (1.0 + max_slowdown))
+                .min_by(|a, b| a.energy_j.partial_cmp(&b.energy_j).expect("finite"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts() -> Vec<OperatingPoint> {
+        vec![
+            OperatingPoint {
+                freq_mhz: 500.0,
+                time_s: 4.0,
+                energy_j: 90.0,
+            },
+            OperatingPoint {
+                freq_mhz: 800.0,
+                time_s: 2.5,
+                energy_j: 80.0,
+            },
+            OperatingPoint {
+                freq_mhz: 1100.0,
+                time_s: 2.0,
+                energy_j: 95.0,
+            },
+            OperatingPoint {
+                freq_mhz: 1400.0,
+                time_s: 1.8,
+                energy_j: 130.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn min_energy_selects_800() {
+        let p = select(&pts(), TargetMetric::MinEnergy).unwrap();
+        assert_eq!(p.freq_mhz, 800.0);
+    }
+
+    #[test]
+    fn max_performance_selects_1400() {
+        let p = select(&pts(), TargetMetric::MaxPerformance).unwrap();
+        assert_eq!(p.freq_mhz, 1400.0);
+    }
+
+    #[test]
+    fn edp_balances() {
+        let p = select(&pts(), TargetMetric::Edp).unwrap();
+        // EDPs: 360, 200, 190, 234 → 1100 MHz wins.
+        assert_eq!(p.freq_mhz, 1100.0);
+    }
+
+    #[test]
+    fn ed2p_leans_toward_performance() {
+        let p = select(&pts(), TargetMetric::Ed2p).unwrap();
+        // ED²Ps: 1440, 500, 380, 421 → 1100 MHz wins.
+        assert_eq!(p.freq_mhz, 1100.0);
+    }
+
+    #[test]
+    fn bounded_slowdown_respects_constraint() {
+        // 12% slowdown bound over 1.8 s allows times ≤ 2.016 s → only the
+        // two fastest points qualify; the cheaper of those is 1100 MHz.
+        let p = select(&pts(), TargetMetric::BoundedSlowdown { max_slowdown: 0.12 }).unwrap();
+        assert_eq!(p.freq_mhz, 1100.0);
+    }
+
+    #[test]
+    fn bounded_slowdown_zero_is_max_performance() {
+        let p = select(&pts(), TargetMetric::BoundedSlowdown { max_slowdown: 0.0 }).unwrap();
+        assert_eq!(p.freq_mhz, 1400.0);
+    }
+
+    #[test]
+    fn empty_input_returns_none() {
+        assert_eq!(select(&[], TargetMetric::MinEnergy), None);
+    }
+}

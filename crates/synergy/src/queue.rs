@@ -1,0 +1,298 @@
+//! The profiled submission queue.
+//!
+//! [`SynergyQueue`] is the application-facing object: Cronos and LiGen
+//! submit [`KernelProfile`]s to it exactly where the real codes submit SYCL
+//! kernels to a `synergy::queue`. Every submission is profiled (time and
+//! energy, like SYnergy's event-based profiling) and the queue's
+//! [`FrequencyPolicy`] decides the core clock for each kernel.
+
+use gpu_sim::device::{Device, LaunchRecord};
+use gpu_sim::kernel::KernelProfile;
+use gpu_sim::level_zero::ZeDevice;
+use gpu_sim::nvml::NvmlDevice;
+use gpu_sim::rocm::RocmDevice;
+use gpu_sim::{DeviceSpec, Vendor};
+
+use crate::backend::{Backend, DefaultConfig, LevelZeroBackend, NvmlBackend, RocmBackend};
+use crate::scaling::FrequencyPolicy;
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Profiling data for one completed submission (the SYCL event analogue,
+/// extended with SYnergy's energy counter).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProfiledEvent {
+    /// Kernel wall-clock time (s).
+    pub time_s: f64,
+    /// Kernel energy (J).
+    pub energy_j: f64,
+    /// Core clock the kernel ran at (MHz).
+    pub core_mhz: f64,
+}
+
+impl From<LaunchRecord> for ProfiledEvent {
+    fn from(r: LaunchRecord) -> Self {
+        ProfiledEvent {
+            time_s: r.time_s,
+            energy_j: r.energy_j,
+            core_mhz: r.core_mhz,
+        }
+    }
+}
+
+/// A profiled, frequency-scaling submission queue over one device.
+pub struct SynergyQueue {
+    backend: Box<dyn Backend>,
+    policy: FrequencyPolicy,
+    submissions: u64,
+    total_time_s: f64,
+    total_energy_j: f64,
+}
+
+impl SynergyQueue {
+    /// Builds a queue over an arbitrary backend.
+    pub fn new(backend: Box<dyn Backend>) -> Self {
+        SynergyQueue {
+            backend,
+            policy: FrequencyPolicy::DeviceDefault,
+            submissions: 0,
+            total_time_s: 0.0,
+            total_energy_j: 0.0,
+        }
+    }
+
+    /// Queue over an NVIDIA device (NVML backend).
+    ///
+    /// # Panics
+    /// Panics if the device is not an NVIDIA GPU.
+    pub fn nvidia(device: Device) -> Self {
+        assert_eq!(
+            device.spec().vendor,
+            Vendor::Nvidia,
+            "SynergyQueue::nvidia needs an NVIDIA device"
+        );
+        let shared = Arc::new(Mutex::new(device));
+        SynergyQueue::new(Box::new(NvmlBackend::new(NvmlDevice::from_shared(shared))))
+    }
+
+    /// Queue over an AMD device (ROCm-SMI backend).
+    ///
+    /// # Panics
+    /// Panics if the device is not an AMD GPU.
+    pub fn amd(device: Device) -> Self {
+        assert_eq!(
+            device.spec().vendor,
+            Vendor::Amd,
+            "SynergyQueue::amd needs an AMD device"
+        );
+        let shared = Arc::new(Mutex::new(device));
+        SynergyQueue::new(Box::new(RocmBackend::new(RocmDevice::from_shared(shared))))
+    }
+
+    /// Queue over an Intel device (Level Zero backend).
+    ///
+    /// # Panics
+    /// Panics if the device is not an Intel GPU.
+    pub fn intel(device: Device) -> Self {
+        assert_eq!(
+            device.spec().vendor,
+            Vendor::Intel,
+            "SynergyQueue::intel needs an Intel device"
+        );
+        let shared = Arc::new(Mutex::new(device));
+        SynergyQueue::new(Box::new(LevelZeroBackend::new(ZeDevice::from_shared(
+            shared,
+        ))))
+    }
+
+    /// Queue over any simulated device, dispatching on its vendor.
+    pub fn for_device(device: Device) -> Self {
+        match device.spec().vendor {
+            Vendor::Nvidia => SynergyQueue::nvidia(device),
+            Vendor::Amd => SynergyQueue::amd(device),
+            Vendor::Intel => SynergyQueue::intel(device),
+        }
+    }
+
+    /// Queue over a fresh device built from `spec`.
+    pub fn for_spec(spec: DeviceSpec) -> Self {
+        SynergyQueue::for_device(Device::new(spec))
+    }
+
+    /// Sets the frequency policy for subsequent submissions.
+    pub fn set_policy(&mut self, policy: FrequencyPolicy) {
+        self.policy = policy;
+    }
+
+    /// The active frequency policy.
+    pub fn policy(&self) -> &FrequencyPolicy {
+        &self.policy
+    }
+
+    /// Device name.
+    pub fn device_name(&self) -> String {
+        self.backend.device_name()
+    }
+
+    /// Device vendor.
+    pub fn vendor(&self) -> Vendor {
+        self.backend.vendor()
+    }
+
+    /// Supported core frequencies, ascending (MHz).
+    pub fn supported_frequencies(&self) -> Vec<f64> {
+        self.backend.supported_core_frequencies()
+    }
+
+    /// The device's default frequency configuration.
+    pub fn default_config(&self) -> DefaultConfig {
+        self.backend.default_config()
+    }
+
+    /// Submits a kernel under the active policy and returns its profile.
+    pub fn submit(&mut self, kernel: &KernelProfile) -> ProfiledEvent {
+        let freq = self.policy.frequency_for(&kernel.name);
+        self.submit_inner(kernel, freq)
+    }
+
+    /// Submits a kernel at an explicit frequency, bypassing the policy
+    /// (`None` = device default).
+    pub fn submit_at(&mut self, kernel: &KernelProfile, freq_mhz: Option<f64>) -> ProfiledEvent {
+        self.submit_inner(kernel, freq_mhz)
+    }
+
+    fn submit_inner(&mut self, kernel: &KernelProfile, freq: Option<f64>) -> ProfiledEvent {
+        let rec = self.backend.launch(kernel, freq);
+        self.submissions += 1;
+        self.total_time_s += rec.time_s;
+        self.total_energy_j += rec.energy_j;
+        rec.into()
+    }
+
+    /// Number of kernels submitted so far.
+    pub fn submission_count(&self) -> u64 {
+        self.submissions
+    }
+
+    /// Sum of kernel times (s) over the queue's lifetime.
+    pub fn total_time_s(&self) -> f64 {
+        self.total_time_s
+    }
+
+    /// Sum of kernel energies (J) over the queue's lifetime.
+    pub fn total_energy_j(&self) -> f64 {
+        self.total_energy_j
+    }
+
+    /// Resets the queue's aggregate counters (device counters keep running).
+    pub fn reset_counters(&mut self) {
+        self.submissions = 0;
+        self.total_time_s = 0.0;
+        self.total_energy_j = 0.0;
+    }
+}
+
+impl std::fmt::Debug for SynergyQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SynergyQueue")
+            .field("device", &self.backend.device_name())
+            .field("submissions", &self.submissions)
+            .field("total_time_s", &self.total_time_s)
+            .field("total_energy_j", &self.total_energy_j)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{Device, DeviceSpec, KernelProfile};
+
+    fn v100_queue() -> SynergyQueue {
+        SynergyQueue::nvidia(Device::new(DeviceSpec::v100()))
+    }
+
+    #[test]
+    fn submit_accumulates_counters() {
+        let mut q = v100_queue();
+        let k = KernelProfile::compute_bound("k", 1_000_000, 100.0);
+        let e1 = q.submit(&k);
+        let e2 = q.submit(&k);
+        assert_eq!(q.submission_count(), 2);
+        assert!((q.total_time_s() - e1.time_s - e2.time_s).abs() < 1e-15);
+        assert!((q.total_energy_j() - e1.energy_j - e2.energy_j).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fixed_policy_changes_clock() {
+        let mut q = v100_queue();
+        let k = KernelProfile::compute_bound("k", 1_000_000, 100.0);
+        let def = q.submit(&k);
+        q.set_policy(FrequencyPolicy::Fixed(600.0));
+        let slow = q.submit(&k);
+        assert!(slow.core_mhz < def.core_mhz);
+        assert!(slow.time_s > def.time_s);
+    }
+
+    #[test]
+    fn per_kernel_policy_dispatches_by_name() {
+        let mut q = v100_queue();
+        q.set_policy(FrequencyPolicy::per_kernel([("a", 500.0)], None));
+        let ka = KernelProfile::compute_bound("a", 1_000_000, 100.0);
+        let kb = KernelProfile::compute_bound("b", 1_000_000, 100.0);
+        let ea = q.submit(&ka);
+        let eb = q.submit(&kb);
+        assert!(ea.core_mhz < 520.0);
+        assert!((eb.core_mhz - 1312.1).abs() < 1.0);
+    }
+
+    #[test]
+    fn vendor_dispatch() {
+        let q = SynergyQueue::for_spec(DeviceSpec::mi100());
+        assert_eq!(q.vendor(), Vendor::Amd);
+        assert_eq!(q.default_config(), DefaultConfig::Auto);
+        let q2 = SynergyQueue::for_spec(DeviceSpec::v100());
+        assert_eq!(q2.vendor(), Vendor::Nvidia);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs an NVIDIA device")]
+    fn nvidia_constructor_rejects_amd() {
+        let _ = SynergyQueue::nvidia(Device::new(DeviceSpec::mi100()));
+    }
+
+    #[test]
+    fn intel_queue_round_trips() {
+        let mut q = SynergyQueue::for_spec(DeviceSpec::max1100());
+        assert_eq!(q.vendor(), Vendor::Intel);
+        assert_eq!(q.default_config(), DefaultConfig::Auto);
+        let k = KernelProfile::compute_bound("k", 1 << 20, 200.0);
+        let ev = q.submit(&k);
+        assert_eq!(ev.core_mhz, 1450.0);
+        q.set_policy(FrequencyPolicy::Fixed(700.0));
+        let slow = q.submit(&k);
+        assert!(slow.core_mhz < 750.0);
+        assert!(slow.time_s > ev.time_s);
+    }
+
+    #[test]
+    fn submit_at_bypasses_policy() {
+        let mut q = v100_queue();
+        q.set_policy(FrequencyPolicy::Fixed(1597.0));
+        let k = KernelProfile::compute_bound("k", 1_000_000, 100.0);
+        let ev = q.submit_at(&k, Some(135.0));
+        assert!(ev.core_mhz < 200.0);
+    }
+
+    #[test]
+    fn reset_counters_clears_aggregates() {
+        let mut q = v100_queue();
+        let k = KernelProfile::compute_bound("k", 1_000_000, 100.0);
+        q.submit(&k);
+        q.reset_counters();
+        assert_eq!(q.submission_count(), 0);
+        assert_eq!(q.total_energy_j(), 0.0);
+    }
+}

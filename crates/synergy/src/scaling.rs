@@ -1,0 +1,87 @@
+//! Frequency-selection policies.
+//!
+//! SYnergy supports both whole-application frequency scaling and per-kernel
+//! scaling (the paper's future-work section selects a different frequency
+//! for each kernel). A [`FrequencyPolicy`] decides which core clock a given
+//! kernel submission runs at.
+
+use std::collections::HashMap;
+
+/// Policy mapping kernel submissions to core frequencies.
+#[derive(Debug, Clone, Default)]
+pub enum FrequencyPolicy {
+    /// Run everything at the vendor default configuration (fixed default
+    /// clock on NVIDIA, auto governor on AMD).
+    #[default]
+    DeviceDefault,
+    /// Pin every kernel to one frequency (MHz).
+    Fixed(f64),
+    /// Per-kernel frequencies by kernel name, with a fallback for kernels
+    /// not in the map (`None` = device default).
+    PerKernel {
+        /// Kernel-name → frequency (MHz) assignments.
+        table: HashMap<String, f64>,
+        /// Frequency for unlisted kernels; `None` means device default.
+        fallback: Option<f64>,
+    },
+}
+
+impl FrequencyPolicy {
+    /// Builds a per-kernel policy from `(name, mhz)` pairs with a fallback.
+    pub fn per_kernel<I, S>(assignments: I, fallback: Option<f64>) -> Self
+    where
+        I: IntoIterator<Item = (S, f64)>,
+        S: Into<String>,
+    {
+        FrequencyPolicy::PerKernel {
+            table: assignments
+                .into_iter()
+                .map(|(k, v)| (k.into(), v))
+                .collect(),
+            fallback,
+        }
+    }
+
+    /// The frequency this policy assigns to `kernel_name`; `None` means the
+    /// device default configuration.
+    pub fn frequency_for(&self, kernel_name: &str) -> Option<f64> {
+        match self {
+            FrequencyPolicy::DeviceDefault => None,
+            FrequencyPolicy::Fixed(f) => Some(*f),
+            FrequencyPolicy::PerKernel { table, fallback } => {
+                table.get(kernel_name).copied().or(*fallback)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_defers_to_device() {
+        assert_eq!(FrequencyPolicy::default().frequency_for("x"), None);
+    }
+
+    #[test]
+    fn fixed_policy_applies_everywhere() {
+        let p = FrequencyPolicy::Fixed(900.0);
+        assert_eq!(p.frequency_for("a"), Some(900.0));
+        assert_eq!(p.frequency_for("b"), Some(900.0));
+    }
+
+    #[test]
+    fn per_kernel_lookup_with_fallback() {
+        let p = FrequencyPolicy::per_kernel([("stencil", 800.0), ("reduce", 600.0)], Some(1000.0));
+        assert_eq!(p.frequency_for("stencil"), Some(800.0));
+        assert_eq!(p.frequency_for("reduce"), Some(600.0));
+        assert_eq!(p.frequency_for("unknown"), Some(1000.0));
+    }
+
+    #[test]
+    fn per_kernel_without_fallback_uses_default() {
+        let p = FrequencyPolicy::per_kernel([("stencil", 800.0)], None);
+        assert_eq!(p.frequency_for("unknown"), None);
+    }
+}

@@ -1,0 +1,110 @@
+//! Model-driven frequency tuning: the paper's end-to-end use case and its
+//! future-work integration. Train a domain-specific model on measured
+//! sweeps, predict an unseen input's behaviour, pick a frequency for an
+//! energy target through the SYnergy metric hook, and verify the saving by
+//! actually running there.
+//!
+//! ```text
+//! cargo run --release --example frequency_tuning
+//! ```
+
+use energy_repro::cronos::{GpuCronos, Grid};
+use energy_repro::energy_model::ds_model::DomainSpecificModel;
+use energy_repro::energy_model::features::CronosInput;
+use energy_repro::energy_model::workflow::{
+    characterize_cronos, experiment_frequencies, training_set,
+};
+use energy_repro::gpu_sim::DeviceSpec;
+use energy_repro::synergy::metrics::{select, OperatingPoint, TargetMetric};
+use energy_repro::synergy::{FrequencyPolicy, SynergyQueue};
+
+fn main() {
+    let spec = DeviceSpec::v100();
+    let freqs = experiment_frequencies(&spec, 4);
+
+    // --- Training phase (Figure 11) -------------------------------------
+    // Characterize four grid sizes; the fifth (80x32x32) stays unseen.
+    let train_configs = [
+        CronosInput::new(10, 4, 4),
+        CronosInput::new(20, 8, 8),
+        CronosInput::new(40, 16, 16),
+        CronosInput::new(160, 64, 64),
+    ];
+    println!(
+        "training on {} grids × {} frequencies …",
+        train_configs.len(),
+        freqs.len()
+    );
+    let inputs = characterize_cronos(&spec, &train_configs, &freqs, 5, Some(7));
+    let model = DomainSpecificModel::train(&training_set(&inputs), spec.default_core_mhz, 7);
+
+    // --- Prediction phase (Figure 12) ------------------------------------
+    let unseen = CronosInput::new(80, 32, 32);
+    println!("predicting the unseen {} grid …", unseen.label());
+    let points: Vec<OperatingPoint> = freqs
+        .iter()
+        .map(|&f| {
+            let (t, e) = model.predict_time_energy(&unseen.features(), f);
+            OperatingPoint {
+                freq_mhz: f,
+                time_s: t,
+                energy_j: e,
+            }
+        })
+        .collect();
+
+    // --- Frequency selection via the SYnergy target-metric hook ----------
+    let chosen = select(
+        &points,
+        TargetMetric::BoundedSlowdown { max_slowdown: 0.05 },
+    )
+    .expect("non-empty sweep");
+    println!(
+        "selected {:.0} MHz (min predicted energy within 5% of the best time)",
+        chosen.freq_mhz
+    );
+
+    // --- Verify by running there ------------------------------------------
+    let workload = GpuCronos::new(Grid::cubic(80, 32, 32), 10);
+    let mut q = SynergyQueue::for_spec(spec.clone());
+    let base = workload.run(&mut q);
+
+    let mut q = SynergyQueue::for_spec(spec.clone());
+    q.set_policy(FrequencyPolicy::Fixed(chosen.freq_mhz));
+    let tuned = workload.run(&mut q);
+
+    println!("\n              time        energy",);
+    println!(
+        "  default    {:8.4} s  {:8.2} J",
+        base.time_s, base.energy_j
+    );
+    println!(
+        "  tuned      {:8.4} s  {:8.2} J",
+        tuned.time_s, tuned.energy_j
+    );
+    println!(
+        "\nmeasured: {:.1}% energy saving at {:.1}% slowdown — chosen from the",
+        (1.0 - tuned.energy_j / base.energy_j) * 100.0,
+        (tuned.time_s / base.time_s - 1.0) * 100.0
+    );
+    println!("model's prediction for a grid it never saw.");
+
+    // Per-kernel scaling (the paper's future work, implemented in
+    // energy_model::per_kernel): one model pair per kernel, one frequency
+    // per kernel.
+    use energy_repro::energy_model::per_kernel::PerKernelModel;
+    let pk = PerKernelModel::train_cronos(&spec, &train_configs, &freqs, 7);
+    let plan = pk.plan(&unseen.features(), &freqs, 0.05);
+    println!("\nper-kernel plan (5% slowdown budget per kernel):");
+    for (kernel, f) in &plan.assignments {
+        println!("  {kernel:<28} → {f:.0} MHz");
+    }
+    let mut q = SynergyQueue::for_spec(spec);
+    q.set_policy(plan.policy());
+    let per_kernel = workload.run(&mut q);
+    println!(
+        "per-kernel scaling: {:.1}% energy saving at {:.1}% slowdown",
+        (1.0 - per_kernel.energy_j / base.energy_j) * 100.0,
+        (per_kernel.time_s / base.time_s - 1.0) * 100.0
+    );
+}

@@ -1,0 +1,78 @@
+//! Magnetohydrodynamics scenario: evolve a 3D MHD blast wave with the
+//! real CPU solver (physics!), then measure the same workload's GPU
+//! energy behaviour across core frequencies.
+//!
+//! ```text
+//! cargo run --release --example mhd_blast
+//! ```
+
+use energy_repro::cronos::eos::{pressure, GAMMA};
+use energy_repro::cronos::grid::Grid;
+use energy_repro::cronos::state::comp;
+use energy_repro::cronos::{problems, GpuCronos, Simulation};
+use energy_repro::gpu_sim::DeviceSpec;
+use energy_repro::synergy::{FrequencyPolicy, SynergyQueue};
+
+fn main() {
+    // --- Part 1: the actual numerics -----------------------------------
+    let grid = Grid::cubic(32, 32, 32);
+    let mut sim = Simulation::new(problems::mhd_blast(grid), GAMMA, 0.4);
+    let mass0 = sim.state.total(comp::RHO);
+
+    println!("3D MHD blast on a {}³ grid (SSP-RK3, minmod + Rusanov)", 32);
+    println!("\n  step    t        dt        p_max    p_min   blast radius");
+    for _ in 0..5 {
+        sim.run_steps(8);
+        let mut p_max: f64 = 0.0;
+        let mut p_min = f64::INFINITY;
+        let mut r_blast: f64 = 0.0;
+        for (i, j, k) in grid.interior_coords() {
+            let u = sim.state.interior(i, j, k);
+            let p = pressure(u, GAMMA);
+            p_max = p_max.max(p);
+            p_min = p_min.min(p);
+            if p > 0.5 {
+                let (x, y, z) = grid.cell_center(i, j, k);
+                let r = ((x - 0.5).powi(2) + (y - 0.5).powi(2) + (z - 0.5).powi(2)).sqrt();
+                r_blast = r_blast.max(r);
+            }
+        }
+        println!(
+            "  {:4}  {:7.4}  {:8.2e}  {:7.3}  {:6.4}  {:6.3}",
+            sim.step_count, sim.time, sim.dt, p_max, p_min, r_blast
+        );
+    }
+    let mass1 = sim.state.total(comp::RHO);
+    println!(
+        "\nphysics checks: mass drift {:.2e} (outflow boundary), state physical: {}",
+        (mass1 - mass0) / mass0,
+        sim.state.is_physical(GAMMA)
+    );
+
+    // --- Part 2: the energy experiment ---------------------------------
+    println!("\nGPU energy behaviour of the same workload (paper §3.1):");
+    let workload = GpuCronos::new(Grid::cubic(160, 64, 64), 10);
+    let spec = DeviceSpec::v100();
+
+    let mut q = SynergyQueue::for_spec(spec.clone());
+    let base = workload.run(&mut q);
+    println!(
+        "  default clock ({:.0} MHz): {:.3} s, {:.1} J",
+        spec.default_core_mhz, base.time_s, base.energy_j
+    );
+    for f in [900.0, 1100.0, spec.max_core_mhz()] {
+        let mut q = SynergyQueue::for_spec(spec.clone());
+        q.set_policy(FrequencyPolicy::Fixed(f));
+        let m = workload.run(&mut q);
+        println!(
+            "  {:6.0} MHz: {:.3} s ({:+.1}%), {:.1} J ({:+.1}%)",
+            f,
+            m.time_s,
+            (m.time_s / base.time_s - 1.0) * 100.0,
+            m.energy_j,
+            (m.energy_j / base.energy_j - 1.0) * 100.0
+        );
+    }
+    println!("\nThe memory-bound stencil tolerates down-clocking: large energy");
+    println!("savings at near-zero slowdown — the paper's Cronos headline.");
+}

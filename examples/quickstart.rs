@@ -1,0 +1,61 @@
+//! Quickstart: characterize a workload across GPU core frequencies and
+//! find its Pareto-optimal operating points.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use energy_repro::energy_model::characterize::characterize;
+use energy_repro::energy_model::pareto::pareto_front_indices;
+use energy_repro::gpu_sim::DeviceSpec;
+use energy_repro::ligen::GpuLigen;
+
+fn main() {
+    // A simulated NVIDIA V100, exactly as the paper's testbed exposes it:
+    // 196 core frequencies from 135 to 1597 MHz.
+    let spec = DeviceSpec::v100();
+    println!(
+        "{}: {} core frequencies, default {:.0} MHz",
+        spec.name,
+        spec.core_freqs.len(),
+        spec.default_core_mhz
+    );
+
+    // A LiGen-style virtual-screening batch: 4096 ligands × 63 atoms ×
+    // 8 fragments.
+    let workload = GpuLigen::new(4096, 63, 8);
+
+    // Sweep a thinned frequency table, 5 repetitions per point (median),
+    // with realistic measurement noise.
+    let freqs = spec.core_freqs.strided(16);
+    let ch = characterize(&spec, &workload, &freqs, 5, Some(42));
+
+    println!(
+        "\nbaseline (default clock): {:.3} s, {:.1} J",
+        ch.baseline_time_s, ch.baseline_energy_j
+    );
+    println!("\n  MHz    speedup  norm.energy  Pareto");
+    let pts = ch.objective_points();
+    let front = pareto_front_indices(&pts);
+    for (i, p) in ch.points.iter().enumerate() {
+        println!(
+            "  {:6.0}  {:7.3}  {:11.3}  {}",
+            p.freq_mhz,
+            p.speedup,
+            p.norm_energy,
+            if front.contains(&i) { "◆" } else { "" }
+        );
+    }
+
+    let best_energy = ch
+        .points
+        .iter()
+        .min_by(|a, b| a.norm_energy.partial_cmp(&b.norm_energy).unwrap())
+        .unwrap();
+    println!(
+        "\nenergy-optimal: {:.0} MHz — {:.1}% energy saving at {:.1}% speed",
+        best_energy.freq_mhz,
+        (1.0 - best_energy.norm_energy) * 100.0,
+        best_energy.speedup * 100.0
+    );
+}

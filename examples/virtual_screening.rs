@@ -1,0 +1,64 @@
+//! Drug-discovery scenario: run a real virtual-screening campaign — dock
+//! and score a synthetic chemical library against a pocket (Algorithm 2 of
+//! the paper) — then measure the batched GPU workload's energy behaviour.
+//!
+//! ```text
+//! cargo run --release --example virtual_screening
+//! ```
+
+use energy_repro::gpu_sim::DeviceSpec;
+use energy_repro::ligen::dock::DockParams;
+use energy_repro::ligen::{virtual_screening, ChemLibrary, GpuLigen, Pocket};
+use energy_repro::synergy::{FrequencyPolicy, SynergyQueue};
+
+fn main() {
+    // --- Part 1: the actual chemistry -----------------------------------
+    let library = ChemLibrary::generate(64, 31, 4, 2024);
+    let pocket = Pocket::synthesize(24, 20.0, 6, 7);
+    let params = DockParams::default();
+
+    println!(
+        "screening {} ligands (31 atoms, 4 fragments) against a pocket with {} sites",
+        library.len(),
+        pocket.sites().len()
+    );
+    let results = virtual_screening(&library, &pocket, &params);
+
+    println!("\ntop 8 candidates (lower score = stronger predicted binding):");
+    println!("  rank  ligand  score");
+    for (rank, r) in results.iter().take(8).enumerate() {
+        println!("  {:4}  {:6}  {:8.3}", rank + 1, r.ligand_id, r.score);
+    }
+    println!(
+        "  … worst: ligand {} at {:.3}",
+        results.last().unwrap().ligand_id,
+        results.last().unwrap().score
+    );
+
+    // --- Part 2: the energy experiment ----------------------------------
+    println!("\nGPU energy behaviour of a production-size batch (paper §3.2):");
+    let workload = GpuLigen::new(10_000, 89, 20);
+    let spec = DeviceSpec::v100();
+
+    let mut q = SynergyQueue::for_spec(spec.clone());
+    let base = workload.run(&mut q);
+    println!(
+        "  default clock ({:.0} MHz): {:.3} s, {:.1} J",
+        spec.default_core_mhz, base.time_s, base.energy_j
+    );
+    for f in [1000.0, 1250.0, spec.max_core_mhz()] {
+        let mut q = SynergyQueue::for_spec(spec.clone());
+        q.set_policy(FrequencyPolicy::Fixed(f));
+        let m = workload.run(&mut q);
+        println!(
+            "  {:6.0} MHz: {:.3} s ({:+.1}%), {:.1} J ({:+.1}%)",
+            f,
+            m.time_s,
+            (m.time_s / base.time_s - 1.0) * 100.0,
+            m.energy_j,
+            (m.energy_j / base.energy_j - 1.0) * 100.0
+        );
+    }
+    println!("\nDocking is compute-bound: the top clock buys ~20% speed at a");
+    println!("steep energy premium — the paper's LiGen headline (Fig. 10b).");
+}

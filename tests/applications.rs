@@ -1,0 +1,114 @@
+//! Integration tests exercising the two application substrates through the
+//! umbrella crate's public API: real physics and real chemistry, not just
+//! kernel descriptors.
+
+use energy_repro::cronos::boundary::BoundaryKind;
+use energy_repro::cronos::eos::GAMMA;
+use energy_repro::cronos::state::comp;
+use energy_repro::cronos::{problems, Grid, Simulation};
+use energy_repro::ligen::dock::{dock, DockParams};
+use energy_repro::ligen::{virtual_screening, ChemLibrary, Pocket};
+
+#[test]
+fn orszag_tang_vortex_develops_turbulent_structure() {
+    let g = Grid::new(32, 32, 4, 1.0, 1.0, 0.125);
+    let mut sim = Simulation::new(problems::orszag_tang(g), GAMMA, 0.4);
+    assert_eq!(sim.boundary, BoundaryKind::Periodic);
+    let e0 = sim.state.total(comp::EN);
+    sim.run_until(0.1, 10_000);
+    // Conservation through the full driver.
+    let e1 = sim.state.total(comp::EN);
+    assert!(((e1 - e0) / e0).abs() < 1e-11, "energy drift");
+    // The vortex stirs density: variance grows from zero.
+    let mean = sim.state.total(comp::RHO) / g.n_cells() as f64;
+    let var: f64 = g
+        .interior_coords()
+        .map(|(i, j, k)| {
+            let d = sim.state.interior(i, j, k)[comp::RHO] - mean;
+            d * d
+        })
+        .sum::<f64>()
+        / g.n_cells() as f64;
+    assert!(var > 1e-4, "no structure formed, variance {var}");
+    assert!(sim.state.is_physical(GAMMA));
+}
+
+#[test]
+fn magnetic_field_feeds_back_on_flow() {
+    // Run the same blast with and without a field: the magnetized run must
+    // evolve differently (the Lorentz coupling is live).
+    let g = Grid::cubic(16, 16, 16);
+    let mut with_b = Simulation::new(problems::mhd_blast(g), GAMMA, 0.4);
+    let mut hydro = {
+        let mut p = problems::mhd_blast(g);
+        for c in &mut p.state.cells {
+            c[comp::BX] = 0.0;
+            c[comp::BY] = 0.0;
+            c[comp::BZ] = 0.0;
+            // Remove the magnetic energy contribution too.
+            c[comp::EN] -= 0.25; // b0² / 2 with b0 = 1/√2 per component pair
+        }
+        Simulation::new(p, GAMMA, 0.4)
+    };
+    with_b.run_steps(10);
+    hydro.run_steps(10);
+    let diff: f64 = with_b
+        .state
+        .cells
+        .iter()
+        .zip(&hydro.state.cells)
+        .map(|(a, b)| (a[comp::MX] - b[comp::MX]).abs())
+        .sum();
+    assert!(diff > 1e-3, "field must alter the dynamics, diff {diff}");
+}
+
+#[test]
+fn docking_finds_better_poses_with_more_iterations() {
+    let ligand = energy_repro::ligen::library::generate_ligand(5, 24, 4, 77);
+    let pocket = Pocket::synthesize(20, 20.0, 5, 31);
+    let quick = DockParams {
+        num_restart: 2,
+        num_iterations: 1,
+        max_num_poses: 2,
+    };
+    let thorough = DockParams {
+        num_restart: 8,
+        num_iterations: 6,
+        max_num_poses: 4,
+    };
+    let (s_quick, _) = dock(&ligand, &pocket, &quick);
+    let (s_thorough, _) = dock(&ligand, &pocket, &thorough);
+    assert!(
+        s_thorough <= s_quick + 1e-9,
+        "more search must not be worse: {s_thorough} vs {s_quick}"
+    );
+}
+
+#[test]
+fn screening_is_a_total_ranking_of_the_library() {
+    let lib = ChemLibrary::generate(24, 20, 3, 5);
+    let pocket = Pocket::synthesize(16, 20.0, 4, 9);
+    let results = virtual_screening(&lib, &pocket, &DockParams::default());
+    assert_eq!(results.len(), 24);
+    for w in results.windows(2) {
+        assert!(w[0].score <= w[1].score);
+    }
+    assert!(
+        results[0].score < results[23].score,
+        "the ranking must discriminate"
+    );
+}
+
+#[test]
+fn bigger_ligands_have_larger_extent() {
+    let small = ChemLibrary::generate(4, 16, 2, 1);
+    let large = ChemLibrary::generate(4, 80, 10, 1);
+    let mean_r = |lib: &ChemLibrary| {
+        lib.ligands
+            .iter()
+            .map(|l| l.radius_of_gyration())
+            .sum::<f64>()
+            / lib.len() as f64
+    };
+    assert!(mean_r(&large) > 2.0 * mean_r(&small));
+}

@@ -1,0 +1,148 @@
+//! Cross-crate integration tests asserting the paper's qualitative claims
+//! end-to-end through the public API (§2–3 of the paper).
+
+use energy_repro::cronos::{GpuCronos, Grid};
+use energy_repro::energy_model::characterize::characterize;
+use energy_repro::energy_model::pareto::pareto_front_indices;
+use energy_repro::energy_model::workflow::experiment_frequencies;
+use energy_repro::gpu_sim::DeviceSpec;
+use energy_repro::ligen::GpuLigen;
+use energy_repro::synergy::{FrequencyPolicy, SynergyQueue};
+
+fn freqs(spec: &DeviceSpec) -> Vec<f64> {
+    experiment_frequencies(spec, 8)
+}
+
+/// §2.2: "For compute-bound applications, we can have performance
+/// improvement at the cost of higher energy consumption by increasing the
+/// core frequency."
+#[test]
+fn ligen_gains_speed_from_overclock_at_energy_cost() {
+    let spec = DeviceSpec::v100();
+    let ch = characterize(
+        &spec,
+        &GpuLigen::new(10_000, 89, 20),
+        &freqs(&spec),
+        1,
+        None,
+    );
+    let top = ch.at_freq(spec.max_core_mhz());
+    assert!(top.speedup > 1.10, "speedup {}", top.speedup);
+    assert!(top.norm_energy > 1.35, "energy {}", top.norm_energy);
+}
+
+/// §2.2: "memory-bound applications may benefit from core down-scaling to
+/// reduce energy consumption with small performance degradation."
+#[test]
+fn cronos_saves_energy_from_downclock_with_tiny_slowdown() {
+    let spec = DeviceSpec::v100();
+    let ch = characterize(
+        &spec,
+        &GpuCronos::new(Grid::cubic(160, 64, 64), 5),
+        &freqs(&spec),
+        1,
+        None,
+    );
+    let low = ch.at_freq(900.0);
+    assert!(low.speedup > 0.95, "speedup {}", low.speedup);
+    assert!(low.norm_energy < 0.85, "energy {}", low.norm_energy);
+}
+
+/// §2.3: the energy-optimal frequency depends on the workload size — the
+/// paper's central observation.
+#[test]
+fn energy_optimal_frequency_moves_with_input_size() {
+    let spec = DeviceSpec::v100();
+    let fs = freqs(&spec);
+    let small = characterize(&spec, &GpuLigen::new(2, 89, 8), &fs, 1, None);
+    let large = characterize(&spec, &GpuLigen::new(10_000, 89, 20), &fs, 1, None);
+    let opt = |ch: &energy_repro::energy_model::characterize::Characterization| {
+        ch.points
+            .iter()
+            .min_by(|a, b| a.norm_energy.partial_cmp(&b.norm_energy).unwrap())
+            .unwrap()
+            .freq_mhz
+    };
+    let f_small = opt(&small);
+    let f_large = opt(&large);
+    assert!(
+        (f_small - f_large).abs() > 50.0,
+        "optimal frequencies should differ: small {f_small} vs large {f_large}"
+    );
+}
+
+/// §3.1: on AMD the auto performance level sits "very close to the higher
+/// achievable speedup", and energy can be saved by lowering the frequency.
+#[test]
+fn mi100_auto_is_near_max_speedup_with_energy_headroom() {
+    let spec = DeviceSpec::mi100();
+    let ch = characterize(
+        &spec,
+        &GpuCronos::new(Grid::cubic(160, 64, 64), 5),
+        &freqs(&spec),
+        1,
+        None,
+    );
+    let max_speedup = ch.points.iter().map(|p| p.speedup).fold(0.0f64, f64::max);
+    assert!(max_speedup < 1.05, "auto must be near the best speedup");
+    let min_energy = ch
+        .points
+        .iter()
+        .map(|p| p.norm_energy)
+        .fold(f64::INFINITY, f64::min);
+    assert!(min_energy < 0.85, "down-clocking must save energy on MI100");
+}
+
+/// §2.1: the Pareto front is non-trivial — multiple distinct trade-off
+/// points, including both a speed-optimal and an energy-optimal one.
+#[test]
+fn pareto_front_offers_real_tradeoffs() {
+    let spec = DeviceSpec::v100();
+    let ch = characterize(&spec, &GpuLigen::new(4096, 63, 8), &freqs(&spec), 1, None);
+    let pts = ch.objective_points();
+    let front = pareto_front_indices(&pts);
+    assert!(front.len() >= 3, "front of {} points", front.len());
+    let speeds: Vec<f64> = front.iter().map(|&i| pts[i].0).collect();
+    let energies: Vec<f64> = front.iter().map(|&i| pts[i].1).collect();
+    let s_range = speeds.iter().cloned().fold(0.0f64, f64::max)
+        - speeds.iter().cloned().fold(f64::INFINITY, f64::min);
+    let e_range = energies.iter().cloned().fold(0.0f64, f64::max)
+        - energies.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(s_range > 0.1, "speedup spread {s_range}");
+    assert!(e_range > 0.1, "energy spread {e_range}");
+}
+
+/// LiGen's workload grows with each Table-2 feature (the complexity
+/// analysis of §3.2), measured through the full SYnergy stack.
+#[test]
+fn ligen_workload_scales_with_each_input_feature() {
+    let spec = DeviceSpec::v100();
+    let run = |l, a, f| {
+        let mut q = SynergyQueue::for_spec(spec.clone());
+        GpuLigen::new(l, a, f).run(&mut q).time_s
+    };
+    let base = run(1024, 31, 4);
+    assert!(run(8192, 31, 4) > 2.0 * base, "ligand count");
+    assert!(run(1024, 89, 4) > 1.3 * base, "atom count");
+    assert!(run(1024, 31, 16) > 2.0 * base, "fragment count");
+}
+
+/// Per-kernel frequency policies flow end-to-end: pinning only the stencil
+/// kernel low must save energy vs the all-default run.
+#[test]
+fn per_kernel_policy_saves_energy_on_stencil() {
+    let spec = DeviceSpec::v100();
+    let workload = GpuCronos::new(Grid::cubic(160, 64, 64), 3);
+
+    let mut q_def = SynergyQueue::for_spec(spec.clone());
+    let base = workload.run(&mut q_def);
+
+    let mut q = SynergyQueue::for_spec(spec);
+    q.set_policy(FrequencyPolicy::per_kernel(
+        [("cronos::compute_changes", 900.0)],
+        None,
+    ));
+    let tuned = workload.run(&mut q);
+    assert!(tuned.energy_j < base.energy_j * 0.95);
+    assert!(tuned.time_s < base.time_s * 1.05);
+}

@@ -1,0 +1,145 @@
+//! End-to-end pipeline integration tests: training phase → prediction
+//! phase → Pareto selection, spanning every crate in the workspace.
+
+use energy_repro::energy_model::ds_model::DomainSpecificModel;
+use energy_repro::energy_model::features::{CronosInput, LigenInput};
+use energy_repro::energy_model::gp_model::GeneralPurposeModel;
+use energy_repro::energy_model::workflow::{
+    characterize_cronos, characterize_ligen, experiment_frequencies, predicted_pareto_frequencies,
+    training_set, true_pareto_frequencies,
+};
+use energy_repro::gpu_sim::DeviceSpec;
+use energy_repro::ml::forest::RandomForestParams;
+
+fn freqs(spec: &DeviceSpec) -> Vec<f64> {
+    experiment_frequencies(spec, 8)
+}
+
+#[test]
+fn figure11_training_phase_builds_complete_dataset() {
+    let spec = DeviceSpec::v100();
+    let fs = freqs(&spec);
+    let configs = [CronosInput::new(20, 8, 8), CronosInput::new(40, 16, 16)];
+    let inputs = characterize_cronos(&spec, &configs, &fs, 2, Some(1));
+    let samples = training_set(&inputs);
+    assert_eq!(samples.len(), configs.len() * fs.len());
+    for s in &samples {
+        assert_eq!(s.features.len(), 3);
+        assert!(s.time_s > 0.0 && s.energy_j > 0.0);
+        assert!(fs.contains(&s.freq_mhz));
+    }
+}
+
+#[test]
+fn figure12_prediction_phase_normalizes_at_default() {
+    let spec = DeviceSpec::v100();
+    let fs = freqs(&spec);
+    let configs = CronosInput::paper_configs();
+    let inputs = characterize_cronos(&spec, &configs[..3], &fs, 1, None);
+    let model = DomainSpecificModel::train(&training_set(&inputs), spec.default_core_mhz, 0);
+    let curve = model.predict_curve(&configs[1].features(), &[spec.default_core_mhz]);
+    assert!((curve[0].speedup - 1.0).abs() < 1e-9);
+    assert!((curve[0].norm_energy - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn ds_model_predicts_unseen_ligen_input_accurately() {
+    let spec = DeviceSpec::v100();
+    // Finer sweep: the energy curve is steepest at the very top bins and
+    // the forest's frequency leaves must resolve them.
+    let fs = experiment_frequencies(&spec, 4);
+    let mut configs = LigenInput::figure13_configs();
+    let held = configs.remove(7); // 89x4x4096
+    let inputs = characterize_ligen(&spec, &configs, &fs, 1, None);
+    let model = DomainSpecificModel::train(&training_set(&inputs), spec.default_core_mhz, 3);
+
+    let truth = characterize_ligen(&spec, &[held], &fs, 1, None).remove(0);
+    let curve = model.predict_curve(&truth.features, &fs);
+    for (p, t) in curve.iter().zip(&truth.characterization.points) {
+        assert!(
+            (p.speedup - t.speedup).abs() / t.speedup < 0.05,
+            "speedup at {:.0} MHz: {} vs {}",
+            p.freq_mhz,
+            p.speedup,
+            t.speedup
+        );
+        assert!(
+            (p.norm_energy - t.norm_energy).abs() / t.norm_energy < 0.05,
+            "energy at {:.0} MHz: {} vs {}",
+            p.freq_mhz,
+            p.norm_energy,
+            t.norm_energy
+        );
+    }
+}
+
+#[test]
+fn ds_pareto_set_overlaps_truth_substantially() {
+    let spec = DeviceSpec::v100();
+    let fs = freqs(&spec);
+    let configs = LigenInput::figure13_configs();
+    let inputs = characterize_ligen(&spec, &configs, &fs, 1, None);
+    // Train on all but the large input; predict its Pareto frequencies.
+    let held_idx = configs.len() - 1;
+    let train: Vec<_> = inputs
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != held_idx)
+        .map(|(_, c)| c.clone())
+        .collect();
+    let model = DomainSpecificModel::train(&training_set(&train), spec.default_core_mhz, 5);
+    let curve = model.predict_curve(&inputs[held_idx].features, &fs);
+    let predicted = predicted_pareto_frequencies(&curve);
+    let truth = true_pareto_frequencies(&inputs[held_idx].characterization);
+
+    let matches = predicted
+        .iter()
+        .filter(|p| truth.iter().any(|t| (*t - **p).abs() < 1e-6))
+        .count();
+    assert!(
+        matches as f64 >= 0.5 * predicted.len() as f64,
+        "{matches} of {} predicted frequencies are truly Pareto-optimal",
+        predicted.len()
+    );
+}
+
+#[test]
+fn gp_model_is_blind_to_input_size_by_construction() {
+    let spec = DeviceSpec::v100();
+    let fs = freqs(&spec);
+    let gp = GeneralPurposeModel::train_with(
+        &spec,
+        &fs,
+        0,
+        RandomForestParams {
+            n_estimators: 10,
+            ..Default::default()
+        },
+    );
+    let small = energy_model::workflow::ligen_static_features(&LigenInput::new(2, 89, 20));
+    let large = energy_model::workflow::ligen_static_features(&LigenInput::new(10_000, 89, 20));
+    // Same code → same static features → identical predictions, whatever
+    // the workload (the limitation the domain-specific models remove).
+    for &f in fs.iter().step_by(3) {
+        assert_eq!(gp.predict(&small, f), gp.predict(&large, f));
+    }
+}
+
+#[test]
+fn full_loocv_round_trip_is_deterministic() {
+    let spec = DeviceSpec::v100();
+    let fs = freqs(&spec);
+    let configs = CronosInput::paper_configs();
+    let run = || {
+        let inputs = characterize_cronos(&spec, &configs[..3], &fs, 2, Some(9));
+        let model = DomainSpecificModel::train(&training_set(&inputs), spec.default_core_mhz, 9);
+        model.predict_curve(&configs[1].features(), &fs)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.len(), b.len());
+    for (p, q) in a.iter().zip(&b) {
+        assert_eq!(p.speedup, q.speedup);
+        assert_eq!(p.norm_energy, q.norm_energy);
+    }
+}

@@ -1,0 +1,39 @@
+//! Keeps the README's "Minimal API example" honest: this is the same code,
+//! at test-friendly sweep resolution.
+
+use energy_repro::energy_model::characterize::characterize;
+use energy_repro::energy_model::ds_model::DomainSpecificModel;
+use energy_repro::energy_model::features::CronosInput;
+use energy_repro::energy_model::pareto::pareto_front_indices;
+use energy_repro::energy_model::workflow::{characterize_cronos, training_set};
+use energy_repro::gpu_sim::DeviceSpec;
+use energy_repro::ligen::GpuLigen;
+
+#[test]
+fn readme_minimal_api_example() {
+    let spec = DeviceSpec::v100();
+    let freqs = energy_repro::energy_model::workflow::experiment_frequencies(&spec, 12);
+
+    // Training phase (paper Fig. 11): run the app per (input, frequency).
+    let inputs = characterize_cronos(&spec, &CronosInput::paper_configs(), &freqs, 5, Some(7));
+    let model = DomainSpecificModel::train(&training_set(&inputs), spec.default_core_mhz, 7);
+
+    // Prediction phase (Fig. 12): speedup & normalized energy for a new input.
+    let curve = model.predict_curve(&CronosInput::new(60, 24, 24).features(), &freqs);
+    assert_eq!(curve.len(), freqs.len());
+    for p in &curve {
+        assert!(p.speedup > 0.3 && p.speedup < 1.2);
+        assert!(p.norm_energy > 0.5 && p.norm_energy < 2.0);
+    }
+}
+
+#[test]
+fn readme_quickstart_flow() {
+    let spec = DeviceSpec::v100();
+    let workload = GpuLigen::new(4096, 63, 8);
+    let freqs = spec.core_freqs.strided(24);
+    let ch = characterize(&spec, &workload, &freqs, 5, Some(42));
+    assert!(ch.baseline_time_s > 0.0 && ch.baseline_energy_j > 0.0);
+    let front = pareto_front_indices(&ch.objective_points());
+    assert!(!front.is_empty());
+}
