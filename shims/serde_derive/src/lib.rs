@@ -1,0 +1,338 @@
+//! Offline shim for `serde_derive`: generates impls of the `serde`
+//! shim's `Serialize`/`Deserialize` traits (which are defined over a
+//! self-describing `Value` tree, not serde's visitor API).
+//!
+//! Supported shapes — exactly what this workspace derives on:
+//!
+//! - structs with named fields (no generics),
+//! - enums whose variants are unit or single-field tuples.
+//!
+//! Anything else produces a `compile_error!` naming the limitation, so
+//! unsupported usage fails loudly at the definition site.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of the deriving type.
+enum Shape {
+    /// Named-field struct: (name, fields).
+    Struct(String, Vec<String>),
+    /// Enum: (name, variants), each variant unit or 1-tuple.
+    Enum(String, Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    /// Single-field tuple variant.
+    Tuple1,
+    /// Struct variant with named fields.
+    Struct(Vec<String>),
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Skips attribute tokens (`#` followed by a bracket group), returning
+/// the next non-attribute token.
+fn next_skipping_attrs(iter: &mut impl Iterator<Item = TokenTree>) -> Option<TokenTree> {
+    loop {
+        match iter.next()? {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Consume the attribute body.
+                iter.next();
+            }
+            tok => return Some(tok),
+        }
+    }
+}
+
+fn parse_input(input: TokenStream) -> Result<Shape, String> {
+    let mut iter = input.into_iter();
+
+    // Header: attributes / visibility / struct|enum keyword.
+    let kind = loop {
+        match next_skipping_attrs(&mut iter) {
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => continue,
+            // `pub(crate)` etc: visibility restriction group.
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => continue,
+            Some(TokenTree::Ident(id)) => {
+                let kw = id.to_string();
+                if kw == "struct" || kw == "enum" {
+                    break kw;
+                }
+                return Err(format!("unexpected token `{kw}` before struct/enum"));
+            }
+            Some(tok) => return Err(format!("unexpected token `{tok}` before struct/enum")),
+            None => return Err("ran out of tokens before struct/enum".into()),
+        }
+    };
+
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+
+    let body = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            return Err(format!(
+                "serde_derive shim: generic type `{name}` is not supported"
+            ));
+        }
+        other => {
+            return Err(format!(
+                "serde_derive shim: `{name}` must be a braced struct or enum, got {other:?}"
+            ));
+        }
+    };
+
+    if kind == "struct" {
+        Ok(Shape::Struct(name, parse_struct_fields(body)?))
+    } else {
+        Ok(Shape::Enum(name, parse_enum_variants(body)?))
+    }
+}
+
+fn parse_struct_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter();
+    loop {
+        // Field name (after attrs / visibility).
+        let field = loop {
+            match next_skipping_attrs(&mut iter) {
+                None => return Ok(fields),
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => continue,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => continue,
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(tok) => return Err(format!("expected field name, got `{tok}`")),
+            }
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field `{field}`, got {other:?}")),
+        }
+        // Skip the type up to a comma at angle-bracket depth 0.
+        let mut angle_depth = 0i32;
+        for tok in iter.by_ref() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(field);
+    }
+}
+
+fn parse_enum_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        let name = loop {
+            match next_skipping_attrs(&mut iter) {
+                None => return Ok(variants),
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(tok) => return Err(format!("expected variant name, got `{tok}`")),
+            }
+        };
+        let mut kind = VariantKind::Unit;
+        match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                // Count top-level commas: exactly one field supported.
+                let mut angle_depth = 0i32;
+                let mut commas = 0;
+                let mut empty = true;
+                for tok in g.stream() {
+                    empty = false;
+                    match tok {
+                        TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                            commas += 1
+                        }
+                        _ => {}
+                    }
+                }
+                if empty || commas > 0 {
+                    return Err(format!(
+                        "serde_derive shim: tuple variant `{name}` must have exactly one field"
+                    ));
+                }
+                kind = VariantKind::Tuple1;
+                iter.next();
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                kind = VariantKind::Struct(parse_struct_fields(g.stream())?);
+                iter.next();
+            }
+            _ => {}
+        }
+        // Consume a trailing comma if present.
+        if let Some(TokenTree::Punct(p)) = iter.peek() {
+            if p.as_char() == ',' {
+                iter.next();
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_input(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match shape {
+        Shape::Struct(name, fields) => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!("(String::from({f:?}), serde::Serialize::to_value(&self.{f})),")
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{
+                     fn to_value(&self) -> serde::Value {{
+                         serde::Value::Map(vec![{entries}])
+                     }}
+                 }}"
+            )
+        }
+        Shape::Enum(name, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => {
+                            format!("{name}::{vn} => serde::Value::Str(String::from({vn:?})),")
+                        }
+                        VariantKind::Tuple1 => format!(
+                            "{name}::{vn}(inner) => serde::Value::Map(vec![(String::from({vn:?}), serde::Serialize::to_value(inner))]),"
+                        ),
+                        VariantKind::Struct(fields) => {
+                            let bindings = fields.join(", ");
+                            let entries: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!("(String::from({f:?}), serde::Serialize::to_value({f})),")
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {bindings} }} => serde::Value::Map(vec![(String::from({vn:?}), serde::Value::Map(vec![{entries}]))]),"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{
+                     fn to_value(&self) -> serde::Value {{
+                         match self {{ {arms} }}
+                     }}
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_input(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match shape {
+        Shape::Struct(name, fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: serde::Deserialize::from_value(
+                             v.get({f:?}).ok_or_else(|| serde::DeError::custom(
+                                 concat!(\"missing field `\", {f:?}, \"` in {name}\")))?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{
+                     fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {{
+                         if v.as_map().is_none() {{
+                             return Err(serde::DeError::custom(\"expected map for {name}\"));
+                         }}
+                         Ok({name} {{ {inits} }})
+                     }}
+                 }}"
+            )
+        }
+        Shape::Enum(name, variants) => {
+            let str_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| {
+                    let vn = &v.name;
+                    format!("{vn:?} => Ok({name}::{vn}),")
+                })
+                .collect();
+            let map_arms: String = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple1 => Some(format!(
+                            "{vn:?} => Ok({name}::{vn}(serde::Deserialize::from_value(_inner)?)),"
+                        )),
+                        VariantKind::Struct(fields) => {
+                            let inits: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: serde::Deserialize::from_value(
+                                             _inner.get({f:?}).ok_or_else(|| serde::DeError::custom(
+                                                 concat!(\"missing field `\", {f:?}, \"` in {name}::{vn}\")))?)?,"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => Ok({name}::{vn} {{ {inits} }}),"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{
+                     fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {{
+                         match v {{
+                             serde::Value::Str(s) => match s.as_str() {{
+                                 {str_arms}
+                                 other => Err(serde::DeError::custom(
+                                     format!(\"unknown {name} variant {{other:?}}\"))),
+                             }},
+                             serde::Value::Map(entries) if entries.len() == 1 => {{
+                                 let (tag, _inner) = &entries[0];
+                                 match tag.as_str() {{
+                                     {map_arms}
+                                     other => Err(serde::DeError::custom(
+                                         format!(\"unknown {name} variant {{other:?}}\"))),
+                                 }}
+                             }}
+                             other => Err(serde::DeError::custom(
+                                 format!(\"expected {name} variant, got {{other:?}}\"))),
+                         }}
+                     }}
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
