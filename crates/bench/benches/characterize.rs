@@ -1,0 +1,85 @@
+//! Head-to-head Criterion comparison of the two sweep engines on the
+//! paper's full-resolution V100 frequency sweep (`experiment_frequencies`
+//! stride 1, five repetitions per point — the Figure 11 training-phase
+//! data collection):
+//!
+//! * `replay` — [`characterize`]: record the kernel trace once, re-price
+//!   every frequency point through the memoized batch path, fan points out
+//!   with rayon;
+//! * `legacy` — [`characterize_serial`]: re-run the workload's submission
+//!   loop kernel by kernel for every (frequency, repetition).
+//!
+//! Both paths produce bit-identical output (pinned by the golden tests in
+//! `energy-model`); this bench measures what that equivalence costs.
+//! `BENCH_sweep.json` (via `figures -- sweep-profile`) records the same
+//! comparison as committed before/after numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use energy_model::characterize::{characterize, characterize_serial, Workload};
+use energy_model::workflow::{experiment_frequencies, CRONOS_STEPS};
+use gpu_sim::DeviceSpec;
+
+/// The paper's five repetitions per measurement (§5.1).
+const REPS: usize = 5;
+
+fn workloads() -> Vec<(&'static str, Box<dyn Workload>)> {
+    vec![
+        (
+            "cronos_20x8x8",
+            Box::new(cronos::GpuCronos::new(
+                cronos::Grid::cubic(20, 8, 8),
+                CRONOS_STEPS,
+            )),
+        ),
+        (
+            "cronos_160x64x64",
+            Box::new(cronos::GpuCronos::new(
+                cronos::Grid::cubic(160, 64, 64),
+                CRONOS_STEPS,
+            )),
+        ),
+        ("ligen_256x31x4", Box::new(ligen::GpuLigen::new(256, 31, 4))),
+        (
+            "ligen_10000x89x20",
+            Box::new(ligen::GpuLigen::new(10_000, 89, 20)),
+        ),
+    ]
+}
+
+fn bench_full_sweep(c: &mut Criterion) {
+    let spec = DeviceSpec::v100();
+    let freqs = experiment_frequencies(&spec, 1);
+    for (name, w) in workloads() {
+        let mut group = c.benchmark_group(format!("sweep/{name}"));
+        group.sample_size(10);
+        group.bench_function("replay", |b| {
+            b.iter(|| characterize(&spec, w.as_ref(), &freqs, REPS, None))
+        });
+        group.bench_function("legacy", |b| {
+            b.iter(|| characterize_serial(&spec, w.as_ref(), &freqs, REPS, None))
+        });
+        group.finish();
+    }
+}
+
+fn bench_noisy_sweep(c: &mut Criterion) {
+    // With the noise model on, both paths pay the same per-launch RNG
+    // draws, so the gap narrows to the per-launch pricing work — reported
+    // separately to keep the headline honest.
+    let spec = DeviceSpec::v100();
+    let freqs = experiment_frequencies(&spec, 1);
+    let w = cronos::GpuCronos::new(cronos::Grid::cubic(160, 64, 64), CRONOS_STEPS);
+    let mut group = c.benchmark_group("sweep/cronos_160x64x64_noisy");
+    group.sample_size(10);
+    group.bench_function("replay", |b| {
+        b.iter(|| characterize(&spec, &w, &freqs, REPS, Some(bench::SEED)))
+    });
+    group.bench_function("legacy", |b| {
+        b.iter(|| characterize_serial(&spec, &w, &freqs, REPS, Some(bench::SEED)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_sweep, bench_noisy_sweep);
+criterion_main!(benches);

@@ -34,10 +34,10 @@ fn loocv_speedup_mape(
             .map(|(_, c)| c.clone())
             .collect();
         let mut samples = training_set(&train);
-        let mut held_features = inputs[i].features.clone();
+        let mut held_features = (*inputs[i].features).clone();
         if let Some(col) = drop_feature {
             for s in &mut samples {
-                s.features.remove(col);
+                std::sync::Arc::make_mut(&mut s.features).remove(col);
             }
             held_features.remove(col);
         }
@@ -139,8 +139,10 @@ fn permutation_importance_study() {
     // measure how much shuffling each feature hurts (log-time MSE).
     let mut x = ml::dataset::Matrix::with_cols(4);
     let mut y = Vec::new();
+    let mut row = Vec::with_capacity(4);
     for s in &samples {
-        let mut row = s.features.clone();
+        row.clear();
+        row.extend_from_slice(&s.features);
         row.push(s.freq_mhz);
         x.push_row(&row);
         y.push(s.time_s.ln());

@@ -327,11 +327,106 @@ fn portability() {
     }
 }
 
+/// Profiles the trace-replay sweep engine against the legacy
+/// per-submission sweep on the full-resolution V100 frequency sweep and
+/// writes the comparison to `BENCH_sweep.json` (the committed before/after
+/// record backing DESIGN.md's performance-architecture section).
+fn sweep_profile() {
+    use energy_model::characterize::{characterize, characterize_serial, Workload};
+    use serde::Serialize;
+    use std::time::Instant;
+
+    #[derive(Serialize)]
+    struct Case {
+        workload: String,
+        noise: bool,
+        legacy_s: f64,
+        replay_s: f64,
+        speedup: f64,
+    }
+
+    #[derive(Serialize)]
+    struct Profile {
+        bench: String,
+        device: String,
+        freq_points: u64,
+        reps: u64,
+        threads: u64,
+        cases: Vec<Case>,
+    }
+
+    let spec = DeviceSpec::v100();
+    let freqs = energy_model::workflow::experiment_frequencies(&spec, 1);
+    let workloads: Vec<(&str, Box<dyn Workload>)> = vec![
+        (
+            "cronos 20x8x8",
+            Box::new(cronos_workload(&CronosInput::new(20, 8, 8))),
+        ),
+        (
+            "cronos 160x64x64",
+            Box::new(cronos_workload(&CronosInput::new(160, 64, 64))),
+        ),
+        (
+            "ligen 256x31x4",
+            Box::new(ligen_workload(&LigenInput::new(256, 31, 4))),
+        ),
+        (
+            "ligen 10000x89x20",
+            Box::new(ligen_workload(&LigenInput::new(10_000, 89, 20))),
+        ),
+    ];
+
+    println!("\n## Sweep-engine profile — {} frequencies × {REPS} reps on {}", freqs.len(), spec.name);
+    let mut cases = Vec::new();
+    for (name, w) in &workloads {
+        for noise_seed in [None, Some(SEED)] {
+            // Untimed warm-up run of each path, then the timed run — both
+            // paths get identical treatment.
+            let _ = characterize_serial(&spec, w.as_ref(), &freqs, REPS, noise_seed);
+            let t0 = Instant::now();
+            let slow = characterize_serial(&spec, w.as_ref(), &freqs, REPS, noise_seed);
+            let legacy_s = t0.elapsed().as_secs_f64();
+
+            let _ = characterize(&spec, w.as_ref(), &freqs, REPS, noise_seed);
+            let t1 = Instant::now();
+            let fast = characterize(&spec, w.as_ref(), &freqs, REPS, noise_seed);
+            let replay_s = t1.elapsed().as_secs_f64();
+
+            assert_eq!(fast, slow, "sweep engines diverged on {name}");
+            let speedup = legacy_s / replay_s;
+            println!(
+                "{name:>18} noise={}: legacy {legacy_s:.3} s, replay {replay_s:.3} s — {speedup:.1}×",
+                noise_seed.is_some()
+            );
+            cases.push(Case {
+                workload: name.to_string(),
+                noise: noise_seed.is_some(),
+                legacy_s,
+                replay_s,
+                speedup,
+            });
+        }
+    }
+
+    let profile = Profile {
+        bench: "full-resolution characterization sweep: legacy per-submission vs trace-replay"
+            .to_string(),
+        device: spec.name.clone(),
+        freq_points: freqs.len() as u64,
+        reps: REPS as u64,
+        threads: std::thread::available_parallelism().map_or(1, |n| n.get() as u64),
+        cases,
+    };
+    let json = serde_json::to_string_pretty(&profile).expect("profile serialization");
+    std::fs::write("BENCH_sweep.json", &json).expect("write BENCH_sweep.json");
+    println!("\nwrote BENCH_sweep.json");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!(
-            "usage: figures -- <id> [...]   ids: fig1..fig10 table1 table2 fig13 fig14 headline portability all"
+            "usage: figures -- <id> [...]   ids: fig1..fig10 table1 table2 fig13 fig14 headline portability sweep-profile all"
         );
         std::process::exit(2);
     }
@@ -353,6 +448,7 @@ fn main() {
         "headline" => headline_cmd(),
         "portability" => portability(),
         "fig13-mi100" => fig13_mi100(),
+        "sweep-profile" => sweep_profile(),
         other => {
             eprintln!("unknown experiment id: {other}");
             std::process::exit(2);

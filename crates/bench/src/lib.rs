@@ -101,12 +101,12 @@ pub fn summarize_characterization(ch: &Characterization) {
     let fastest = ch
         .points
         .iter()
-        .max_by(|a, b| a.speedup.partial_cmp(&b.speedup).expect("finite"))
+        .max_by(|a, b| a.speedup.total_cmp(&b.speedup))
         .expect("non-empty");
     let cheapest = ch
         .points
         .iter()
-        .min_by(|a, b| a.norm_energy.partial_cmp(&b.norm_energy).expect("finite"))
+        .min_by(|a, b| a.norm_energy.total_cmp(&b.norm_energy))
         .expect("non-empty");
     println!(
         "\nmax speedup {:.3} at {:.0} MHz (energy ×{:.3}); min energy ×{:.3} at {:.0} MHz (speedup {:.3})",

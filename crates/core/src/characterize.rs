@@ -11,12 +11,32 @@
 //! The baseline follows vendor semantics automatically: the fixed default
 //! application clock on NVIDIA, the auto performance level on AMD
 //! (§3.1: "AMD GPUs do not have a default frequency…").
+//!
+//! ## Sweep engine
+//!
+//! [`characterize`] is a *trace-once / re-price-everywhere* engine: the
+//! workload's kernel sequence is recorded once into a
+//! [`synergy::KernelTrace`], every sweep point replays that trace through
+//! the batch submission path (one cost-model evaluation per distinct
+//! `(kernel, frequency)` pair, shared across the whole sweep via an
+//! `Arc<PriceTable>`), and the per-frequency points fan out across threads
+//! with rayon. Results are **bit-identical** to the legacy per-submission
+//! sweep, kept as [`characterize_serial`]: replay preserves submission
+//! order (so floating-point accumulation order is unchanged), noise seeds
+//! are keyed by frequency *index* (so thread scheduling cannot reorder
+//! random streams), and each launch draws its noise factors in the legacy
+//! order. The equivalence tests at the bottom of this module pin the two
+//! paths together, noiseless and noisy, on NVIDIA and AMD devices.
+
+use std::sync::Arc;
 
 use gpu_sim::noise::NoiseModel;
+use gpu_sim::pricing::PriceTable;
 use gpu_sim::{Device, DeviceSpec};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use synergy::energy::{measure_median, Measurement};
-use synergy::SynergyQueue;
+use synergy::{KernelTrace, SynergyQueue};
 
 /// A workload that can be executed on a SYnergy queue. Implemented here
 /// for the two applications' GPU drivers.
@@ -25,6 +45,15 @@ pub trait Workload: Sync {
     fn run(&self, queue: &mut SynergyQueue) -> Measurement;
     /// Display name for reports.
     fn name(&self) -> String;
+    /// The workload's kernel trace: what one [`Workload::run`] submits, in
+    /// order. The default implementation records a run through a
+    /// zero-cost recording queue; implementors with known structure
+    /// override it to build the trace directly.
+    fn record(&self, spec: &DeviceSpec) -> KernelTrace {
+        KernelTrace::record(spec, |q| {
+            self.run(q);
+        })
+    }
 }
 
 impl Workload for cronos::GpuCronos {
@@ -33,6 +62,9 @@ impl Workload for cronos::GpuCronos {
     }
     fn name(&self) -> String {
         format!("cronos {}x{}x{}", self.grid.nx, self.grid.ny, self.grid.nz)
+    }
+    fn record(&self, _spec: &DeviceSpec) -> KernelTrace {
+        self.record_trace()
     }
 }
 
@@ -45,6 +77,9 @@ impl Workload for ligen::GpuLigen {
             "ligen {}x{}x{}",
             self.n_atoms, self.n_fragments, self.n_ligands
         )
+    }
+    fn record(&self, _spec: &DeviceSpec) -> KernelTrace {
+        self.record_trace()
     }
 }
 
@@ -94,15 +129,38 @@ impl Characterization {
             .min_by(|a, b| {
                 (a.freq_mhz - freq_mhz)
                     .abs()
-                    .partial_cmp(&(b.freq_mhz - freq_mhz).abs())
-                    .expect("finite")
+                    .total_cmp(&(b.freq_mhz - freq_mhz).abs())
             })
             .expect("non-empty characterization")
     }
 }
 
+/// Builds the per-frequency measurement device shared by both sweep paths:
+/// seed `0` is the baseline, seed `1 + i` is frequency index `i` — keyed by
+/// *index*, not execution order, so the parallel path draws identical noise.
+fn sweep_device(spec: &DeviceSpec, noise_seed: Option<u64>, seed_off: u64) -> Device {
+    match noise_seed {
+        Some(seed) => Device::with_noise(spec.clone(), NoiseModel::realistic(seed + seed_off)),
+        None => Device::new(spec.clone()),
+    }
+}
+
+fn char_point(f: f64, m: Measurement, baseline: Measurement) -> CharPoint {
+    CharPoint {
+        freq_mhz: f,
+        time_s: m.time_s,
+        energy_j: m.energy_j,
+        speedup: baseline.time_s / m.time_s,
+        norm_energy: m.energy_j / baseline.energy_j,
+    }
+}
+
 /// Sweeps `freqs` with `reps` repetitions per point (median-aggregated).
 /// `noise_seed` enables the measurement-noise model; `None` runs noiseless.
+///
+/// This is the fast path: the workload is recorded once, then every
+/// frequency point replays the trace with memoized kernel pricing, fanned
+/// out over threads. Output is bit-identical to [`characterize_serial`].
 ///
 /// # Panics
 /// Panics on an empty frequency list or `reps == 0`.
@@ -116,30 +174,71 @@ pub fn characterize(
     assert!(!freqs.is_empty(), "need at least one frequency");
     assert!(reps > 0, "need at least one repetition");
 
+    let trace = workload.record(spec);
+    let prices = Arc::new(PriceTable::new());
     let make_queue = |seed_off: u64| {
-        let dev = match noise_seed {
-            Some(seed) => Device::with_noise(spec.clone(), NoiseModel::realistic(seed + seed_off)),
-            None => Device::new(spec.clone()),
-        };
+        let mut dev = sweep_device(spec, noise_seed, seed_off);
+        // Replay reads only the queue's aggregate counters; skip per-batch
+        // trace events and route all pricing through the shared memo table.
+        dev.set_trace_capacity(Some(0));
+        dev.set_price_table(Arc::clone(&prices));
         SynergyQueue::for_device(dev)
     };
 
     // Baseline: the device's default configuration.
-    let mut q = make_queue(0);
+    let baseline = {
+        let mut q = make_queue(0);
+        measure_median(&mut q, reps, |q| trace.replay_on(q))
+    };
+
+    let points: Vec<CharPoint> = freqs
+        .par_iter()
+        .enumerate()
+        .map(|(i, &f)| {
+            let mut q = make_queue(1 + i as u64);
+            q.set_policy(synergy::FrequencyPolicy::Fixed(f));
+            let m = measure_median(&mut q, reps, |q| trace.replay_on(q));
+            char_point(f, m, baseline)
+        })
+        .collect();
+
+    Characterization {
+        device: spec.name.clone(),
+        workload: workload.name(),
+        baseline_time_s: baseline.time_s,
+        baseline_energy_j: baseline.energy_j,
+        points,
+    }
+}
+
+/// The legacy sweep: every repetition re-runs the workload's submission
+/// loop kernel by kernel, serially across frequencies. Kept as the
+/// reference implementation the trace-replay engine is pinned against (and
+/// as the natural driver for workloads whose submission stream is not
+/// replayable). Same contract as [`characterize`].
+///
+/// # Panics
+/// Panics on an empty frequency list or `reps == 0`.
+pub fn characterize_serial(
+    spec: &DeviceSpec,
+    workload: &dyn Workload,
+    freqs: &[f64],
+    reps: usize,
+    noise_seed: Option<u64>,
+) -> Characterization {
+    assert!(!freqs.is_empty(), "need at least one frequency");
+    assert!(reps > 0, "need at least one repetition");
+
+    // Baseline: the device's default configuration.
+    let mut q = SynergyQueue::for_device(sweep_device(spec, noise_seed, 0));
     let baseline = measure_median(&mut q, reps, |q| workload.run(q));
 
     let mut points = Vec::with_capacity(freqs.len());
     for (i, &f) in freqs.iter().enumerate() {
-        let mut q = make_queue(1 + i as u64);
+        let mut q = SynergyQueue::for_device(sweep_device(spec, noise_seed, 1 + i as u64));
         q.set_policy(synergy::FrequencyPolicy::Fixed(f));
         let m = measure_median(&mut q, reps, |q| workload.run(q));
-        points.push(CharPoint {
-            freq_mhz: f,
-            time_s: m.time_s,
-            energy_j: m.energy_j,
-            speedup: baseline.time_s / m.time_s,
-            norm_energy: m.energy_j / baseline.energy_j,
-        });
+        points.push(char_point(f, m, baseline));
     }
 
     Characterization {
@@ -162,6 +261,10 @@ mod tests {
 
     fn large_cronos() -> cronos::GpuCronos {
         cronos::GpuCronos::new(Grid::cubic(160, 64, 64), 2)
+    }
+
+    fn small_cronos() -> cronos::GpuCronos {
+        cronos::GpuCronos::new(Grid::cubic(20, 8, 8), 5)
     }
 
     fn large_ligen() -> ligen::GpuLigen {
@@ -269,5 +372,67 @@ mod tests {
         let c = characterize(&spec, &large_cronos(), &[800.0, 1200.0], 1, None);
         assert_eq!(c.at_freq(810.0).freq_mhz, 800.0);
         assert_eq!(c.at_freq(1100.0).freq_mhz, 1200.0);
+    }
+
+    // ---- Golden equivalence: trace-replay sweep ≡ legacy serial sweep ----
+    //
+    // Exact `==` on every f64 in the result: the fast path must be
+    // bit-identical, not merely close.
+
+    fn assert_identical(a: &Characterization, b: &Characterization) {
+        assert_eq!(a.baseline_time_s, b.baseline_time_s);
+        assert_eq!(a.baseline_energy_j, b.baseline_energy_j);
+        assert_eq!(a.points.len(), b.points.len());
+        for (pa, pb) in a.points.iter().zip(&b.points) {
+            assert_eq!(pa, pb, "point at {} MHz diverged", pa.freq_mhz);
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn replay_sweep_is_bit_identical_cronos_noiseless() {
+        let spec = v100();
+        let freqs = [500.0, 900.0, 1312.1, 1597.0];
+        let fast = characterize(&spec, &small_cronos(), &freqs, 2, None);
+        let slow = characterize_serial(&spec, &small_cronos(), &freqs, 2, None);
+        assert_identical(&fast, &slow);
+    }
+
+    #[test]
+    fn replay_sweep_is_bit_identical_cronos_noisy() {
+        let spec = v100();
+        let freqs = [500.0, 900.0, 1312.1, 1597.0];
+        let fast = characterize(&spec, &small_cronos(), &freqs, 3, Some(20231112));
+        let slow = characterize_serial(&spec, &small_cronos(), &freqs, 3, Some(20231112));
+        assert_identical(&fast, &slow);
+    }
+
+    #[test]
+    fn replay_sweep_is_bit_identical_ligen_noiseless() {
+        let spec = v100();
+        let freqs = [700.0, 1100.0, 1597.0];
+        let wl = ligen::GpuLigen::new(1000, 31, 4);
+        let fast = characterize(&spec, &wl, &freqs, 2, None);
+        let slow = characterize_serial(&spec, &wl, &freqs, 2, None);
+        assert_identical(&fast, &slow);
+    }
+
+    #[test]
+    fn replay_sweep_is_bit_identical_ligen_noisy() {
+        let spec = v100();
+        let freqs = [700.0, 1100.0, 1597.0];
+        let wl = ligen::GpuLigen::new(1000, 31, 4);
+        let fast = characterize(&spec, &wl, &freqs, 5, Some(99));
+        let slow = characterize_serial(&spec, &wl, &freqs, 5, Some(99));
+        assert_identical(&fast, &slow);
+    }
+
+    #[test]
+    fn replay_sweep_is_bit_identical_on_amd_auto_baseline() {
+        let spec = DeviceSpec::mi100();
+        let freqs = [700.0, 1000.0, 1450.0];
+        let fast = characterize(&spec, &small_cronos(), &freqs, 2, Some(5));
+        let slow = characterize_serial(&spec, &small_cronos(), &freqs, 2, Some(5));
+        assert_identical(&fast, &slow);
     }
 }

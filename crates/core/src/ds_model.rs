@@ -16,6 +16,8 @@
 //! selection (§5.2.1): Linear, Lasso, SVR-RBF, and Random Forest compete
 //! under K-fold cross-validation; Random Forest wins.
 
+use std::sync::Arc;
+
 use ml::dataset::Matrix;
 use ml::forest::{RandomForest, RandomForestParams};
 use ml::lasso::Lasso;
@@ -27,10 +29,15 @@ use serde::{Deserialize, Serialize};
 pub use crate::gp_model::PredictedPoint;
 
 /// One training sample `s = (f⃗, c, t, e)` (§4.2.2).
+///
+/// The feature vector is shared (`Arc`) with its sibling samples: a sweep
+/// contributes one sample per frequency point but only one distinct input
+/// feature vector, so cloning samples — which LOOCV and model selection do
+/// per fold — costs a reference count, not an allocation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DsSample {
     /// Domain-specific input features `f⃗` (Table 2).
-    pub features: Vec<f64>,
+    pub features: Arc<Vec<f64>>,
     /// Frequency configuration `c` (MHz).
     pub freq_mhz: f64,
     /// Measured execution time `t` (s).
@@ -124,13 +131,15 @@ fn build_design(samples: &[DsSample]) -> (Matrix, Vec<f64>, Vec<f64>) {
     let mut x = Matrix::with_cols(n_features + 1);
     let mut y_time = Vec::with_capacity(samples.len());
     let mut y_energy = Vec::with_capacity(samples.len());
+    let mut row = Vec::with_capacity(n_features + 1);
     for s in samples {
         assert_eq!(s.features.len(), n_features, "ragged feature vectors");
         assert!(
             s.time_s > 0.0 && s.energy_j > 0.0,
             "times and energies must be positive"
         );
-        let mut row = s.features.clone();
+        row.clear();
+        row.extend_from_slice(&s.features);
         row.push(s.freq_mhz);
         x.push_row(&row);
         y_time.push(s.time_s.ln());
@@ -221,8 +230,7 @@ impl DomainSpecificModel {
                     .min_by(|&a, &b| {
                         (samples[a].freq_mhz - default_freq_mhz)
                             .abs()
-                            .partial_cmp(&(samples[b].freq_mhz - default_freq_mhz).abs())
-                            .expect("finite")
+                            .total_cmp(&(samples[b].freq_mhz - default_freq_mhz).abs())
                     })
                     .expect("non-empty validation group");
                 let t_ref_true = samples[ref_idx].time_s;
@@ -243,7 +251,7 @@ impl DomainSpecificModel {
         }
         let best = scores
             .iter()
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
             .map(|(a, _)| *a)
             .expect("non-empty");
         (
@@ -319,7 +327,7 @@ mod tests {
                 let time = work / (eff * 1e6) + 4.0e-5;
                 let power = 50.0 + 0.1 * f;
                 out.push(DsSample {
-                    features: vec![a, b],
+                    features: Arc::new(vec![a, b]),
                     freq_mhz: f,
                     time_s: time,
                     energy_j: time * power,

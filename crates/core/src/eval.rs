@@ -11,6 +11,7 @@
 //!   the measured characterization) and compared against the true front
 //!   (Figure 14).
 
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use crate::characterize::Characterization;
@@ -18,7 +19,7 @@ use crate::ds_model::{DomainSpecificModel, PredictedPoint};
 use crate::features::N_STATIC_FEATURES;
 use crate::gp_model::GeneralPurposeModel;
 use crate::pareto::{compare_pareto_sets, pareto_front_indices, ParetoComparison};
-use crate::workflow::{predicted_pareto_frequencies, training_set, CharacterizedInput};
+use crate::workflow::{predicted_pareto_frequencies, training_set_excluding, CharacterizedInput};
 
 /// Per-input MAPE of both models on both targets — one group of bars in
 /// Figure 13.
@@ -91,18 +92,15 @@ pub fn evaluate_loocv(
         .map(|p| p.freq_mhz)
         .collect();
 
+    // Each fold trains its own forest on its own D \ D_v — fully
+    // independent, so the folds fan out across threads (row order is
+    // preserved by the indexed collect).
     inputs
-        .iter()
+        .par_iter()
         .enumerate()
         .map(|(i, held_out)| {
             // D_t = D \ D_v
-            let train_inputs: Vec<CharacterizedInput> = inputs
-                .iter()
-                .enumerate()
-                .filter(|(j, _)| *j != i)
-                .map(|(_, c)| c.clone())
-                .collect();
-            let samples = training_set(&train_inputs);
+            let samples = training_set_excluding(inputs, i);
             let ds = DomainSpecificModel::train(&samples, default_freq_mhz, seed);
             let ds_curve = ds.predict_curve(&held_out.features, &freqs);
             let (ds_speedup, ds_energy) = curve_mape(&held_out.characterization, &ds_curve);
@@ -178,13 +176,7 @@ pub fn evaluate_pareto(
     let true_points: Vec<(f64, f64)> = true_idx.iter().map(|&i| objective[i]).collect();
 
     // DS prediction (trained without the held-out input).
-    let train_inputs: Vec<CharacterizedInput> = inputs
-        .iter()
-        .enumerate()
-        .filter(|(j, _)| *j != held_out_index)
-        .map(|(_, c)| c.clone())
-        .collect();
-    let samples = training_set(&train_inputs);
+    let samples = training_set_excluding(inputs, held_out_index);
     let ds_model = DomainSpecificModel::train(&samples, default_freq_mhz, seed);
     let ds_curve = ds_model.predict_curve(&held_out.features, &freqs);
     let ds_freqs = predicted_pareto_frequencies(&ds_curve);

@@ -16,6 +16,7 @@ use gpu_sim::{Device, DeviceSpec, KernelProfile};
 use ml::dataset::{Dataset, Matrix};
 use ml::forest::{RandomForest, RandomForestParams};
 use ml::Regressor;
+use rayon::prelude::*;
 
 use crate::features::{static_features, N_STATIC_FEATURES};
 use crate::microbench::microbenchmarks;
@@ -39,6 +40,49 @@ pub struct PredictedPoint {
     pub norm_energy: f64,
 }
 
+/// Builds the micro-benchmark training design: one row per
+/// (benchmark, frequency), with speedup and normalized-energy targets.
+/// Benchmarks are priced in parallel (each worker gets its own noiseless
+/// device; pricing is deterministic) and the per-benchmark blocks are
+/// concatenated in suite order, so the matrix is identical to a serial
+/// build.
+fn microbench_design(spec: &DeviceSpec, freqs: &[f64]) -> (Matrix, Vec<f64>, Vec<f64>) {
+    let suite = microbenchmarks();
+    let blocks: Vec<(Vec<Vec<f64>>, Vec<f64>, Vec<f64>)> = suite
+        .par_iter()
+        .map(|bench| {
+            let dev = Device::new(spec.clone());
+            let sf = static_features(std::slice::from_ref(bench));
+            // Ground truth from the simulator (noiseless peek).
+            let (t_def, e_def) = dev.peek_cost(bench, spec.default_core_mhz);
+            let mut rows = Vec::with_capacity(freqs.len());
+            let mut y_speedup = Vec::with_capacity(freqs.len());
+            let mut y_energy = Vec::with_capacity(freqs.len());
+            for &f in freqs {
+                let (t, e) = dev.peek_cost(bench, f);
+                let mut row = sf.to_vec();
+                row.push(f);
+                rows.push(row);
+                y_speedup.push(t_def / t);
+                y_energy.push(e / e_def);
+            }
+            (rows, y_speedup, y_energy)
+        })
+        .collect();
+
+    let mut x = Matrix::with_cols(N_STATIC_FEATURES + 1);
+    let mut y_speedup = Vec::new();
+    let mut y_energy = Vec::new();
+    for (rows, ys, ye) in blocks {
+        for row in &rows {
+            x.push_row(row);
+        }
+        y_speedup.extend(ys);
+        y_energy.extend(ye);
+    }
+    (x, y_speedup, y_energy)
+}
+
 impl GeneralPurposeModel {
     /// Trains on the 106 micro-benchmarks swept over `freqs`, with
     /// scikit-learn-default forests (the paper's grid search concludes the
@@ -59,26 +103,7 @@ impl GeneralPurposeModel {
         params: RandomForestParams,
     ) -> Self {
         assert!(!freqs.is_empty(), "need at least one training frequency");
-        let dev = Device::new(spec.clone());
-        let suite = microbenchmarks();
-
-        let mut x = Matrix::with_cols(N_STATIC_FEATURES + 1);
-        let mut y_speedup = Vec::new();
-        let mut y_energy = Vec::new();
-
-        for bench in &suite {
-            let sf = static_features(std::slice::from_ref(bench));
-            // Ground truth from the simulator (noiseless peek).
-            let (t_def, e_def) = dev.peek_cost(bench, spec.default_core_mhz);
-            for &f in freqs {
-                let (t, e) = dev.peek_cost(bench, f);
-                let mut row = sf.to_vec();
-                row.push(f);
-                x.push_row(&row);
-                y_speedup.push(t_def / t);
-                y_energy.push(e / e_def);
-            }
-        }
+        let (x, y_speedup, y_energy) = microbench_design(spec, freqs);
 
         let mut speedup_model = RandomForest::new(params, seed);
         speedup_model.fit(&x, &y_speedup);
@@ -94,23 +119,7 @@ impl GeneralPurposeModel {
 
     /// The training set the model was built from, exposed for diagnostics.
     pub fn training_dataset(spec: &DeviceSpec, freqs: &[f64]) -> (Dataset, Dataset) {
-        let dev = Device::new(spec.clone());
-        let suite = microbenchmarks();
-        let mut x = Matrix::with_cols(N_STATIC_FEATURES + 1);
-        let mut y_speedup = Vec::new();
-        let mut y_energy = Vec::new();
-        for bench in &suite {
-            let sf = static_features(std::slice::from_ref(bench));
-            let (t_def, e_def) = dev.peek_cost(bench, spec.default_core_mhz);
-            for &f in freqs {
-                let (t, e) = dev.peek_cost(bench, f);
-                let mut row = sf.to_vec();
-                row.push(f);
-                x.push_row(&row);
-                y_speedup.push(t_def / t);
-                y_energy.push(e / e_def);
-            }
-        }
+        let (x, y_speedup, y_energy) = microbench_design(spec, freqs);
         (
             Dataset::new(x.clone(), y_speedup),
             Dataset::new(x, y_energy),

@@ -40,7 +40,7 @@ pub mod pareto;
 pub mod per_kernel;
 pub mod workflow;
 
-pub use characterize::{characterize, CharPoint, Characterization, Workload};
+pub use characterize::{characterize, characterize_serial, CharPoint, Characterization, Workload};
 pub use ds_model::DomainSpecificModel;
 pub use features::{CronosInput, LigenInput};
 pub use gp_model::GeneralPurposeModel;

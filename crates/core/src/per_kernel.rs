@@ -14,9 +14,11 @@
 //! [`synergy::FrequencyPolicy`].
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use gpu_sim::noise::NoiseModel;
 use gpu_sim::{Device, DeviceSpec, KernelProfile};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use synergy::{FrequencyPolicy, SynergyQueue};
 
@@ -45,8 +47,10 @@ pub fn characterize_kernels(
 ) -> Vec<KernelCharacterization> {
     assert!(!kernels.is_empty(), "need at least one kernel");
     assert!(!freqs.is_empty(), "need at least one frequency");
+    // One device per kernel, so the per-kernel sweeps are independent and
+    // fan out across threads (output stays in kernel order).
     kernels
-        .iter()
+        .par_iter()
         .map(|k| {
             let dev = match noise_seed {
                 Some(s) => Device::with_noise(spec.clone(), NoiseModel::realistic(s)),
@@ -90,11 +94,12 @@ impl PerKernelModel {
         for cfg in configs {
             let grid = cronos::Grid::cubic(cfg.grid_x, cfg.grid_y, cfg.grid_z);
             let kernels = cronos::kernelize::substep_kernels(&grid);
+            let features = Arc::new(cfg.features());
             for ch in characterize_kernels(spec, &kernels, freqs, None) {
                 let entry = samples_by_kernel.entry(ch.kernel.clone()).or_default();
                 for (f, t, e) in ch.points {
                     entry.push(DsSample {
-                        features: cfg.features(),
+                        features: Arc::clone(&features),
                         freq_mhz: f,
                         time_s: t,
                         energy_j: e,
@@ -146,7 +151,7 @@ impl PerKernelModel {
                     (f, t, e)
                 })
                 .filter(|(_, t, _)| *t <= t_def * (1.0 + max_slowdown))
-                .min_by(|a, b| a.2.partial_cmp(&b.2).expect("finite energy"));
+                .min_by(|a, b| a.2.total_cmp(&b.2));
             // The default clock always satisfies the bound in the model's
             // own prediction space; fall back to it defensively.
             let freq = best.map(|(f, _, _)| f).unwrap_or(self.default_freq_mhz);

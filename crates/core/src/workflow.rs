@@ -6,7 +6,10 @@
 //! trained model over the frequency range and extracts the predicted
 //! Pareto-optimal frequency configurations.
 
+use std::sync::Arc;
+
 use gpu_sim::DeviceSpec;
+use rayon::prelude::*;
 
 use crate::characterize::{characterize, Characterization, Workload};
 use crate::ds_model::{DsSample, PredictedPoint};
@@ -15,10 +18,14 @@ use crate::pareto::pareto_front_indices;
 
 /// A characterized input: its feature vector, its display label, and the
 /// frequency sweep measured for it.
+///
+/// The feature vector is reference-counted: every training sample derived
+/// from this input shares it instead of cloning one `Vec<f64>` per
+/// frequency point (a full-resolution sweep is ~180 points per input).
 #[derive(Debug, Clone)]
 pub struct CharacterizedInput {
-    /// Domain-specific feature vector (Table 2).
-    pub features: Vec<f64>,
+    /// Domain-specific feature vector (Table 2), shared with all samples.
+    pub features: Arc<Vec<f64>>,
     /// Display label (paper-figure format).
     pub label: String,
     /// The measured sweep.
@@ -26,13 +33,14 @@ pub struct CharacterizedInput {
 }
 
 impl CharacterizedInput {
-    /// Converts the sweep into training samples `(f⃗, c, t, e)`.
+    /// Converts the sweep into training samples `(f⃗, c, t, e)`. The
+    /// samples share this input's feature vector.
     pub fn samples(&self) -> Vec<DsSample> {
         self.characterization
             .points
             .iter()
             .map(|p| DsSample {
-                features: self.features.clone(),
+                features: Arc::clone(&self.features),
                 freq_mhz: p.freq_mhz,
                 time_s: p.time_s,
                 energy_j: p.energy_j,
@@ -63,7 +71,9 @@ pub fn experiment_frequencies(spec: &DeviceSpec, stride: usize) -> Vec<f64> {
         .collect()
 }
 
-/// Characterizes every Cronos grid configuration over `freqs`.
+/// Characterizes every Cronos grid configuration over `freqs`, fanning the
+/// inputs out across threads (each input's sweep is independent; results
+/// come back in input order).
 pub fn characterize_cronos(
     spec: &DeviceSpec,
     configs: &[CronosInput],
@@ -72,14 +82,14 @@ pub fn characterize_cronos(
     noise_seed: Option<u64>,
 ) -> Vec<CharacterizedInput> {
     configs
-        .iter()
+        .par_iter()
         .map(|cfg| {
             let workload = cronos::GpuCronos::new(
                 cronos::Grid::cubic(cfg.grid_x, cfg.grid_y, cfg.grid_z),
                 CRONOS_STEPS,
             );
             CharacterizedInput {
-                features: cfg.features(),
+                features: Arc::new(cfg.features()),
                 label: cfg.label(),
                 characterization: characterize(spec, &workload, freqs, reps, noise_seed),
             }
@@ -87,7 +97,8 @@ pub fn characterize_cronos(
         .collect()
 }
 
-/// Characterizes every LiGen input configuration over `freqs`.
+/// Characterizes every LiGen input configuration over `freqs`, fanning the
+/// inputs out across threads.
 pub fn characterize_ligen(
     spec: &DeviceSpec,
     configs: &[LigenInput],
@@ -96,12 +107,12 @@ pub fn characterize_ligen(
     noise_seed: Option<u64>,
 ) -> Vec<CharacterizedInput> {
     configs
-        .iter()
+        .par_iter()
         .map(|cfg| {
             let workload =
                 ligen::GpuLigen::new(cfg.ligands as u64, cfg.atoms as u64, cfg.fragments as u64);
             CharacterizedInput {
-                features: cfg.features(),
+                features: Arc::new(cfg.features()),
                 label: cfg.label(),
                 characterization: characterize(spec, &workload, freqs, reps, noise_seed),
             }
@@ -112,6 +123,17 @@ pub fn characterize_ligen(
 /// Flattens characterized inputs into one training set.
 pub fn training_set(inputs: &[CharacterizedInput]) -> Vec<DsSample> {
     inputs.iter().flat_map(|c| c.samples()).collect()
+}
+
+/// The LOOCV training set: every input except `skip`, flattened. Avoids
+/// cloning the held-out fold's characterizations just to drop them.
+pub fn training_set_excluding(inputs: &[CharacterizedInput], skip: usize) -> Vec<DsSample> {
+    inputs
+        .iter()
+        .enumerate()
+        .filter(|(j, _)| *j != skip)
+        .flat_map(|(_, c)| c.samples())
+        .collect()
 }
 
 /// The static-feature extraction for the two applications: aggregate the
@@ -183,7 +205,7 @@ mod tests {
         assert_eq!(chars.len(), 2);
         let samples = training_set(&chars);
         assert_eq!(samples.len(), 2 * freqs.len());
-        assert_eq!(samples[0].features, vec![10.0, 4.0, 4.0]);
+        assert_eq!(*samples[0].features, vec![10.0, 4.0, 4.0]);
         assert!(samples.iter().all(|s| s.time_s > 0.0 && s.energy_j > 0.0));
     }
 
@@ -195,7 +217,7 @@ mod tests {
         let chars = characterize_ligen(&spec, &configs, &freqs, 1, None);
         let samples = training_set(&chars);
         assert_eq!(samples.len(), freqs.len());
-        assert_eq!(samples[0].features, vec![256.0, 4.0, 31.0]);
+        assert_eq!(*samples[0].features, vec![256.0, 4.0, 31.0]);
     }
 
     #[test]
@@ -223,12 +245,12 @@ mod tests {
         let fastest = ch
             .points
             .iter()
-            .max_by(|a, b| a.speedup.partial_cmp(&b.speedup).unwrap())
+            .max_by(|a, b| a.speedup.total_cmp(&b.speedup))
             .unwrap();
         let cheapest = ch
             .points
             .iter()
-            .min_by(|a, b| a.norm_energy.partial_cmp(&b.norm_energy).unwrap())
+            .min_by(|a, b| a.norm_energy.total_cmp(&b.norm_energy))
             .unwrap();
         assert!(front.contains(&fastest.freq_mhz));
         assert!(front.contains(&cheapest.freq_mhz));

@@ -77,7 +77,7 @@ proptest! {
                 for &f in &freqs {
                     let t = unit * a * b / f;
                     out.push(DsSample {
-                        features: vec![a, b],
+                        features: std::sync::Arc::new(vec![a, b]),
                         freq_mhz: f,
                         time_s: t,
                         energy_j: t * (40.0 + 0.1 * f),

@@ -7,7 +7,7 @@
 //! submits its kernels; this is what the energy experiments measure.
 
 use synergy::energy::Measurement;
-use synergy::SynergyQueue;
+use synergy::{KernelTrace, SynergyQueue, TraceSegment};
 
 use crate::boundary::{apply_boundary, BoundaryKind};
 use crate::grid::Grid;
@@ -150,6 +150,22 @@ impl GpuCronos {
     pub fn kernel_count(&self) -> u64 {
         self.steps * N_SUBSTEPS as u64 * 4
     }
+
+    /// The workload's kernel trace, built directly from its known
+    /// structure: the four substep kernels submitted in order, repeated
+    /// `steps × N_SUBSTEPS` times. Replaying it is submission-for-
+    /// submission identical to [`GpuCronos::run`], at recording cost O(1)
+    /// in the step count.
+    pub fn record_trace(&self) -> KernelTrace {
+        let kernels = substep_kernels(&self.grid).to_vec();
+        let period = (0..kernels.len())
+            .map(|i| TraceSegment {
+                kernel_index: i,
+                count: 1,
+            })
+            .collect();
+        KernelTrace::new(kernels, period, self.steps * N_SUBSTEPS as u64)
+    }
 }
 
 #[cfg(test)]
@@ -257,6 +273,28 @@ mod tests {
         let m = run.run(&mut q);
         assert_eq!(q.submission_count(), run.kernel_count());
         assert!(m.time_s > 0.0 && m.energy_j > 0.0);
+    }
+
+    #[test]
+    fn native_trace_matches_generic_recording() {
+        let run = GpuCronos::new(Grid::cubic(20, 8, 8), 5);
+        let native = run.record_trace();
+        let recorded = KernelTrace::record(&DeviceSpec::v100(), |q| {
+            run.run(q);
+        });
+        assert_eq!(native, recorded);
+        assert_eq!(native.total_launches(), run.kernel_count());
+    }
+
+    #[test]
+    fn trace_replay_matches_direct_run_bitwise() {
+        let run = GpuCronos::new(Grid::cubic(20, 8, 8), 3);
+        let mut direct = SynergyQueue::nvidia(Device::new(DeviceSpec::v100()));
+        let m_direct = run.run(&mut direct);
+        let mut replayed = SynergyQueue::nvidia(Device::new(DeviceSpec::v100()));
+        let m_replay = run.record_trace().replay_on(&mut replayed);
+        assert_eq!(m_replay, m_direct);
+        assert_eq!(replayed.submission_count(), direct.submission_count());
     }
 
     #[test]

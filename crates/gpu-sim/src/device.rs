@@ -6,11 +6,14 @@
 //! ([`crate::nvml`], [`crate::rocm`]) and the portable `synergy` crate all
 //! drive this type.
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 use crate::kernel::KernelProfile;
 use crate::noise::NoiseModel;
 use crate::power::{kernel_power, PowerBreakdown};
+use crate::pricing::PriceTable;
 use crate::spec::DeviceSpec;
 use crate::timing::{kernel_timing, TimingBreakdown};
 use crate::trace::{Trace, TraceEvent};
@@ -45,6 +48,8 @@ pub struct Device {
     last_power_w: f64,
     trace: Trace,
     noise: NoiseModel,
+    /// Memo cache of noiseless launch prices; shareable across devices.
+    prices: Arc<PriceTable>,
 }
 
 impl Device {
@@ -63,6 +68,7 @@ impl Device {
             last_power_w: idle,
             trace: Trace::with_capacity_limit(100_000),
             noise: NoiseModel::disabled(),
+            prices: Arc::new(PriceTable::new()),
         }
     }
 
@@ -167,6 +173,94 @@ impl Device {
         let timing = kernel_timing(&self.spec, kernel, f, self.mem_mhz);
         let energy = crate::power::kernel_energy(&self.spec, &timing, f);
         (timing.total_s, energy)
+    }
+
+    /// Pure pricing: `(time_s, energy_j)` of one noiseless launch of
+    /// `kernel` at `core_mhz`, served from the device's [`PriceTable`].
+    ///
+    /// Identical to [`Device::peek_cost`] (bit-for-bit — the cache stores
+    /// what `peek_cost` computes), but memoized per `(kernel, frequency)`
+    /// pair, which makes repeated re-pricing of the same kernel mix across
+    /// a frequency sweep a hash lookup instead of a cost-model evaluation.
+    pub fn price(&self, kernel: &KernelProfile, core_mhz: f64) -> (f64, f64) {
+        self.prices
+            .price_or_insert_with(kernel, core_mhz, self.mem_mhz, || {
+                self.peek_cost(kernel, core_mhz)
+            })
+    }
+
+    /// Executes `n` back-to-back launches of `kernel` at an explicit core
+    /// clock, pricing the kernel **once** (via [`Device::price`]) and then
+    /// applying per-launch measurement noise and counter accumulation in
+    /// exactly the order `n` separate [`Device::launch_at`] calls would:
+    /// each launch draws one time factor then one energy factor, and the
+    /// device clock / energy counter advance launch by launch, so the final
+    /// counter values are bit-identical to the unbatched path.
+    ///
+    /// `sink` observes every launch's `(time_s, energy_j)` in submission
+    /// order. The trace records a single aggregate event for the whole
+    /// batch (when the trace is recording at all), not `n` events — that,
+    /// plus the skipped per-launch cost-model evaluations, is where the
+    /// batch path's speed comes from.
+    pub fn launch_batch(
+        &mut self,
+        kernel: &KernelProfile,
+        core_mhz: f64,
+        n: u64,
+        sink: &mut dyn FnMut(f64, f64),
+    ) {
+        if n == 0 {
+            return;
+        }
+        let (base_time_s, base_energy_j) = self.price(kernel, core_mhz);
+        let start_s = self.clock_s;
+        let mut batch_time_s = 0.0;
+        let mut batch_energy_j = 0.0;
+        for _ in 0..n {
+            let time_s = base_time_s * self.noise.time_factor();
+            let energy_j = base_energy_j * self.noise.energy_factor();
+            self.clock_s += time_s;
+            self.energy_counter_j += energy_j;
+            self.last_power_w = energy_j / time_s;
+            batch_time_s += time_s;
+            batch_energy_j += energy_j;
+            sink(time_s, energy_j);
+        }
+        if self.trace.is_recording() {
+            let f = self.spec.core_freqs.snap(core_mhz);
+            self.trace.push(TraceEvent {
+                kernel: kernel.name.clone(),
+                start_s,
+                duration_s: batch_time_s,
+                energy_j: batch_energy_j,
+                core_mhz: f,
+                mem_mhz: self.mem_mhz,
+                avg_power_w: batch_energy_j / batch_time_s,
+                work_items: kernel.work_items.saturating_mul(n),
+            });
+        }
+    }
+
+    /// The device's price memo cache.
+    pub fn price_table(&self) -> &Arc<PriceTable> {
+        &self.prices
+    }
+
+    /// Replaces the device's price cache, typically to share one table
+    /// across many per-frequency device replicas in a parallel sweep.
+    pub fn set_price_table(&mut self, table: Arc<PriceTable>) {
+        self.prices = table;
+    }
+
+    /// Replaces the execution trace with an empty one bounded by
+    /// `capacity` events (`None` = unbounded, `Some(0)` = record nothing).
+    /// Sweep drivers that replay millions of launches use a zero-capacity
+    /// trace so the per-batch event construction is skipped entirely.
+    pub fn set_trace_capacity(&mut self, capacity: Option<usize>) {
+        self.trace = match capacity {
+            Some(cap) => Trace::with_capacity_limit(cap),
+            None => Trace::new(),
+        };
     }
 
     /// Advances the device clock by `dt` seconds of idleness, charging idle
@@ -284,6 +378,86 @@ mod tests {
             assert_eq!(ra.time_s, rb.time_s);
             assert_eq!(ra.energy_j, rb.energy_j);
         }
+    }
+
+    #[test]
+    fn price_matches_peek_cost_bitwise() {
+        let d = Device::new(DeviceSpec::v100());
+        let k = KernelProfile::memory_bound("k", 2_000_000, 48.0);
+        for f in [135.0, 800.0, 1312.1, 1597.0] {
+            let (pt, pe) = d.peek_cost(&k, f);
+            // First call computes, second must serve the cached value.
+            assert_eq!(d.price(&k, f), (pt, pe));
+            assert_eq!(d.price(&k, f), (pt, pe));
+        }
+        assert_eq!(d.price_table().len(), 4);
+    }
+
+    #[test]
+    fn launch_batch_matches_serial_launches_noiseless() {
+        let spec = DeviceSpec::v100();
+        let k = KernelProfile::compute_bound("k", 1_000_000, 100.0);
+        let mut serial = Device::new(spec.clone());
+        let mut batched = Device::new(spec);
+        let mut expected = Vec::new();
+        for _ in 0..7 {
+            let rec = serial.launch_at(&k, 900.0);
+            expected.push((rec.time_s, rec.energy_j));
+        }
+        let mut seen = Vec::new();
+        batched.launch_batch(&k, 900.0, 7, &mut |t, e| seen.push((t, e)));
+        assert_eq!(seen, expected);
+        assert_eq!(batched.clock_s(), serial.clock_s());
+        assert_eq!(batched.energy_counter_j(), serial.energy_counter_j());
+        assert_eq!(batched.power_usage_w(), serial.power_usage_w());
+        // One aggregate trace event instead of seven.
+        assert_eq!(batched.trace().events().len(), 1);
+        let ev = &batched.trace().events()[0];
+        assert_eq!(ev.work_items, 7_000_000);
+        assert_eq!(ev.duration_s, batched.clock_s());
+    }
+
+    #[test]
+    fn launch_batch_matches_serial_launches_with_noise() {
+        let spec = DeviceSpec::v100();
+        let k = KernelProfile::memory_bound("k", 4_000_000, 64.0);
+        let mut serial = Device::with_noise(spec.clone(), NoiseModel::realistic(31));
+        let mut batched = Device::with_noise(spec, NoiseModel::realistic(31));
+        let mut expected = Vec::new();
+        for _ in 0..5 {
+            let rec = serial.launch_at(&k, 700.0);
+            expected.push((rec.time_s, rec.energy_j));
+        }
+        let mut seen = Vec::new();
+        batched.launch_batch(&k, 700.0, 5, &mut |t, e| seen.push((t, e)));
+        assert_eq!(seen, expected, "noise must be drawn per launch, in order");
+        assert_eq!(batched.clock_s(), serial.clock_s());
+        assert_eq!(batched.energy_counter_j(), serial.energy_counter_j());
+    }
+
+    #[test]
+    fn zero_capacity_trace_skips_batch_events() {
+        let mut d = Device::new(DeviceSpec::v100());
+        d.set_trace_capacity(Some(0));
+        let k = KernelProfile::compute_bound("k", 1_000_000, 100.0);
+        d.launch_batch(&k, 900.0, 3, &mut |_, _| {});
+        assert!(d.trace().events().is_empty());
+        assert_eq!(d.trace().dropped(), 0, "events are never even built");
+        assert!(d.clock_s() > 0.0, "counters still advance");
+    }
+
+    #[test]
+    fn shared_price_table_is_populated_across_replicas() {
+        let spec = DeviceSpec::v100();
+        let table = Arc::new(PriceTable::new());
+        let k = KernelProfile::compute_bound("k", 1_000_000, 100.0);
+        let mut a = Device::new(spec.clone());
+        a.set_price_table(Arc::clone(&table));
+        let mut b = Device::new(spec);
+        b.set_price_table(Arc::clone(&table));
+        a.launch_batch(&k, 900.0, 2, &mut |_, _| {});
+        b.launch_batch(&k, 900.0, 2, &mut |_, _| {});
+        assert_eq!(table.len(), 1, "both replicas share one cached price");
     }
 
     #[test]

@@ -117,6 +117,12 @@ impl ZeDevice {
         self.inner.clone()
     }
 
+    /// Locks the underlying device without cloning the shared handle (the
+    /// batch-launch hot path takes this once per batch).
+    pub fn lock_device(&self) -> parking_lot::MutexGuard<'_, Device> {
+        self.inner.lock()
+    }
+
     /// `zesDeviceGetProperties` — device name.
     pub fn name(&self) -> String {
         self.inner.lock().spec().name.clone()

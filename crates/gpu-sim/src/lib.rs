@@ -44,6 +44,7 @@ pub mod level_zero;
 pub mod noise;
 pub mod nvml;
 pub mod power;
+pub mod pricing;
 pub mod rocm;
 pub mod sampling;
 pub mod spec;
@@ -53,6 +54,7 @@ pub mod voltage;
 
 pub use device::{Device, LaunchRecord};
 pub use kernel::{KernelProfile, OpMix};
+pub use pricing::PriceTable;
 pub use spec::{DeviceSpec, Vendor};
 
 /// Convenience prelude bringing the most commonly used items into scope.

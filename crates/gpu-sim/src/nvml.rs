@@ -111,6 +111,12 @@ impl NvmlDevice {
         self.inner.clone()
     }
 
+    /// Locks the underlying device without cloning the shared handle (the
+    /// batch-launch hot path takes this once per batch).
+    pub fn lock_device(&self) -> parking_lot::MutexGuard<'_, Device> {
+        self.inner.lock()
+    }
+
     /// `nvmlDeviceGetName`.
     pub fn name(&self) -> String {
         self.inner.lock().spec().name.clone()

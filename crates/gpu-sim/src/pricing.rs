@@ -1,0 +1,266 @@
+//! Kernel-pricing memoization.
+//!
+//! Frequency sweeps re-run the *same* handful of kernels at the *same*
+//! handful of clocks thousands of times (a characterization run prices a
+//! four-kernel MHD period at ~200 frequencies × 5 repetitions). The cost
+//! model ([`crate::timing::kernel_timing`] + [`crate::power::kernel_energy`])
+//! is pure: for a fixed device spec, `(kernel, core clock, memory clock)`
+//! fully determines the noiseless `(time, energy)` of a launch. A
+//! [`PriceTable`] caches exactly that mapping so a sweep pays for the model
+//! once per distinct `(kernel, frequency)` pair and re-prices every
+//! subsequent launch with a hash lookup.
+//!
+//! ## Key and correctness
+//!
+//! Entries are keyed by `(kernel-id, freq-bits)`:
+//!
+//! * the *kernel id* is an FNV-1a hash over the kernel's complete pricing
+//!   inputs (name, work items, op mix, ILP efficiency);
+//! * the *freq bits* are the raw IEEE-754 bits of the **requested** core and
+//!   memory clocks — snapping to a supported frequency is itself
+//!   deterministic, so it can happen lazily inside the priced computation
+//!   and only on a cache miss (snapping is a linear scan over the frequency
+//!   table and is a measurable share of per-launch cost).
+//!
+//! A 64-bit hash can collide in principle, so every entry stores the full
+//! [`KernelProfile`] it was priced for and a hit is only served after an
+//! exact equality check; a mismatch falls back to computing (and not
+//! caching) the price. Cached values are therefore *bit-identical* to what
+//! the uncached path would produce — the property the trace-replay sweep
+//! engine relies on.
+//!
+//! The table is internally synchronized (`RwLock`) and meant to be shared
+//! across devices via `Arc`: a parallel sweep hands one table to every
+//! per-frequency replica so each `(kernel, frequency)` pair in the whole
+//! sweep is priced exactly once.
+
+use std::collections::HashMap;
+use std::sync::RwLock;
+
+use crate::kernel::KernelProfile;
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+#[inline]
+fn fnv_word(h: u64, word: u64) -> u64 {
+    (h ^ word).wrapping_mul(FNV_PRIME)
+}
+
+/// Stable 64-bit identity of a kernel's pricing inputs (FNV-1a over
+/// 64-bit words — this runs once per `price()` call, i.e. once per
+/// replayed launch, so the hash walks words, not bytes).
+///
+/// Two kernels with equal [`KernelProfile`]s always hash equal; unequal
+/// profiles hash unequal up to 64-bit collisions, which [`PriceTable`]
+/// guards against with a full equality check.
+pub fn kernel_cache_id(kernel: &KernelProfile) -> u64 {
+    let mut h = FNV_OFFSET;
+    let bytes = kernel.name.as_bytes();
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        h = fnv_word(h, u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut last = [0u8; 8];
+        last[..rem.len()].copy_from_slice(rem);
+        h = fnv_word(h, u64::from_le_bytes(last));
+    }
+    // Name length doubles as the separator word: names that differ only in
+    // trailing zero padding, and field boundaries, cannot alias.
+    h = fnv_word(h, bytes.len() as u64 ^ 0xff00_0000_0000_0000);
+    h = fnv_word(h, kernel.work_items);
+    for v in kernel.mix.as_feature_vector() {
+        h = fnv_word(h, v.to_bits());
+    }
+    h = fnv_word(h, kernel.ilp_efficiency.to_bits());
+    h
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+struct PriceKey {
+    kernel_id: u64,
+    core_bits: u64,
+    mem_bits: u64,
+}
+
+/// Map hasher for [`PriceKey`]: the key's first field is already a 64-bit
+/// FNV digest and the clock bits are near-constant across a sweep, so an
+/// FNV fold of the three words is both cheap (three multiply-xors on the
+/// hot lookup path) and well distributed — SipHash would only add cost.
+struct KeyHasher(u64);
+
+impl Default for KeyHasher {
+    fn default() -> Self {
+        KeyHasher(FNV_OFFSET)
+    }
+}
+
+impl std::hash::Hasher for KeyHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for b in bytes {
+            self.0 = fnv_word(self.0, *b as u64);
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 = fnv_word(self.0, n);
+    }
+}
+
+struct PriceEntry {
+    /// Full profile for collision-proof verification of hits.
+    profile: KernelProfile,
+    time_s: f64,
+    energy_j: f64,
+}
+
+/// A shareable, internally synchronized memo cache of noiseless launch
+/// prices, keyed by `(kernel-id, freq-bits)`. See the module docs.
+#[derive(Default)]
+pub struct PriceTable {
+    entries: RwLock<HashMap<PriceKey, PriceEntry, std::hash::BuildHasherDefault<KeyHasher>>>,
+}
+
+impl PriceTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        PriceTable::default()
+    }
+
+    /// Number of cached `(kernel, frequency)` prices.
+    pub fn len(&self) -> usize {
+        self.entries.read().expect("price table poisoned").len()
+    }
+
+    /// True when nothing has been priced yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all cached prices.
+    pub fn clear(&self) {
+        self.entries.write().expect("price table poisoned").clear();
+    }
+
+    /// Returns the cached price for `(kernel, core_mhz, mem_mhz)`, or
+    /// computes it with `compute` and caches it. On the (theoretical)
+    /// kernel-id collision the price is computed but *not* cached, so a
+    /// collision can never serve wrong numbers.
+    pub fn price_or_insert_with(
+        &self,
+        kernel: &KernelProfile,
+        core_mhz: f64,
+        mem_mhz: f64,
+        compute: impl FnOnce() -> (f64, f64),
+    ) -> (f64, f64) {
+        let key = PriceKey {
+            kernel_id: kernel_cache_id(kernel),
+            core_bits: core_mhz.to_bits(),
+            mem_bits: mem_mhz.to_bits(),
+        };
+        if let Some(entry) = self.entries.read().expect("price table poisoned").get(&key) {
+            if entry.profile == *kernel {
+                return (entry.time_s, entry.energy_j);
+            }
+            return compute();
+        }
+        let (time_s, energy_j) = compute();
+        self.entries.write().expect("price table poisoned").insert(
+            key,
+            PriceEntry {
+                profile: kernel.clone(),
+                time_s,
+                energy_j,
+            },
+        );
+        (time_s, energy_j)
+    }
+}
+
+impl std::fmt::Debug for PriceTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PriceTable")
+            .field("entries", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::OpMix;
+
+    fn k(name: &str, items: u64) -> KernelProfile {
+        KernelProfile::new(
+            name,
+            items,
+            OpMix {
+                float_add: 10.0,
+                global_access: 4.0,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn second_lookup_is_cached() {
+        let table = PriceTable::new();
+        let kernel = k("a", 1000);
+        let mut calls = 0;
+        let first = table.price_or_insert_with(&kernel, 1312.0, 1107.0, || {
+            calls += 1;
+            (1.0, 2.0)
+        });
+        let second = table.price_or_insert_with(&kernel, 1312.0, 1107.0, || {
+            calls += 1;
+            (99.0, 99.0)
+        });
+        assert_eq!(calls, 1, "second lookup must hit the cache");
+        assert_eq!(first, second);
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn distinct_kernels_and_freqs_get_distinct_entries() {
+        let table = PriceTable::new();
+        table.price_or_insert_with(&k("a", 1000), 1312.0, 1107.0, || (1.0, 1.0));
+        table.price_or_insert_with(&k("a", 2000), 1312.0, 1107.0, || (2.0, 2.0));
+        table.price_or_insert_with(&k("a", 1000), 800.0, 1107.0, || (3.0, 3.0));
+        assert_eq!(table.len(), 3);
+        let hit = table.price_or_insert_with(&k("a", 2000), 1312.0, 1107.0, || unreachable!());
+        assert_eq!(hit, (2.0, 2.0));
+    }
+
+    #[test]
+    fn cache_id_depends_on_every_pricing_input() {
+        let base = k("a", 1000);
+        let mut renamed = base.clone();
+        renamed.name = "b".into();
+        let mut resized = base.clone();
+        resized.work_items = 1001;
+        let mut remixed = base.clone();
+        remixed.mix.float_mul += 1.0;
+        let mut ilp = base.clone();
+        ilp.ilp_efficiency *= 0.5;
+        let id = kernel_cache_id(&base);
+        assert_eq!(id, kernel_cache_id(&base.clone()));
+        for other in [renamed, resized, remixed, ilp] {
+            assert_ne!(id, kernel_cache_id(&other));
+        }
+    }
+
+    #[test]
+    fn clear_empties_the_table() {
+        let table = PriceTable::new();
+        table.price_or_insert_with(&k("a", 1000), 1312.0, 1107.0, || (1.0, 1.0));
+        assert!(!table.is_empty());
+        table.clear();
+        assert!(table.is_empty());
+    }
+}

@@ -129,6 +129,12 @@ impl RocmDevice {
         self.inner.clone()
     }
 
+    /// Locks the underlying device without cloning the shared handle (the
+    /// batch-launch hot path takes this once per batch).
+    pub fn lock_device(&self) -> parking_lot::MutexGuard<'_, Device> {
+        self.inner.lock()
+    }
+
     /// `rsmi_dev_name_get`.
     pub fn name(&self) -> String {
         self.inner.lock().spec().name.clone()

@@ -71,6 +71,13 @@ impl Trace {
         self.events.push_back(ev);
     }
 
+    /// Whether pushed events can be retained at all (false only for a
+    /// zero-capacity trace, which drops everything). Lets hot paths skip
+    /// constructing events that would be thrown away.
+    pub fn is_recording(&self) -> bool {
+        self.capacity != Some(0)
+    }
+
     /// Recorded events, oldest first.
     pub fn events(&self) -> &VecDeque<TraceEvent> {
         &self.events

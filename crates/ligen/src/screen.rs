@@ -8,7 +8,7 @@
 use rayon::prelude::*;
 
 use synergy::energy::Measurement;
-use synergy::SynergyQueue;
+use synergy::{KernelTrace, SynergyQueue, TraceSegment};
 
 use crate::dock::{dock, DockParams};
 use crate::kernelize::batch_kernels;
@@ -45,8 +45,7 @@ pub fn virtual_screening(
         .collect();
     results.sort_by(|a, b| {
         a.score
-            .partial_cmp(&b.score)
-            .expect("finite scores")
+            .total_cmp(&b.score)
             .then(a.ligand_id.cmp(&b.ligand_id))
     });
     results
@@ -91,6 +90,21 @@ impl GpuLigen {
             time_s: queue.total_time_s() - t0,
             energy_j: queue.total_energy_j() - e0,
         }
+    }
+
+    /// The workload's kernel trace, built directly from its known
+    /// structure: the dock + score pair, submitted once each. Replaying it
+    /// is submission-for-submission identical to [`GpuLigen::run`].
+    pub fn record_trace(&self) -> KernelTrace {
+        let kernels =
+            batch_kernels(self.n_ligands, self.n_atoms, self.n_fragments, &self.params).to_vec();
+        let period = (0..kernels.len())
+            .map(|i| TraceSegment {
+                kernel_index: i,
+                count: 1,
+            })
+            .collect();
+        KernelTrace::new(kernels, period, 1)
     }
 }
 
@@ -179,6 +193,23 @@ mod tests {
         let energy_ratio = m_low.energy_j / m_def.energy_j;
         assert!(slowdown < 1.3, "slowdown {slowdown}");
         assert!(energy_ratio < 0.97, "energy ratio {energy_ratio}");
+    }
+
+    #[test]
+    fn native_trace_matches_generic_recording_and_replay() {
+        let run = GpuLigen::new(1000, 31, 4);
+        let native = run.record_trace();
+        let recorded = KernelTrace::record(&DeviceSpec::v100(), |q| {
+            run.run(q);
+        });
+        assert_eq!(native, recorded);
+        assert_eq!(native.total_launches(), 2);
+
+        let mut direct = SynergyQueue::nvidia(Device::new(DeviceSpec::v100()));
+        let m_direct = run.run(&mut direct);
+        let mut replayed = SynergyQueue::nvidia(Device::new(DeviceSpec::v100()));
+        let m_replay = native.replay_on(&mut replayed);
+        assert_eq!(m_replay, m_direct);
     }
 
     #[test]

@@ -39,6 +39,29 @@ pub trait Backend: Send {
     /// Runs a kernel at `freq`; `None` means the default configuration
     /// (fixed default clock or auto governor, per vendor).
     fn launch(&mut self, kernel: &KernelProfile, freq_mhz: Option<f64>) -> LaunchRecord;
+
+    /// Runs `n` back-to-back launches of `kernel` at `freq` (`None` = the
+    /// vendor default configuration), reporting each launch's
+    /// `(time_s, energy_j)` to `sink` in submission order.
+    ///
+    /// The default implementation just loops [`Backend::launch`]. The
+    /// vendor backends override it to resolve the effective clock once and
+    /// delegate to [`gpu_sim::Device::launch_batch`] under a single device
+    /// lock, which prices the kernel once for the whole batch; the
+    /// observable measurements are bit-identical to `n` separate `launch`
+    /// calls either way.
+    fn launch_batch(
+        &mut self,
+        kernel: &KernelProfile,
+        freq_mhz: Option<f64>,
+        n: u64,
+        sink: &mut dyn FnMut(f64, f64),
+    ) {
+        for _ in 0..n {
+            let rec = self.launch(kernel, freq_mhz);
+            sink(rec.time_s, rec.energy_j);
+        }
+    }
 }
 
 /// NVML-backed (NVIDIA) implementation.
@@ -91,6 +114,19 @@ impl Backend for NvmlBackend {
             }
         }
     }
+
+    fn launch_batch(
+        &mut self,
+        kernel: &KernelProfile,
+        freq_mhz: Option<f64>,
+        n: u64,
+        sink: &mut dyn FnMut(f64, f64),
+    ) {
+        let mut dev = self.device.lock_device();
+        // NVIDIA's default configuration is the fixed application clock.
+        let f = freq_mhz.unwrap_or(dev.spec().default_core_mhz);
+        dev.launch_batch(kernel, f, n, sink);
+    }
 }
 
 /// ROCm-SMI-backed (AMD) implementation.
@@ -137,6 +173,21 @@ impl Backend for RocmBackend {
             // Default on AMD = the auto governor decides.
             None => self.device.launch(kernel),
         }
+    }
+
+    fn launch_batch(
+        &mut self,
+        kernel: &KernelProfile,
+        freq_mhz: Option<f64>,
+        n: u64,
+        sink: &mut dyn FnMut(f64, f64),
+    ) {
+        // `current_clk_freq` resolves the active performance level exactly
+        // like `RocmDevice::launch` does (auto governor → default clock,
+        // pinned levels → the pinned clock).
+        let f = freq_mhz.unwrap_or_else(|| self.device.current_clk_freq());
+        let mut dev = self.device.lock_device();
+        dev.launch_batch(kernel, f, n, sink);
     }
 }
 
@@ -185,6 +236,20 @@ impl Backend for LevelZeroBackend {
             }
             None => self.device.launch(kernel),
         }
+    }
+
+    fn launch_batch(
+        &mut self,
+        kernel: &KernelProfile,
+        freq_mhz: Option<f64>,
+        n: u64,
+        sink: &mut dyn FnMut(f64, f64),
+    ) {
+        // The sysman governor runs the clock the range midpoint allows —
+        // the same resolution `ZeDevice::launch` applies per launch.
+        let f = freq_mhz.unwrap_or_else(|| self.device.governor_frequency());
+        let mut dev = self.device.lock_device();
+        dev.launch_batch(kernel, f, n, sink);
     }
 }
 

@@ -63,7 +63,7 @@ pub fn measure_median<R>(
             m
         })
         .collect();
-    samples.sort_by(|a, b| a.energy_j.partial_cmp(&b.energy_j).expect("finite energy"));
+    samples.sort_by(|a, b| a.energy_j.total_cmp(&b.energy_j));
     samples[samples.len() / 2]
 }
 

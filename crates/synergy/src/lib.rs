@@ -12,6 +12,8 @@
 //! * [`queue`] — a profiled submission queue with per-kernel frequency
 //!   policies (the SYCL `queue` analogue the applications submit to);
 //! * [`energy`] — scoped energy/time measurement around arbitrary work;
+//! * [`replay`] — record a workload's kernel sequence once, replay it
+//!   cheaply at every sweep frequency (`submit_batch` + price memoization);
 //! * [`scaling`] — frequency-selection policies;
 //! * [`metrics`] — target-metric frequency selection (min-energy, EDP,
 //!   max-performance, bounded-slowdown), the hook the paper's future-work
@@ -31,8 +33,10 @@ pub mod backend;
 pub mod energy;
 pub mod metrics;
 pub mod queue;
+pub mod replay;
 pub mod scaling;
 
 pub use backend::{Backend, DefaultConfig};
 pub use queue::{ProfiledEvent, SynergyQueue};
+pub use replay::{KernelTrace, TraceSegment};
 pub use scaling::FrequencyPolicy;

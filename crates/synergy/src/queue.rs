@@ -14,6 +14,7 @@ use gpu_sim::rocm::RocmDevice;
 use gpu_sim::{DeviceSpec, Vendor};
 
 use crate::backend::{Backend, DefaultConfig, LevelZeroBackend, NvmlBackend, RocmBackend};
+use crate::energy::Measurement;
 use crate::scaling::FrequencyPolicy;
 
 use std::sync::Arc;
@@ -163,6 +164,41 @@ impl SynergyQueue {
         self.submit_inner(kernel, freq_mhz)
     }
 
+    /// Submits `n` back-to-back launches of `kernel` under the active
+    /// policy, resolving the policy and pricing the kernel **once** for the
+    /// whole batch. Returns the batch's aggregate measurement.
+    ///
+    /// The queue's running totals accumulate launch by launch in submission
+    /// order, so `submit_batch(k, n)` leaves every counter bit-identical to
+    /// `n` separate `submit(k)` calls (floating-point addition is
+    /// order-sensitive; the batch path keeps the order and drops only the
+    /// per-launch cost-model evaluations). This is the fast path the
+    /// trace-replay sweep engine drives.
+    pub fn submit_batch(&mut self, kernel: &KernelProfile, n: u64) -> Measurement {
+        let freq = self.policy.frequency_for(&kernel.name);
+        let mut batch_time_s = 0.0;
+        let mut batch_energy_j = 0.0;
+        {
+            let SynergyQueue {
+                backend,
+                total_time_s,
+                total_energy_j,
+                ..
+            } = self;
+            backend.launch_batch(kernel, freq, n, &mut |time_s, energy_j| {
+                *total_time_s += time_s;
+                *total_energy_j += energy_j;
+                batch_time_s += time_s;
+                batch_energy_j += energy_j;
+            });
+        }
+        self.submissions += n;
+        Measurement {
+            time_s: batch_time_s,
+            energy_j: batch_energy_j,
+        }
+    }
+
     fn submit_inner(&mut self, kernel: &KernelProfile, freq: Option<f64>) -> ProfiledEvent {
         let rec = self.backend.launch(kernel, freq);
         self.submissions += 1;
@@ -284,6 +320,51 @@ mod tests {
         let k = KernelProfile::compute_bound("k", 1_000_000, 100.0);
         let ev = q.submit_at(&k, Some(135.0));
         assert!(ev.core_mhz < 200.0);
+    }
+
+    #[test]
+    fn submit_batch_matches_serial_submits_bitwise() {
+        for spec in [DeviceSpec::v100(), DeviceSpec::mi100(), DeviceSpec::max1100()] {
+            let mut serial = SynergyQueue::for_spec(spec.clone());
+            let mut batched = SynergyQueue::for_spec(spec);
+            let k = KernelProfile::compute_bound("k", 1_000_000, 100.0);
+            for q in [&mut serial, &mut batched] {
+                q.set_policy(FrequencyPolicy::Fixed(800.0));
+            }
+            for _ in 0..6 {
+                serial.submit(&k);
+            }
+            let m = batched.submit_batch(&k, 6);
+            assert_eq!(batched.total_time_s(), serial.total_time_s());
+            assert_eq!(batched.total_energy_j(), serial.total_energy_j());
+            assert_eq!(batched.submission_count(), 6);
+            assert_eq!(m.time_s, serial.total_time_s());
+            assert_eq!(m.energy_j, serial.total_energy_j());
+        }
+    }
+
+    #[test]
+    fn submit_batch_default_policy_matches_vendor_baseline() {
+        for spec in [DeviceSpec::v100(), DeviceSpec::mi100(), DeviceSpec::max1100()] {
+            let mut serial = SynergyQueue::for_spec(spec.clone());
+            let mut batched = SynergyQueue::for_spec(spec);
+            let k = KernelProfile::memory_bound("k", 2_000_000, 48.0);
+            for _ in 0..3 {
+                serial.submit(&k);
+            }
+            batched.submit_batch(&k, 3);
+            assert_eq!(batched.total_time_s(), serial.total_time_s());
+            assert_eq!(batched.total_energy_j(), serial.total_energy_j());
+        }
+    }
+
+    #[test]
+    fn submit_batch_of_zero_is_a_noop() {
+        let mut q = v100_queue();
+        let k = KernelProfile::compute_bound("k", 1_000_000, 100.0);
+        let m = q.submit_batch(&k, 0);
+        assert_eq!(m.time_s, 0.0);
+        assert_eq!(q.submission_count(), 0);
     }
 
     #[test]

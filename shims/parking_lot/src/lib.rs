@@ -2,7 +2,11 @@
 //! `lock()` signature, backed by `std::sync::Mutex`.
 
 use std::fmt;
-use std::sync::{Mutex as StdMutex, MutexGuard};
+use std::sync::Mutex as StdMutex;
+
+/// Guard type returned by [`Mutex::lock`] — the std guard, re-exported so
+/// callers can name it as `parking_lot::MutexGuard` like the real crate.
+pub use std::sync::MutexGuard;
 
 /// Drop-in replacement for `parking_lot::Mutex`.
 ///
