@@ -48,7 +48,9 @@ fn bench_device_launch(c: &mut Criterion) {
     let spec = DeviceSpec::v100();
     let mut dev = gpu_sim::Device::new(spec);
     let k = gpu_sim::KernelProfile::compute_bound("bench", 1 << 20, 500.0);
-    c.bench_function("pipeline/device_launch", |b| b.iter(|| dev.launch(&k)));
+    c.bench_function("pipeline/device_launch", |b| {
+        b.iter(|| dev.launch(&k).unwrap())
+    });
 }
 
 criterion_group!(

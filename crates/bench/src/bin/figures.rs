@@ -376,7 +376,11 @@ fn sweep_profile() {
         ),
     ];
 
-    println!("\n## Sweep-engine profile — {} frequencies × {REPS} reps on {}", freqs.len(), spec.name);
+    println!(
+        "\n## Sweep-engine profile — {} frequencies × {REPS} reps on {}",
+        freqs.len(),
+        spec.name
+    );
     let mut cases = Vec::new();
     for (name, w) in &workloads {
         for noise_seed in [None, Some(SEED)] {

@@ -32,10 +32,12 @@ use std::sync::Arc;
 
 use gpu_sim::noise::NoiseModel;
 use gpu_sim::pricing::PriceTable;
-use gpu_sim::{Device, DeviceSpec};
+use gpu_sim::{Device, DeviceSpec, FaultPlan};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use synergy::energy::{measure_median, Measurement};
+use synergy::energy::Measurement;
+use synergy::metrics::DegradationMetrics;
+use synergy::queue::RetryPolicy;
 use synergy::{KernelTrace, SynergyQueue};
 
 /// A workload that can be executed on a SYnergy queue. Implemented here
@@ -155,6 +157,154 @@ fn char_point(f: f64, m: Measurement, baseline: Measurement) -> CharPoint {
     }
 }
 
+/// Knobs for a fault-aware sweep. `..SweepOptions::default()` fills in a
+/// fault-free plan, the default retry policy, and up to two re-measurements
+/// per dirty point.
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    /// Repetitions per point (median-aggregated). Must be ≥ 1.
+    pub reps: usize,
+    /// Measurement-noise seed; `None` runs noiseless.
+    pub noise_seed: Option<u64>,
+    /// Fault plan installed on every measurement device. Each sweep point
+    /// and re-measurement attempt derives its own fault stream from the
+    /// plan's seed, keyed by frequency *index* (not execution order), so
+    /// parallel sweeps stay deterministic.
+    pub faults: FaultPlan,
+    /// How the queue rides out transient failures.
+    pub retry: RetryPolicy,
+    /// How many times a dirty point (throttled, retried, or failed) is
+    /// re-measured on a fresh queue before being flagged as-is.
+    pub remeasure_limit: u32,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            reps: 1,
+            noise_seed: None,
+            faults: FaultPlan::none(),
+            retry: RetryPolicy::default(),
+            remeasure_limit: 2,
+        }
+    }
+}
+
+/// What the fault-aware sweep observed while measuring one point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PointDiagnostics {
+    /// Pinned frequency of the point; `None` for the baseline.
+    pub freq_mhz: Option<f64>,
+    /// Re-measurements taken after the first (dirty) attempt.
+    pub remeasured: u32,
+    /// The *accepted* measurement was still degraded: faults fired during
+    /// it (or a rep failed outright) and the re-measure budget ran out.
+    pub flagged: bool,
+    /// Degradation counters of the accepted measurement's queue.
+    pub degradation: DegradationMetrics,
+}
+
+/// Per-point diagnostics of one fault-aware sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepDiagnostics {
+    /// Baseline (default-configuration) point.
+    pub baseline: PointDiagnostics,
+    /// Swept points, in the order of the frequency list.
+    pub points: Vec<PointDiagnostics>,
+}
+
+impl SweepDiagnostics {
+    fn all(&self) -> impl Iterator<Item = &PointDiagnostics> {
+        std::iter::once(&self.baseline).chain(self.points.iter())
+    }
+
+    /// No point saw a fault, retried, or was re-measured — the sweep is
+    /// exactly what a fault-free run would have produced.
+    pub fn is_clean(&self) -> bool {
+        self.all()
+            .all(|p| !p.flagged && p.remeasured == 0 && p.degradation.is_clean())
+    }
+
+    /// Frequencies whose accepted measurement is still degraded.
+    pub fn flagged_freqs(&self) -> Vec<f64> {
+        self.points
+            .iter()
+            .filter(|p| p.flagged)
+            .filter_map(|p| p.freq_mhz)
+            .collect()
+    }
+
+    /// Total retries across every accepted measurement.
+    pub fn total_retries(&self) -> u64 {
+        self.all().map(|p| p.degradation.retries).sum()
+    }
+
+    /// Total simulated backoff time (s) across every accepted measurement.
+    pub fn total_backoff_s(&self) -> f64 {
+        self.all().map(|p| p.degradation.backoff_s()).sum()
+    }
+}
+
+/// Derives the fault-stream seed for one `(point, attempt)` cell. Keyed by
+/// the point's noise-seed offset — a stable index, not execution order — so
+/// the rayon fan-out cannot reorder fault streams; distinct odd multipliers
+/// keep point and attempt contributions from colliding.
+fn fault_seed(base: u64, seed_off: u64, attempt: u32) -> u64 {
+    base.wrapping_add(seed_off.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(u64::from(attempt).wrapping_mul(0xD1B5_4A32_D192_ED03))
+}
+
+/// Median-of-`reps` measurement with fault detection and re-measurement.
+///
+/// Each attempt gets a fresh queue (fresh fault stream, fresh degradation
+/// counters) from `make_attempt_queue`. A rep is measured exactly like
+/// [`measure_median`] — totals-delta per rep, median by energy — so a clean
+/// first attempt is bit-identical to the fault-free path. `run_once`
+/// returns `true` if the rep failed permanently; the attempt is dirty if
+/// any rep failed or the queue's degradation counters moved. Dirty attempts
+/// are redone up to `remeasure_limit` times, then accepted flagged.
+fn measure_attempts(
+    opts: &SweepOptions,
+    mut make_attempt_queue: impl FnMut(u32) -> SynergyQueue,
+    mut run_once: impl FnMut(&mut SynergyQueue) -> bool,
+) -> (Measurement, PointDiagnostics) {
+    let mut attempt = 0u32;
+    loop {
+        let mut q = make_attempt_queue(attempt);
+        let mut samples = Vec::with_capacity(opts.reps);
+        let mut errored = false;
+        for _ in 0..opts.reps {
+            let t0 = q.total_time_s();
+            let e0 = q.total_energy_j();
+            let failed = run_once(&mut q);
+            samples.push(Measurement {
+                time_s: q.total_time_s() - t0,
+                energy_j: q.total_energy_j() - e0,
+            });
+            if failed {
+                errored = true;
+                break;
+            }
+        }
+        samples.sort_by(|a, b| a.energy_j.total_cmp(&b.energy_j));
+        let m = samples[samples.len() / 2];
+        let degradation = q.degradation();
+        let dirty = errored || !degradation.is_clean();
+        if !dirty || attempt >= opts.remeasure_limit {
+            return (
+                m,
+                PointDiagnostics {
+                    freq_mhz: None,
+                    remeasured: attempt,
+                    flagged: dirty,
+                    degradation,
+                },
+            );
+        }
+        attempt += 1;
+    }
+}
+
 /// Sweeps `freqs` with `reps` repetitions per point (median-aggregated).
 /// `noise_seed` enables the measurement-noise model; `None` runs noiseless.
 ///
@@ -171,44 +321,96 @@ pub fn characterize(
     reps: usize,
     noise_seed: Option<u64>,
 ) -> Characterization {
+    let opts = SweepOptions {
+        reps,
+        noise_seed,
+        ..SweepOptions::default()
+    };
+    characterize_with_options(spec, workload, freqs, &opts).0
+}
+
+/// [`characterize`] with explicit [`SweepOptions`]: fault injection, retry
+/// policy, and dirty-point re-measurement.
+///
+/// Every measurement device carries the options' [`FaultPlan`], reseeded
+/// per point and per attempt. After measuring a point the sweep inspects
+/// the queue's degradation counters: if any fault fired (throttle, retry,
+/// rejection, counter rewind) or a rep failed outright, the point is
+/// **re-measured** on a fresh queue with a fresh fault stream, up to
+/// `remeasure_limit` times; a point that never comes back clean is accepted
+/// as-is and **marked** in the returned [`SweepDiagnostics`]. Under an
+/// inert plan no fault can fire, every point is clean on its first attempt,
+/// and the result is bit-identical to [`characterize`] — the golden tests
+/// below pin this.
+///
+/// # Panics
+/// Panics on an empty frequency list or `reps == 0`.
+pub fn characterize_with_options(
+    spec: &DeviceSpec,
+    workload: &dyn Workload,
+    freqs: &[f64],
+    opts: &SweepOptions,
+) -> (Characterization, SweepDiagnostics) {
     assert!(!freqs.is_empty(), "need at least one frequency");
-    assert!(reps > 0, "need at least one repetition");
+    assert!(opts.reps > 0, "need at least one repetition");
 
     let trace = workload.record(spec);
     let prices = Arc::new(PriceTable::new());
-    let make_queue = |seed_off: u64| {
-        let mut dev = sweep_device(spec, noise_seed, seed_off);
+    let make_queue = |seed_off: u64, attempt: u32| {
+        let mut dev = sweep_device(spec, opts.noise_seed, seed_off);
         // Replay reads only the queue's aggregate counters; skip per-batch
         // trace events and route all pricing through the shared memo table.
         dev.set_trace_capacity(Some(0));
         dev.set_price_table(Arc::clone(&prices));
-        SynergyQueue::for_device(dev)
+        dev.set_fault_plan(opts.faults.clone().with_seed(fault_seed(
+            opts.faults.seed(),
+            seed_off,
+            attempt,
+        )));
+        let mut q = SynergyQueue::for_device(dev);
+        q.set_retry_policy(opts.retry);
+        q
     };
 
     // Baseline: the device's default configuration.
-    let baseline = {
-        let mut q = make_queue(0);
-        measure_median(&mut q, reps, |q| trace.replay_on(q))
-    };
+    let (baseline, base_diag) = measure_attempts(
+        opts,
+        |attempt| make_queue(0, attempt),
+        |q| trace.try_replay_on(q).is_err(),
+    );
 
-    let points: Vec<CharPoint> = freqs
+    let results: Vec<(CharPoint, PointDiagnostics)> = freqs
         .par_iter()
         .enumerate()
         .map(|(i, &f)| {
-            let mut q = make_queue(1 + i as u64);
-            q.set_policy(synergy::FrequencyPolicy::Fixed(f));
-            let m = measure_median(&mut q, reps, |q| trace.replay_on(q));
-            char_point(f, m, baseline)
+            let (m, mut diag) = measure_attempts(
+                opts,
+                |attempt| {
+                    let mut q = make_queue(1 + i as u64, attempt);
+                    q.set_policy(synergy::FrequencyPolicy::Fixed(f));
+                    q
+                },
+                |q| trace.try_replay_on(q).is_err(),
+            );
+            diag.freq_mhz = Some(f);
+            (char_point(f, m, baseline), diag)
         })
         .collect();
+    let (points, diags): (Vec<CharPoint>, Vec<PointDiagnostics>) = results.into_iter().unzip();
 
-    Characterization {
-        device: spec.name.clone(),
-        workload: workload.name(),
-        baseline_time_s: baseline.time_s,
-        baseline_energy_j: baseline.energy_j,
-        points,
-    }
+    (
+        Characterization {
+            device: spec.name.clone(),
+            workload: workload.name(),
+            baseline_time_s: baseline.time_s,
+            baseline_energy_j: baseline.energy_j,
+            points,
+        },
+        SweepDiagnostics {
+            baseline: base_diag,
+            points: diags,
+        },
+    )
 }
 
 /// The legacy sweep: every repetition re-runs the workload's submission
@@ -226,28 +428,90 @@ pub fn characterize_serial(
     reps: usize,
     noise_seed: Option<u64>,
 ) -> Characterization {
+    let opts = SweepOptions {
+        reps,
+        noise_seed,
+        ..SweepOptions::default()
+    };
+    characterize_serial_with_options(spec, workload, freqs, &opts).0
+}
+
+/// [`characterize_serial`] with explicit [`SweepOptions`] — the serial
+/// twin of [`characterize_with_options`], re-running the workload's own
+/// submission loop instead of replaying a trace.
+///
+/// The workload drives the queue's infallible `submit` API, so a failure
+/// the retry policy cannot ride out panics instead of flagging; keep
+/// launch-failure schedules mild enough for the configured retries (or use
+/// the replay path, which degrades gracefully).
+///
+/// # Panics
+/// Panics on an empty frequency list, `reps == 0`, or a permanent launch
+/// failure.
+pub fn characterize_serial_with_options(
+    spec: &DeviceSpec,
+    workload: &dyn Workload,
+    freqs: &[f64],
+    opts: &SweepOptions,
+) -> (Characterization, SweepDiagnostics) {
     assert!(!freqs.is_empty(), "need at least one frequency");
-    assert!(reps > 0, "need at least one repetition");
+    assert!(opts.reps > 0, "need at least one repetition");
+
+    let make_queue = |seed_off: u64, attempt: u32| {
+        let mut dev = sweep_device(spec, opts.noise_seed, seed_off);
+        dev.set_fault_plan(opts.faults.clone().with_seed(fault_seed(
+            opts.faults.seed(),
+            seed_off,
+            attempt,
+        )));
+        let mut q = SynergyQueue::for_device(dev);
+        q.set_retry_policy(opts.retry);
+        q
+    };
 
     // Baseline: the device's default configuration.
-    let mut q = SynergyQueue::for_device(sweep_device(spec, noise_seed, 0));
-    let baseline = measure_median(&mut q, reps, |q| workload.run(q));
+    let (baseline, base_diag) = measure_attempts(
+        opts,
+        |attempt| make_queue(0, attempt),
+        |q| {
+            workload.run(q);
+            false
+        },
+    );
 
     let mut points = Vec::with_capacity(freqs.len());
+    let mut diags = Vec::with_capacity(freqs.len());
     for (i, &f) in freqs.iter().enumerate() {
-        let mut q = SynergyQueue::for_device(sweep_device(spec, noise_seed, 1 + i as u64));
-        q.set_policy(synergy::FrequencyPolicy::Fixed(f));
-        let m = measure_median(&mut q, reps, |q| workload.run(q));
+        let (m, mut diag) = measure_attempts(
+            opts,
+            |attempt| {
+                let mut q = make_queue(1 + i as u64, attempt);
+                q.set_policy(synergy::FrequencyPolicy::Fixed(f));
+                q
+            },
+            |q| {
+                workload.run(q);
+                false
+            },
+        );
+        diag.freq_mhz = Some(f);
         points.push(char_point(f, m, baseline));
+        diags.push(diag);
     }
 
-    Characterization {
-        device: spec.name.clone(),
-        workload: workload.name(),
-        baseline_time_s: baseline.time_s,
-        baseline_energy_j: baseline.energy_j,
-        points,
-    }
+    (
+        Characterization {
+            device: spec.name.clone(),
+            workload: workload.name(),
+            baseline_time_s: baseline.time_s,
+            baseline_energy_j: baseline.energy_j,
+            points,
+        },
+        SweepDiagnostics {
+            baseline: base_diag,
+            points: diags,
+        },
+    )
 }
 
 #[cfg(test)]
@@ -434,5 +698,161 @@ mod tests {
         let fast = characterize(&spec, &small_cronos(), &freqs, 2, Some(5));
         let slow = characterize_serial(&spec, &small_cronos(), &freqs, 2, Some(5));
         assert_identical(&fast, &slow);
+    }
+
+    // ---- Golden equivalence: fault-free FaultPlan ≡ plain sweep ----
+    //
+    // A sweep run through the fault-aware machinery with an inert plan
+    // must be bit-identical to the plain sweep, with clean diagnostics —
+    // both applications, both vendors.
+
+    fn inert_opts(reps: usize, noise_seed: Option<u64>) -> SweepOptions {
+        SweepOptions {
+            reps,
+            noise_seed,
+            faults: FaultPlan::none(),
+            ..SweepOptions::default()
+        }
+    }
+
+    #[test]
+    fn fault_free_plan_is_bit_identical_cronos_nvidia() {
+        let spec = v100();
+        let freqs = [500.0, 900.0, 1312.1, 1597.0];
+        let plain = characterize(&spec, &small_cronos(), &freqs, 3, Some(20231112));
+        let (faulted, diag) = characterize_with_options(
+            &spec,
+            &small_cronos(),
+            &freqs,
+            &inert_opts(3, Some(20231112)),
+        );
+        assert_identical(&plain, &faulted);
+        assert!(diag.is_clean(), "inert plan must leave no fault trace");
+        assert_eq!(diag.total_retries(), 0);
+        assert_eq!(diag.total_backoff_s(), 0.0);
+    }
+
+    #[test]
+    fn fault_free_plan_is_bit_identical_ligen_nvidia() {
+        let spec = v100();
+        let freqs = [700.0, 1100.0, 1597.0];
+        let wl = ligen::GpuLigen::new(1000, 31, 4);
+        let plain = characterize(&spec, &wl, &freqs, 5, Some(99));
+        let (faulted, diag) =
+            characterize_with_options(&spec, &wl, &freqs, &inert_opts(5, Some(99)));
+        assert_identical(&plain, &faulted);
+        assert!(diag.is_clean());
+    }
+
+    #[test]
+    fn fault_free_plan_is_bit_identical_cronos_amd() {
+        let spec = DeviceSpec::mi100();
+        let freqs = [700.0, 1000.0, 1450.0];
+        let plain = characterize(&spec, &small_cronos(), &freqs, 2, Some(5));
+        let (faulted, diag) =
+            characterize_with_options(&spec, &small_cronos(), &freqs, &inert_opts(2, Some(5)));
+        assert_identical(&plain, &faulted);
+        assert!(diag.is_clean());
+    }
+
+    #[test]
+    fn fault_free_plan_is_bit_identical_ligen_amd() {
+        let spec = DeviceSpec::mi100();
+        let freqs = [800.0, 1200.0, 1450.0];
+        let wl = ligen::GpuLigen::new(1000, 31, 4);
+        let plain = characterize(&spec, &wl, &freqs, 2, Some(41));
+        let (faulted, diag) =
+            characterize_with_options(&spec, &wl, &freqs, &inert_opts(2, Some(41)));
+        assert_identical(&plain, &faulted);
+        assert!(diag.is_clean());
+    }
+
+    #[test]
+    fn fault_free_plan_is_bit_identical_serial_path() {
+        let spec = v100();
+        let freqs = [500.0, 1312.1];
+        let plain = characterize_serial(&spec, &small_cronos(), &freqs, 2, Some(13));
+        let (faulted, diag) = characterize_serial_with_options(
+            &spec,
+            &small_cronos(),
+            &freqs,
+            &inert_opts(2, Some(13)),
+        );
+        assert_identical(&plain, &faulted);
+        assert!(diag.is_clean());
+    }
+
+    // ---- Fault-aware sweep behaviour under a live plan ----
+
+    #[test]
+    fn throttled_points_are_remeasured_or_flagged() {
+        use gpu_sim::{Schedule, ThrottleWindow};
+        let spec = v100();
+        let freqs = [900.0, 1312.1];
+        let opts = SweepOptions {
+            reps: 1,
+            noise_seed: None,
+            // Throttling fires early in every measurement attempt, so
+            // re-measurement can never come back clean: the sweep must
+            // accept the degraded points and flag them.
+            faults: FaultPlan::seeded(7)
+                .throttle(
+                    Schedule::Prob(0.9),
+                    ThrottleWindow {
+                        cap_mhz: 700.0,
+                        launches: 50,
+                    },
+                )
+                .reset_energy_counter(Schedule::Prob(0.05)),
+            retry: RetryPolicy::default(),
+            remeasure_limit: 1,
+        };
+        let (c, diag) = characterize_with_options(&spec, &small_cronos(), &freqs, &opts);
+        assert!(c
+            .points
+            .iter()
+            .all(|p| p.time_s.is_finite() && p.time_s > 0.0));
+        assert!(c.points.iter().all(|p| p.energy_j.is_finite()));
+        assert!(
+            !diag.is_clean(),
+            "a 90 % throttle schedule must leave a trace"
+        );
+        let saw_throttle = diag
+            .points
+            .iter()
+            .chain(std::iter::once(&diag.baseline))
+            .any(|p| p.degradation.throttled_launches > 0);
+        assert!(saw_throttle, "diagnostics must surface throttled launches");
+        // Every dirty point exhausted its re-measure budget and was flagged.
+        for p in diag.points.iter() {
+            if p.degradation.throttled_launches > 0 {
+                assert!(p.flagged);
+                assert_eq!(p.remeasured, opts.remeasure_limit);
+            }
+        }
+    }
+
+    #[test]
+    fn transient_rejections_are_healed_by_remeasurement_budget() {
+        use gpu_sim::Schedule;
+        let spec = v100();
+        let opts = SweepOptions {
+            reps: 2,
+            noise_seed: None,
+            // One rejection at a fixed fault index: the first attempt is
+            // dirty (a retry heals it), and diagnostics record the repair.
+            faults: FaultPlan::seeded(3).reject_set_frequency(Schedule::once(0)),
+            retry: RetryPolicy::default(),
+            remeasure_limit: 2,
+        };
+        let (c, diag) = characterize_with_options(&spec, &small_cronos(), &[900.0], &opts);
+        assert!(c.points[0].time_s > 0.0);
+        // The rejection fires at fault index 0 of every fresh stream, so
+        // every attempt sees it: the point ends flagged with its retry
+        // recorded, never silently clean.
+        let p = &diag.points[0];
+        assert!(p.degradation.frequency_rejections > 0);
+        assert!(p.degradation.retries > 0);
+        assert!(p.flagged);
     }
 }

@@ -46,9 +46,12 @@ pub struct PredictedPoint {
 /// device; pricing is deterministic) and the per-benchmark blocks are
 /// concatenated in suite order, so the matrix is identical to a serial
 /// build.
+/// One benchmark's design rows plus its speedup / normalized-energy targets.
+type DesignBlock = (Vec<Vec<f64>>, Vec<f64>, Vec<f64>);
+
 fn microbench_design(spec: &DeviceSpec, freqs: &[f64]) -> (Matrix, Vec<f64>, Vec<f64>) {
     let suite = microbenchmarks();
-    let blocks: Vec<(Vec<Vec<f64>>, Vec<f64>, Vec<f64>)> = suite
+    let blocks: Vec<DesignBlock> = suite
         .par_iter()
         .map(|bench| {
             let dev = Device::new(spec.clone());

@@ -40,7 +40,10 @@ pub mod pareto;
 pub mod per_kernel;
 pub mod workflow;
 
-pub use characterize::{characterize, characterize_serial, CharPoint, Characterization, Workload};
+pub use characterize::{
+    characterize, characterize_serial, characterize_serial_with_options, characterize_with_options,
+    CharPoint, Characterization, PointDiagnostics, SweepDiagnostics, SweepOptions, Workload,
+};
 pub use ds_model::DomainSpecificModel;
 pub use features::{CronosInput, LigenInput};
 pub use gp_model::GeneralPurposeModel;

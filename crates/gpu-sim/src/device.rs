@@ -10,6 +10,7 @@ use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
+use crate::faults::{FaultError, FaultPlan, FaultState};
 use crate::kernel::KernelProfile;
 use crate::noise::NoiseModel;
 use crate::power::{kernel_power, PowerBreakdown};
@@ -31,6 +32,9 @@ pub struct LaunchRecord {
     pub core_mhz: f64,
     /// Memory clock the kernel ran at (MHz).
     pub mem_mhz: f64,
+    /// True when a power/thermal throttle window held the effective clock
+    /// below the requested one for this launch.
+    pub throttled: bool,
 }
 
 /// A simulated GPU with mutable clock and counter state.
@@ -50,6 +54,8 @@ pub struct Device {
     noise: NoiseModel,
     /// Memo cache of noiseless launch prices; shareable across devices.
     prices: Arc<PriceTable>,
+    /// Fault-injection cursor; inert by default.
+    faults: FaultState,
 }
 
 impl Device {
@@ -69,6 +75,7 @@ impl Device {
             trace: Trace::with_capacity_limit(100_000),
             noise: NoiseModel::disabled(),
             prices: Arc::new(PriceTable::new()),
+            faults: FaultState::inert(),
         }
     }
 
@@ -77,6 +84,23 @@ impl Device {
         let mut d = Device::new(spec);
         d.noise = noise;
         d
+    }
+
+    /// Creates a device with a fault-injection plan.
+    pub fn with_faults(spec: DeviceSpec, plan: FaultPlan) -> Self {
+        let mut d = Device::new(spec);
+        d.set_fault_plan(plan);
+        d
+    }
+
+    /// Installs a fault-injection plan, restarting its operation counters.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = FaultState::new(plan);
+    }
+
+    /// The device's fault-injection cursor.
+    pub fn fault_state(&self) -> &FaultState {
+        &self.faults
     }
 
     /// The static descriptor of this device.
@@ -96,10 +120,14 @@ impl Device {
 
     /// Sets the core clock, snapping to the nearest supported frequency.
     /// Returns the frequency actually applied — the same contract as
-    /// `nvmlDeviceSetApplicationsClocks`.
-    pub fn set_core_mhz(&mut self, mhz: f64) -> f64 {
-        self.core_mhz = self.spec.core_freqs.snap(mhz);
-        self.core_mhz
+    /// `nvmlDeviceSetApplicationsClocks`. Under an active fault plan the
+    /// request may be rejected, in which case the device keeps its
+    /// previous clock.
+    pub fn set_core_mhz(&mut self, mhz: f64) -> Result<f64, FaultError> {
+        let requested = self.spec.core_freqs.snap(mhz);
+        self.faults.on_set_frequency(requested)?;
+        self.core_mhz = requested;
+        Ok(self.core_mhz)
     }
 
     /// Sets the memory clock, snapping to the nearest supported frequency.
@@ -116,16 +144,44 @@ impl Device {
     }
 
     /// Executes a kernel at the current clocks, advancing the device clock
-    /// and energy counter, and returns the measured record.
-    pub fn launch(&mut self, kernel: &KernelProfile) -> LaunchRecord {
+    /// and energy counter, and returns the measured record. Fails only
+    /// when the fault plan injects a transient launch failure.
+    pub fn launch(&mut self, kernel: &KernelProfile) -> Result<LaunchRecord, FaultError> {
         self.launch_at(kernel, self.core_mhz)
     }
 
     /// Executes a kernel at an explicit core clock without changing the
     /// device's configured clock (per-kernel frequency scaling, as SYnergy
     /// does). The clock is snapped to a supported frequency.
-    pub fn launch_at(&mut self, kernel: &KernelProfile, core_mhz: f64) -> LaunchRecord {
-        let f = self.spec.core_freqs.snap(core_mhz);
+    ///
+    /// Launching at a clock other than the configured one performs an
+    /// implicit application-clock request, which the fault plan may reject
+    /// ([`FaultError::FrequencyRejected`] — nothing runs, no counter
+    /// moves). The plan may also drop the launch
+    /// ([`FaultError::LaunchFailed`]) or hold the effective clock below
+    /// the requested one for a throttle window, in which case the launch
+    /// succeeds with [`LaunchRecord::throttled`] set and `core_mhz` at the
+    /// capped clock.
+    pub fn launch_at(
+        &mut self,
+        kernel: &KernelProfile,
+        core_mhz: f64,
+    ) -> Result<LaunchRecord, FaultError> {
+        let requested = self.spec.core_freqs.snap(core_mhz);
+        if requested != self.core_mhz {
+            self.faults.on_set_frequency(requested)?;
+        }
+        let f = match self.faults.on_launch_attempt(&kernel.name)? {
+            Some(cap_mhz) => {
+                let cap = self.spec.core_freqs.snap(cap_mhz);
+                if cap < requested {
+                    cap
+                } else {
+                    requested
+                }
+            }
+            None => requested,
+        };
         let timing = kernel_timing(&self.spec, kernel, f, self.mem_mhz);
 
         let time_s = timing.total_s * self.noise.time_factor();
@@ -139,6 +195,7 @@ impl Device {
             avg_power_w,
             core_mhz: f,
             mem_mhz: self.mem_mhz,
+            throttled: f < requested,
         };
         self.trace.push(TraceEvent {
             kernel: kernel.name.clone(),
@@ -153,7 +210,12 @@ impl Device {
         self.clock_s += time_s;
         self.energy_counter_j += energy_j;
         self.last_power_w = avg_power_w;
-        rec
+        if self.faults.on_launch_complete() {
+            // Counter wrap/reset: readings restart from zero, exactly like
+            // a wrapped `rsmi_dev_energy_count_get` accumulator.
+            self.energy_counter_j = 0.0;
+        }
+        Ok(rec)
     }
 
     /// Dry-run: computes what a launch *would* cost at `core_mhz` without
@@ -202,15 +264,32 @@ impl Device {
     /// batch (when the trace is recording at all), not `n` events — that,
     /// plus the skipped per-launch cost-model evaluations, is where the
     /// batch path's speed comes from.
+    ///
+    /// Returns the number of throttled launches in the batch. Under an
+    /// active fault plan the batch runs launch by launch and stops at the
+    /// first injected failure: `sink` has then observed every completed
+    /// launch and the error is returned. With the inert plan this is the
+    /// bit-identical fast path and always succeeds with `Ok(0)`.
     pub fn launch_batch(
         &mut self,
         kernel: &KernelProfile,
         core_mhz: f64,
         n: u64,
         sink: &mut dyn FnMut(f64, f64),
-    ) {
+    ) -> Result<u64, FaultError> {
         if n == 0 {
-            return;
+            return Ok(0);
+        }
+        if !self.faults.is_inert() {
+            let mut throttled = 0;
+            for _ in 0..n {
+                let rec = self.launch_at(kernel, core_mhz)?;
+                if rec.throttled {
+                    throttled += 1;
+                }
+                sink(rec.time_s, rec.energy_j);
+            }
+            return Ok(throttled);
         }
         let (base_time_s, base_energy_j) = self.price(kernel, core_mhz);
         let start_s = self.clock_s;
@@ -239,6 +318,7 @@ impl Device {
                 work_items: kernel.work_items.saturating_mul(n),
             });
         }
+        Ok(0)
     }
 
     /// The device's price memo cache.
@@ -313,7 +393,7 @@ mod tests {
         let mut d = Device::new(DeviceSpec::v100());
         let k = KernelProfile::compute_bound("k", 1_000_000, 100.0);
         let before = d.energy_counter_j();
-        let rec = d.launch(&k);
+        let rec = d.launch(&k).unwrap();
         assert!(rec.time_s > 0.0);
         assert!(d.energy_counter_j() > before);
         assert!((d.clock_s() - rec.time_s).abs() < 1e-15);
@@ -323,7 +403,7 @@ mod tests {
     #[test]
     fn set_core_snaps() {
         let mut d = Device::new(DeviceSpec::v100());
-        let applied = d.set_core_mhz(1000.0);
+        let applied = d.set_core_mhz(1000.0).unwrap();
         assert!(d.spec().core_freqs.contains(applied));
         assert_eq!(d.core_mhz(), applied);
     }
@@ -331,7 +411,7 @@ mod tests {
     #[test]
     fn reset_restores_defaults() {
         let mut d = Device::new(DeviceSpec::v100());
-        d.set_core_mhz(300.0);
+        d.set_core_mhz(300.0).unwrap();
         d.reset_clocks();
         assert_eq!(d.core_mhz(), d.spec().default_core_mhz);
     }
@@ -341,7 +421,7 @@ mod tests {
         let mut d = Device::new(DeviceSpec::v100());
         let k = KernelProfile::compute_bound("k", 1_000_000, 100.0);
         let configured = d.core_mhz();
-        let rec = d.launch_at(&k, 300.0);
+        let rec = d.launch_at(&k, 300.0).unwrap();
         assert!(rec.core_mhz < configured);
         assert_eq!(d.core_mhz(), configured);
     }
@@ -373,8 +453,8 @@ mod tests {
         let mut a = Device::with_noise(spec.clone(), NoiseModel::realistic(9));
         let mut b = Device::with_noise(spec, NoiseModel::realistic(9));
         for _ in 0..10 {
-            let ra = a.launch(&k);
-            let rb = b.launch(&k);
+            let ra = a.launch(&k).unwrap();
+            let rb = b.launch(&k).unwrap();
             assert_eq!(ra.time_s, rb.time_s);
             assert_eq!(ra.energy_j, rb.energy_j);
         }
@@ -401,11 +481,13 @@ mod tests {
         let mut batched = Device::new(spec);
         let mut expected = Vec::new();
         for _ in 0..7 {
-            let rec = serial.launch_at(&k, 900.0);
+            let rec = serial.launch_at(&k, 900.0).unwrap();
             expected.push((rec.time_s, rec.energy_j));
         }
         let mut seen = Vec::new();
-        batched.launch_batch(&k, 900.0, 7, &mut |t, e| seen.push((t, e)));
+        batched
+            .launch_batch(&k, 900.0, 7, &mut |t, e| seen.push((t, e)))
+            .unwrap();
         assert_eq!(seen, expected);
         assert_eq!(batched.clock_s(), serial.clock_s());
         assert_eq!(batched.energy_counter_j(), serial.energy_counter_j());
@@ -425,11 +507,13 @@ mod tests {
         let mut batched = Device::with_noise(spec, NoiseModel::realistic(31));
         let mut expected = Vec::new();
         for _ in 0..5 {
-            let rec = serial.launch_at(&k, 700.0);
+            let rec = serial.launch_at(&k, 700.0).unwrap();
             expected.push((rec.time_s, rec.energy_j));
         }
         let mut seen = Vec::new();
-        batched.launch_batch(&k, 700.0, 5, &mut |t, e| seen.push((t, e)));
+        batched
+            .launch_batch(&k, 700.0, 5, &mut |t, e| seen.push((t, e)))
+            .unwrap();
         assert_eq!(seen, expected, "noise must be drawn per launch, in order");
         assert_eq!(batched.clock_s(), serial.clock_s());
         assert_eq!(batched.energy_counter_j(), serial.energy_counter_j());
@@ -440,7 +524,7 @@ mod tests {
         let mut d = Device::new(DeviceSpec::v100());
         d.set_trace_capacity(Some(0));
         let k = KernelProfile::compute_bound("k", 1_000_000, 100.0);
-        d.launch_batch(&k, 900.0, 3, &mut |_, _| {});
+        d.launch_batch(&k, 900.0, 3, &mut |_, _| {}).unwrap();
         assert!(d.trace().events().is_empty());
         assert_eq!(d.trace().dropped(), 0, "events are never even built");
         assert!(d.clock_s() > 0.0, "counters still advance");
@@ -455,8 +539,8 @@ mod tests {
         a.set_price_table(Arc::clone(&table));
         let mut b = Device::new(spec);
         b.set_price_table(Arc::clone(&table));
-        a.launch_batch(&k, 900.0, 2, &mut |_, _| {});
-        b.launch_batch(&k, 900.0, 2, &mut |_, _| {});
+        a.launch_batch(&k, 900.0, 2, &mut |_, _| {}).unwrap();
+        b.launch_batch(&k, 900.0, 2, &mut |_, _| {}).unwrap();
         assert_eq!(table.len(), 1, "both replicas share one cached price");
     }
 
@@ -464,7 +548,147 @@ mod tests {
     fn record_power_consistent() {
         let mut d = Device::new(DeviceSpec::mi100());
         let k = KernelProfile::memory_bound("k", 10_000_000, 48.0);
-        let rec = d.launch(&k);
+        let rec = d.launch(&k).unwrap();
         assert!((rec.avg_power_w - rec.energy_j / rec.time_s).abs() < 1e-9);
+    }
+
+    // ---- Fault injection at the device layer ----
+
+    use crate::faults::{FaultError, FaultPlan, Schedule, ThrottleWindow};
+
+    #[test]
+    fn rejected_set_frequency_keeps_previous_clock() {
+        let plan = FaultPlan::none().reject_set_frequency(Schedule::once(0));
+        let mut d = Device::with_faults(DeviceSpec::v100(), plan);
+        let before = d.core_mhz();
+        let err = d.set_core_mhz(800.0).unwrap_err();
+        assert!(matches!(err, FaultError::FrequencyRejected { .. }));
+        assert_eq!(d.core_mhz(), before, "device stays at previous clock");
+        // The next request (index 1) goes through.
+        let applied = d.set_core_mhz(800.0).unwrap();
+        assert_eq!(d.core_mhz(), applied);
+    }
+
+    #[test]
+    fn launch_at_foreign_clock_consumes_a_set_frequency_op() {
+        let plan = FaultPlan::none().reject_set_frequency(Schedule::once(0));
+        let mut d = Device::with_faults(DeviceSpec::v100(), plan);
+        let k = KernelProfile::compute_bound("k", 1_000_000, 100.0);
+        // Default-clock launches perform no clock request and cannot be
+        // rejected.
+        assert!(d.launch(&k).is_ok());
+        let before = (d.clock_s(), d.energy_counter_j());
+        let err = d.launch_at(&k, 600.0).unwrap_err();
+        assert!(matches!(err, FaultError::FrequencyRejected { .. }));
+        assert_eq!(
+            (d.clock_s(), d.energy_counter_j()),
+            before,
+            "a rejected launch moves no counter"
+        );
+    }
+
+    #[test]
+    fn throttle_caps_effective_clock_for_window() {
+        let plan = FaultPlan::none().throttle(
+            Schedule::once(0),
+            ThrottleWindow {
+                cap_mhz: 700.0,
+                launches: 2,
+            },
+        );
+        let mut d = Device::with_faults(DeviceSpec::v100(), plan);
+        let k = KernelProfile::compute_bound("k", 1_000_000, 100.0);
+        let r1 = d.launch_at(&k, 1597.0).unwrap();
+        assert!(r1.throttled);
+        assert!(r1.core_mhz <= 700.0 + 15.0);
+        let r2 = d.launch_at(&k, 1597.0).unwrap();
+        assert!(r2.throttled);
+        let r3 = d.launch_at(&k, 1597.0).unwrap();
+        assert!(!r3.throttled, "window over");
+        assert!((r3.core_mhz - 1597.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn throttle_below_cap_is_not_throttled() {
+        let plan = FaultPlan::none().throttle(
+            Schedule::once(0),
+            ThrottleWindow {
+                cap_mhz: 1200.0,
+                launches: 1,
+            },
+        );
+        let mut d = Device::with_faults(DeviceSpec::v100(), plan);
+        let k = KernelProfile::compute_bound("k", 1_000_000, 100.0);
+        let rec = d.launch_at(&k, 800.0).unwrap();
+        assert!(!rec.throttled, "request below the cap is unaffected");
+        assert!((rec.core_mhz - 800.0).abs() < 10.0);
+    }
+
+    #[test]
+    fn counter_reset_rewinds_energy_counter() {
+        let plan = FaultPlan::none().reset_energy_counter(Schedule::once(1));
+        let mut d = Device::with_faults(DeviceSpec::v100(), plan);
+        let k = KernelProfile::compute_bound("k", 1_000_000, 100.0);
+        d.launch(&k).unwrap();
+        let after_first = d.energy_counter_j();
+        assert!(after_first > 0.0);
+        d.launch(&k).unwrap();
+        assert_eq!(d.energy_counter_j(), 0.0, "counter reset at launch 1");
+        d.launch(&k).unwrap();
+        assert!(d.energy_counter_j() > 0.0);
+        assert!(d.energy_counter_j() < after_first * 2.0);
+    }
+
+    #[test]
+    fn transient_launch_failure_moves_nothing() {
+        let plan = FaultPlan::none().fail_launches(Schedule::once(0));
+        let mut d = Device::with_faults(DeviceSpec::v100(), plan);
+        let k = KernelProfile::compute_bound("k", 1_000_000, 100.0);
+        let err = d.launch(&k).unwrap_err();
+        assert!(matches!(err, FaultError::LaunchFailed { .. }));
+        assert_eq!(d.energy_counter_j(), 0.0);
+        assert_eq!(d.clock_s(), 0.0);
+        assert!(d.trace().events().is_empty());
+        // Retry (attempt index 1) succeeds.
+        assert!(d.launch(&k).is_ok());
+    }
+
+    #[test]
+    fn faulty_batch_matches_serial_faulty_launches() {
+        let plan = FaultPlan::none().throttle(
+            Schedule::once(1),
+            ThrottleWindow {
+                cap_mhz: 900.0,
+                launches: 2,
+            },
+        );
+        let k = KernelProfile::compute_bound("k", 1_000_000, 100.0);
+        let mut serial = Device::with_faults(DeviceSpec::v100(), plan.clone());
+        let mut batched = Device::with_faults(DeviceSpec::v100(), plan);
+        let mut expected = Vec::new();
+        for _ in 0..4 {
+            let rec = serial.launch_at(&k, 1400.0).unwrap();
+            expected.push((rec.time_s, rec.energy_j));
+        }
+        let mut seen = Vec::new();
+        let throttled = batched
+            .launch_batch(&k, 1400.0, 4, &mut |t, e| seen.push((t, e)))
+            .unwrap();
+        assert_eq!(seen, expected);
+        assert_eq!(throttled, 2);
+        assert_eq!(batched.energy_counter_j(), serial.energy_counter_j());
+    }
+
+    #[test]
+    fn faulty_batch_stops_at_first_failure() {
+        let plan = FaultPlan::none().fail_launches(Schedule::once(2));
+        let k = KernelProfile::compute_bound("k", 1_000_000, 100.0);
+        let mut d = Device::with_faults(DeviceSpec::v100(), plan);
+        let mut seen = 0;
+        let err = d
+            .launch_batch(&k, 900.0, 5, &mut |_, _| seen += 1)
+            .unwrap_err();
+        assert!(matches!(err, FaultError::LaunchFailed { .. }));
+        assert_eq!(seen, 2, "sink observed the completed launches");
     }
 }

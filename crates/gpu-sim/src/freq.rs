@@ -27,7 +27,7 @@ impl FrequencyTable {
             freqs.iter().all(|f| f.is_finite() && *f > 0.0),
             "frequencies must be finite and positive"
         );
-        freqs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        freqs.sort_by(f64::total_cmp);
         freqs.dedup_by(|a, b| (*a - *b).abs() < 1e-3);
         FrequencyTable { freqs }
     }
@@ -80,12 +80,7 @@ impl FrequencyTable {
         self.freqs
             .iter()
             .copied()
-            .min_by(|a, b| {
-                (a - mhz)
-                    .abs()
-                    .partial_cmp(&(b - mhz).abs())
-                    .expect("finite")
-            })
+            .min_by(|a, b| (a - mhz).abs().total_cmp(&(b - mhz).abs()))
             .expect("non-empty")
     }
 

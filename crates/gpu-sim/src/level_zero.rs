@@ -13,6 +13,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use crate::device::{Device, LaunchRecord};
+use crate::faults::FaultError;
 use crate::kernel::KernelProfile;
 use crate::spec::{DeviceSpec, Vendor};
 
@@ -30,6 +31,12 @@ pub enum ZeError {
         /// Requested maximum (MHz).
         max_mhz: f64,
     },
+    /// The firmware refused to apply the requested clock
+    /// (`ZE_RESULT_ERROR_NOT_AVAILABLE`); the previous clock is kept.
+    NotAvailable { requested_mhz: f64 },
+    /// The device dropped off mid-operation
+    /// (`ZE_RESULT_ERROR_DEVICE_LOST`); the launch did not execute.
+    DeviceLost(String),
 }
 
 impl std::fmt::Display for ZeError {
@@ -40,11 +47,28 @@ impl std::fmt::Display for ZeError {
             ZeError::InvalidRange { min_mhz, max_mhz } => {
                 write!(f, "invalid frequency range [{min_mhz}, {max_mhz}] MHz")
             }
+            ZeError::NotAvailable { requested_mhz } => {
+                write!(f, "clock {requested_mhz} MHz not available right now")
+            }
+            ZeError::DeviceLost(kernel) => {
+                write!(f, "device lost (launching '{kernel}')")
+            }
         }
     }
 }
 
 impl std::error::Error for ZeError {}
+
+impl From<FaultError> for ZeError {
+    fn from(e: FaultError) -> Self {
+        match e {
+            FaultError::FrequencyRejected { requested_mhz } => {
+                ZeError::NotAvailable { requested_mhz }
+            }
+            FaultError::LaunchFailed { kernel } => ZeError::DeviceLost(kernel),
+        }
+    }
+}
 
 /// The driver handle (`zeInit` + `zesDriverGet` analogue).
 #[derive(Debug, Clone, Default)]
@@ -188,9 +212,12 @@ impl ZeDevice {
 
     /// Executes a kernel at the governor-selected clock within the active
     /// range (the simulator stand-in for a SYCL launch on this device).
-    pub fn launch(&self, kernel: &KernelProfile) -> LaunchRecord {
+    pub fn launch(&self, kernel: &KernelProfile) -> Result<LaunchRecord, ZeError> {
         let f = self.governor_frequency();
-        self.inner.lock().launch_at(kernel, f)
+        self.inner
+            .lock()
+            .launch_at(kernel, f)
+            .map_err(ZeError::from)
     }
 }
 
@@ -232,7 +259,9 @@ mod tests {
         assert_eq!(lo, hi);
         assert!(dev.available_clocks().contains(&lo));
         assert_eq!(dev.governor_frequency(), lo);
-        let rec = dev.launch(&KernelProfile::compute_bound("k", 1 << 20, 200.0));
+        let rec = dev
+            .launch(&KernelProfile::compute_bound("k", 1 << 20, 200.0))
+            .unwrap();
         assert_eq!(rec.core_mhz, lo);
     }
 
@@ -257,9 +286,31 @@ mod tests {
     fn energy_counter_microjoules() {
         let dev = ZeDevice::max1100();
         let k = KernelProfile::memory_bound("k", 10_000_000, 64.0);
-        let rec = dev.launch(&k);
+        let rec = dev.launch(&k).unwrap();
         let uj = dev.energy_counter_uj();
         assert!((uj as f64 - rec.energy_j * 1e6).abs() <= 1.0);
         assert!(dev.power_mw() > 0);
+    }
+
+    #[test]
+    fn fault_errors_map_to_ze_codes() {
+        use crate::faults::{FaultPlan, Schedule};
+        let plan = FaultPlan::none()
+            .reject_set_frequency(Schedule::once(0))
+            .fail_launches(Schedule::once(1));
+        let mut dev = ZeDevice::from_shared(Arc::new(Mutex::new(Device::with_faults(
+            DeviceSpec::max1100(),
+            plan,
+        ))));
+        // Pin to a non-default clock so the launch issues a clock request.
+        dev.set_frequency_range(912.0, 912.0).unwrap();
+        let k = KernelProfile::compute_bound("k", 1 << 20, 200.0);
+        assert!(matches!(dev.launch(&k), Err(ZeError::NotAvailable { .. })));
+        // Launch index 0 completed? No — the rejected launch never ran, so
+        // the next attempt is still launch index 0; retry succeeds, and the
+        // following attempt trips the scheduled launch failure at index 1.
+        assert!(dev.launch(&k).is_ok());
+        assert!(matches!(dev.launch(&k), Err(ZeError::DeviceLost(_))));
+        assert!(dev.launch(&k).is_ok());
     }
 }

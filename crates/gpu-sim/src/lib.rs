@@ -26,18 +26,21 @@
 //! execution engine both wrap.
 //!
 //! Everything is deterministic. Optional measurement noise flows through a
-//! seeded ChaCha RNG ([`noise`]).
+//! seeded ChaCha RNG ([`noise`]); optional management-API faults (clock
+//! rejections, thermal throttling, counter wraps, dropped launches) flow
+//! through a seedable [`faults::FaultPlan`].
 //!
 //! ```
 //! use gpu_sim::{device::Device, spec::DeviceSpec, kernel::KernelProfile};
 //!
 //! let mut dev = Device::new(DeviceSpec::v100());
 //! let k = KernelProfile::compute_bound("saxpy", 1 << 20, 64.0);
-//! let rec = dev.launch(&k);
+//! let rec = dev.launch(&k).expect("fault-free device");
 //! assert!(rec.time_s > 0.0 && rec.energy_j > 0.0);
 //! ```
 
 pub mod device;
+pub mod faults;
 pub mod freq;
 pub mod kernel;
 pub mod level_zero;
@@ -53,6 +56,7 @@ pub mod trace;
 pub mod voltage;
 
 pub use device::{Device, LaunchRecord};
+pub use faults::{FaultError, FaultPlan, FaultState, Schedule, ThrottleWindow};
 pub use kernel::{KernelProfile, OpMix};
 pub use pricing::PriceTable;
 pub use spec::{DeviceSpec, Vendor};

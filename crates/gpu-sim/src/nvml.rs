@@ -11,6 +11,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use crate::device::{Device, LaunchRecord};
+use crate::faults::FaultError;
 use crate::kernel::KernelProfile;
 use crate::spec::{DeviceSpec, Vendor};
 
@@ -23,6 +24,12 @@ pub enum NvmlError {
     NotSupported(String),
     /// Requested memory clock is not supported.
     InvalidMemoryClock(f64),
+    /// The driver refused the application-clock change
+    /// (`NVML_ERROR_NO_PERMISSION`); the device keeps its previous clocks.
+    NoPermission { requested_mhz: f64 },
+    /// The device fell off the bus mid-operation
+    /// (`NVML_ERROR_GPU_IS_LOST`); the launch did not execute.
+    GpuLost(String),
 }
 
 impl std::fmt::Display for NvmlError {
@@ -35,11 +42,31 @@ impl std::fmt::Display for NvmlError {
             NvmlError::InvalidMemoryClock(mhz) => {
                 write!(f, "unsupported memory clock {mhz} MHz")
             }
+            NvmlError::NoPermission { requested_mhz } => {
+                write!(
+                    f,
+                    "no permission to set application clock {requested_mhz} MHz"
+                )
+            }
+            NvmlError::GpuLost(kernel) => {
+                write!(f, "GPU is lost (launching '{kernel}')")
+            }
         }
     }
 }
 
 impl std::error::Error for NvmlError {}
+
+impl From<FaultError> for NvmlError {
+    fn from(e: FaultError) -> Self {
+        match e {
+            FaultError::FrequencyRejected { requested_mhz } => {
+                NvmlError::NoPermission { requested_mhz }
+            }
+            FaultError::LaunchFailed { kernel } => NvmlError::GpuLost(kernel),
+        }
+    }
+}
 
 /// The NVML library handle (the `nvmlInit` analogue).
 #[derive(Debug, Clone, Default)]
@@ -148,7 +175,7 @@ impl NvmlDevice {
             return Err(NvmlError::InvalidMemoryClock(mem_mhz));
         }
         let m = dev.set_mem_mhz(mem_mhz);
-        let c = dev.set_core_mhz(core_mhz);
+        let c = dev.set_core_mhz(core_mhz)?;
         Ok((m, c))
     }
 
@@ -176,8 +203,8 @@ impl NvmlDevice {
     /// Executes a kernel at the configured application clocks. Not part of
     /// NVML (which only manages), but the simulator's stand-in for the CUDA
     /// launch the managed device would perform.
-    pub fn launch(&self, kernel: &KernelProfile) -> LaunchRecord {
-        self.inner.lock().launch(kernel)
+    pub fn launch(&self, kernel: &KernelProfile) -> Result<LaunchRecord, NvmlError> {
+        self.inner.lock().launch(kernel).map_err(NvmlError::from)
     }
 }
 
@@ -234,7 +261,7 @@ mod tests {
     fn energy_counter_in_millijoules() {
         let dev = NvmlDevice::v100();
         let k = KernelProfile::compute_bound("k", 1_000_000, 100.0);
-        let rec = dev.launch(&k);
+        let rec = dev.launch(&k).unwrap();
         let mj = dev.total_energy_consumption_mj();
         assert!((mj as f64 - rec.energy_j * 1e3).abs() <= 1.0);
     }
@@ -243,8 +270,33 @@ mod tests {
     fn power_usage_in_milliwatts() {
         let dev = NvmlDevice::v100();
         let k = KernelProfile::memory_bound("k", 10_000_000, 64.0);
-        let rec = dev.launch(&k);
+        let rec = dev.launch(&k).unwrap();
         let mw = dev.power_usage_mw();
         assert!((mw as f64 - rec.avg_power_w * 1e3).abs() <= 1.0);
+    }
+
+    #[test]
+    fn fault_errors_map_to_nvml_codes() {
+        use crate::faults::{FaultPlan, Schedule};
+        let plan = FaultPlan::none()
+            .reject_set_frequency(Schedule::once(0))
+            .fail_launches(Schedule::once(0));
+        let dev = NvmlDevice::from_shared(Arc::new(Mutex::new(Device::with_faults(
+            DeviceSpec::v100(),
+            plan,
+        ))));
+        let before = dev.clock_info_graphics();
+        match dev.set_applications_clocks(1107.0, 900.0) {
+            Err(NvmlError::NoPermission { requested_mhz }) => {
+                assert!((requested_mhz - 900.0).abs() < 15.0)
+            }
+            other => panic!("expected NoPermission, got {other:?}"),
+        }
+        assert_eq!(dev.clock_info_graphics(), before);
+        let k = KernelProfile::compute_bound("k", 1_000_000, 100.0);
+        assert!(matches!(dev.launch(&k), Err(NvmlError::GpuLost(_))));
+        // Both fault classes were one-shot: the retries succeed.
+        assert!(dev.set_applications_clocks(1107.0, 900.0).is_ok());
+        assert!(dev.launch(&k).is_ok());
     }
 }

@@ -184,7 +184,7 @@ mod tests {
         let (f_min, _) = energies
             .iter()
             .copied()
-            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .min_by(|a, b| a.1.total_cmp(&b.1))
             .unwrap();
         assert!(f_min > spec.min_core_mhz() + 1.0, "minimum not at bottom");
         assert!(f_min < spec.max_core_mhz() - 1.0, "minimum not at top");

@@ -15,6 +15,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use crate::device::{Device, LaunchRecord};
+use crate::faults::FaultError;
 use crate::kernel::KernelProfile;
 use crate::spec::{DeviceSpec, Vendor};
 
@@ -40,6 +41,12 @@ pub enum RsmiError {
     NotSupported(String),
     /// Manual clock selection outside the supported range.
     InvalidFrequency(f64),
+    /// The SMU rejected the request because the device was busy
+    /// (`RSMI_STATUS_BUSY`); the previous clock configuration is kept.
+    Busy { requested_mhz: f64 },
+    /// An unexpected device-side failure (`RSMI_STATUS_UNKNOWN_ERROR`);
+    /// the launch did not execute.
+    UnknownError(String),
 }
 
 impl std::fmt::Display for RsmiError {
@@ -48,11 +55,26 @@ impl std::fmt::Display for RsmiError {
             RsmiError::InvalidIndex(i) => write!(f, "invalid device index {i}"),
             RsmiError::NotSupported(n) => write!(f, "device '{n}' is not managed by ROCm-SMI"),
             RsmiError::InvalidFrequency(mhz) => write!(f, "invalid frequency {mhz} MHz"),
+            RsmiError::Busy { requested_mhz } => {
+                write!(f, "device busy, clock request {requested_mhz} MHz dropped")
+            }
+            RsmiError::UnknownError(kernel) => {
+                write!(f, "unknown device error (launching '{kernel}')")
+            }
         }
     }
 }
 
 impl std::error::Error for RsmiError {}
+
+impl From<FaultError> for RsmiError {
+    fn from(e: FaultError) -> Self {
+        match e {
+            FaultError::FrequencyRejected { requested_mhz } => RsmiError::Busy { requested_mhz },
+            FaultError::LaunchFailed { kernel } => RsmiError::UnknownError(kernel),
+        }
+    }
+}
 
 /// The ROCm-SMI library handle (`rsmi_init` analogue).
 #[derive(Debug, Clone, Default)]
@@ -146,21 +168,25 @@ impl RocmDevice {
     }
 
     /// `rsmi_dev_perf_level_set`. Switching to `Low`/`High` pins the clock;
-    /// `Auto` hands control back to the governor.
-    pub fn set_perf_level(&mut self, level: PerfLevel) {
-        self.perf_level = level;
-        let mut dev = self.inner.lock();
-        match level {
-            PerfLevel::Low => {
-                let f = dev.spec().min_core_mhz();
-                dev.set_core_mhz(f);
+    /// `Auto` hands control back to the governor. On [`RsmiError::Busy`]
+    /// the level (and the clock) stay unchanged.
+    pub fn set_perf_level(&mut self, level: PerfLevel) -> Result<(), RsmiError> {
+        {
+            let mut dev = self.inner.lock();
+            match level {
+                PerfLevel::Low => {
+                    let f = dev.spec().min_core_mhz();
+                    dev.set_core_mhz(f)?;
+                }
+                PerfLevel::High => {
+                    let f = dev.spec().max_core_mhz();
+                    dev.set_core_mhz(f)?;
+                }
+                PerfLevel::Auto | PerfLevel::Manual => {}
             }
-            PerfLevel::High => {
-                let f = dev.spec().max_core_mhz();
-                dev.set_core_mhz(f);
-            }
-            PerfLevel::Auto | PerfLevel::Manual => {}
         }
+        self.perf_level = level;
+        Ok(())
     }
 
     /// `rsmi_dev_gpu_clk_freq_get(RSMI_CLK_TYPE_SYS)` — supported core
@@ -175,8 +201,9 @@ impl RocmDevice {
         if !core_mhz.is_finite() || core_mhz <= 0.0 {
             return Err(RsmiError::InvalidFrequency(core_mhz));
         }
+        let applied = self.inner.lock().set_core_mhz(core_mhz)?;
         self.perf_level = PerfLevel::Manual;
-        Ok(self.inner.lock().set_core_mhz(core_mhz))
+        Ok(applied)
     }
 
     /// Current core clock (MHz). Under `Auto`, reports the frequency the
@@ -204,15 +231,16 @@ impl RocmDevice {
     /// the governor picks the clock for the launch (sustained-load
     /// convergence frequency); under `Low`/`High`/`Manual` the pinned clock
     /// is used.
-    pub fn launch(&self, kernel: &KernelProfile) -> LaunchRecord {
+    pub fn launch(&self, kernel: &KernelProfile) -> Result<LaunchRecord, RsmiError> {
         let mut dev = self.inner.lock();
-        match self.perf_level {
+        let res = match self.perf_level {
             PerfLevel::Auto => {
                 let f = dev.spec().default_core_mhz;
                 dev.launch_at(kernel, f)
             }
             _ => dev.launch(kernel),
-        }
+        };
+        res.map_err(RsmiError::from)
     }
 }
 
@@ -260,9 +288,9 @@ mod tests {
     #[test]
     fn low_high_pin_extremes() {
         let mut dev = RocmDevice::mi100();
-        dev.set_perf_level(PerfLevel::Low);
+        dev.set_perf_level(PerfLevel::Low).unwrap();
         assert_eq!(dev.current_clk_freq(), 300.0);
-        dev.set_perf_level(PerfLevel::High);
+        dev.set_perf_level(PerfLevel::High).unwrap();
         assert_eq!(dev.current_clk_freq(), 1500.0);
     }
 
@@ -270,7 +298,7 @@ mod tests {
     fn auto_launch_uses_governor_frequency() {
         let dev = RocmDevice::mi100();
         let k = KernelProfile::compute_bound("k", 10_000_000, 100.0);
-        let rec = dev.launch(&k);
+        let rec = dev.launch(&k).unwrap();
         assert_eq!(rec.core_mhz, 1450.0);
     }
 
@@ -278,10 +306,10 @@ mod tests {
     fn auto_beats_low_on_speed() {
         let k = KernelProfile::compute_bound("k", 50_000_000, 200.0);
         let auto_dev = RocmDevice::mi100();
-        let t_auto = auto_dev.launch(&k).time_s;
+        let t_auto = auto_dev.launch(&k).unwrap().time_s;
         let mut low_dev = RocmDevice::mi100();
-        low_dev.set_perf_level(PerfLevel::Low);
-        let t_low = low_dev.launch(&k).time_s;
+        low_dev.set_perf_level(PerfLevel::Low).unwrap();
+        let t_low = low_dev.launch(&k).unwrap().time_s;
         assert!(t_auto < t_low);
     }
 
@@ -289,8 +317,28 @@ mod tests {
     fn energy_counter_microjoules() {
         let dev = RocmDevice::mi100();
         let k = KernelProfile::memory_bound("k", 10_000_000, 64.0);
-        let rec = dev.launch(&k);
+        let rec = dev.launch(&k).unwrap();
         let uj = dev.energy_count_uj();
         assert!((uj as f64 - rec.energy_j * 1e6).abs() <= 1.0);
+    }
+
+    #[test]
+    fn busy_keeps_perf_level_and_clock() {
+        use crate::faults::{FaultPlan, Schedule};
+        let plan = FaultPlan::none().reject_set_frequency(Schedule::once(0));
+        let mut dev = RocmDevice::from_shared(Arc::new(Mutex::new(Device::with_faults(
+            DeviceSpec::mi100(),
+            plan,
+        ))));
+        let clk_before = dev.lock_device().core_mhz();
+        match dev.set_perf_level(PerfLevel::Low) {
+            Err(RsmiError::Busy { .. }) => {}
+            other => panic!("expected Busy, got {other:?}"),
+        }
+        assert_eq!(dev.perf_level(), PerfLevel::Auto, "level unchanged on Busy");
+        assert_eq!(dev.lock_device().core_mhz(), clk_before);
+        // Retry goes through and the level sticks.
+        dev.set_perf_level(PerfLevel::Low).unwrap();
+        assert_eq!(dev.perf_level(), PerfLevel::Low);
     }
 }

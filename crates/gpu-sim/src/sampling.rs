@@ -70,7 +70,7 @@ mod tests {
         let mut dev = Device::new(DeviceSpec::v100());
         let k = KernelProfile::compute_bound("k", 50_000_000, 400.0);
         for _ in 0..5 {
-            dev.launch(&k);
+            dev.launch(&k).unwrap();
         }
         dev
     }
@@ -109,9 +109,9 @@ mod tests {
     fn gaps_report_idle_power() {
         let mut dev = Device::new(DeviceSpec::v100());
         let k = KernelProfile::compute_bound("k", 50_000_000, 400.0);
-        dev.launch(&k);
+        dev.launch(&k).unwrap();
         dev.idle_advance(1.0);
-        dev.launch(&k);
+        dev.launch(&k).unwrap();
         let idle = dev.spec().idle_power_w;
         let samples = sample_power(dev.trace(), 0.01, idle);
         let idle_samples = samples.iter().filter(|s| s.power_w == idle).count();

@@ -5,7 +5,7 @@ use gpu_sim::kernel::{KernelProfile, OpMix};
 use gpu_sim::noise::NoiseModel;
 use gpu_sim::power::{kernel_energy, kernel_power};
 use gpu_sim::timing::kernel_timing;
-use gpu_sim::{Device, DeviceSpec};
+use gpu_sim::{Device, DeviceSpec, FaultPlan, Schedule, ThrottleWindow};
 use proptest::prelude::*;
 
 fn arb_mix() -> impl Strategy<Value = OpMix> {
@@ -107,12 +107,38 @@ proptest! {
         let mut t_sum = 0.0;
         let mut e_sum = 0.0;
         for (k, fi) in &seq {
-            let rec = dev.launch_at(k, fs[*fi]);
+            let rec = dev.launch_at(k, fs[*fi]).unwrap();
             t_sum += rec.time_s;
             e_sum += rec.energy_j;
         }
         prop_assert!((dev.clock_s() - t_sum).abs() < 1e-9 * t_sum.max(1.0));
         prop_assert!((dev.energy_counter_j() - e_sum).abs() < 1e-9 * e_sum.max(1.0));
+    }
+
+    /// A throttled launch never reports a core clock above the requested
+    /// one, and `throttled` is set exactly when the clock was capped.
+    #[test]
+    fn throttled_clock_never_exceeds_request(
+        seed in 0u64..10_000,
+        p in 0.0..1.0f64,
+        cap_i in 0usize..195,
+        window in 1u64..6,
+        seq in proptest::collection::vec((arb_kernel(), 0usize..195), 1..10),
+    ) {
+        let spec = DeviceSpec::v100();
+        let fs: Vec<f64> = spec.core_freqs.as_slice().to_vec();
+        let cap = fs[cap_i];
+        let plan = FaultPlan::seeded(seed).throttle(
+            Schedule::Prob(p),
+            ThrottleWindow { cap_mhz: cap, launches: window },
+        );
+        let mut dev = Device::with_faults(spec, plan);
+        for (k, fi) in &seq {
+            let requested = fs[*fi];
+            let rec = dev.launch_at(k, requested).unwrap();
+            prop_assert!(rec.core_mhz <= requested * (1.0 + 1e-12));
+            prop_assert_eq!(rec.throttled, rec.core_mhz < requested);
+        }
     }
 
     /// Noise factors stay within ±20 % at realistic σ and are reproducible.

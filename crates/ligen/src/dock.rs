@@ -115,8 +115,7 @@ pub fn dock(ligand: &Ligand, pocket: &Pocket, params: &DockParams) -> (f64, Vec<
     poses.sort_by(|a, b| {
         a.score
             .expect("evaluated")
-            .partial_cmp(&b.score.expect("evaluated"))
-            .expect("finite scores")
+            .total_cmp(&b.score.expect("evaluated"))
     });
     poses.truncate(params.max_num_poses);
 

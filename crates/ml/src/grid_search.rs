@@ -53,7 +53,7 @@ where
     }
     let (best_params, best_score) = scores
         .iter()
-        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite scores"))
+        .min_by(|a, b| a.1.total_cmp(&b.1))
         .map(|(p, s)| (p.clone(), *s))
         .expect("non-empty grid");
     GridSearchResult {

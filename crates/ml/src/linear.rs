@@ -71,12 +71,7 @@ pub(crate) fn solve_dense(a: &mut [Vec<f64>], b: &mut [f64]) -> Vec<f64> {
     for col in 0..n {
         // Pivot: largest |value| in this column at/under the diagonal.
         let pivot = (col..n)
-            .max_by(|&i, &j| {
-                a[i][col]
-                    .abs()
-                    .partial_cmp(&a[j][col].abs())
-                    .expect("finite")
-            })
+            .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
             .expect("non-empty range");
         assert!(
             a[pivot][col].abs() > 1e-300,

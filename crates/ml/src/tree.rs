@@ -230,7 +230,7 @@ impl DecisionTree {
         for &j in feats {
             pairs.clear();
             pairs.extend(indices.iter().map(|&i| (x.get(i, j), y[i])));
-            pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite feature"));
+            pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
             if pairs[0].0 == pairs[n - 1].0 {
                 continue; // constant feature
             }

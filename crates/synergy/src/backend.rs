@@ -8,10 +8,11 @@
 //! number.
 
 use gpu_sim::device::LaunchRecord;
+use gpu_sim::faults::FaultError;
 use gpu_sim::kernel::KernelProfile;
-use gpu_sim::level_zero::ZeDevice;
-use gpu_sim::nvml::NvmlDevice;
-use gpu_sim::rocm::RocmDevice;
+use gpu_sim::level_zero::{ZeDevice, ZeError};
+use gpu_sim::nvml::{NvmlDevice, NvmlError};
+use gpu_sim::rocm::{PerfLevel, RocmDevice, RsmiError};
 use gpu_sim::Vendor;
 
 /// What "default frequency configuration" means on this device — the
@@ -24,6 +25,96 @@ pub enum DefaultConfig {
     Auto,
 }
 
+/// A vendor-neutral management/execution error — the common shape of
+/// `NVML_ERROR_*`, `RSMI_STATUS_*`, and `ZE_RESULT_ERROR_*` codes that the
+/// retry machinery in [`crate::queue`] handles uniformly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BackendError {
+    /// The driver refused a clock change; the previous clock is still
+    /// active (NVML `NO_PERMISSION`, ROCm-SMI `BUSY`, L0 `NOT_AVAILABLE`).
+    FrequencyRejected {
+        /// The clock that was requested (MHz).
+        requested_mhz: f64,
+    },
+    /// A transient device failure dropped the launch before it executed
+    /// (NVML `GPU_IS_LOST`, ROCm-SMI `UNKNOWN_ERROR`, L0 `DEVICE_LOST`).
+    LaunchFailed {
+        /// Name of the kernel that failed to launch.
+        kernel: String,
+    },
+    /// Any other vendor-layer management error (invalid index/clock, …) —
+    /// not retryable.
+    Management(String),
+}
+
+impl std::fmt::Display for BackendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendError::FrequencyRejected { requested_mhz } => {
+                write!(f, "clock request {requested_mhz} MHz rejected")
+            }
+            BackendError::LaunchFailed { kernel } => {
+                write!(f, "transient failure launching '{kernel}'")
+            }
+            BackendError::Management(msg) => write!(f, "management error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BackendError {}
+
+impl BackendError {
+    /// Whether retrying the same operation can plausibly succeed.
+    pub fn is_transient(&self) -> bool {
+        !matches!(self, BackendError::Management(_))
+    }
+}
+
+impl From<FaultError> for BackendError {
+    fn from(e: FaultError) -> Self {
+        match e {
+            FaultError::FrequencyRejected { requested_mhz } => {
+                BackendError::FrequencyRejected { requested_mhz }
+            }
+            FaultError::LaunchFailed { kernel } => BackendError::LaunchFailed { kernel },
+        }
+    }
+}
+
+impl From<NvmlError> for BackendError {
+    fn from(e: NvmlError) -> Self {
+        match e {
+            NvmlError::NoPermission { requested_mhz } => {
+                BackendError::FrequencyRejected { requested_mhz }
+            }
+            NvmlError::GpuLost(kernel) => BackendError::LaunchFailed { kernel },
+            other => BackendError::Management(other.to_string()),
+        }
+    }
+}
+
+impl From<RsmiError> for BackendError {
+    fn from(e: RsmiError) -> Self {
+        match e {
+            RsmiError::Busy { requested_mhz } => BackendError::FrequencyRejected { requested_mhz },
+            RsmiError::UnknownError(kernel) => BackendError::LaunchFailed { kernel },
+            other => BackendError::Management(other.to_string()),
+        }
+    }
+}
+
+impl From<ZeError> for BackendError {
+    fn from(e: ZeError) -> Self {
+        match e {
+            ZeError::NotAvailable { requested_mhz } => {
+                BackendError::FrequencyRejected { requested_mhz }
+            }
+            ZeError::DeviceLost(kernel) => BackendError::LaunchFailed { kernel },
+            other => BackendError::Management(other.to_string()),
+        }
+    }
+}
+
 /// A vendor-specific management + execution backend.
 pub trait Backend: Send {
     /// Device marketing name.
@@ -34,15 +125,32 @@ pub trait Backend: Send {
     fn supported_core_frequencies(&self) -> Vec<f64>;
     /// The device's default configuration.
     fn default_config(&self) -> DefaultConfig;
-    /// Cumulative device energy counter (J).
+    /// Cumulative device energy counter (J). This is the *raw* counter — it
+    /// can rewind when the device resets it; [`crate::metrics`] has the
+    /// wrap-healing accumulator.
     fn energy_counter_j(&self) -> f64;
     /// Runs a kernel at `freq`; `None` means the default configuration
-    /// (fixed default clock or auto governor, per vendor).
-    fn launch(&mut self, kernel: &KernelProfile, freq_mhz: Option<f64>) -> LaunchRecord;
+    /// (fixed default clock or auto governor, per vendor). A
+    /// [`BackendError::FrequencyRejected`] or [`BackendError::LaunchFailed`]
+    /// leaves every device counter untouched (the launch never ran).
+    fn launch(
+        &mut self,
+        kernel: &KernelProfile,
+        freq_mhz: Option<f64>,
+    ) -> Result<LaunchRecord, BackendError>;
+    /// Applies a clock configuration without launching anything; `None`
+    /// restores the vendor default. Returns the effective clock (MHz).
+    fn set_frequency(&mut self, freq_mhz: Option<f64>) -> Result<f64, BackendError>;
+    /// Lets device time pass without work — the retry machinery charges its
+    /// backoff waits here so they show up as idle energy, like a real pause
+    /// between NVML calls would.
+    fn idle_wait(&mut self, _dt_s: f64) {}
 
     /// Runs `n` back-to-back launches of `kernel` at `freq` (`None` = the
     /// vendor default configuration), reporting each launch's
-    /// `(time_s, energy_j)` to `sink` in submission order.
+    /// `(time_s, energy_j)` to `sink` in submission order. Returns the
+    /// number of launches whose clock was throttled below the request. On
+    /// error, `sink` has seen every launch that completed before the fault.
     ///
     /// The default implementation just loops [`Backend::launch`]. The
     /// vendor backends override it to resolve the effective clock once and
@@ -56,11 +164,14 @@ pub trait Backend: Send {
         freq_mhz: Option<f64>,
         n: u64,
         sink: &mut dyn FnMut(f64, f64),
-    ) {
+    ) -> Result<u64, BackendError> {
+        let mut throttled = 0;
         for _ in 0..n {
-            let rec = self.launch(kernel, freq_mhz);
+            let rec = self.launch(kernel, freq_mhz)?;
+            throttled += u64::from(rec.throttled);
             sink(rec.time_s, rec.energy_j);
         }
+        Ok(throttled)
     }
 }
 
@@ -103,16 +214,33 @@ impl Backend for NvmlBackend {
         self.device.total_energy_consumption_mj() as f64 * 1e-3
     }
 
-    fn launch(&mut self, kernel: &KernelProfile, freq_mhz: Option<f64>) -> LaunchRecord {
+    fn launch(
+        &mut self,
+        kernel: &KernelProfile,
+        freq_mhz: Option<f64>,
+    ) -> Result<LaunchRecord, BackendError> {
         let shared = self.device.shared();
         let mut dev = shared.lock();
+        let f = freq_mhz.unwrap_or(dev.spec().default_core_mhz);
+        dev.launch_at(kernel, f).map_err(BackendError::from)
+    }
+
+    fn set_frequency(&mut self, freq_mhz: Option<f64>) -> Result<f64, BackendError> {
         match freq_mhz {
-            Some(f) => dev.launch_at(kernel, f),
+            Some(f) => {
+                let mem = self.device.supported_memory_clocks()[0];
+                let (_, c) = self.device.set_applications_clocks(mem, f)?;
+                Ok(c)
+            }
             None => {
-                let f = dev.spec().default_core_mhz;
-                dev.launch_at(kernel, f)
+                self.device.reset_applications_clocks();
+                Ok(self.device.clock_info_graphics())
             }
         }
+    }
+
+    fn idle_wait(&mut self, dt_s: f64) {
+        self.device.lock_device().idle_advance(dt_s);
     }
 
     fn launch_batch(
@@ -121,11 +249,12 @@ impl Backend for NvmlBackend {
         freq_mhz: Option<f64>,
         n: u64,
         sink: &mut dyn FnMut(f64, f64),
-    ) {
+    ) -> Result<u64, BackendError> {
         let mut dev = self.device.lock_device();
         // NVIDIA's default configuration is the fixed application clock.
         let f = freq_mhz.unwrap_or(dev.spec().default_core_mhz);
-        dev.launch_batch(kernel, f, n, sink);
+        dev.launch_batch(kernel, f, n, sink)
+            .map_err(BackendError::from)
     }
 }
 
@@ -163,16 +292,34 @@ impl Backend for RocmBackend {
         self.device.energy_count_uj() as f64 * 1e-6
     }
 
-    fn launch(&mut self, kernel: &KernelProfile, freq_mhz: Option<f64>) -> LaunchRecord {
+    fn launch(
+        &mut self,
+        kernel: &KernelProfile,
+        freq_mhz: Option<f64>,
+    ) -> Result<LaunchRecord, BackendError> {
         match freq_mhz {
             Some(f) => {
                 let shared = self.device.shared();
                 let mut dev = shared.lock();
-                dev.launch_at(kernel, f)
+                dev.launch_at(kernel, f).map_err(BackendError::from)
             }
             // Default on AMD = the auto governor decides.
-            None => self.device.launch(kernel),
+            None => self.device.launch(kernel).map_err(BackendError::from),
         }
+    }
+
+    fn set_frequency(&mut self, freq_mhz: Option<f64>) -> Result<f64, BackendError> {
+        match freq_mhz {
+            Some(f) => Ok(self.device.set_clk_freq(f)?),
+            None => {
+                self.device.set_perf_level(PerfLevel::Auto)?;
+                Ok(self.device.current_clk_freq())
+            }
+        }
+    }
+
+    fn idle_wait(&mut self, dt_s: f64) {
+        self.device.lock_device().idle_advance(dt_s);
     }
 
     fn launch_batch(
@@ -181,13 +328,14 @@ impl Backend for RocmBackend {
         freq_mhz: Option<f64>,
         n: u64,
         sink: &mut dyn FnMut(f64, f64),
-    ) {
+    ) -> Result<u64, BackendError> {
         // `current_clk_freq` resolves the active performance level exactly
         // like `RocmDevice::launch` does (auto governor → default clock,
         // pinned levels → the pinned clock).
         let f = freq_mhz.unwrap_or_else(|| self.device.current_clk_freq());
         let mut dev = self.device.lock_device();
-        dev.launch_batch(kernel, f, n, sink);
+        dev.launch_batch(kernel, f, n, sink)
+            .map_err(BackendError::from)
     }
 }
 
@@ -226,16 +374,37 @@ impl Backend for LevelZeroBackend {
         self.device.energy_counter_uj() as f64 * 1e-6
     }
 
-    fn launch(&mut self, kernel: &KernelProfile, freq_mhz: Option<f64>) -> LaunchRecord {
+    fn launch(
+        &mut self,
+        kernel: &KernelProfile,
+        freq_mhz: Option<f64>,
+    ) -> Result<LaunchRecord, BackendError> {
         match freq_mhz {
             // Per-kernel pinning = collapse the range around the request.
             Some(f) => {
                 let shared = self.device.shared();
                 let mut dev = shared.lock();
-                dev.launch_at(kernel, f)
+                dev.launch_at(kernel, f).map_err(BackendError::from)
             }
-            None => self.device.launch(kernel),
+            None => self.device.launch(kernel).map_err(BackendError::from),
         }
+    }
+
+    fn set_frequency(&mut self, freq_mhz: Option<f64>) -> Result<f64, BackendError> {
+        match freq_mhz {
+            Some(f) => {
+                let (lo, _) = self.device.set_frequency_range(f, f)?;
+                Ok(lo)
+            }
+            None => {
+                self.device.reset_frequency_range();
+                Ok(self.device.governor_frequency())
+            }
+        }
+    }
+
+    fn idle_wait(&mut self, dt_s: f64) {
+        self.device.lock_device().idle_advance(dt_s);
     }
 
     fn launch_batch(
@@ -244,12 +413,13 @@ impl Backend for LevelZeroBackend {
         freq_mhz: Option<f64>,
         n: u64,
         sink: &mut dyn FnMut(f64, f64),
-    ) {
+    ) -> Result<u64, BackendError> {
         // The sysman governor runs the clock the range midpoint allows —
         // the same resolution `ZeDevice::launch` applies per launch.
         let f = freq_mhz.unwrap_or_else(|| self.device.governor_frequency());
         let mut dev = self.device.lock_device();
-        dev.launch_batch(kernel, f, n, sink);
+        dev.launch_batch(kernel, f, n, sink)
+            .map_err(BackendError::from)
     }
 }
 
@@ -288,8 +458,8 @@ mod tests {
     fn level_zero_launch_paths() {
         let k = KernelProfile::compute_bound("k", 1_000_000, 100.0);
         let mut b = LevelZeroBackend::new(ZeDevice::max1100());
-        assert_eq!(b.launch(&k, None).core_mhz, 1450.0);
-        let rec = b.launch(&k, Some(600.0));
+        assert_eq!(b.launch(&k, None).unwrap().core_mhz, 1450.0);
+        let rec = b.launch(&k, Some(600.0)).unwrap();
         assert!((rec.core_mhz - 600.0).abs() < 30.0);
     }
 
@@ -297,7 +467,7 @@ mod tests {
     fn launch_with_explicit_frequency_uses_it() {
         let mut b = NvmlBackend::new(NvmlDevice::v100());
         let k = KernelProfile::compute_bound("k", 1_000_000, 100.0);
-        let rec = b.launch(&k, Some(500.0));
+        let rec = b.launch(&k, Some(500.0)).unwrap();
         assert!((rec.core_mhz - 500.0).abs() < 10.0);
     }
 
@@ -305,9 +475,9 @@ mod tests {
     fn launch_default_uses_vendor_baseline() {
         let k = KernelProfile::compute_bound("k", 1_000_000, 100.0);
         let mut nv = NvmlBackend::new(NvmlDevice::v100());
-        assert!((nv.launch(&k, None).core_mhz - 1312.1).abs() < 1.0);
+        assert!((nv.launch(&k, None).unwrap().core_mhz - 1312.1).abs() < 1.0);
         let mut amd = RocmBackend::new(RocmDevice::mi100());
-        assert_eq!(amd.launch(&k, None).core_mhz, 1450.0);
+        assert_eq!(amd.launch(&k, None).unwrap().core_mhz, 1450.0);
     }
 
     #[test]
@@ -315,7 +485,7 @@ mod tests {
         let mut b = RocmBackend::new(RocmDevice::mi100());
         let before = b.energy_counter_j();
         let k = KernelProfile::memory_bound("k", 5_000_000, 32.0);
-        b.launch(&k, None);
+        b.launch(&k, None).unwrap();
         assert!(b.energy_counter_j() > before);
     }
 

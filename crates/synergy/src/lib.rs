@@ -36,7 +36,8 @@ pub mod queue;
 pub mod replay;
 pub mod scaling;
 
-pub use backend::{Backend, DefaultConfig};
-pub use queue::{ProfiledEvent, SynergyQueue};
+pub use backend::{Backend, BackendError, DefaultConfig};
+pub use metrics::{DegradationMetrics, EnergyCounterHealer};
+pub use queue::{ProfiledEvent, RetryPolicy, SubmitError, SynergyQueue};
 pub use replay::{KernelTrace, TraceSegment};
 pub use scaling::FrequencyPolicy;

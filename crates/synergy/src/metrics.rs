@@ -1,10 +1,18 @@
-//! Target-metric frequency selection.
+//! Target-metric frequency selection and degradation accounting.
 //!
 //! SYnergy lets users declare an energy target metric (min-energy, EDP,
 //! ED²P, bounded performance loss) and picks the frequency that optimizes
 //! it. The paper's future-work section plugs its domain-specific models into
 //! exactly this hook: given predicted `(frequency, time, energy)` triples,
 //! select the frequency for the chosen metric.
+//!
+//! This module also carries the queue's *degradation* bookkeeping: the
+//! [`DegradationMetrics`] counters a [`crate::queue::SynergyQueue`] keeps
+//! while riding out injected (or real) management-API faults, and the
+//! [`EnergyCounterHealer`] that turns a wrapping/resetting raw energy
+//! counter into a monotone one.
+
+use serde::{Deserialize, Serialize};
 
 /// One (frequency, time, energy) operating point — measured or predicted.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -47,7 +55,7 @@ pub fn select(points: &[OperatingPoint], metric: TargetMetric) -> Option<Operati
         points
             .iter()
             .copied()
-            .min_by(|a, b| key(a).partial_cmp(&key(b)).expect("finite metric"))
+            .min_by(|a, b| key(a).total_cmp(&key(b)))
     };
     match metric {
         TargetMetric::MinEnergy => by_key(|p| p.energy_j),
@@ -61,8 +69,84 @@ pub fn select(points: &[OperatingPoint], metric: TargetMetric) -> Option<Operati
                 .iter()
                 .copied()
                 .filter(|p| p.time_s <= t_best * (1.0 + max_slowdown))
-                .min_by(|a, b| a.energy_j.partial_cmp(&b.energy_j).expect("finite"))
+                .min_by(|a, b| a.energy_j.total_cmp(&b.energy_j))
         }
+    }
+}
+
+/// Per-queue counters of everything the retry/healing machinery had to do.
+/// All-zero means the run saw a perfect device — exactly the state a
+/// characterization sweep requires before trusting a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DegradationMetrics {
+    /// Operations retried after a transient error.
+    pub retries: u64,
+    /// Clock requests the driver rejected.
+    pub frequency_rejections: u64,
+    /// Launches dropped by a transient device failure.
+    pub launch_failures: u64,
+    /// Launches that completed below the requested clock.
+    pub throttled_launches: u64,
+    /// Energy-counter rewinds transparently healed.
+    pub counter_rewinds_healed: u64,
+    /// Submissions that only completed after falling back to the default
+    /// clock configuration.
+    pub default_clock_fallbacks: u64,
+    /// Total simulated time spent in retry backoff waits (ns, summed from
+    /// whole backoff steps; integer so `Eq`/all-zero checks stay exact).
+    pub backoff_ns: u64,
+}
+
+impl DegradationMetrics {
+    /// True when nothing degraded: every operation succeeded first try at
+    /// the requested clock and the energy counter never rewound.
+    pub fn is_clean(&self) -> bool {
+        *self == DegradationMetrics::default()
+    }
+
+    /// Total simulated backoff time in seconds.
+    pub fn backoff_s(&self) -> f64 {
+        self.backoff_ns as f64 * 1e-9
+    }
+}
+
+/// Turns a raw device energy counter that may wrap or reset (as
+/// `rsmi_dev_energy_count_get` does in practice) into a monotone
+/// non-decreasing reading, by folding every observed rewind into a running
+/// offset. The healed value can lose the energy accrued between the last
+/// observation and the rewind — exactly the information a real wrap
+/// destroys — but it never runs backwards.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyCounterHealer {
+    last_raw_j: f64,
+    offset_j: f64,
+    rewinds: u64,
+}
+
+impl EnergyCounterHealer {
+    /// A healer that has observed nothing yet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one raw counter reading; returns the healed monotone value.
+    pub fn observe(&mut self, raw_j: f64) -> f64 {
+        if raw_j < self.last_raw_j {
+            self.offset_j += self.last_raw_j;
+            self.rewinds += 1;
+        }
+        self.last_raw_j = raw_j;
+        self.offset_j + raw_j
+    }
+
+    /// The healed value of the most recent observation.
+    pub fn healed_j(&self) -> f64 {
+        self.offset_j + self.last_raw_j
+    }
+
+    /// How many rewinds have been folded away.
+    pub fn rewinds(&self) -> u64 {
+        self.rewinds
     }
 }
 
@@ -138,5 +222,36 @@ mod tests {
     #[test]
     fn empty_input_returns_none() {
         assert_eq!(select(&[], TargetMetric::MinEnergy), None);
+    }
+
+    #[test]
+    fn healer_passes_monotone_counters_through() {
+        let mut h = EnergyCounterHealer::new();
+        assert_eq!(h.observe(1.0), 1.0);
+        assert_eq!(h.observe(5.0), 5.0);
+        assert_eq!(h.observe(5.0), 5.0);
+        assert_eq!(h.rewinds(), 0);
+    }
+
+    #[test]
+    fn healer_folds_rewinds_into_offset() {
+        let mut h = EnergyCounterHealer::new();
+        h.observe(10.0);
+        // Counter reset: raw drops to 2 → healed keeps climbing.
+        assert_eq!(h.observe(2.0), 12.0);
+        assert_eq!(h.observe(7.0), 17.0);
+        assert_eq!(h.rewinds(), 1);
+        // Second reset.
+        assert_eq!(h.observe(0.0), 17.0);
+        assert_eq!(h.rewinds(), 2);
+        assert_eq!(h.healed_j(), 17.0);
+    }
+
+    #[test]
+    fn clean_metrics_report_clean() {
+        let mut m = DegradationMetrics::default();
+        assert!(m.is_clean());
+        m.throttled_launches = 1;
+        assert!(!m.is_clean());
     }
 }

@@ -13,8 +13,11 @@ use gpu_sim::nvml::NvmlDevice;
 use gpu_sim::rocm::RocmDevice;
 use gpu_sim::{DeviceSpec, Vendor};
 
-use crate::backend::{Backend, DefaultConfig, LevelZeroBackend, NvmlBackend, RocmBackend};
+use crate::backend::{
+    Backend, BackendError, DefaultConfig, LevelZeroBackend, NvmlBackend, RocmBackend,
+};
 use crate::energy::Measurement;
+use crate::metrics::{DegradationMetrics, EnergyCounterHealer};
 use crate::scaling::FrequencyPolicy;
 
 use std::sync::Arc;
@@ -31,6 +34,8 @@ pub struct ProfiledEvent {
     pub energy_j: f64,
     /// Core clock the kernel ran at (MHz).
     pub core_mhz: f64,
+    /// Whether the effective clock was throttled below the requested one.
+    pub throttled: bool,
 }
 
 impl From<LaunchRecord> for ProfiledEvent {
@@ -39,14 +44,92 @@ impl From<LaunchRecord> for ProfiledEvent {
             time_s: r.time_s,
             energy_j: r.energy_j,
             core_mhz: r.core_mhz,
+            throttled: r.throttled,
         }
     }
 }
+
+/// How a queue rides out transient management-API failures: bounded retries
+/// with deterministic exponential backoff, then (optionally) one last round
+/// at the vendor default clock before giving up.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Retries per clock configuration after the first attempt.
+    pub max_retries: u32,
+    /// Backoff before the first retry (simulated seconds).
+    pub backoff_base_s: f64,
+    /// Multiplier applied to the backoff per successive failure.
+    pub backoff_factor: f64,
+    /// After exhausting retries at the requested clock, try the default
+    /// clock configuration (degraded but measurable) before failing.
+    pub fallback_to_default: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            backoff_base_s: 1e-4,
+            backoff_factor: 2.0,
+            fallback_to_default: true,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Fail on the first error: no retries, no fallback.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            backoff_base_s: 0.0,
+            backoff_factor: 1.0,
+            fallback_to_default: false,
+        }
+    }
+
+    /// Deterministic backoff before the retry following failure number
+    /// `failure_index` (0-based).
+    pub fn backoff_s(&self, failure_index: u32) -> f64 {
+        self.backoff_base_s * self.backoff_factor.powi(failure_index as i32)
+    }
+
+    /// Hard upper bound on launch attempts for a single submission — the
+    /// bound the retry loop provably terminates within.
+    pub fn max_attempts_per_launch(&self) -> u32 {
+        (1 + u32::from(self.fallback_to_default)) * (self.max_retries + 1)
+    }
+}
+
+/// A submission the retry policy could not complete.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitError {
+    /// Kernel that was being submitted.
+    pub kernel: String,
+    /// Launch attempts made before giving up.
+    pub attempts: u32,
+    /// The error of the final attempt.
+    pub last_error: BackendError,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "submission of '{}' abandoned after {} attempt(s): {}",
+            self.kernel, self.attempts, self.last_error
+        )
+    }
+}
+
+impl std::error::Error for SubmitError {}
 
 /// A profiled, frequency-scaling submission queue over one device.
 pub struct SynergyQueue {
     backend: Box<dyn Backend>,
     policy: FrequencyPolicy,
+    retry: RetryPolicy,
+    degradation: DegradationMetrics,
+    healer: EnergyCounterHealer,
     submissions: u64,
     total_time_s: f64,
     total_energy_j: f64,
@@ -58,6 +141,9 @@ impl SynergyQueue {
         SynergyQueue {
             backend,
             policy: FrequencyPolicy::DeviceDefault,
+            retry: RetryPolicy::default(),
+            degradation: DegradationMetrics::default(),
+            healer: EnergyCounterHealer::new(),
             submissions: 0,
             total_time_s: 0.0,
             total_energy_j: 0.0,
@@ -132,6 +218,30 @@ impl SynergyQueue {
         &self.policy
     }
 
+    /// Sets the retry policy for subsequent submissions.
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// The active retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// The queue's degradation counters: everything the retry/healing
+    /// machinery had to paper over so far.
+    pub fn degradation(&self) -> DegradationMetrics {
+        self.degradation
+    }
+
+    /// The device's cumulative energy (J) with counter rewinds healed away
+    /// — monotone non-decreasing across submissions even when the raw
+    /// counter wraps or resets.
+    pub fn device_energy_j(&mut self) -> f64 {
+        self.observe_counter();
+        self.healer.healed_j()
+    }
+
     /// Device name.
     pub fn device_name(&self) -> String {
         self.backend.device_name()
@@ -153,15 +263,40 @@ impl SynergyQueue {
     }
 
     /// Submits a kernel under the active policy and returns its profile.
+    ///
+    /// # Panics
+    /// Panics if the retry policy gives up — use [`SynergyQueue::try_submit`]
+    /// to handle permanent failure without unwinding.
     pub fn submit(&mut self, kernel: &KernelProfile) -> ProfiledEvent {
-        let freq = self.policy.frequency_for(&kernel.name);
-        self.submit_inner(kernel, freq)
+        self.try_submit(kernel)
+            .unwrap_or_else(|e| panic!("{e} (use try_submit to handle this)"))
     }
 
     /// Submits a kernel at an explicit frequency, bypassing the policy
     /// (`None` = device default).
+    ///
+    /// # Panics
+    /// Panics if the retry policy gives up — use
+    /// [`SynergyQueue::try_submit_at`] to handle permanent failure.
     pub fn submit_at(&mut self, kernel: &KernelProfile, freq_mhz: Option<f64>) -> ProfiledEvent {
-        self.submit_inner(kernel, freq_mhz)
+        self.try_submit_at(kernel, freq_mhz)
+            .unwrap_or_else(|e| panic!("{e} (use try_submit_at to handle this)"))
+    }
+
+    /// Fallible [`SynergyQueue::submit`]: rides out transient faults under
+    /// the retry policy and returns an error only on permanent failure.
+    pub fn try_submit(&mut self, kernel: &KernelProfile) -> Result<ProfiledEvent, SubmitError> {
+        let freq = self.policy.frequency_for(&kernel.name);
+        self.try_submit_inner(kernel, freq)
+    }
+
+    /// Fallible [`SynergyQueue::submit_at`].
+    pub fn try_submit_at(
+        &mut self,
+        kernel: &KernelProfile,
+        freq_mhz: Option<f64>,
+    ) -> Result<ProfiledEvent, SubmitError> {
+        self.try_submit_inner(kernel, freq_mhz)
     }
 
     /// Submits `n` back-to-back launches of `kernel` under the active
@@ -174,37 +309,178 @@ impl SynergyQueue {
     /// order-sensitive; the batch path keeps the order and drops only the
     /// per-launch cost-model evaluations). This is the fast path the
     /// trace-replay sweep engine drives.
+    ///
+    /// # Panics
+    /// Panics if the retry policy gives up — use
+    /// [`SynergyQueue::try_submit_batch`] to handle permanent failure.
     pub fn submit_batch(&mut self, kernel: &KernelProfile, n: u64) -> Measurement {
+        self.try_submit_batch(kernel, n)
+            .unwrap_or_else(|e| panic!("{e} (use try_submit_batch to handle this)"))
+    }
+
+    /// Fallible [`SynergyQueue::submit_batch`]: retries the *remainder* of
+    /// the batch after a transient fault (completed launches are never
+    /// re-run), falling back to the default clock when the requested one
+    /// keeps failing. The retry budget resets whenever an attempt makes
+    /// progress, so the loop is bounded by
+    /// `(n + 1) × max_attempts_per_launch` backend calls.
+    pub fn try_submit_batch(
+        &mut self,
+        kernel: &KernelProfile,
+        n: u64,
+    ) -> Result<Measurement, SubmitError> {
         let freq = self.policy.frequency_for(&kernel.name);
         let mut batch_time_s = 0.0;
         let mut batch_energy_j = 0.0;
-        {
-            let SynergyQueue {
-                backend,
-                total_time_s,
-                total_energy_j,
-                ..
-            } = self;
-            backend.launch_batch(kernel, freq, n, &mut |time_s, energy_j| {
-                *total_time_s += time_s;
-                *total_energy_j += energy_j;
-                batch_time_s += time_s;
-                batch_energy_j += energy_j;
-            });
-        }
-        self.submissions += n;
-        Measurement {
-            time_s: batch_time_s,
-            energy_j: batch_energy_j,
+        let mut remaining = n;
+        let mut attempts = 0u32;
+        let mut failures_since_progress = 0u32;
+        let mut active_freq = freq;
+        let mut fell_back = false;
+        loop {
+            let mut done_this_call = 0u64;
+            let result = {
+                let SynergyQueue {
+                    backend,
+                    total_time_s,
+                    total_energy_j,
+                    ..
+                } = self;
+                backend.launch_batch(kernel, active_freq, remaining, &mut |time_s, energy_j| {
+                    *total_time_s += time_s;
+                    *total_energy_j += energy_j;
+                    batch_time_s += time_s;
+                    batch_energy_j += energy_j;
+                    done_this_call += 1;
+                })
+            };
+            self.submissions += done_this_call;
+            attempts = attempts.saturating_add(1);
+            match result {
+                Ok(throttled) => {
+                    self.degradation.throttled_launches += throttled;
+                    if fell_back {
+                        self.degradation.default_clock_fallbacks += 1;
+                    }
+                    self.observe_counter();
+                    return Ok(Measurement {
+                        time_s: batch_time_s,
+                        energy_j: batch_energy_j,
+                    });
+                }
+                Err(e) => {
+                    remaining -= done_this_call;
+                    if done_this_call > 0 {
+                        failures_since_progress = 0;
+                    }
+                    self.note_error(&e);
+                    self.observe_counter();
+                    if !e.is_transient() {
+                        return Err(self.submit_error(kernel, attempts, e));
+                    }
+                    if failures_since_progress < self.retry.max_retries {
+                        self.backoff(failures_since_progress);
+                        failures_since_progress += 1;
+                        self.degradation.retries += 1;
+                    } else if self.retry.fallback_to_default && active_freq.is_some() {
+                        active_freq = None;
+                        fell_back = true;
+                        failures_since_progress = 0;
+                        self.degradation.retries += 1;
+                    } else {
+                        return Err(self.submit_error(kernel, attempts, e));
+                    }
+                }
+            }
         }
     }
 
-    fn submit_inner(&mut self, kernel: &KernelProfile, freq: Option<f64>) -> ProfiledEvent {
-        let rec = self.backend.launch(kernel, freq);
-        self.submissions += 1;
-        self.total_time_s += rec.time_s;
-        self.total_energy_j += rec.energy_j;
-        rec.into()
+    fn try_submit_inner(
+        &mut self,
+        kernel: &KernelProfile,
+        freq: Option<f64>,
+    ) -> Result<ProfiledEvent, SubmitError> {
+        let mut attempts = 0u32;
+        let mut failures = 0u32;
+        let rounds: &[Option<f64>] = if self.retry.fallback_to_default && freq.is_some() {
+            &[freq, None]
+        } else {
+            &[freq]
+        };
+        let mut last_error = None;
+        'rounds: for (round, &f) in rounds.iter().enumerate() {
+            for retry in 0..=self.retry.max_retries {
+                if attempts > 0 {
+                    // A previous attempt failed; wait deterministically
+                    // before this one.
+                    self.backoff(failures - 1);
+                    self.degradation.retries += 1;
+                }
+                attempts += 1;
+                match self.backend.launch(kernel, f) {
+                    Ok(rec) => {
+                        if round > 0 {
+                            self.degradation.default_clock_fallbacks += 1;
+                        }
+                        if rec.throttled {
+                            self.degradation.throttled_launches += 1;
+                        }
+                        self.submissions += 1;
+                        self.total_time_s += rec.time_s;
+                        self.total_energy_j += rec.energy_j;
+                        self.observe_counter();
+                        return Ok(rec.into());
+                    }
+                    Err(e) => {
+                        failures += 1;
+                        self.note_error(&e);
+                        self.observe_counter();
+                        let transient = e.is_transient();
+                        last_error = Some(e);
+                        if !transient {
+                            // Retrying the identical call cannot help;
+                            // a different clock round still might.
+                            let _ = retry;
+                            continue 'rounds;
+                        }
+                    }
+                }
+            }
+        }
+        let e = last_error.expect("at least one attempt was made");
+        Err(self.submit_error(kernel, attempts, e))
+    }
+
+    fn submit_error(&self, kernel: &KernelProfile, attempts: u32, e: BackendError) -> SubmitError {
+        SubmitError {
+            kernel: kernel.name.clone(),
+            attempts,
+            last_error: e,
+        }
+    }
+
+    fn note_error(&mut self, e: &BackendError) {
+        match e {
+            BackendError::FrequencyRejected { .. } => self.degradation.frequency_rejections += 1,
+            BackendError::LaunchFailed { .. } => self.degradation.launch_failures += 1,
+            BackendError::Management(_) => {}
+        }
+    }
+
+    /// Reads the raw device counter and folds any rewind into the healer.
+    fn observe_counter(&mut self) {
+        let raw = self.backend.energy_counter_j();
+        self.healer.observe(raw);
+        self.degradation.counter_rewinds_healed = self.healer.rewinds();
+    }
+
+    /// Charges one deterministic backoff wait to the device as idle time.
+    fn backoff(&mut self, failure_index: u32) {
+        let dt = self.retry.backoff_s(failure_index);
+        if dt > 0.0 {
+            self.backend.idle_wait(dt);
+            self.degradation.backoff_ns += (dt * 1e9).round() as u64;
+        }
     }
 
     /// Number of kernels submitted so far.
@@ -324,7 +600,11 @@ mod tests {
 
     #[test]
     fn submit_batch_matches_serial_submits_bitwise() {
-        for spec in [DeviceSpec::v100(), DeviceSpec::mi100(), DeviceSpec::max1100()] {
+        for spec in [
+            DeviceSpec::v100(),
+            DeviceSpec::mi100(),
+            DeviceSpec::max1100(),
+        ] {
             let mut serial = SynergyQueue::for_spec(spec.clone());
             let mut batched = SynergyQueue::for_spec(spec);
             let k = KernelProfile::compute_bound("k", 1_000_000, 100.0);
@@ -345,7 +625,11 @@ mod tests {
 
     #[test]
     fn submit_batch_default_policy_matches_vendor_baseline() {
-        for spec in [DeviceSpec::v100(), DeviceSpec::mi100(), DeviceSpec::max1100()] {
+        for spec in [
+            DeviceSpec::v100(),
+            DeviceSpec::mi100(),
+            DeviceSpec::max1100(),
+        ] {
             let mut serial = SynergyQueue::for_spec(spec.clone());
             let mut batched = SynergyQueue::for_spec(spec);
             let k = KernelProfile::memory_bound("k", 2_000_000, 48.0);

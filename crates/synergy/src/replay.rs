@@ -22,9 +22,9 @@ use gpu_sim::{DeviceSpec, Vendor};
 
 use std::sync::{Arc, Mutex};
 
-use crate::backend::{Backend, DefaultConfig};
+use crate::backend::{Backend, BackendError, DefaultConfig};
 use crate::energy::Measurement;
-use crate::queue::SynergyQueue;
+use crate::queue::{SubmitError, SynergyQueue};
 
 /// One run-length segment of a trace period: `count` consecutive launches
 /// of the kernel at `kernel_index` (into [`KernelTrace::kernels`]).
@@ -159,6 +159,22 @@ impl KernelTrace {
         }
         Measurement { time_s, energy_j }
     }
+
+    /// Fallible [`KernelTrace::replay_on`]: returns the first permanent
+    /// failure the queue's retry policy could not ride out. Everything
+    /// submitted before the failure stays in the queue's totals.
+    pub fn try_replay_on(&self, queue: &mut SynergyQueue) -> Result<Measurement, SubmitError> {
+        let mut time_s = 0.0;
+        let mut energy_j = 0.0;
+        for _ in 0..self.repeats {
+            for seg in &self.period {
+                let m = queue.try_submit_batch(&self.kernels[seg.kernel_index], seg.count)?;
+                time_s += m.time_s;
+                energy_j += m.energy_j;
+            }
+        }
+        Ok(Measurement { time_s, energy_j })
+    }
 }
 
 /// Folds a segment sequence into its smallest repeating period, returning
@@ -170,7 +186,7 @@ fn fold_smallest_period(segments: Vec<TraceSegment>) -> (Vec<TraceSegment>, u64)
         return (segments, 0);
     }
     for p in 1..=n / 2 {
-        if n % p != 0 {
+        if !n.is_multiple_of(p) {
             continue;
         }
         if (p..n).all(|i| segments[i] == segments[i % p]) {
@@ -215,18 +231,28 @@ impl Backend for RecordingBackend {
         0.0
     }
 
-    fn launch(&mut self, kernel: &KernelProfile, _freq_mhz: Option<f64>) -> LaunchRecord {
+    fn launch(
+        &mut self,
+        kernel: &KernelProfile,
+        _freq_mhz: Option<f64>,
+    ) -> Result<LaunchRecord, BackendError> {
         self.log
             .lock()
             .expect("recording log poisoned")
             .push(kernel.clone());
-        LaunchRecord {
+        Ok(LaunchRecord {
             time_s: 0.0,
             energy_j: 0.0,
             avg_power_w: 0.0,
             core_mhz: 0.0,
             mem_mhz: 0.0,
-        }
+            throttled: false,
+        })
+    }
+
+    fn set_frequency(&mut self, freq_mhz: Option<f64>) -> Result<f64, BackendError> {
+        // The recorder executes nothing; report the clock that would apply.
+        Ok(freq_mhz.unwrap_or(self.spec.default_core_mhz))
     }
 }
 

@@ -1,0 +1,63 @@
+//! Measures the retry/degradation overhead of a faulty sweep against the
+//! identical fault-free sweep — the numbers quoted in EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run --release --example chaos_overhead
+//! ```
+
+use cronos::Grid;
+use energy_model::{characterize_with_options, SweepOptions};
+use gpu_sim::{DeviceSpec, FaultPlan, Schedule, ThrottleWindow};
+use synergy::RetryPolicy;
+
+fn main() {
+    let spec = DeviceSpec::v100();
+    let wl = cronos::GpuCronos::new(Grid::cubic(20, 8, 8), 5);
+    let freqs: Vec<f64> = spec.core_freqs.strided(10);
+
+    let clean_opts = SweepOptions {
+        reps: 5,
+        ..SweepOptions::default()
+    };
+    let (clean, clean_diag) = characterize_with_options(&spec, &wl, &freqs, &clean_opts);
+    assert!(clean_diag.is_clean());
+
+    let faulty_opts = SweepOptions {
+        reps: 5,
+        faults: FaultPlan::seeded(20230521)
+            .reject_set_frequency(Schedule::Prob(0.10))
+            .fail_launches(Schedule::Prob(0.002))
+            .reset_energy_counter(Schedule::Prob(0.01))
+            .throttle(
+                Schedule::Prob(0.005),
+                ThrottleWindow {
+                    cap_mhz: 900.0,
+                    launches: 20,
+                },
+            ),
+        retry: RetryPolicy::default(),
+        remeasure_limit: 2,
+        ..SweepOptions::default()
+    };
+    let (faulty, diag) = characterize_with_options(&spec, &wl, &freqs, &faulty_opts);
+
+    let clean_time: f64 = clean.points.iter().map(|p| p.time_s).sum();
+    let faulty_time: f64 = faulty.points.iter().map(|p| p.time_s).sum();
+    let remeasured: u32 = diag.points.iter().map(|p| p.remeasured).sum();
+    let flagged = diag.flagged_freqs().len();
+
+    println!("sweep points              : {}", freqs.len());
+    println!("retries                   : {}", diag.total_retries());
+    println!(
+        "backoff (simulated)       : {:.3} ms",
+        diag.total_backoff_s() * 1e3
+    );
+    println!("re-measured points        : {remeasured}");
+    println!("flagged points            : {flagged}");
+    println!("clean  sum of point times : {clean_time:.4} s");
+    println!("faulty sum of point times : {faulty_time:.4} s");
+    println!(
+        "measured-time delta       : {:+.2} %",
+        (faulty_time / clean_time - 1.0) * 100.0
+    );
+}

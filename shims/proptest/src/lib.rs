@@ -322,8 +322,11 @@ macro_rules! prop_assert_ne {
         let __a = $a;
         let __b = $b;
         if __a == __b {
-            return ::std::result::Result::Err(
-                format!("assertion failed: {} != {}", stringify!($a), stringify!($b)));
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} != {}",
+                stringify!($a),
+                stringify!($b)
+            ));
         }
     }};
 }

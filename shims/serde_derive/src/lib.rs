@@ -193,9 +193,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         Shape::Struct(name, fields) => {
             let entries: String = fields
                 .iter()
-                .map(|f| {
-                    format!("(String::from({f:?}), serde::Serialize::to_value(&self.{f})),")
-                })
+                .map(|f| format!("(String::from({f:?}), serde::Serialize::to_value(&self.{f})),"))
                 .collect();
             format!(
                 "impl serde::Serialize for {name} {{

@@ -213,21 +213,30 @@ impl<'a> Parser<'a> {
                 if self.literal("null") {
                     Ok(Value::Null)
                 } else {
-                    Err(Error::new(format!("invalid literal at offset {}", self.pos)))
+                    Err(Error::new(format!(
+                        "invalid literal at offset {}",
+                        self.pos
+                    )))
                 }
             }
             Some(b't') => {
                 if self.literal("true") {
                     Ok(Value::Bool(true))
                 } else {
-                    Err(Error::new(format!("invalid literal at offset {}", self.pos)))
+                    Err(Error::new(format!(
+                        "invalid literal at offset {}",
+                        self.pos
+                    )))
                 }
             }
             Some(b'f') => {
                 if self.literal("false") {
                     Ok(Value::Bool(false))
                 } else {
-                    Err(Error::new(format!("invalid literal at offset {}", self.pos)))
+                    Err(Error::new(format!(
+                        "invalid literal at offset {}",
+                        self.pos
+                    )))
                 }
             }
             Some(b'"') => self.string().map(Value::Str),
@@ -437,7 +446,10 @@ mod tests {
     fn pretty_output_parses_back() {
         let v = Value::Map(vec![
             ("a".into(), Value::Seq(vec![Value::U64(1), Value::U64(2)])),
-            ("b".into(), Value::Map(vec![("c".into(), Value::Bool(false))])),
+            (
+                "b".into(),
+                Value::Map(vec![("c".into(), Value::Bool(false))]),
+            ),
         ]);
         let s = to_string_pretty(&v).unwrap();
         assert!(s.contains('\n'));
