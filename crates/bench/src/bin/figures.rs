@@ -6,12 +6,20 @@
 //! ```
 //!
 //! Ids: `fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 table1 table2
-//! fig13 fig14 headline`.
+//! fig13 fig14 headline`, plus `campaign [--resume]` — a supervised,
+//! journaled multi-device characterization campaign under
+//! `results/campaign/` that can be killed at any point and resumed.
 
 use bench::*;
 use energy_model::features::{CronosInput, LigenInput};
+use energy_model::persist::atomic_write_str;
 use energy_model::workflow::{characterize_cronos, characterize_ligen};
 use gpu_sim::DeviceSpec;
+
+/// Experiments that can fail for environmental reasons (full disk,
+/// read-only results directory, a foreign campaign journal) return the
+/// error instead of panicking; `main` turns it into a message + exit 1.
+type ExperimentResult = Result<(), Box<dyn std::error::Error>>;
 
 fn fig1() {
     println!("\n## Figure 1 — LiGen and Cronos multi-objective characterization (V100)");
@@ -331,7 +339,7 @@ fn portability() {
 /// per-submission sweep on the full-resolution V100 frequency sweep and
 /// writes the comparison to `BENCH_sweep.json` (the committed before/after
 /// record backing DESIGN.md's performance-architecture section).
-fn sweep_profile() {
+fn sweep_profile() -> ExperimentResult {
     use energy_model::characterize::{characterize, characterize_serial, Workload};
     use serde::Serialize;
     use std::time::Instant;
@@ -421,46 +429,171 @@ fn sweep_profile() {
         threads: std::thread::available_parallelism().map_or(1, |n| n.get() as u64),
         cases,
     };
-    let json = serde_json::to_string_pretty(&profile).expect("profile serialization");
-    std::fs::write("BENCH_sweep.json", &json).expect("write BENCH_sweep.json");
+    let json = serde_json::to_string_pretty(&profile)?;
+    atomic_write_str(std::path::Path::new("BENCH_sweep.json"), &json)?;
     println!("\nwrote BENCH_sweep.json");
+    Ok(())
+}
+
+/// Runs a supervised multi-device characterization campaign (one healthy
+/// device slot plus one degraded one) with journaled checkpoint/resume
+/// under `results/campaign/`. Kill it at any point and re-run with
+/// `--resume`: the campaign continues from the last committed sweep point
+/// and finishes with bit-identical results. The quarantine stage then
+/// decides which points are trustworthy enough to train on, and the full
+/// provenance lands in `results/campaign/summary.json`.
+fn campaign_cmd(resume: bool) -> ExperimentResult {
+    use energy_model::{
+        quarantine_results, run_campaign, CampaignConfig, DeviceSlot, QuarantinePolicy, Workload,
+    };
+    use gpu_sim::{FaultPlan, Schedule, ThrottleWindow};
+    use serde::Serialize;
+
+    println!("\n## Campaign — journaled multi-device characterization (V100)");
+    let spec = DeviceSpec::v100();
+    let freqs = sweep_freqs(&spec);
+    let cronos = cronos_workload(&CronosInput::new(40, 16, 16));
+    let ligen = ligen_workload(&LigenInput::new(1024, 63, 8));
+    let workloads: Vec<&dyn Workload> = vec![&cronos, &ligen];
+
+    // gpu1 models a degrading unit: rejected clock requests, throttling
+    // windows, and enough dropped launches to exhaust retry budgets now
+    // and then — the campaign reroutes that work onto gpu0.
+    let degraded = FaultPlan::seeded(SEED)
+        .reject_set_frequency(Schedule::Prob(0.2))
+        .throttle(
+            Schedule::Prob(0.1),
+            ThrottleWindow {
+                cap_mhz: 800.0,
+                launches: 3,
+            },
+        )
+        .fail_launches(Schedule::Prob(0.5));
+    let mut cfg = CampaignConfig::new(
+        spec.clone(),
+        vec![
+            DeviceSlot::healthy("gpu0"),
+            DeviceSlot::with_health("gpu1", degraded),
+        ],
+        freqs,
+    );
+    cfg.reps = REPS;
+    cfg.noise_seed = Some(SEED);
+    cfg.snapshot_every = 16;
+
+    let dir = std::path::Path::new("results/campaign");
+    let outcome = run_campaign(&cfg, &workloads, dir, resume)?;
+
+    let m = &outcome.metrics;
+    print_table(
+        "Fleet audit",
+        &["counter", "value"],
+        &[
+            vec!["assignments".into(), m.assignments.to_string()],
+            vec!["backend failures".into(), m.backend_failures.to_string()],
+            vec!["watchdog misses".into(), m.watchdog_misses.to_string()],
+            vec!["items re-scheduled".into(), m.items_rescheduled.to_string()],
+            vec!["breaker trips".into(), m.breaker_trips.to_string()],
+            vec!["devices evicted".into(), m.devices_evicted.to_string()],
+            vec!["evicted slots".into(), m.evicted_slots.join(", ")],
+        ],
+    );
+    let (kept, report) = quarantine_results(&outcome.results, &QuarantinePolicy::default());
+    for ch in &kept {
+        print_table(
+            &format!(
+                "{} on {} — {} of {} points admitted to training",
+                ch.workload,
+                ch.device,
+                ch.points.len(),
+                cfg.freqs.len()
+            ),
+            &["core MHz", "speedup", "norm energy"],
+            &characterization_rows(ch, 6),
+        );
+    }
+    println!(
+        "quarantine: kept {} points, dropped {} (full provenance in summary.json)",
+        report.kept,
+        report.dropped.len()
+    );
+
+    #[derive(Serialize)]
+    struct Summary {
+        device: String,
+        workloads: Vec<String>,
+        assignments: u64,
+        backend_failures: u64,
+        watchdog_misses: u64,
+        items_rescheduled: u64,
+        breaker_trips: u64,
+        devices_evicted: u64,
+        evicted_slots: Vec<String>,
+        quarantine: energy_model::QuarantineReport,
+        training_set: Vec<energy_model::Characterization>,
+    }
+    let summary = Summary {
+        device: spec.name.clone(),
+        workloads: workloads.iter().map(|w| w.name()).collect(),
+        assignments: m.assignments,
+        backend_failures: m.backend_failures,
+        watchdog_misses: m.watchdog_misses,
+        items_rescheduled: m.items_rescheduled,
+        breaker_trips: m.breaker_trips,
+        devices_evicted: m.devices_evicted,
+        evicted_slots: m.evicted_slots.clone(),
+        quarantine: report,
+        training_set: kept,
+    };
+    let json = serde_json::to_string_pretty(&summary)?;
+    atomic_write_str(&dir.join("summary.json"), &json)?;
+    println!("wrote results/campaign/summary.json");
+    Ok(())
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!(
-            "usage: figures -- <id> [...]   ids: fig1..fig10 table1 table2 fig13 fig14 headline portability sweep-profile all"
+            "usage: figures -- <id> [...]   ids: fig1..fig10 table1 table2 fig13 fig14 headline portability sweep-profile campaign [--resume] all"
         );
         std::process::exit(2);
     }
-    let run = |id: &str| match id {
-        "fig1" => fig1(),
-        "fig2" => fig2(),
-        "fig3" => fig3(),
-        "fig4" => fig4(),
-        "fig5" => fig5(),
-        "fig6" => fig6(),
-        "fig7" => fig7(),
-        "fig8" => fig8(),
-        "fig9" => fig9(),
-        "fig10" => fig10(),
-        "table1" => table1(),
-        "table2" => table2(),
-        "fig13" => fig13(),
-        "fig14" => fig14(),
-        "headline" => headline_cmd(),
-        "portability" => portability(),
-        "fig13-mi100" => fig13_mi100(),
-        "sweep-profile" => sweep_profile(),
-        other => {
-            eprintln!("unknown experiment id: {other}");
-            std::process::exit(2);
+    let resume = args.iter().any(|a| a == "--resume");
+    let run = |id: &str| -> ExperimentResult {
+        match id {
+            "fig1" => fig1(),
+            "fig2" => fig2(),
+            "fig3" => fig3(),
+            "fig4" => fig4(),
+            "fig5" => fig5(),
+            "fig6" => fig6(),
+            "fig7" => fig7(),
+            "fig8" => fig8(),
+            "fig9" => fig9(),
+            "fig10" => fig10(),
+            "table1" => table1(),
+            "table2" => table2(),
+            "fig13" => fig13(),
+            "fig14" => fig14(),
+            "headline" => headline_cmd(),
+            "portability" => portability(),
+            "fig13-mi100" => fig13_mi100(),
+            "sweep-profile" => return sweep_profile(),
+            "campaign" => return campaign_cmd(resume),
+            other => {
+                eprintln!("unknown experiment id: {other}");
+                std::process::exit(2);
+            }
         }
+        Ok(())
     };
     for id in &args {
-        if id == "all" {
-            for id in [
+        if id == "--resume" {
+            continue; // flag for `campaign`, not an experiment id
+        }
+        let result = if id == "all" {
+            [
                 "fig1",
                 "fig2",
                 "fig3",
@@ -478,11 +611,15 @@ fn main() {
                 "headline",
                 "fig13-mi100",
                 "portability",
-            ] {
-                run(id);
-            }
+            ]
+            .iter()
+            .try_for_each(|id| run(id))
         } else {
-            run(id);
+            run(id)
+        };
+        if let Err(e) = result {
+            eprintln!("figures {id}: {e}");
+            std::process::exit(1);
         }
     }
 }

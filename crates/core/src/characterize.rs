@@ -140,14 +140,14 @@ impl Characterization {
 /// Builds the per-frequency measurement device shared by both sweep paths:
 /// seed `0` is the baseline, seed `1 + i` is frequency index `i` — keyed by
 /// *index*, not execution order, so the parallel path draws identical noise.
-fn sweep_device(spec: &DeviceSpec, noise_seed: Option<u64>, seed_off: u64) -> Device {
+pub(crate) fn sweep_device(spec: &DeviceSpec, noise_seed: Option<u64>, seed_off: u64) -> Device {
     match noise_seed {
         Some(seed) => Device::with_noise(spec.clone(), NoiseModel::realistic(seed + seed_off)),
         None => Device::new(spec.clone()),
     }
 }
 
-fn char_point(f: f64, m: Measurement, baseline: Measurement) -> CharPoint {
+pub(crate) fn char_point(f: f64, m: Measurement, baseline: Measurement) -> CharPoint {
     CharPoint {
         freq_mhz: f,
         time_s: m.time_s,
@@ -249,7 +249,7 @@ impl SweepDiagnostics {
 /// the point's noise-seed offset — a stable index, not execution order — so
 /// the rayon fan-out cannot reorder fault streams; distinct odd multipliers
 /// keep point and attempt contributions from colliding.
-fn fault_seed(base: u64, seed_off: u64, attempt: u32) -> u64 {
+pub(crate) fn fault_seed(base: u64, seed_off: u64, attempt: u32) -> u64 {
     base.wrapping_add(seed_off.wrapping_mul(0x9E37_79B9_7F4A_7C15))
         .wrapping_add(u64::from(attempt).wrapping_mul(0xD1B5_4A32_D192_ED03))
 }
@@ -305,6 +305,79 @@ fn measure_attempts(
     }
 }
 
+/// The fallible twin of [`measure_attempts`], for supervisors that treat a
+/// permanent failure as *the device's* problem rather than the point's:
+/// the first rep whose `run_once` errors aborts the whole point with that
+/// error (no partial median, no re-measure), so the caller can trip a
+/// circuit breaker and re-schedule the work elsewhere. On the no-error
+/// path the rep loop, median, and dirty/re-measure logic are exactly
+/// [`measure_attempts`]'s — bit-identical measurements.
+pub(crate) fn try_measure_attempts<E>(
+    opts: &SweepOptions,
+    mut make_attempt_queue: impl FnMut(u32) -> SynergyQueue,
+    mut run_once: impl FnMut(&mut SynergyQueue) -> Result<(), E>,
+) -> Result<(Measurement, PointDiagnostics), E> {
+    let mut attempt = 0u32;
+    loop {
+        let mut q = make_attempt_queue(attempt);
+        let mut samples = Vec::with_capacity(opts.reps);
+        for _ in 0..opts.reps {
+            let t0 = q.total_time_s();
+            let e0 = q.total_energy_j();
+            run_once(&mut q)?;
+            samples.push(Measurement {
+                time_s: q.total_time_s() - t0,
+                energy_j: q.total_energy_j() - e0,
+            });
+        }
+        samples.sort_by(|a, b| a.energy_j.total_cmp(&b.energy_j));
+        let m = samples[samples.len() / 2];
+        let degradation = q.degradation();
+        let dirty = !degradation.is_clean();
+        if !dirty || attempt >= opts.remeasure_limit {
+            return Ok((
+                m,
+                PointDiagnostics {
+                    freq_mhz: None,
+                    remeasured: attempt,
+                    flagged: dirty,
+                    degradation,
+                },
+            ));
+        }
+        attempt += 1;
+    }
+}
+
+/// Builds the per-attempt replay queue both the options sweep and the
+/// campaign scheduler measure through: a fresh [`sweep_device`] with
+/// per-batch trace events disabled, pricing routed through the shared memo
+/// table, the options' fault plan reseeded for this `(point, attempt)`
+/// cell, and the options' retry policy installed. Single-sourcing this
+/// construction is what keeps a campaign's measurements bit-identical to
+/// [`characterize_with_options`]'s.
+pub(crate) fn replay_queue(
+    spec: &DeviceSpec,
+    opts: &SweepOptions,
+    prices: &Arc<PriceTable>,
+    seed_off: u64,
+    attempt: u32,
+) -> SynergyQueue {
+    let mut dev = sweep_device(spec, opts.noise_seed, seed_off);
+    // Replay reads only the queue's aggregate counters; skip per-batch
+    // trace events and route all pricing through the shared memo table.
+    dev.set_trace_capacity(Some(0));
+    dev.set_price_table(Arc::clone(prices));
+    dev.set_fault_plan(opts.faults.clone().with_seed(fault_seed(
+        opts.faults.seed(),
+        seed_off,
+        attempt,
+    )));
+    let mut q = SynergyQueue::for_device(dev);
+    q.set_retry_policy(opts.retry);
+    q
+}
+
 /// Sweeps `freqs` with `reps` repetitions per point (median-aggregated).
 /// `noise_seed` enables the measurement-noise model; `None` runs noiseless.
 ///
@@ -356,21 +429,8 @@ pub fn characterize_with_options(
 
     let trace = workload.record(spec);
     let prices = Arc::new(PriceTable::new());
-    let make_queue = |seed_off: u64, attempt: u32| {
-        let mut dev = sweep_device(spec, opts.noise_seed, seed_off);
-        // Replay reads only the queue's aggregate counters; skip per-batch
-        // trace events and route all pricing through the shared memo table.
-        dev.set_trace_capacity(Some(0));
-        dev.set_price_table(Arc::clone(&prices));
-        dev.set_fault_plan(opts.faults.clone().with_seed(fault_seed(
-            opts.faults.seed(),
-            seed_off,
-            attempt,
-        )));
-        let mut q = SynergyQueue::for_device(dev);
-        q.set_retry_policy(opts.retry);
-        q
-    };
+    let make_queue =
+        |seed_off: u64, attempt: u32| replay_queue(spec, opts, &prices, seed_off, attempt);
 
     // Baseline: the device's default configuration.
     let (baseline, base_diag) = measure_attempts(

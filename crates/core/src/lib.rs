@@ -23,6 +23,16 @@
 //!   Forests over (input features ‖ frequency) predicting time and energy,
 //!   normalized into speedup / normalized energy at prediction time
 //!   (Figures 11–12);
+//! * [`campaign`] — crash-consistent multi-device characterization
+//!   campaigns: an fsynced journal with atomic snapshot compaction
+//!   (kill-anywhere resume, bit-identical results), per-device circuit
+//!   breakers with eviction and re-scheduling, and deterministic
+//!   watchdog deadlines;
+//! * [`persist`] — the shared crash-consistency primitives: atomic
+//!   full-file replacement and the append-only JSONL journal;
+//! * [`quarantine`] — the data-quality gate between sweep diagnostics
+//!   and training: degraded points are dropped with recorded provenance
+//!   instead of silently skewing the models;
 //! * [`workflow`] — the end-to-end training/prediction phases;
 //! * [`eval`] — the §5.2 evaluation protocol: leave-one-input-out
 //!   cross-validation, per-input MAPE, and Pareto set comparison;
@@ -30,6 +40,7 @@
 //!   domain-specific models and per-kernel frequency plans that drop into
 //!   SYnergy's per-kernel scaling.
 
+pub mod campaign;
 pub mod characterize;
 pub mod ds_model;
 pub mod eval;
@@ -38,8 +49,14 @@ pub mod gp_model;
 pub mod microbench;
 pub mod pareto;
 pub mod per_kernel;
+pub mod persist;
+pub mod quarantine;
 pub mod workflow;
 
+pub use campaign::{
+    run_campaign, BreakerConfig, CampaignConfig, CampaignError, CampaignMetrics, CampaignOutcome,
+    DeviceSlot,
+};
 pub use characterize::{
     characterize, characterize_serial, characterize_serial_with_options, characterize_with_options,
     CharPoint, Characterization, PointDiagnostics, SweepDiagnostics, SweepOptions, Workload,
@@ -48,3 +65,7 @@ pub use ds_model::DomainSpecificModel;
 pub use features::{CronosInput, LigenInput};
 pub use gp_model::GeneralPurposeModel;
 pub use pareto::pareto_front_indices;
+pub use persist::{atomic_write, atomic_write_str, PersistError};
+pub use quarantine::{
+    quarantine_results, quarantine_sweep, QuarantinePolicy, QuarantineReason, QuarantineReport,
+};

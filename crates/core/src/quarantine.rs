@@ -1,0 +1,359 @@
+//! Data quarantine between sweep diagnostics and model training.
+//!
+//! The paper's models are fit to characterization sweeps taken on healthy
+//! hardware. A campaign that rode out faults — throttled launches, healed
+//! energy counters, re-measured points that stayed dirty — still *completes*,
+//! but its degraded points describe the fault machinery, not the device's
+//! energy behavior, and silently training on them skews every downstream
+//! figure. This stage sits between [`crate::SweepDiagnostics`] and
+//! `ml::dataset`: it drops points whose accepted measurement is suspect,
+//! and records *what* was dropped and *why*, so a training set's provenance
+//! is auditable instead of implicit.
+//!
+//! A degraded **baseline** is special: every point of a sweep is normalized
+//! against the baseline measurement, so a suspect baseline poisons the
+//! whole sweep and quarantines all of it.
+
+// Quarantine decides what data is trustworthy; it must never panic on the
+// untrustworthy data it exists to handle.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use serde::{Deserialize, Serialize};
+use synergy::metrics::DegradationMetrics;
+
+use crate::characterize::{CharPoint, Characterization, PointDiagnostics, SweepDiagnostics};
+
+/// Which sweeps points are excluded from training.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuarantinePolicy {
+    /// Drop points whose accepted measurement was still degraded after the
+    /// re-measure budget ran out.
+    pub drop_flagged: bool,
+    /// Drop points whose accepted measurement saw throttled launches.
+    pub drop_throttled: bool,
+    /// Drop points whose accepted measurement healed an energy-counter
+    /// rewind (the healed value can under-count).
+    pub drop_healed: bool,
+    /// Drop points re-measured more than this many times, even if the
+    /// final measurement came back clean (`None` = any number is fine).
+    pub max_remeasures: Option<u32>,
+}
+
+impl Default for QuarantinePolicy {
+    /// The strict policy: training data must look like it came from a
+    /// healthy device.
+    fn default() -> Self {
+        QuarantinePolicy {
+            drop_flagged: true,
+            drop_throttled: true,
+            drop_healed: true,
+            max_remeasures: Some(1),
+        }
+    }
+}
+
+impl QuarantinePolicy {
+    /// A policy that keeps everything (provenance-only mode: the report
+    /// still lists non-finite points, which are *always* dropped).
+    pub fn keep_all() -> Self {
+        QuarantinePolicy {
+            drop_flagged: false,
+            drop_throttled: false,
+            drop_healed: false,
+            max_remeasures: None,
+        }
+    }
+
+    /// Why this point is excluded under the policy (empty = kept).
+    /// Non-finite values are rejected unconditionally — no policy can
+    /// admit a NaN into a training set.
+    fn reasons(&self, finite: bool, diag: &PointDiagnostics) -> Vec<QuarantineReason> {
+        let mut reasons = Vec::new();
+        if !finite {
+            reasons.push(QuarantineReason::NonFinite);
+        }
+        if self.drop_flagged && diag.flagged {
+            reasons.push(QuarantineReason::Flagged);
+        }
+        if self.drop_throttled && diag.degradation.throttled_launches > 0 {
+            reasons.push(QuarantineReason::Throttled);
+        }
+        if self.drop_healed && diag.degradation.counter_rewinds_healed > 0 {
+            reasons.push(QuarantineReason::CounterHealed);
+        }
+        if let Some(budget) = self.max_remeasures {
+            if diag.remeasured > budget {
+                reasons.push(QuarantineReason::RetryBudgetExceeded);
+            }
+        }
+        reasons
+    }
+}
+
+/// Why a point was quarantined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QuarantineReason {
+    /// The accepted measurement was still degraded (re-measure budget
+    /// exhausted).
+    Flagged,
+    /// Launches completed below the requested clock.
+    Throttled,
+    /// An energy-counter rewind was healed during the measurement.
+    CounterHealed,
+    /// The point was re-measured more times than the policy trusts.
+    RetryBudgetExceeded,
+    /// The measurement contains a NaN or infinity.
+    NonFinite,
+    /// The sweep's baseline was quarantined, so this (possibly clean)
+    /// point's normalization is untrustworthy.
+    DegradedBaseline,
+}
+
+/// Provenance of one dropped point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuarantinedPoint {
+    /// Workload the point belongs to.
+    pub workload: String,
+    /// Device the point was measured on.
+    pub device: String,
+    /// Pinned frequency; `None` for the baseline.
+    pub freq_mhz: Option<f64>,
+    /// Every reason that excluded it, in policy order.
+    pub reasons: Vec<QuarantineReason>,
+    /// Degradation counters of the accepted measurement.
+    pub degradation: DegradationMetrics,
+}
+
+/// What quarantine kept and what it dropped.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct QuarantineReport {
+    /// Points admitted to training.
+    pub kept: usize,
+    /// Provenance of every dropped point (baselines included).
+    pub dropped: Vec<QuarantinedPoint>,
+}
+
+impl QuarantineReport {
+    /// Merges another report into this one.
+    pub fn merge(&mut self, other: QuarantineReport) {
+        self.kept += other.kept;
+        self.dropped.extend(other.dropped);
+    }
+}
+
+fn point_finite(p: &CharPoint) -> bool {
+    p.freq_mhz.is_finite()
+        && p.time_s.is_finite()
+        && p.energy_j.is_finite()
+        && p.speedup.is_finite()
+        && p.norm_energy.is_finite()
+}
+
+/// Filters one sweep through the policy. Returns the characterization
+/// with only the admitted points (baseline values untouched) plus the
+/// report of what was dropped. A quarantined baseline drops every point
+/// of the sweep with [`QuarantineReason::DegradedBaseline`] appended to
+/// any reasons of the point's own.
+pub fn quarantine_sweep(
+    charac: &Characterization,
+    diag: &SweepDiagnostics,
+    policy: &QuarantinePolicy,
+) -> (Characterization, QuarantineReport) {
+    let mut report = QuarantineReport::default();
+    let baseline_finite =
+        charac.baseline_time_s.is_finite() && charac.baseline_energy_j.is_finite();
+    let baseline_reasons = policy.reasons(baseline_finite, &diag.baseline);
+    let baseline_bad = !baseline_reasons.is_empty();
+    if baseline_bad {
+        report.dropped.push(QuarantinedPoint {
+            workload: charac.workload.clone(),
+            device: charac.device.clone(),
+            freq_mhz: None,
+            reasons: baseline_reasons,
+            degradation: diag.baseline.degradation,
+        });
+    }
+
+    let mut kept_points = Vec::with_capacity(charac.points.len());
+    for (i, p) in charac.points.iter().enumerate() {
+        // Diagnostics align with points by index; a sweep without
+        // diagnostics for a point (foreign data) is treated as clean.
+        let pd = diag.points.get(i).copied().unwrap_or(PointDiagnostics {
+            freq_mhz: Some(p.freq_mhz),
+            remeasured: 0,
+            flagged: false,
+            degradation: DegradationMetrics::default(),
+        });
+        let mut reasons = policy.reasons(point_finite(p), &pd);
+        if baseline_bad {
+            reasons.push(QuarantineReason::DegradedBaseline);
+        }
+        if reasons.is_empty() {
+            kept_points.push(*p);
+            report.kept += 1;
+        } else {
+            report.dropped.push(QuarantinedPoint {
+                workload: charac.workload.clone(),
+                device: charac.device.clone(),
+                freq_mhz: Some(p.freq_mhz),
+                reasons,
+                degradation: pd.degradation,
+            });
+        }
+    }
+
+    (
+        Characterization {
+            device: charac.device.clone(),
+            workload: charac.workload.clone(),
+            baseline_time_s: charac.baseline_time_s,
+            baseline_energy_j: charac.baseline_energy_j,
+            points: kept_points,
+        },
+        report,
+    )
+}
+
+/// [`quarantine_sweep`] over a whole campaign's results, merging the
+/// per-sweep reports. The returned characterizations feed the existing
+/// training-set builders unchanged.
+pub fn quarantine_results(
+    results: &[(Characterization, SweepDiagnostics)],
+    policy: &QuarantinePolicy,
+) -> (Vec<Characterization>, QuarantineReport) {
+    let mut out = Vec::with_capacity(results.len());
+    let mut report = QuarantineReport::default();
+    for (c, d) in results {
+        let (kept, r) = quarantine_sweep(c, d, policy);
+        report.merge(r);
+        out.push(kept);
+    }
+    (out, report)
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    fn clean_diag(freq: Option<f64>) -> PointDiagnostics {
+        PointDiagnostics {
+            freq_mhz: freq,
+            remeasured: 0,
+            flagged: false,
+            degradation: DegradationMetrics::default(),
+        }
+    }
+
+    fn sweep() -> (Characterization, SweepDiagnostics) {
+        let freqs = [800.0, 1000.0, 1200.0];
+        let charac = Characterization {
+            device: "V100".into(),
+            workload: "wl".into(),
+            baseline_time_s: 2.0,
+            baseline_energy_j: 100.0,
+            points: freqs
+                .iter()
+                .map(|&f| CharPoint {
+                    freq_mhz: f,
+                    time_s: 2.0 * 1000.0 / f,
+                    energy_j: 100.0 * f / 1000.0,
+                    speedup: f / 1000.0,
+                    norm_energy: f / 1000.0,
+                })
+                .collect(),
+        };
+        let diag = SweepDiagnostics {
+            baseline: clean_diag(None),
+            points: freqs.iter().map(|&f| clean_diag(Some(f))).collect(),
+        };
+        (charac, diag)
+    }
+
+    #[test]
+    fn clean_sweep_passes_untouched() {
+        let (c, d) = sweep();
+        let (kept, report) = quarantine_sweep(&c, &d, &QuarantinePolicy::default());
+        assert_eq!(kept, c);
+        assert_eq!(report.kept, 3);
+        assert!(report.dropped.is_empty());
+    }
+
+    #[test]
+    fn throttled_and_flagged_points_are_dropped_with_reasons() {
+        let (c, mut d) = sweep();
+        d.points[0].degradation.throttled_launches = 2;
+        d.points[2].flagged = true;
+        let (kept, report) = quarantine_sweep(&c, &d, &QuarantinePolicy::default());
+        assert_eq!(kept.points.len(), 1);
+        assert_eq!(kept.points[0].freq_mhz, 1000.0);
+        assert_eq!(report.kept, 1);
+        assert_eq!(report.dropped.len(), 2);
+        assert_eq!(report.dropped[0].reasons, vec![QuarantineReason::Throttled]);
+        assert_eq!(report.dropped[0].freq_mhz, Some(800.0));
+        assert_eq!(report.dropped[1].reasons, vec![QuarantineReason::Flagged]);
+    }
+
+    #[test]
+    fn retry_budget_applies_even_to_clean_final_measurements() {
+        let (c, mut d) = sweep();
+        d.points[1].remeasured = 2; // ended clean, but took three tries
+        let policy = QuarantinePolicy::default();
+        let (kept, report) = quarantine_sweep(&c, &d, &policy);
+        assert_eq!(kept.points.len(), 2);
+        assert_eq!(
+            report.dropped[0].reasons,
+            vec![QuarantineReason::RetryBudgetExceeded]
+        );
+    }
+
+    #[test]
+    fn degraded_baseline_poisons_the_whole_sweep() {
+        let (c, mut d) = sweep();
+        d.baseline.flagged = true;
+        let (kept, report) = quarantine_sweep(&c, &d, &QuarantinePolicy::default());
+        assert!(kept.points.is_empty());
+        assert_eq!(report.kept, 0);
+        // Baseline + 3 points all carry provenance.
+        assert_eq!(report.dropped.len(), 4);
+        assert_eq!(report.dropped[0].freq_mhz, None);
+        assert_eq!(report.dropped[0].reasons, vec![QuarantineReason::Flagged]);
+        for p in &report.dropped[1..] {
+            assert_eq!(p.reasons, vec![QuarantineReason::DegradedBaseline]);
+        }
+    }
+
+    #[test]
+    fn non_finite_points_are_dropped_under_any_policy() {
+        let (mut c, d) = sweep();
+        c.points[1].norm_energy = f64::NAN;
+        let (kept, report) = quarantine_sweep(&c, &d, &QuarantinePolicy::keep_all());
+        assert_eq!(kept.points.len(), 2);
+        assert_eq!(report.dropped.len(), 1);
+        assert_eq!(report.dropped[0].reasons, vec![QuarantineReason::NonFinite]);
+    }
+
+    #[test]
+    fn keep_all_admits_degraded_points() {
+        let (c, mut d) = sweep();
+        d.points[0].flagged = true;
+        d.baseline.degradation.throttled_launches = 1;
+        let (kept, report) = quarantine_sweep(&c, &d, &QuarantinePolicy::keep_all());
+        assert_eq!(kept.points.len(), 3);
+        assert_eq!(report.kept, 3);
+        assert!(report.dropped.is_empty());
+    }
+
+    #[test]
+    fn results_helper_merges_reports() {
+        let (c, mut d) = sweep();
+        d.points[0].flagged = true;
+        let results = vec![(c.clone(), d), (c, sweep().1)];
+        let (kept, report) = quarantine_results(&results, &QuarantinePolicy::default());
+        assert_eq!(kept.len(), 2);
+        assert_eq!(kept[0].points.len(), 2);
+        assert_eq!(kept[1].points.len(), 3);
+        assert_eq!(report.kept, 5);
+        assert_eq!(report.dropped.len(), 1);
+    }
+}

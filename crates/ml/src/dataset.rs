@@ -179,6 +179,99 @@ impl Dataset {
             .collect();
         self.subset(&idx)
     }
+
+    /// Checks every feature and target for NaN/infinity. Returns the first
+    /// offender as `(row, column)`, where the column is `None` for a bad
+    /// target. Models trained on non-finite samples produce non-finite
+    /// predictions silently; call this at ingestion boundaries.
+    pub fn validate(&self) -> Result<(), (usize, Option<usize>)> {
+        for i in 0..self.len() {
+            for (j, v) in self.x.row(i).iter().enumerate() {
+                if !v.is_finite() {
+                    return Err((i, Some(j)));
+                }
+            }
+            if !self.y[i].is_finite() {
+                return Err((i, None));
+            }
+        }
+        Ok(())
+    }
+
+    /// A copy with untrustworthy rows removed: any row with a non-finite
+    /// feature or target is dropped, and — when `outlier_mads` is set —
+    /// so is any row whose target deviates from the median by more than
+    /// that many median-absolute-deviations (a robust guard against
+    /// degraded measurements that slipped past upstream quarantine). The
+    /// report says exactly which rows were dropped and why. Opt-in: the
+    /// standard training paths never call this implicitly.
+    pub fn sanitized(&self, outlier_mads: Option<f64>) -> (Dataset, SanitizeReport) {
+        let mut report = SanitizeReport::default();
+        let finite: Vec<usize> = (0..self.len())
+            .filter(|&i| {
+                let ok = self.x.row(i).iter().all(|v| v.is_finite()) && self.y[i].is_finite();
+                if !ok {
+                    report.non_finite_rows.push(i);
+                }
+                ok
+            })
+            .collect();
+        let keep: Vec<usize> = match outlier_mads {
+            Some(k) if finite.len() >= 3 => {
+                assert!(k > 0.0, "MAD multiple must be positive");
+                let targets: Vec<f64> = finite.iter().map(|&i| self.y[i]).collect();
+                let med = median(&targets);
+                let deviations: Vec<f64> = targets.iter().map(|t| (t - med).abs()).collect();
+                let mad = median(&deviations);
+                finite
+                    .iter()
+                    .copied()
+                    .filter(|&i| {
+                        // A zero MAD means over half the targets are identical;
+                        // only exact ties are then "inliers".
+                        let ok = if mad > 0.0 {
+                            (self.y[i] - med).abs() <= k * mad
+                        } else {
+                            self.y[i] == med
+                        };
+                        if !ok {
+                            report.outlier_rows.push(i);
+                        }
+                        ok
+                    })
+                    .collect()
+            }
+            _ => finite,
+        };
+        (self.subset(&keep), report)
+    }
+}
+
+/// Which rows [`Dataset::sanitized`] dropped, and why.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SanitizeReport {
+    /// Rows holding a NaN or infinity (original indices).
+    pub non_finite_rows: Vec<usize>,
+    /// Rows whose target failed the MAD outlier test (original indices).
+    pub outlier_rows: Vec<usize>,
+}
+
+impl SanitizeReport {
+    /// True when nothing was dropped.
+    pub fn is_clean(&self) -> bool {
+        self.non_finite_rows.is_empty() && self.outlier_rows.is_empty()
+    }
+}
+
+fn median(values: &[f64]) -> f64 {
+    let mut v = values.to_vec();
+    v.sort_by(f64::total_cmp);
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        0.5 * (v[n / 2 - 1] + v[n / 2])
+    }
 }
 
 #[cfg(test)]
@@ -266,5 +359,52 @@ mod tests {
     fn mismatched_targets_panic() {
         let x = Matrix::from_rows(&[vec![1.0]]);
         let _ = Dataset::new(x, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn validate_reports_first_non_finite_cell() {
+        let mut d = toy();
+        assert_eq!(d.validate(), Ok(()));
+        *d.x.get_mut(1, 1) = f64::NAN;
+        assert_eq!(d.validate(), Err((1, Some(1))));
+        *d.x.get_mut(1, 1) = 4.0;
+        d.y[2] = f64::INFINITY;
+        assert_eq!(d.validate(), Err((2, None)));
+    }
+
+    #[test]
+    fn sanitized_drops_non_finite_rows() {
+        let mut d = toy();
+        *d.x.get_mut(0, 0) = f64::NEG_INFINITY;
+        d.y[3] = f64::NAN;
+        let (clean, report) = d.sanitized(None);
+        assert_eq!(clean.y, vec![20.0, 30.0]);
+        assert_eq!(report.non_finite_rows, vec![0, 3]);
+        assert!(report.outlier_rows.is_empty());
+        assert_eq!(clean.validate(), Ok(()));
+    }
+
+    #[test]
+    fn sanitized_mad_guard_drops_wild_targets() {
+        let x = Matrix::from_rows(&vec![vec![1.0]; 6]);
+        // Five plausible energies and one corrupted by a counter glitch.
+        let d = Dataset::new(x, vec![10.0, 11.0, 9.5, 10.5, 10.2, 4000.0]);
+        let (clean, report) = d.sanitized(Some(8.0));
+        assert_eq!(clean.len(), 5);
+        assert_eq!(report.outlier_rows, vec![5]);
+        assert!(report.non_finite_rows.is_empty());
+        // Without the guard the glitch row survives.
+        let (all, report) = d.sanitized(None);
+        assert_eq!(all.len(), 6);
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn sanitized_zero_mad_keeps_only_exact_ties() {
+        let x = Matrix::from_rows(&vec![vec![1.0]; 5]);
+        let d = Dataset::new(x, vec![7.0, 7.0, 7.0, 7.0, 9.0]);
+        let (clean, report) = d.sanitized(Some(3.0));
+        assert_eq!(clean.len(), 4);
+        assert_eq!(report.outlier_rows, vec![4]);
     }
 }

@@ -6,9 +6,10 @@
 //! five-repetition robust aggregation the paper uses against outliers.
 
 use crate::queue::SynergyQueue;
+use serde::{Deserialize, Serialize};
 
 /// An energy/time measurement of one profiled region.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Measurement {
     /// Wall-clock time of the region (s).
     pub time_s: f64,

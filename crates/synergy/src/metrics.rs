@@ -95,6 +95,16 @@ pub struct DegradationMetrics {
     /// Total simulated time spent in retry backoff waits (ns, summed from
     /// whole backoff steps; integer so `Eq`/all-zero checks stay exact).
     pub backoff_ns: u64,
+    /// Measurements that blew the supervisor's watchdog deadline and were
+    /// discarded. Only a campaign supervisor raises this; a plain queue
+    /// never does.
+    pub watchdog_misses: u64,
+    /// Work items a campaign re-scheduled onto another device after a
+    /// permanent failure. Only a campaign supervisor raises this.
+    pub items_rescheduled: u64,
+    /// Devices a campaign's circuit breakers permanently evicted. Only a
+    /// campaign supervisor raises this.
+    pub devices_evicted: u64,
 }
 
 impl DegradationMetrics {
@@ -107,6 +117,22 @@ impl DegradationMetrics {
     /// Total simulated backoff time in seconds.
     pub fn backoff_s(&self) -> f64 {
         self.backoff_ns as f64 * 1e-9
+    }
+
+    /// Folds another set of counters into this one, field by field. This is
+    /// how a campaign aggregates the per-measurement counters of every
+    /// accepted sweep point into one fleet-level audit record.
+    pub fn merge(&mut self, other: &DegradationMetrics) {
+        self.retries += other.retries;
+        self.frequency_rejections += other.frequency_rejections;
+        self.launch_failures += other.launch_failures;
+        self.throttled_launches += other.throttled_launches;
+        self.counter_rewinds_healed += other.counter_rewinds_healed;
+        self.default_clock_fallbacks += other.default_clock_fallbacks;
+        self.backoff_ns += other.backoff_ns;
+        self.watchdog_misses += other.watchdog_misses;
+        self.items_rescheduled += other.items_rescheduled;
+        self.devices_evicted += other.devices_evicted;
     }
 }
 
@@ -253,5 +279,37 @@ mod tests {
         assert!(m.is_clean());
         m.throttled_launches = 1;
         assert!(!m.is_clean());
+    }
+
+    #[test]
+    fn merge_sums_every_counter() {
+        let mut a = DegradationMetrics {
+            retries: 1,
+            frequency_rejections: 2,
+            launch_failures: 3,
+            throttled_launches: 4,
+            counter_rewinds_healed: 5,
+            default_clock_fallbacks: 6,
+            backoff_ns: 7,
+            watchdog_misses: 8,
+            items_rescheduled: 9,
+            devices_evicted: 10,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.retries, 2);
+        assert_eq!(a.frequency_rejections, 4);
+        assert_eq!(a.launch_failures, 6);
+        assert_eq!(a.throttled_launches, 8);
+        assert_eq!(a.counter_rewinds_healed, 10);
+        assert_eq!(a.default_clock_fallbacks, 12);
+        assert_eq!(a.backoff_ns, 14);
+        assert_eq!(a.watchdog_misses, 16);
+        assert_eq!(a.items_rescheduled, 18);
+        assert_eq!(a.devices_evicted, 20);
+        // Merging a clean record is a no-op.
+        let before = a;
+        a.merge(&DegradationMetrics::default());
+        assert_eq!(a, before);
     }
 }

@@ -133,6 +133,7 @@ pub struct SynergyQueue {
     submissions: u64,
     total_time_s: f64,
     total_energy_j: f64,
+    watchdog_deadline_s: Option<f64>,
 }
 
 impl SynergyQueue {
@@ -147,6 +148,7 @@ impl SynergyQueue {
             submissions: 0,
             total_time_s: 0.0,
             total_energy_j: 0.0,
+            watchdog_deadline_s: None,
         }
     }
 
@@ -226,6 +228,31 @@ impl SynergyQueue {
     /// The active retry policy.
     pub fn retry_policy(&self) -> RetryPolicy {
         self.retry
+    }
+
+    /// Arms (or disarms, with `None`) a watchdog deadline on the queue's
+    /// cumulative busy time. The queue never aborts work itself — launches
+    /// in flight always complete — but once [`SynergyQueue::total_time_s`]
+    /// exceeds the deadline, [`SynergyQueue::watchdog_tripped`] reports it,
+    /// and a supervisor (the campaign scheduler) treats the measurement as
+    /// a deadline miss: the device is suspect, the sample is discarded.
+    pub fn set_watchdog_deadline(&mut self, deadline_s: Option<f64>) {
+        if let Some(d) = deadline_s {
+            assert!(d > 0.0, "watchdog deadline must be positive");
+        }
+        self.watchdog_deadline_s = deadline_s;
+    }
+
+    /// The armed watchdog deadline, if any (simulated seconds of busy time).
+    pub fn watchdog_deadline_s(&self) -> Option<f64> {
+        self.watchdog_deadline_s
+    }
+
+    /// True once the queue's cumulative busy time has exceeded the armed
+    /// watchdog deadline. Always false while disarmed.
+    pub fn watchdog_tripped(&self) -> bool {
+        self.watchdog_deadline_s
+            .is_some_and(|d| self.total_time_s > d)
     }
 
     /// The queue's degradation counters: everything the retry/healing
@@ -659,5 +686,19 @@ mod tests {
         q.reset_counters();
         assert_eq!(q.submission_count(), 0);
         assert_eq!(q.total_energy_j(), 0.0);
+    }
+
+    #[test]
+    fn watchdog_trips_only_past_the_deadline() {
+        let mut q = v100_queue();
+        let k = KernelProfile::compute_bound("k", 1 << 22, 100.0);
+        assert!(!q.watchdog_tripped(), "disarmed watchdog never trips");
+        q.set_watchdog_deadline(Some(1e9));
+        q.submit(&k);
+        assert!(!q.watchdog_tripped(), "generous deadline must not trip");
+        q.set_watchdog_deadline(Some(q.total_time_s() / 2.0));
+        assert!(q.watchdog_tripped(), "busy time exceeds the deadline");
+        q.set_watchdog_deadline(None);
+        assert!(!q.watchdog_tripped(), "disarming clears the trip");
     }
 }

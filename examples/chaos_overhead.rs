@@ -6,11 +6,13 @@
 //! ```
 
 use cronos::Grid;
+use energy_model::persist::atomic_write_str;
 use energy_model::{characterize_with_options, SweepOptions};
 use gpu_sim::{DeviceSpec, FaultPlan, Schedule, ThrottleWindow};
+use serde::Serialize;
 use synergy::RetryPolicy;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = DeviceSpec::v100();
     let wl = cronos::GpuCronos::new(Grid::cubic(20, 8, 8), 5);
     let freqs: Vec<f64> = spec.core_freqs.strided(10);
@@ -60,4 +62,31 @@ fn main() {
         "measured-time delta       : {:+.2} %",
         (faulty_time / clean_time - 1.0) * 100.0
     );
+
+    // Persist the overhead record crash-consistently: a full disk or a
+    // read-only directory is a typed error, and no reader can ever see a
+    // half-written report.
+    #[derive(Serialize)]
+    struct Report {
+        sweep_points: u64,
+        retries: u64,
+        backoff_s: f64,
+        remeasured_points: u32,
+        flagged_points: u64,
+        clean_point_time_s: f64,
+        faulty_point_time_s: f64,
+    }
+    let report = Report {
+        sweep_points: freqs.len() as u64,
+        retries: diag.total_retries(),
+        backoff_s: diag.total_backoff_s(),
+        remeasured_points: remeasured,
+        flagged_points: flagged as u64,
+        clean_point_time_s: clean_time,
+        faulty_point_time_s: faulty_time,
+    };
+    let path = std::path::Path::new("results/chaos_overhead.json");
+    atomic_write_str(path, &serde_json::to_string_pretty(&report)?)?;
+    println!("wrote {}", path.display());
+    Ok(())
 }

@@ -47,11 +47,13 @@ fn main() {
         );
     }
 
-    let best_energy = ch
+    let Some(best_energy) = ch
         .points
         .iter()
-        .min_by(|a, b| a.norm_energy.partial_cmp(&b.norm_energy).unwrap())
-        .unwrap();
+        .min_by(|a, b| a.norm_energy.total_cmp(&b.norm_energy))
+    else {
+        return;
+    };
     println!(
         "\nenergy-optimal: {:.0} MHz — {:.1}% energy saving at {:.1}% speed",
         best_energy.freq_mhz,

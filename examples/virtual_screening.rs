@@ -6,12 +6,14 @@
 //! cargo run --release --example virtual_screening
 //! ```
 
+use energy_repro::energy_model::persist::atomic_write_str;
 use energy_repro::gpu_sim::DeviceSpec;
 use energy_repro::ligen::dock::DockParams;
 use energy_repro::ligen::{virtual_screening, ChemLibrary, GpuLigen, Pocket};
 use energy_repro::synergy::{FrequencyPolicy, SynergyQueue};
+use serde::Serialize;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Part 1: the actual chemistry -----------------------------------
     let library = ChemLibrary::generate(64, 31, 4, 2024);
     let pocket = Pocket::synthesize(24, 20.0, 6, 7);
@@ -29,11 +31,12 @@ fn main() {
     for (rank, r) in results.iter().take(8).enumerate() {
         println!("  {:4}  {:6}  {:8.3}", rank + 1, r.ligand_id, r.score);
     }
-    println!(
-        "  … worst: ligand {} at {:.3}",
-        results.last().unwrap().ligand_id,
-        results.last().unwrap().score
-    );
+    if let Some(worst) = results.last() {
+        println!(
+            "  … worst: ligand {} at {:.3}",
+            worst.ligand_id, worst.score
+        );
+    }
 
     // --- Part 2: the energy experiment ----------------------------------
     println!("\nGPU energy behaviour of a production-size batch (paper §3.2):");
@@ -46,6 +49,13 @@ fn main() {
         "  default clock ({:.0} MHz): {:.3} s, {:.1} J",
         spec.default_core_mhz, base.time_s, base.energy_j
     );
+    #[derive(Serialize)]
+    struct EnergyRow {
+        freq_mhz: f64,
+        time_s: f64,
+        energy_j: f64,
+    }
+    let mut rows = Vec::new();
     for f in [1000.0, 1250.0, spec.max_core_mhz()] {
         let mut q = SynergyQueue::for_spec(spec.clone());
         q.set_policy(FrequencyPolicy::Fixed(f));
@@ -58,7 +68,50 @@ fn main() {
             m.energy_j,
             (m.energy_j / base.energy_j - 1.0) * 100.0
         );
+        rows.push(EnergyRow {
+            freq_mhz: f,
+            time_s: m.time_s,
+            energy_j: m.energy_j,
+        });
     }
     println!("\nDocking is compute-bound: the top clock buys ~20% speed at a");
     println!("steep energy premium — the paper's LiGen headline (Fig. 10b).");
+
+    // Persist the screening outcome crash-consistently: the write either
+    // lands whole or fails with a typed error (full disk, read-only dir),
+    // never a panic or a torn file.
+    #[derive(Serialize)]
+    struct Candidate {
+        rank: u64,
+        ligand_id: u64,
+        score: f64,
+    }
+    #[derive(Serialize)]
+    struct Report {
+        library_size: u64,
+        top_candidates: Vec<Candidate>,
+        baseline_time_s: f64,
+        baseline_energy_j: f64,
+        fixed_clock_runs: Vec<EnergyRow>,
+    }
+    let report = Report {
+        library_size: library.len() as u64,
+        top_candidates: results
+            .iter()
+            .take(8)
+            .enumerate()
+            .map(|(rank, r)| Candidate {
+                rank: rank as u64 + 1,
+                ligand_id: r.ligand_id,
+                score: r.score,
+            })
+            .collect(),
+        baseline_time_s: base.time_s,
+        baseline_energy_j: base.energy_j,
+        fixed_clock_runs: rows,
+    };
+    let path = std::path::Path::new("results/virtual_screening.json");
+    atomic_write_str(path, &serde_json::to_string_pretty(&report)?)?;
+    println!("wrote {}", path.display());
+    Ok(())
 }

@@ -318,3 +318,70 @@ fn characterize_degrades_gracefully_under_a_live_fault_plan() {
     let clean = characterize(&spec, &small_cronos(), &freqs, 2, None);
     assert_eq!(clean.points.len(), freqs.len());
 }
+
+// ---- Campaign supervision under chaos ----
+
+/// A two-slot campaign over a live fault plan completes, its accepted
+/// points stay finite, and the quarantine stage accounts for every sweep
+/// point with provenance — nothing is silently dropped or kept.
+#[test]
+fn campaign_under_chaos_completes_and_quarantine_accounts_for_every_point() {
+    use energy_model::{
+        quarantine_results, run_campaign, CampaignConfig, DeviceSlot, QuarantinePolicy,
+    };
+
+    let spec = DeviceSpec::v100();
+    let plan = FaultPlan::seeded(20230521)
+        .reject_set_frequency(Schedule::Prob(0.2))
+        .fail_launches(Schedule::Prob(0.4))
+        .reset_energy_counter(Schedule::Prob(0.05))
+        .throttle(
+            Schedule::Prob(0.3),
+            ThrottleWindow {
+                cap_mhz: 800.0,
+                launches: 10,
+            },
+        );
+    let slots = vec![
+        DeviceSlot::healthy("gpu0"),
+        DeviceSlot::with_health("gpu1", plan),
+    ];
+    let mut cfg = CampaignConfig::new(spec, slots, vec![700.0, 900.0, 1100.0, 1312.1]);
+    cfg.reps = 2;
+    cfg.noise_seed = Some(7);
+
+    let dir = std::env::temp_dir().join(format!(
+        "energy-model-chaos-campaign-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let wl = small_cronos();
+    let workloads: Vec<&dyn energy_model::characterize::Workload> = vec![&wl];
+    let outcome =
+        run_campaign(&cfg, &workloads, &dir, false).expect("campaign rides out the chaos");
+
+    assert_eq!(outcome.results.len(), 1);
+    let (ch, diag) = &outcome.results[0];
+    assert_eq!(ch.points.len(), cfg.freqs.len());
+    assert!(ch.baseline_time_s > 0.0 && ch.baseline_energy_j > 0.0);
+    for p in &ch.points {
+        assert!(p.time_s.is_finite() && p.time_s > 0.0);
+        assert!(p.energy_j.is_finite() && p.energy_j > 0.0);
+    }
+    assert_eq!(diag.points.len(), cfg.freqs.len());
+
+    // Quarantine accounts for every point exactly once, with reasons.
+    let (kept, report) = quarantine_results(&outcome.results, &QuarantinePolicy::default());
+    let total: usize = outcome.results.iter().map(|(c, _)| c.points.len()).sum();
+    assert_eq!(report.kept + report.dropped.len(), total);
+    assert_eq!(
+        kept.iter().map(|c| c.points.len()).sum::<usize>(),
+        report.kept
+    );
+    for q in &report.dropped {
+        assert!(!q.reasons.is_empty(), "quarantine must state its reasons");
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
