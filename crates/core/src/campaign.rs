@@ -269,10 +269,12 @@ impl CampaignConfig {
     }
 
     /// Identity of the campaign's *results*: everything that shapes a
-    /// measurement or the schedule. Operational knobs (`snapshot_every`,
-    /// `crash_after_appends`) are excluded — changing them between runs
-    /// is resume-compatible.
-    fn fingerprint(&self, workloads: &[&dyn Workload]) -> String {
+    /// measurement or the schedule, including each workload's recorded
+    /// kernel trace — so a workload whose input or implementation changed
+    /// under an unchanged name is still a different campaign. Operational
+    /// knobs (`snapshot_every`, `crash_after_appends`) are excluded —
+    /// changing them between runs is resume-compatible.
+    fn fingerprint(&self, workloads: &[&dyn Workload], traces: &[KernelTrace]) -> String {
         use fmt::Write as _;
         let mut desc = String::new();
         let _ = write!(desc, "spec={:?};", self.spec);
@@ -290,8 +292,13 @@ impl CampaignConfig {
             self.breaker,
             self.watchdog_deadline_s
         );
-        for w in workloads {
-            let _ = write!(desc, "workload={};", w.name());
+        for (w, trace) in workloads.iter().zip(traces) {
+            let _ = write!(
+                desc,
+                "workload={}:{:016x};",
+                w.name(),
+                fnv1a64(format!("{trace:?}").as_bytes())
+            );
         }
         format!("{:016x}", fnv1a64(desc.as_bytes()))
     }
@@ -759,7 +766,11 @@ pub fn run_campaign(
         return Err(CampaignError::InvalidConfig("reps must be ≥ 1".into()));
     }
 
-    let fingerprint = cfg.fingerprint(workloads);
+    // Record each workload's trace once, up front: it feeds both the
+    // config fingerprint (trace content is measurement identity) and the
+    // replay of every work item.
+    let traces: Vec<KernelTrace> = workloads.iter().map(|w| w.record(&cfg.spec)).collect();
+    let fingerprint = cfg.fingerprint(workloads, &traces);
     let jpath = journal_path(dir);
     let spath = snapshot_path(dir);
 
@@ -822,9 +833,8 @@ pub fn run_campaign(
         })?;
     }
 
-    // Record each workload's trace once; share one pricing memo table
-    // across the whole campaign, exactly like the plain sweep.
-    let traces: Vec<KernelTrace> = workloads.iter().map(|w| w.record(&cfg.spec)).collect();
+    // Share one pricing memo table across the whole campaign, exactly
+    // like the plain sweep.
     let prices = Arc::new(PriceTable::new());
 
     let mut appends_this_run = 0u64;
@@ -853,7 +863,7 @@ pub fn run_campaign(
             });
         }
         if cfg.snapshot_every > 0 && appends_this_run.is_multiple_of(cfg.snapshot_every) {
-            journal = compact(&spath, &jpath, &fingerprint, &state)?;
+            journal = compact(journal, &spath, &jpath, &fingerprint, &state)?;
         }
     }
 
@@ -1063,14 +1073,18 @@ fn heal_torn_tail(jpath: &Path) -> Result<(), CampaignError> {
 /// Compacts the journal: atomically write the snapshot, then atomically
 /// swap in a fresh header-only journal. A crash between the two renames
 /// leaves the old journal behind a newer snapshot; replay skips the
-/// already-folded records by `seq`, so the overlap is harmless. Returns
-/// the reopened journal (the old handle points at the unlinked inode).
+/// already-folded records by `seq`, so the overlap is harmless. Takes
+/// the old journal handle by value and drops it before the swap —
+/// renaming over a path with an open handle fails on Windows — and
+/// returns the journal reopened on the fresh file.
 fn compact(
+    old: Journal,
     spath: &Path,
     jpath: &Path,
     fingerprint: &str,
     state: &CampaignState,
 ) -> Result<Journal, CampaignError> {
+    drop(old);
     let corrupt = |e: serde_json::Error| CampaignError::Corrupt {
         path: spath.to_path_buf(),
         message: format!("unserializable snapshot: {e}"),

@@ -11,7 +11,9 @@
 //!   can tear at most the *trailing* line (an append that never committed);
 //!   [`read_journal`] drops such a tail and reports it, while a malformed
 //!   line anywhere else is surfaced as corruption instead of being
-//!   silently skipped.
+//!   silently skipped. A record only counts as committed once its
+//!   trailing newline is durable — a final line without one is an
+//!   uncommitted tail even when it happens to parse.
 //!
 //! The serde/serde_json shims round-trip `f64` bit-exactly (shortest
 //! `Display` form, exact re-parse), which is what lets a resumed campaign
@@ -159,15 +161,18 @@ impl Journal {
     }
 
     /// Appends one record as a single JSON line and fsyncs it durable.
+    /// The record and its terminating newline go down in one `write_all`:
+    /// the newline is the commit mark, so it must never be able to land
+    /// in a later syscall than the record it commits.
     pub fn append<T: Serialize>(&mut self, record: &T) -> Result<(), PersistError> {
-        let json = serde_json::to_string(record).map_err(|e| PersistError::Corrupt {
+        let mut line = serde_json::to_string(record).map_err(|e| PersistError::Corrupt {
             path: self.path.clone(),
             line: 0,
             message: format!("unserializable record: {e}"),
         })?;
+        line.push('\n');
         self.file
-            .write_all(json.as_bytes())
-            .and_then(|()| self.file.write_all(b"\n"))
+            .write_all(line.as_bytes())
             .and_then(|()| self.file.sync_data())
             .map_err(|e| io_err(&self.path, e))
     }
@@ -184,16 +189,19 @@ pub struct JournalContents<T> {
     /// Every committed record, in append order.
     pub records: Vec<T>,
     /// True when the file ended in a torn line — an append a crash cut
-    /// short of its newline. The torn bytes are not in `records`.
+    /// short of its newline. The torn bytes are not in `records`, even
+    /// when they happen to form complete JSON.
     pub torn_tail: bool,
 }
 
 /// Reads every committed record of a JSONL journal. A missing file is an
-/// empty journal. An unparsable *final* line without a trailing newline
-/// is the torn remnant of an uncommitted append and is dropped (reported
-/// via [`JournalContents::torn_tail`]); an unparsable line anywhere else
-/// means the journal is damaged and is returned as
-/// [`PersistError::Corrupt`].
+/// empty journal. *Any* final line without a trailing newline is the
+/// remnant of an uncommitted append — [`Journal::append`] only returns
+/// once the newline is durable, so a newline-less tail was never acked,
+/// even if it parses (a crash can tear between writeback of the record
+/// bytes and the newline). Such a tail is dropped and reported via
+/// [`JournalContents::torn_tail`]; an unparsable committed line means
+/// the journal is damaged and is returned as [`PersistError::Corrupt`].
 pub fn read_journal<T: Deserialize>(path: &Path) -> Result<JournalContents<T>, PersistError> {
     let text = match fs::read_to_string(path) {
         Ok(t) => t,
@@ -205,10 +213,13 @@ pub fn read_journal<T: Deserialize>(path: &Path) -> Result<JournalContents<T>, P
         }
         Err(e) => return Err(io_err(path, e)),
     };
-    let committed_tail = text.ends_with('\n');
-    let lines: Vec<&str> = text.lines().collect();
+    let mut lines: Vec<&str> = text.lines().collect();
+    let torn_tail = if text.ends_with('\n') {
+        false
+    } else {
+        lines.pop().is_some()
+    };
     let mut records = Vec::with_capacity(lines.len());
-    let mut torn_tail = false;
     for (i, line) in lines.iter().enumerate() {
         if line.trim().is_empty() {
             continue;
@@ -216,15 +227,11 @@ pub fn read_journal<T: Deserialize>(path: &Path) -> Result<JournalContents<T>, P
         match serde_json::from_str::<T>(line) {
             Ok(r) => records.push(r),
             Err(e) => {
-                if i + 1 == lines.len() && !committed_tail {
-                    torn_tail = true;
-                } else {
-                    return Err(PersistError::Corrupt {
-                        path: path.to_path_buf(),
-                        line: i + 1,
-                        message: e.to_string(),
-                    });
-                }
+                return Err(PersistError::Corrupt {
+                    path: path.to_path_buf(),
+                    line: i + 1,
+                    message: e.to_string(),
+                });
             }
         }
     }
@@ -321,6 +328,29 @@ mod tests {
 
         let got = read_journal::<Rec>(&path).unwrap();
         assert!(got.torn_tail);
+        assert_eq!(got.records.len(), 2);
+        assert_eq!(got.records[1].seq, 1);
+    }
+
+    #[test]
+    fn parseable_final_line_without_newline_is_still_a_torn_tail() {
+        let dir = scratch("torn-parseable");
+        let path = dir.join("j.jsonl");
+        {
+            let mut j = Journal::open(&path).unwrap();
+            j.append(&Rec { seq: 0, value: 1.0 }).unwrap();
+            j.append(&Rec { seq: 1, value: 2.0 }).unwrap();
+        }
+        // A crash (or partial writeback) can persist the record bytes but
+        // not the newline that commits them: the JSON is complete, yet the
+        // append was never acked. It must be dropped, not trusted — a
+        // later append would otherwise land on the same line.
+        let mut bytes = fs::read(&path).unwrap();
+        bytes.extend_from_slice(br#"{"seq":2,"value":3.0}"#);
+        fs::write(&path, &bytes).unwrap();
+
+        let got = read_journal::<Rec>(&path).unwrap();
+        assert!(got.torn_tail, "newline-less tail was never committed");
         assert_eq!(got.records.len(), 2);
         assert_eq!(got.records[1].seq, 1);
     }

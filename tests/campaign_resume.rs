@@ -210,19 +210,30 @@ fn resume_from_a_torn_mid_append_crash_is_bit_identical() {
     let journal = fs::read(journal_path(&golden_dir)).unwrap();
 
     // Cut the journal mid-line at several byte offsets: the torn tail is
-    // an append that never committed, so resume redoes that item.
+    // an append that never committed, so resume redoes that item. The
+    // nastiest offset is `nl` itself — the record's JSON is complete but
+    // its committing newline is not, so the tail *parses* yet must still
+    // be healed away, or the next append would extend the same line and
+    // corrupt the journal for every later resume.
     let newlines: Vec<usize> = journal
         .iter()
         .enumerate()
         .filter_map(|(i, &b)| (b == b'\n').then_some(i))
         .collect();
     for (k, &nl) in newlines.iter().enumerate().skip(1) {
-        let torn_at = newlines[k - 1] + 1 + (nl - newlines[k - 1]) / 2;
-        let dir = scratch(&format!("torn-{k}"));
-        fs::write(journal_path(&dir), &journal[..torn_at]).unwrap();
-        let resumed = run_campaign(&cfg, &workloads, &dir, true)
-            .unwrap_or_else(|e| panic!("resume from torn byte {torn_at}: {e}"));
-        assert_eq!(resumed, golden, "torn-tail resume at byte {torn_at}");
+        let mid_line = newlines[k - 1] + 1 + (nl - newlines[k - 1]) / 2;
+        for torn_at in [mid_line, nl] {
+            let dir = scratch(&format!("torn-{k}-{torn_at}"));
+            fs::write(journal_path(&dir), &journal[..torn_at]).unwrap();
+            let resumed = run_campaign(&cfg, &workloads, &dir, true)
+                .unwrap_or_else(|e| panic!("resume from torn byte {torn_at}: {e}"));
+            assert_eq!(resumed, golden, "torn-tail resume at byte {torn_at}");
+            // The healed journal must stay resumable: a second resume of
+            // the same directory reads it back cleanly.
+            let again = run_campaign(&cfg, &workloads, &dir, true)
+                .unwrap_or_else(|e| panic!("re-resume after torn byte {torn_at}: {e}"));
+            assert_eq!(again, golden, "re-resume after torn byte {torn_at}");
+        }
     }
 }
 
@@ -393,6 +404,25 @@ fn resume_under_a_different_configuration_is_rejected() {
     run_campaign(&cfg, &workloads, &dir, false).expect("first run");
     cfg.freqs.push(1500.0); // silently different data — must be refused
     match run_campaign(&cfg, &workloads, &dir, true) {
+        Err(CampaignError::ConfigMismatch { expected, found }) => {
+            assert_ne!(expected, found);
+        }
+        other => panic!("expected ConfigMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn resume_with_a_changed_workload_input_is_rejected() {
+    let cronos = small_cronos();
+    let workloads: Vec<&dyn Workload> = vec![&cronos];
+    let cfg = base_config(DeviceSpec::v100(), vec![DeviceSlot::healthy("gpu0")]);
+    let dir = scratch("input-drift");
+    run_campaign(&cfg, &workloads, &dir, false).expect("first run");
+    // Same workload *name*, different input: the recorded trace differs,
+    // so the fingerprint must refuse to merge the measurements.
+    let bigger = cronos::GpuCronos::new(Grid::cubic(12, 5, 5), 2);
+    let drifted: Vec<&dyn Workload> = vec![&bigger];
+    match run_campaign(&cfg, &drifted, &dir, true) {
         Err(CampaignError::ConfigMismatch { expected, found }) => {
             assert_ne!(expected, found);
         }
