@@ -1,0 +1,120 @@
+//! Telemetry overhead guard: the metrics registry and point-level span
+//! tracing must stay marginal on the hot trace-replay sweep path — the
+//! acceptance budget is a small single-digit percentage of the recorded
+//! 11× sweep-engine speedup baseline.
+//!
+//! Two views of the same comparison:
+//!
+//! * Criterion groups `telemetry/sweep_disarmed` and
+//!   `telemetry/sweep_armed` for the statistical record;
+//! * a direct paired measurement printed as an overhead percentage, with
+//!   a hard assertion when `TELEMETRY_OVERHEAD_MAX_PCT` is set (CI sets
+//!   it; locally the number is informational, since shared machines make
+//!   tight wall-clock bounds flaky).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use energy_model::characterize::{characterize_with_options, SweepOptions};
+use energy_model::telemetry::Telemetry;
+use gpu_sim::DeviceSpec;
+
+fn workload() -> cronos::GpuCronos {
+    cronos::GpuCronos::new(cronos::Grid::cubic(40, 16, 16), 2)
+}
+
+fn sweep_opts(telemetry: Option<Arc<Telemetry>>) -> SweepOptions {
+    SweepOptions {
+        reps: 5,
+        noise_seed: Some(7),
+        telemetry,
+        ..SweepOptions::default()
+    }
+}
+
+fn bench_sweep_disarmed(c: &mut Criterion) {
+    let spec = DeviceSpec::v100();
+    let freqs = spec.core_freqs.strided(8);
+    let w = workload();
+    let mut group = c.benchmark_group("telemetry/sweep_disarmed");
+    group.sample_size(10);
+    group.bench_function("cronos_40x16x16", |b| {
+        b.iter(|| characterize_with_options(&spec, &w, &freqs, &sweep_opts(None)))
+    });
+    group.finish();
+}
+
+fn bench_sweep_armed(c: &mut Criterion) {
+    let spec = DeviceSpec::v100();
+    let freqs = spec.core_freqs.strided(8);
+    let w = workload();
+    let mut group = c.benchmark_group("telemetry/sweep_armed");
+    group.sample_size(10);
+    group.bench_function("cronos_40x16x16", |b| {
+        b.iter(|| {
+            let tel = Telemetry::new();
+            characterize_with_options(&spec, &w, &freqs, &sweep_opts(Some(tel)))
+        })
+    });
+    group.finish();
+}
+
+/// Paired measurement on interleaved rounds (alternating disarmed/armed
+/// so machine noise hits both sides equally), printed as a percentage and
+/// asserted against `TELEMETRY_OVERHEAD_MAX_PCT` when set.
+fn overhead_guard(_c: &mut Criterion) {
+    // The BENCH_sweep shape (full-resolution frequency list, five-rep
+    // noisy medians, tens of milliseconds per sweep) — so per-sweep fixed
+    // costs don't masquerade as per-point overhead the way they would on
+    // a toy sweep, and machine noise is small relative to one round.
+    let spec = DeviceSpec::v100();
+    let freqs = energy_model::workflow::experiment_frequencies(&spec, 1);
+    let w = workload();
+    let rounds = 16;
+
+    // Warm both paths (thread pool, allocator, price tables).
+    let _ = characterize_with_options(&spec, &w, &freqs, &sweep_opts(None));
+    let _ = characterize_with_options(&spec, &w, &freqs, &sweep_opts(Some(Telemetry::new())));
+
+    // Per-round minima, not means: scheduler noise only ever *adds* time,
+    // so the minimum over enough rounds estimates the true cost of each
+    // path and the guard doesn't trip on a single preempted round.
+    let mut disarmed_min = f64::INFINITY;
+    let mut armed_min = f64::INFINITY;
+    for _ in 0..rounds {
+        let t0 = Instant::now();
+        let plain = characterize_with_options(&spec, &w, &freqs, &sweep_opts(None));
+        disarmed_min = disarmed_min.min(t0.elapsed().as_secs_f64());
+
+        let tel = Telemetry::new();
+        let t1 = Instant::now();
+        let armed = characterize_with_options(&spec, &w, &freqs, &sweep_opts(Some(tel)));
+        armed_min = armed_min.min(t1.elapsed().as_secs_f64());
+
+        assert_eq!(plain.0, armed.0, "armed sweep diverged from disarmed");
+    }
+    let overhead_pct = (armed_min / disarmed_min - 1.0) * 100.0;
+    println!(
+        "telemetry overhead: disarmed {disarmed_min:.4} s, armed {armed_min:.4} s \
+         (best of {rounds} rounds) => {overhead_pct:+.2} %",
+    );
+    if let Ok(max) = std::env::var("TELEMETRY_OVERHEAD_MAX_PCT") {
+        let max: f64 = max
+            .parse()
+            .expect("TELEMETRY_OVERHEAD_MAX_PCT must be a number");
+        assert!(
+            overhead_pct <= max,
+            "armed telemetry costs {overhead_pct:.2} % (budget {max} %)"
+        );
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_sweep_disarmed,
+    bench_sweep_armed,
+    overhead_guard
+);
+criterion_main!(benches);

@@ -551,11 +551,74 @@ fn campaign_cmd(resume: bool) -> ExperimentResult {
     Ok(())
 }
 
+/// Runs the two paper applications through instrumented characterization
+/// sweeps and exports the unified observability artifacts to
+/// `results/telemetry/`: `metrics.json` (the registry snapshot),
+/// `metrics.prom` (Prometheus text exposition — point a scraper at it),
+/// and `trace.jsonl` (a Chrome-trace JSON array — load it in
+/// `chrome://tracing` or Perfetto to see the sweep → workload → point
+/// span hierarchy).
+fn telemetry_cmd() -> ExperimentResult {
+    use energy_model::characterize::{characterize_with_options, SweepOptions, Workload};
+    use energy_model::telemetry::{MetricValue, SpanLevel, Telemetry};
+    use std::sync::Arc;
+
+    println!("\n## Telemetry — instrumented characterization sweeps (V100)");
+    let spec = DeviceSpec::v100();
+    let freqs = sweep_freqs(&spec);
+    let cronos = cronos_workload(&CronosInput::new(40, 16, 16));
+    let ligen = ligen_workload(&LigenInput::new(1024, 63, 8));
+    let workloads: Vec<(&str, &dyn Workload)> = vec![("cronos", &cronos), ("ligen", &ligen)];
+
+    let tel = Telemetry::new();
+    for (label, w) in &workloads {
+        let _span = tel.span(
+            SpanLevel::Workload,
+            "workload",
+            vec![("app", (*label).into())],
+        );
+        let opts = SweepOptions {
+            reps: REPS,
+            noise_seed: Some(SEED),
+            telemetry: Some(Arc::clone(&tel)),
+            ..SweepOptions::default()
+        };
+        let _ = characterize_with_options(&spec, *w, &freqs, &opts);
+    }
+
+    let snap = tel.registry().snapshot();
+    let rows: Vec<Vec<String>> = snap
+        .metrics
+        .iter()
+        .map(|(name, v)| {
+            let value = match v {
+                MetricValue::Counter(c) => c.to_string(),
+                MetricValue::Gauge(g) => format!("{g}"),
+                MetricValue::Histogram { count, sum, .. } => {
+                    format!("n={count}, sum={sum:.3}")
+                }
+            };
+            vec![name.clone(), value]
+        })
+        .collect();
+    print_table("Metrics registry", &["metric", "value"], &rows);
+
+    let dir = std::path::Path::new("results/telemetry");
+    tel.export(dir)?;
+    println!(
+        "wrote results/telemetry/{{metrics.json, metrics.prom, trace.jsonl}} \
+         ({} trace events, {} dropped)",
+        tel.events().len(),
+        tel.dropped_events()
+    );
+    Ok(())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!(
-            "usage: figures -- <id> [...]   ids: fig1..fig10 table1 table2 fig13 fig14 headline portability sweep-profile campaign [--resume] all"
+            "usage: figures -- <id> [...]   ids: fig1..fig10 table1 table2 fig13 fig14 headline portability sweep-profile campaign [--resume] telemetry all"
         );
         std::process::exit(2);
     }
@@ -581,6 +644,7 @@ fn main() {
             "fig13-mi100" => fig13_mi100(),
             "sweep-profile" => return sweep_profile(),
             "campaign" => return campaign_cmd(resume),
+            "telemetry" => return telemetry_cmd(),
             other => {
                 eprintln!("unknown experiment id: {other}");
                 std::process::exit(2);

@@ -50,6 +50,7 @@ use crate::characterize::{
     SweepDiagnostics, SweepOptions, Workload,
 };
 use crate::persist::{atomic_write_str, read_journal, Journal, PersistError};
+use crate::telemetry::{SpanLevel, Telemetry};
 
 /// Journal file name inside a campaign directory.
 pub const JOURNAL_FILE: &str = "journal.jsonl";
@@ -244,6 +245,13 @@ pub struct CampaignConfig {
     /// journal appends of the current process. The aborted run is a
     /// well-formed crash image: everything appended so far is committed.
     pub crash_after_appends: Option<u64>,
+    /// Observability sink. `None` (the default) is fully disarmed. An
+    /// armed sink only *observes* — results, journal, and snapshots are
+    /// bit-identical either way, and the sink is deliberately **excluded
+    /// from the config fingerprint** so arming telemetry on a resume is
+    /// always compatible. Counters reflect work measured by *this*
+    /// process; items replayed from the journal are not re-counted.
+    pub telemetry: Option<Arc<Telemetry>>,
 }
 
 impl CampaignConfig {
@@ -261,6 +269,7 @@ impl CampaignConfig {
             watchdog_deadline_s: None,
             snapshot_every: 0,
             crash_after_appends: None,
+            telemetry: None,
         }
     }
 
@@ -837,6 +846,21 @@ pub fn run_campaign(
     // like the plain sweep.
     let prices = Arc::new(PriceTable::new());
 
+    let tel = cfg.telemetry.as_deref();
+    let _campaign_span = tel.map(|t| {
+        t.span(
+            SpanLevel::Sweep,
+            "campaign",
+            vec![
+                ("device", cfg.spec.name.clone()),
+                ("slots", cfg.slots.len().to_string()),
+                ("workloads", workloads.len().to_string()),
+                ("freqs", cfg.freqs.len().to_string()),
+                ("pending", state.pending.len().to_string()),
+            ],
+        )
+    });
+
     let mut appends_this_run = 0u64;
     while let Some(item) = state.pending.first().copied() {
         let Some(slot) = state.acquire_slot(&cfg.breaker) else {
@@ -846,6 +870,24 @@ pub fn run_campaign(
             });
         };
         let prior_failures = state.failures[item.flat(cfg.freqs.len())];
+        let item_span = tel.map(|t| {
+            t.registry().counter("campaign.assignments").inc();
+            t.span(
+                SpanLevel::Point,
+                "item",
+                vec![
+                    ("slot", cfg.slots[slot].name.clone()),
+                    ("workload", item.workload.to_string()),
+                    (
+                        "point",
+                        match item.point {
+                            PointId::Baseline => "baseline".into(),
+                            PointId::Freq(i) => format!("{}", cfg.freqs[i]),
+                        },
+                    ),
+                ],
+            )
+        });
         let outcome = measure_item(
             cfg,
             &traces[item.workload],
@@ -854,7 +896,12 @@ pub fn run_campaign(
             slot,
             prior_failures,
         );
+        let totals_before = state.totals;
         let rec = state.step(&cfg.breaker, cfg.freqs.len(), slot, &outcome);
+        if let Some(t) = tel {
+            record_campaign_step(t, &outcome, totals_before, state.totals);
+        }
+        drop(item_span);
         journal.append(&rec)?;
         appends_this_run += 1;
         if cfg.crash_after_appends == Some(appends_this_run) {
@@ -866,8 +913,58 @@ pub fn run_campaign(
             journal = compact(journal, &spath, &jpath, &fingerprint, &state)?;
         }
     }
+    if let Some(t) = tel {
+        t.record_pricing(prices.stats(), prices.len());
+    }
 
     assemble(cfg, workloads, &state)
+}
+
+/// Folds one live scheduler step into the registry: item counters, the
+/// accepted measurement's degradation, and the deltas of the fleet-level
+/// totals the step produced (trips, evictions, misses, re-schedules).
+fn record_campaign_step(tel: &Telemetry, outcome: &ItemOutcome, before: Totals, after: Totals) {
+    let r = tel.registry();
+    match outcome {
+        ItemOutcome::Success { diag, .. } => {
+            r.counter("campaign.items_done").inc();
+            tel.record_degradation(&diag.degradation);
+        }
+        ItemOutcome::Failure { .. } => {
+            r.counter("campaign.items_failed").inc();
+        }
+    }
+    for (name, b, a) in [
+        (
+            "campaign.backend_failures",
+            before.backend_failures,
+            after.backend_failures,
+        ),
+        (
+            "campaign.watchdog_misses",
+            before.watchdog_misses,
+            after.watchdog_misses,
+        ),
+        (
+            "campaign.items_rescheduled",
+            before.items_rescheduled,
+            after.items_rescheduled,
+        ),
+        (
+            "campaign.breaker.trips",
+            before.breaker_trips,
+            after.breaker_trips,
+        ),
+        (
+            "campaign.devices_evicted",
+            before.devices_evicted,
+            after.devices_evicted,
+        ),
+    ] {
+        if a > b {
+            r.counter(name).add(a - b);
+        }
+    }
 }
 
 /// Measures one item on one slot: a fresh device + queue per attempt,
@@ -899,6 +996,10 @@ fn measure_item(
             .with_seed(slot_stream_base(health.seed(), slot, prior_failures)),
         retry: cfg.retry,
         remeasure_limit: cfg.remeasure_limit,
+        // The campaign loop owns all emission; the inner measurement
+        // helpers stay sink-free so their seeding and control flow are
+        // byte-for-byte the plain sweep's.
+        telemetry: None,
     };
     let seed_off = item.seed_off();
     let result = try_measure_attempts(

@@ -40,6 +40,8 @@ use synergy::metrics::DegradationMetrics;
 use synergy::queue::RetryPolicy;
 use synergy::{KernelTrace, SynergyQueue};
 
+use crate::telemetry::{Counter, Histogram, SpanLevel, Telemetry, POINT_TIME_BOUNDS};
+
 /// A workload that can be executed on a SYnergy queue. Implemented here
 /// for the two applications' GPU drivers.
 pub trait Workload: Sync {
@@ -176,6 +178,13 @@ pub struct SweepOptions {
     /// How many times a dirty point (throttled, retried, or failed) is
     /// re-measured on a fresh queue before being flagged as-is.
     pub remeasure_limit: u32,
+    /// Observability sink. `None` (the default) is fully disarmed: no
+    /// metric, span, or trace work anywhere on the sweep path. An armed
+    /// sink only *observes* — sweep results are bit-identical either way
+    /// (pinned by the golden tests below). Honored by
+    /// [`characterize_with_options`] and the campaign scheduler; the
+    /// serial reference path ignores it.
+    pub telemetry: Option<Arc<Telemetry>>,
 }
 
 impl Default for SweepOptions {
@@ -186,7 +195,46 @@ impl Default for SweepOptions {
             faults: FaultPlan::none(),
             retry: RetryPolicy::default(),
             remeasure_limit: 2,
+            telemetry: None,
         }
+    }
+}
+
+/// Pre-resolved handles for the sweep's per-point metrics: name lookups
+/// happen once per sweep, so the per-point cost is pure atomic updates.
+struct SweepMeters {
+    points_priced: Arc<Counter>,
+    remeasurements: Arc<Counter>,
+    points_flagged: Arc<Counter>,
+    point_time_s: Arc<Histogram>,
+}
+
+impl SweepMeters {
+    fn new(tel: &Telemetry) -> Self {
+        let r = tel.registry();
+        SweepMeters {
+            points_priced: r.counter("sweep.points_priced"),
+            remeasurements: r.counter("sweep.remeasurements"),
+            points_flagged: r.counter("sweep.points_flagged"),
+            point_time_s: r.histogram("sweep.point_time_s", &POINT_TIME_BOUNDS),
+        }
+    }
+
+    /// Folds one accepted point into the registry: the priced-point
+    /// counter, re-measurement / flag tallies, the simulated-run-time
+    /// histogram (the *median* time — a deterministic function of the
+    /// measurement, so metric snapshots stay goldenable), and the queue's
+    /// degradation counters.
+    fn record(&self, tel: &Telemetry, m: Measurement, diag: &PointDiagnostics) {
+        self.points_priced.inc();
+        if diag.remeasured > 0 {
+            self.remeasurements.add(u64::from(diag.remeasured));
+        }
+        if diag.flagged {
+            self.points_flagged.inc();
+        }
+        self.point_time_s.observe(m.time_s);
+        tel.record_degradation(&diag.degradation);
     }
 }
 
@@ -427,22 +475,58 @@ pub fn characterize_with_options(
     assert!(!freqs.is_empty(), "need at least one frequency");
     assert!(opts.reps > 0, "need at least one repetition");
 
+    let tel = opts.telemetry.as_deref();
+    let meters = tel.map(SweepMeters::new);
+    let _sweep_span = tel.map(|t| {
+        t.registry().counter("sweep.runs").inc();
+        t.span(
+            SpanLevel::Sweep,
+            "sweep",
+            vec![
+                ("device", spec.name.clone()),
+                ("workload", workload.name()),
+                ("freqs", freqs.len().to_string()),
+                ("reps", opts.reps.to_string()),
+            ],
+        )
+    });
+
     let trace = workload.record(spec);
     let prices = Arc::new(PriceTable::new());
     let make_queue =
         |seed_off: u64, attempt: u32| replay_queue(spec, opts, &prices, seed_off, attempt);
+    // One replayed run = one Launch-level record; the level check comes
+    // before the field strings are built, so a sink not tracing down to
+    // launch granularity costs one comparison per rep, not allocations.
+    let launch_tel = tel.filter(|t| t.traces(SpanLevel::Launch));
+    let run_once = |q: &mut SynergyQueue| {
+        let failed = trace.try_replay_on(q).is_err();
+        if let Some(t) = launch_tel {
+            t.instant(
+                SpanLevel::Launch,
+                "replay",
+                vec![("submissions", q.submission_count().to_string())],
+            );
+        }
+        failed
+    };
 
     // Baseline: the device's default configuration.
-    let (baseline, base_diag) = measure_attempts(
-        opts,
-        |attempt| make_queue(0, attempt),
-        |q| trace.try_replay_on(q).is_err(),
-    );
+    let (baseline, base_diag) = {
+        let _span =
+            tel.map(|t| t.span(SpanLevel::Point, "point", vec![("freq", "baseline".into())]));
+        measure_attempts(opts, |attempt| make_queue(0, attempt), run_once)
+    };
+    if let (Some(t), Some(m)) = (tel, &meters) {
+        m.record(t, baseline, &base_diag);
+    }
 
     let results: Vec<(CharPoint, PointDiagnostics)> = freqs
         .par_iter()
         .enumerate()
         .map(|(i, &f)| {
+            let _span =
+                tel.map(|t| t.span(SpanLevel::Point, "point", vec![("freq", format!("{f}"))]));
             let (m, mut diag) = measure_attempts(
                 opts,
                 |attempt| {
@@ -450,13 +534,19 @@ pub fn characterize_with_options(
                     q.set_policy(synergy::FrequencyPolicy::Fixed(f));
                     q
                 },
-                |q| trace.try_replay_on(q).is_err(),
+                run_once,
             );
             diag.freq_mhz = Some(f);
+            if let (Some(t), Some(sm)) = (tel, &meters) {
+                sm.record(t, m, &diag);
+            }
             (char_point(f, m, baseline), diag)
         })
         .collect();
     let (points, diags): (Vec<CharPoint>, Vec<PointDiagnostics>) = results.into_iter().unzip();
+    if let Some(t) = tel {
+        t.record_pricing(prices.stats(), prices.len());
+    }
 
     (
         Characterization {
@@ -842,6 +932,87 @@ mod tests {
         assert!(diag.is_clean());
     }
 
+    // ---- Telemetry inertness ----
+
+    #[test]
+    fn telemetry_armed_sweep_is_bit_identical() {
+        // Same discipline as the inert FaultPlan: an armed sink may
+        // observe, never perturb. Every f64 must match exactly.
+        let spec = v100();
+        let freqs = [500.0, 900.0, 1312.1, 1597.0];
+        let (plain, plain_diag) =
+            characterize_with_options(&spec, &small_cronos(), &freqs, &inert_opts(3, Some(42)));
+        let tel = Telemetry::new();
+        let opts = SweepOptions {
+            telemetry: Some(Arc::clone(&tel)),
+            ..inert_opts(3, Some(42))
+        };
+        let (armed, armed_diag) = characterize_with_options(&spec, &small_cronos(), &freqs, &opts);
+        assert_identical(&plain, &armed);
+        assert_eq!(plain_diag, armed_diag);
+
+        // And the sink actually observed the sweep: baseline + every
+        // frequency point priced, the sweep span opened and closed.
+        let snap = tel.registry().snapshot();
+        let get = |name: &str| {
+            snap.metrics
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| v.clone())
+        };
+        use crate::telemetry::MetricValue;
+        assert_eq!(get("sweep.runs"), Some(MetricValue::Counter(1)));
+        assert_eq!(
+            get("sweep.points_priced"),
+            Some(MetricValue::Counter(1 + freqs.len() as u64))
+        );
+        // Sweep meters are pre-registered (Prometheus style), so a clean
+        // sweep reports them as explicit zeros.
+        assert_eq!(
+            get("sweep.points_flagged"),
+            Some(MetricValue::Counter(0)),
+            "inert plan: no flags"
+        );
+        assert_eq!(get("sweep.remeasurements"), Some(MetricValue::Counter(0)));
+        match get("sweep.point_time_s") {
+            Some(MetricValue::Histogram { count, sum, .. }) => {
+                assert_eq!(count, 1 + freqs.len() as u64);
+                assert!(sum > 0.0);
+            }
+            other => panic!("expected the point-time histogram, got {other:?}"),
+        }
+        let events = tel.events();
+        let sweep_begins = events
+            .iter()
+            .filter(|e| e.span == "sweep" && e.kind == crate::telemetry::EventKind::Begin)
+            .count();
+        let point_begins = events
+            .iter()
+            .filter(|e| e.span == "point" && e.kind == crate::telemetry::EventKind::Begin)
+            .count();
+        assert_eq!(sweep_begins, 1);
+        assert_eq!(point_begins, 1 + freqs.len());
+        assert_eq!(tel.dropped_events(), 0);
+    }
+
+    #[test]
+    fn launch_level_tracing_is_also_inert() {
+        let spec = v100();
+        let freqs = [900.0, 1312.1];
+        let (plain, _) =
+            characterize_with_options(&spec, &small_cronos(), &freqs, &inert_opts(2, None));
+        let tel = Telemetry::with_trace_level(SpanLevel::Launch);
+        let opts = SweepOptions {
+            telemetry: Some(Arc::clone(&tel)),
+            ..inert_opts(2, None)
+        };
+        let (armed, _) = characterize_with_options(&spec, &small_cronos(), &freqs, &opts);
+        assert_identical(&plain, &armed);
+        // One replay instant per rep per point: (1 + freqs) × reps.
+        let replays = tel.events().iter().filter(|e| e.span == "replay").count();
+        assert_eq!(replays, (1 + freqs.len()) * 2);
+    }
+
     // ---- Fault-aware sweep behaviour under a live plan ----
 
     #[test]
@@ -866,6 +1037,7 @@ mod tests {
                 .reset_energy_counter(Schedule::Prob(0.05)),
             retry: RetryPolicy::default(),
             remeasure_limit: 1,
+            telemetry: None,
         };
         let (c, diag) = characterize_with_options(&spec, &small_cronos(), &freqs, &opts);
         assert!(c
@@ -904,6 +1076,7 @@ mod tests {
             faults: FaultPlan::seeded(3).reject_set_frequency(Schedule::once(0)),
             retry: RetryPolicy::default(),
             remeasure_limit: 2,
+            telemetry: None,
         };
         let (c, diag) = characterize_with_options(&spec, &small_cronos(), &[900.0], &opts);
         assert!(c.points[0].time_s > 0.0);

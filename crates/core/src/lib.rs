@@ -33,6 +33,10 @@
 //! * [`quarantine`] — the data-quality gate between sweep diagnostics
 //!   and training: degraded points are dropped with recorded provenance
 //!   instead of silently skewing the models;
+//! * [`telemetry`] — the unified observability layer: a typed metrics
+//!   registry, a bounded structured-event trace with profiling spans
+//!   (sweep → workload → point → launch), and Prometheus / Chrome-trace
+//!   exporters — armed telemetry leaves every result bit-identical;
 //! * [`workflow`] — the end-to-end training/prediction phases;
 //! * [`eval`] — the §5.2 evaluation protocol: leave-one-input-out
 //!   cross-validation, per-input MAPE, and Pareto set comparison;
@@ -51,6 +55,7 @@ pub mod pareto;
 pub mod per_kernel;
 pub mod persist;
 pub mod quarantine;
+pub mod telemetry;
 pub mod workflow;
 
 pub use campaign::{
@@ -69,3 +74,4 @@ pub use persist::{atomic_write, atomic_write_str, PersistError};
 pub use quarantine::{
     quarantine_results, quarantine_sweep, QuarantinePolicy, QuarantineReason, QuarantineReport,
 };
+pub use telemetry::{MetricsSnapshot, Registry, SpanLevel, Telemetry};

@@ -24,10 +24,16 @@
 //!
 //! A 64-bit hash can collide in principle, so every entry stores the full
 //! [`KernelProfile`] it was priced for and a hit is only served after an
-//! exact equality check; a mismatch falls back to computing (and not
-//! caching) the price. Cached values are therefore *bit-identical* to what
-//! the uncached path would produce — the property the trace-replay sweep
-//! engine relies on.
+//! exact equality check. Colliding profiles live in a per-key overflow
+//! chain (a short `Vec`, verified entry by entry), so a collision costs
+//! one extra equality compare per lookup — it never disables memoization
+//! for the colliding kernel. Cached values are therefore *bit-identical*
+//! to what the uncached path would produce — the property the
+//! trace-replay sweep engine relies on.
+//!
+//! Lookup traffic is counted ([`PriceTable::stats`]): hits, misses, and
+//! chain collisions, cheap relaxed atomics on the hot path, so sweeps can
+//! surface cache effectiveness through the telemetry registry.
 //!
 //! The table is internally synchronized (`RwLock`) and meant to be shared
 //! across devices via `Arc`: a parallel sweep hands one table to every
@@ -35,6 +41,7 @@
 //! sweep is priced exactly once.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
 
 use crate::kernel::KernelProfile;
@@ -120,11 +127,28 @@ struct PriceEntry {
     energy_j: f64,
 }
 
+/// Lookup counters of a [`PriceTable`] — how effective the memo cache was
+/// over its lifetime. Counters are cumulative across [`PriceTable::clear`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PriceTableStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to run the cost model (first sight of the key, or
+    /// first sight of a colliding profile under an occupied key).
+    pub misses: u64,
+    /// Entries chained behind another profile with the same 64-bit kernel
+    /// id — each one is a real `kernel_cache_id` collision.
+    pub collisions: u64,
+}
+
 /// A shareable, internally synchronized memo cache of noiseless launch
 /// prices, keyed by `(kernel-id, freq-bits)`. See the module docs.
 #[derive(Default)]
 pub struct PriceTable {
-    entries: RwLock<HashMap<PriceKey, PriceEntry, std::hash::BuildHasherDefault<KeyHasher>>>,
+    entries: RwLock<HashMap<PriceKey, Vec<PriceEntry>, std::hash::BuildHasherDefault<KeyHasher>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    collisions: AtomicU64,
 }
 
 impl PriceTable {
@@ -133,9 +157,15 @@ impl PriceTable {
         PriceTable::default()
     }
 
-    /// Number of cached `(kernel, frequency)` prices.
+    /// Number of cached `(kernel, frequency)` prices, chained collision
+    /// entries included.
     pub fn len(&self) -> usize {
-        self.entries.read().expect("price table poisoned").len()
+        self.entries
+            .read()
+            .expect("price table poisoned")
+            .values()
+            .map(Vec::len)
+            .sum()
     }
 
     /// True when nothing has been priced yet.
@@ -143,15 +173,27 @@ impl PriceTable {
         self.len() == 0
     }
 
-    /// Drops all cached prices.
+    /// Drops all cached prices. Lifetime lookup counters survive.
     pub fn clear(&self) {
         self.entries.write().expect("price table poisoned").clear();
     }
 
+    /// Lifetime lookup counters (relaxed reads; exact once concurrent
+    /// pricing has quiesced).
+    pub fn stats(&self) -> PriceTableStats {
+        PriceTableStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            collisions: self.collisions.load(Ordering::Relaxed),
+        }
+    }
+
     /// Returns the cached price for `(kernel, core_mhz, mem_mhz)`, or
-    /// computes it with `compute` and caches it. On the (theoretical)
-    /// kernel-id collision the price is computed but *not* cached, so a
-    /// collision can never serve wrong numbers.
+    /// computes it with `compute` and caches it. A kernel-id collision
+    /// (two unequal profiles hashing to the same 64-bit id) lands the new
+    /// profile in the key's overflow chain: lookups verify by equality
+    /// over the chain, so a collision can never serve wrong numbers *and*
+    /// never disables memoization for either kernel.
     pub fn price_or_insert_with(
         &self,
         kernel: &KernelProfile,
@@ -159,26 +201,49 @@ impl PriceTable {
         mem_mhz: f64,
         compute: impl FnOnce() -> (f64, f64),
     ) -> (f64, f64) {
+        self.price_with_id(kernel_cache_id(kernel), kernel, core_mhz, mem_mhz, compute)
+    }
+
+    /// [`Self::price_or_insert_with`] with the kernel id supplied by the
+    /// caller. Internal seam: 64-bit FNV collisions cannot be constructed
+    /// on demand, so the collision-chain tests force one by pinning the id.
+    fn price_with_id(
+        &self,
+        kernel_id: u64,
+        kernel: &KernelProfile,
+        core_mhz: f64,
+        mem_mhz: f64,
+        compute: impl FnOnce() -> (f64, f64),
+    ) -> (f64, f64) {
         let key = PriceKey {
-            kernel_id: kernel_cache_id(kernel),
+            kernel_id,
             core_bits: core_mhz.to_bits(),
             mem_bits: mem_mhz.to_bits(),
         };
-        if let Some(entry) = self.entries.read().expect("price table poisoned").get(&key) {
-            if entry.profile == *kernel {
+        if let Some(chain) = self.entries.read().expect("price table poisoned").get(&key) {
+            if let Some(entry) = chain.iter().find(|e| e.profile == *kernel) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
                 return (entry.time_s, entry.energy_j);
             }
-            return compute();
         }
         let (time_s, energy_j) = compute();
-        self.entries.write().expect("price table poisoned").insert(
-            key,
-            PriceEntry {
-                profile: kernel.clone(),
-                time_s,
-                energy_j,
-            },
-        );
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.entries.write().expect("price table poisoned");
+        let chain = map.entry(key).or_default();
+        // Re-check under the write lock: a racing thread may have priced
+        // the same profile between our read probe and here. The model is
+        // pure, so serving its entry is bit-identical to serving ours.
+        if let Some(entry) = chain.iter().find(|e| e.profile == *kernel) {
+            return (entry.time_s, entry.energy_j);
+        }
+        if !chain.is_empty() {
+            self.collisions.fetch_add(1, Ordering::Relaxed);
+        }
+        chain.push(PriceEntry {
+            profile: kernel.clone(),
+            time_s,
+            energy_j,
+        });
         (time_s, energy_j)
     }
 }
@@ -187,6 +252,7 @@ impl std::fmt::Debug for PriceTable {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PriceTable")
             .field("entries", &self.len())
+            .field("stats", &self.stats())
             .finish()
     }
 }
@@ -262,5 +328,63 @@ mod tests {
         assert!(!table.is_empty());
         table.clear();
         assert!(table.is_empty());
+    }
+
+    #[test]
+    fn stats_count_hits_and_misses() {
+        let table = PriceTable::new();
+        let kernel = k("a", 1000);
+        table.price_or_insert_with(&kernel, 1312.0, 1107.0, || (1.0, 2.0));
+        table.price_or_insert_with(&kernel, 1312.0, 1107.0, || unreachable!());
+        table.price_or_insert_with(&kernel, 1312.0, 1107.0, || unreachable!());
+        let s = table.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.collisions, 0);
+    }
+
+    #[test]
+    fn colliding_profiles_are_both_cached() {
+        // Force two different profiles onto the same 64-bit kernel id:
+        // the second must land in the overflow chain and memoize, not
+        // permanently fall back to recomputation.
+        let table = PriceTable::new();
+        let a = k("a", 1000);
+        let b = k("b", 2000);
+        let mut b_computes = 0;
+        table.price_with_id(42, &a, 1312.0, 1107.0, || (1.0, 10.0));
+        let first_b = table.price_with_id(42, &b, 1312.0, 1107.0, || {
+            b_computes += 1;
+            (2.0, 20.0)
+        });
+        assert_eq!(first_b, (2.0, 20.0));
+        // Both profiles now hit, each serving its own numbers.
+        let hit_a = table.price_with_id(42, &a, 1312.0, 1107.0, || unreachable!());
+        let hit_b = table.price_with_id(42, &b, 1312.0, 1107.0, || {
+            b_computes += 1;
+            (99.0, 99.0)
+        });
+        assert_eq!(hit_a, (1.0, 10.0));
+        assert_eq!(hit_b, (2.0, 20.0));
+        assert_eq!(b_computes, 1, "collision must not disable memoization");
+        assert_eq!(table.len(), 2, "chain holds both colliding profiles");
+        let s = table.stats();
+        assert_eq!(s.collisions, 1);
+        assert_eq!(s.misses, 2);
+        assert_eq!(s.hits, 2);
+    }
+
+    #[test]
+    fn collision_chain_survives_repeated_lookups() {
+        let table = PriceTable::new();
+        let profiles: Vec<KernelProfile> = (0..4).map(|i| k("k", 1000 + i)).collect();
+        for (i, p) in profiles.iter().enumerate() {
+            table.price_with_id(7, p, 800.0, 1107.0, || (i as f64, i as f64));
+        }
+        assert_eq!(table.stats().collisions, 3);
+        for (i, p) in profiles.iter().enumerate() {
+            let got = table.price_with_id(7, p, 800.0, 1107.0, || unreachable!());
+            assert_eq!(got, (i as f64, i as f64));
+        }
     }
 }

@@ -9,7 +9,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::trace::Trace;
+use crate::trace::{Trace, TraceEvent};
 
 /// One power sample.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -23,29 +23,41 @@ pub struct PowerSample {
 /// Samples the power timeline implied by `trace` every `period_s`, from 0
 /// to the end of the last event. Gaps between kernels report `idle_w`.
 ///
+/// Events are sorted once and consumed by a forward-only cursor (kernel
+/// executions on one device never overlap), so sampling is
+/// O(events·log events + samples) instead of O(events × samples). Sample
+/// timestamps come from the index grid `t = i · period_s`, not a running
+/// `t += period_s` accumulator, so long timelines cannot drift off the
+/// grid or drop/duplicate the final sample to accumulated rounding.
+///
 /// # Panics
 /// Panics on a non-positive period.
 pub fn sample_power(trace: &Trace, period_s: f64, idle_w: f64) -> Vec<PowerSample> {
     assert!(period_s > 0.0, "sampling period must be positive");
-    let end = trace
-        .events()
+    let mut events: Vec<&TraceEvent> = trace.events().iter().collect();
+    events.sort_by(|a, b| a.start_s.total_cmp(&b.start_s));
+    let end = events
         .iter()
         .map(|e| e.start_s + e.duration_s)
         .fold(0.0f64, f64::max);
     let mut samples = Vec::new();
-    let mut t = 0.0;
-    while t <= end {
-        let power = trace
-            .events()
-            .iter()
-            .find(|e| t >= e.start_s && t < e.start_s + e.duration_s)
-            .map(|e| e.avg_power_w)
-            .unwrap_or(idle_w);
+    let mut cursor = 0;
+    for i in 0u64.. {
+        let t = i as f64 * period_s;
+        if t > end {
+            break;
+        }
+        while cursor < events.len() && events[cursor].start_s + events[cursor].duration_s <= t {
+            cursor += 1;
+        }
+        let power = match events.get(cursor) {
+            Some(e) if e.start_s <= t => e.avg_power_w,
+            _ => idle_w,
+        };
         samples.push(PowerSample {
             t_s: t,
             power_w: power,
         });
-        t += period_s;
     }
     samples
 }
@@ -131,5 +143,60 @@ mod tests {
     fn zero_period_rejected() {
         let dev = Device::new(DeviceSpec::v100());
         let _ = sample_power(dev.trace(), 0.0, 30.0);
+    }
+
+    #[test]
+    fn sample_timestamps_sit_exactly_on_the_index_grid() {
+        // A running `t += period` accumulator drifts (0.1 is not exactly
+        // representable); the index grid must reproduce `i * period`
+        // bit-exactly at every sample, however long the timeline.
+        let mut dev = Device::new(DeviceSpec::v100());
+        let k = KernelProfile::compute_bound("k", 500_000_000, 400.0);
+        for _ in 0..5 {
+            dev.idle_advance(0.37);
+            dev.launch(&k).unwrap();
+        }
+        let period = 0.1;
+        let samples = sample_power(dev.trace(), period, 30.0);
+        assert!(samples.len() > 10);
+        for (i, s) in samples.iter().enumerate() {
+            assert_eq!(s.t_s, i as f64 * period, "sample {i} off the grid");
+        }
+        // The final grid point at or before the end is present: no sample
+        // dropped to accumulated rounding.
+        let end = dev.clock_s();
+        let last = samples.last().unwrap().t_s;
+        assert!(last <= end, "last sample {last} beyond the end {end}");
+        assert!(
+            samples.len() as f64 * period > end,
+            "grid point {} <= end {end} was dropped",
+            samples.len() as f64 * period
+        );
+    }
+
+    #[test]
+    fn cursor_scan_matches_per_sample_linear_scan() {
+        // The sorted-cursor implementation must report exactly what the
+        // original O(events × samples) scan reported at every tick.
+        let mut dev = Device::new(DeviceSpec::v100());
+        let a = KernelProfile::compute_bound("a", 50_000_000, 400.0);
+        let b = KernelProfile::memory_bound("b", 20_000_000, 300.0);
+        for _ in 0..4 {
+            dev.launch(&a).unwrap();
+            dev.idle_advance(0.01);
+            dev.launch(&b).unwrap();
+        }
+        let idle = 25.0;
+        let samples = sample_power(dev.trace(), 0.003, idle);
+        for s in &samples {
+            let expect = dev
+                .trace()
+                .events()
+                .iter()
+                .find(|e| s.t_s >= e.start_s && s.t_s < e.start_s + e.duration_s)
+                .map(|e| e.avg_power_w)
+                .unwrap_or(idle);
+            assert_eq!(s.power_w, expect, "diverged at t = {}", s.t_s);
+        }
     }
 }

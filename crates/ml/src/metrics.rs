@@ -75,6 +75,15 @@ pub fn r2(y_true: &[f64], y_pred: &[f64]) -> f64 {
 fn check(y_true: &[f64], y_pred: &[f64]) {
     assert_eq!(y_true.len(), y_pred.len(), "length mismatch");
     assert!(!y_true.is_empty(), "metrics need at least one sample");
+    // A NaN or infinite value would otherwise propagate silently through
+    // every mean (NaN poisons sums; ±inf turns MAPE/R² into ±inf) and land
+    // unnoticed in the Figure-13 accuracy tables.
+    for (i, t) in y_true.iter().enumerate() {
+        assert!(t.is_finite(), "non-finite true value at index {i}: {t}");
+    }
+    for (i, p) in y_pred.iter().enumerate() {
+        assert!(p.is_finite(), "non-finite prediction at index {i}: {p}");
+    }
 }
 
 #[cfg(test)]
@@ -131,5 +140,29 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn mismatched_lengths_panic() {
         let _ = mae(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite prediction at index 1")]
+    fn nan_prediction_rejected() {
+        let _ = mape(&[1.0, 2.0], &[1.0, f64::NAN]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite prediction at index 0")]
+    fn infinite_prediction_rejected() {
+        let _ = r2(&[1.0, 2.0], &[f64::INFINITY, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite true value at index 0")]
+    fn nan_truth_rejected() {
+        let _ = mae(&[f64::NAN], &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite true value at index 1")]
+    fn infinite_truth_rejected() {
+        let _ = mse(&[1.0, f64::NEG_INFINITY], &[1.0, 2.0]);
     }
 }

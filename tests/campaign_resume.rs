@@ -108,6 +108,7 @@ fn healthy_single_slot_campaign_matches_the_plain_sweep_bit_for_bit() {
             faults: FaultPlan::none(),
             retry: cfg.retry,
             remeasure_limit: cfg.remeasure_limit,
+            telemetry: None,
         };
         let plain = characterize_with_options(&spec, &cronos, &cfg.freqs, &opts);
         assert_eq!(outcome.results.len(), 1);
@@ -138,6 +139,7 @@ fn nonfatal_faults_single_slot_campaign_matches_the_plain_sweep() {
         faults: plan,
         retry: cfg.retry,
         remeasure_limit: cfg.remeasure_limit,
+        telemetry: None,
     };
     let plain = characterize_with_options(&spec, &ligen, &cfg.freqs, &opts);
     assert_eq!(outcome.results[0], plain);
@@ -324,6 +326,7 @@ fn a_permanently_lost_device_is_evicted_and_survivors_finish_the_work() {
         faults: FaultPlan::none(),
         retry: cfg.retry,
         remeasure_limit: cfg.remeasure_limit,
+        telemetry: None,
     };
     let plain = characterize_with_options(&spec, &cronos, &cfg.freqs, &opts);
     assert_eq!(outcome.results[0].0, plain.0);

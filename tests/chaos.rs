@@ -294,6 +294,7 @@ fn characterize_degrades_gracefully_under_a_live_fault_plan() {
             ),
         retry: RetryPolicy::default(),
         remeasure_limit: 2,
+        telemetry: None,
     };
     let (c, diag) = characterize_with_options(&spec, &small_cronos(), &freqs, &opts);
 
