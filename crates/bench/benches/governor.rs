@@ -1,0 +1,111 @@
+//! Governor serving-path benchmarks: what one online decision costs, and
+//! how much the prediction memo cache buys on a repetitive job stream.
+//!
+//! Groups:
+//!
+//! * `governor/predict_cold` — full forest inference + Pareto filtering
+//!   per request (cache defeated by varying features);
+//! * `governor/predict_warm` — the same request stream with the natural
+//!   repetition of the pinned job mix (cache does its job);
+//! * `governor/closed_loop` — a short end-to-end run against a published
+//!   registry, the number that bounds what a governor tick costs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use governor::{
+    run_governor, train_and_publish, EngineConfig, GovernorConfig, ModelRegistry, Policy,
+    PredictionEngine, PredictionRequest,
+};
+
+fn bench_cfg() -> GovernorConfig {
+    let mut cfg = GovernorConfig::pinned(Policy::MinEnergyUnderDeadline);
+    cfg.n_jobs = 12;
+    cfg.freq_stride = 4;
+    cfg.train_stride = 4;
+    cfg
+}
+
+fn published_registry(dir: &std::path::Path) -> ModelRegistry {
+    let _ = std::fs::remove_dir_all(dir);
+    let registry = ModelRegistry::open(dir);
+    train_and_publish(&bench_cfg(), &registry).expect("publish models");
+    registry
+}
+
+fn engine_from(registry: &ModelRegistry, cfg: &GovernorConfig) -> PredictionEngine {
+    let freqs = energy_model::workflow::experiment_frequencies(&cfg.spec, cfg.freq_stride);
+    let mut engine = PredictionEngine::new(EngineConfig {
+        freqs,
+        queue_capacity: 64,
+        max_batch: 64,
+    });
+    let (model, _, _) = registry.load("ligen", None).expect("published model");
+    engine.install_model("ligen", model);
+    engine
+}
+
+fn bench_predict_cold(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join("governor-bench-registry");
+    let registry = published_registry(&dir);
+    let cfg = bench_cfg();
+    let mut engine = engine_from(&registry, &cfg);
+    let mut group = c.benchmark_group("governor/predict_cold");
+    group.sample_size(10);
+    let mut ligands = 0u64;
+    group.bench_function("ligen_unique_inputs", |b| {
+        b.iter(|| {
+            ligands += 1;
+            engine
+                .try_enqueue(PredictionRequest {
+                    job_id: ligands,
+                    app: "ligen".to_string(),
+                    features: vec![1000.0 + ligands as f64, 20.0, 89.0],
+                })
+                .expect("queue has room");
+            engine.drain_batch()
+        })
+    });
+    group.finish();
+}
+
+fn bench_predict_warm(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join("governor-bench-registry");
+    let registry = published_registry(&dir);
+    let cfg = bench_cfg();
+    let mut engine = engine_from(&registry, &cfg);
+    let mut group = c.benchmark_group("governor/predict_warm");
+    group.sample_size(10);
+    let mut id = 0u64;
+    group.bench_function("ligen_repeated_input", |b| {
+        b.iter(|| {
+            id += 1;
+            engine
+                .try_enqueue(PredictionRequest {
+                    job_id: id,
+                    app: "ligen".to_string(),
+                    features: vec![4000.0, 20.0, 89.0],
+                })
+                .expect("queue has room");
+            engine.drain_batch()
+        })
+    });
+    group.finish();
+}
+
+fn bench_closed_loop(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join("governor-bench-registry");
+    let registry = published_registry(&dir);
+    let cfg = bench_cfg();
+    let mut group = c.benchmark_group("governor/closed_loop");
+    group.sample_size(10);
+    group.bench_function("v100_12_jobs", |b| b.iter(|| run_governor(&cfg, &registry)));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_predict_cold,
+    bench_predict_warm,
+    bench_closed_loop
+);
+criterion_main!(benches);

@@ -551,6 +551,109 @@ fn campaign_cmd(resume: bool) -> ExperimentResult {
     Ok(())
 }
 
+/// Runs the closed-loop online experiment: train and publish the two
+/// domain-specific models into a registry under `results/governor/`,
+/// replay the pinned job stream under the `default-clock` baseline and
+/// the requested policies, and record the headline comparison (energy
+/// saved vs the baseline, deadline miss rate, prediction-cache hit rate)
+/// in `results/governor/summary.json`.
+fn govern_cmd(policies: &[governor::Policy]) -> ExperimentResult {
+    use governor::{run_governor, train_and_publish, GovernorConfig, ModelRegistry, Policy};
+    use serde::Serialize;
+
+    println!("\n## Govern — deadline-aware closed-loop DVFS (V100)");
+    let dir = std::path::Path::new("results/governor");
+    let registry = ModelRegistry::open(&dir.join("registry"));
+    let base_cfg = GovernorConfig::pinned(Policy::DefaultClock);
+    let fingerprint = train_and_publish(&base_cfg, &registry)?;
+    println!(
+        "published cronos v{:04} + ligen v{:04} (fingerprint {fingerprint:#018x})",
+        registry.latest("cronos")?,
+        registry.latest("ligen")?
+    );
+
+    let baseline = run_governor(&base_cfg, &registry);
+
+    #[derive(Serialize)]
+    struct PolicyRow {
+        policy: String,
+        total_time_s: f64,
+        total_energy_j: f64,
+        energy_saved_vs_default: f64,
+        deadline_miss_rate: f64,
+        fallbacks: usize,
+        cache_hit_rate: f64,
+    }
+
+    let mut rows = Vec::new();
+    let mut reports = vec![baseline.clone()];
+    for &policy in policies {
+        if policy != Policy::DefaultClock {
+            let mut cfg = base_cfg.clone();
+            cfg.policy = policy;
+            reports.push(run_governor(&cfg, &registry));
+        }
+    }
+    for report in &reports {
+        rows.push(PolicyRow {
+            policy: report.policy.name().to_string(),
+            total_time_s: report.total_time_s,
+            total_energy_j: report.total_energy_j,
+            energy_saved_vs_default: 1.0 - report.total_energy_j / baseline.total_energy_j,
+            deadline_miss_rate: report.miss_rate,
+            fallbacks: report.fallbacks,
+            cache_hit_rate: report.cache.hit_rate(),
+        });
+    }
+
+    print_table(
+        "Closed-loop governor vs default clock (pinned stream, 40 jobs)",
+        &[
+            "policy",
+            "time (s)",
+            "energy (J)",
+            "energy saved",
+            "miss rate",
+            "fallbacks",
+            "cache hit rate",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.policy.clone(),
+                    format!("{:.3}", r.total_time_s),
+                    format!("{:.1}", r.total_energy_j),
+                    format!("{:.1}%", 100.0 * r.energy_saved_vs_default),
+                    format!("{:.1}%", 100.0 * r.deadline_miss_rate),
+                    r.fallbacks.to_string(),
+                    format!("{:.1}%", 100.0 * r.cache_hit_rate),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    #[derive(Serialize)]
+    struct Summary {
+        device: String,
+        seed: u64,
+        n_jobs: usize,
+        training_fingerprint: u64,
+        policies: Vec<PolicyRow>,
+    }
+    let summary = Summary {
+        device: baseline.device.clone(),
+        seed: baseline.seed,
+        n_jobs: baseline.n_jobs,
+        training_fingerprint: fingerprint,
+        policies: rows,
+    };
+    let json = serde_json::to_string_pretty(&summary)?;
+    atomic_write_str(&dir.join("summary.json"), &json)?;
+    println!("wrote results/governor/summary.json");
+    Ok(())
+}
+
 /// Runs the two paper applications through instrumented characterization
 /// sweeps and exports the unified observability artifacts to
 /// `results/telemetry/`: `metrics.json` (the registry snapshot),
@@ -618,11 +721,36 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!(
-            "usage: figures -- <id> [...]   ids: fig1..fig10 table1 table2 fig13 fig14 headline portability sweep-profile campaign [--resume] telemetry all"
+            "usage: figures -- <id> [...]   ids: fig1..fig10 table1 table2 fig13 fig14 headline portability sweep-profile campaign [--resume] telemetry govern [--policy <name>] all"
         );
         std::process::exit(2);
     }
     let resume = args.iter().any(|a| a == "--resume");
+    // `--policy <name>` (repeatable) selects which governor policies run
+    // against the default-clock baseline; default is all of them.
+    let mut policies: Vec<governor::Policy> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        if a == "--policy" {
+            match iter.next().map(|s| governor::Policy::parse(s)) {
+                Some(Some(p)) => policies.push(p),
+                _ => {
+                    eprintln!(
+                        "--policy needs one of: {}",
+                        governor::Policy::all()
+                            .iter()
+                            .map(|p| p.name())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    if policies.is_empty() {
+        policies = governor::Policy::all().to_vec();
+    }
     let run = |id: &str| -> ExperimentResult {
         match id {
             "fig1" => fig1(),
@@ -645,6 +773,7 @@ fn main() {
             "sweep-profile" => return sweep_profile(),
             "campaign" => return campaign_cmd(resume),
             "telemetry" => return telemetry_cmd(),
+            "govern" => return govern_cmd(&policies),
             other => {
                 eprintln!("unknown experiment id: {other}");
                 std::process::exit(2);
@@ -652,9 +781,18 @@ fn main() {
         }
         Ok(())
     };
+    let mut skip_next = false;
     for id in &args {
+        if skip_next {
+            skip_next = false;
+            continue; // the value of a `--policy` flag
+        }
         if id == "--resume" {
             continue; // flag for `campaign`, not an experiment id
+        }
+        if id == "--policy" {
+            skip_next = true; // flag for `govern`, not an experiment id
+            continue;
         }
         let result = if id == "all" {
             [

@@ -297,6 +297,13 @@ impl DomainSpecificModel {
         self.default_freq_mhz
     }
 
+    /// Width of the feature vectors this model was trained on — callers
+    /// serving predictions validate request width against this instead of
+    /// tripping the `predict_time_energy` assertion.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
     /// Serializes the trained model pair to JSON — train once during the
     /// (expensive) training phase, ship the model to the runtime that does
     /// frequency selection.

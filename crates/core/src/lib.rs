@@ -23,6 +23,10 @@
 //!   Forests over (input features ‖ frequency) predicting time and energy,
 //!   normalized into speedup / normalized energy at prediction time
 //!   (Figures 11–12);
+//! * [`artifact`] — versioned, checksummed model artifacts: the envelope
+//!   (schema version, content digest, training fingerprint) that lets a
+//!   runtime loader reject corrupt or stale models with typed errors
+//!   instead of trusting arbitrary JSON;
 //! * [`campaign`] — crash-consistent multi-device characterization
 //!   campaigns: an fsynced journal with atomic snapshot compaction
 //!   (kill-anywhere resume, bit-identical results), per-device circuit
@@ -44,6 +48,7 @@
 //!   domain-specific models and per-kernel frequency plans that drop into
 //!   SYnergy's per-kernel scaling.
 
+pub mod artifact;
 pub mod campaign;
 pub mod characterize;
 pub mod ds_model;
@@ -58,6 +63,9 @@ pub mod quarantine;
 pub mod telemetry;
 pub mod workflow;
 
+pub use artifact::{
+    fnv1a_64, training_fingerprint, ArtifactError, ModelArtifact, ARTIFACT_SCHEMA_VERSION,
+};
 pub use campaign::{
     run_campaign, BreakerConfig, CampaignConfig, CampaignError, CampaignMetrics, CampaignOutcome,
     DeviceSlot,

@@ -18,10 +18,57 @@ pub fn dominates(a: (f64, f64), b: (f64, f64)) -> bool {
 /// Indices of the Pareto-optimal points, in input order. Duplicate
 /// non-dominated points are all kept (they correspond to distinct
 /// frequency configurations with identical outcomes).
+///
+/// Sort-and-sweep, `O(n log n)`: points are visited in descending-speedup
+/// groups; within a group only the minimum-energy points survive (an
+/// equal-speedup, lower-energy sibling dominates the rest), and a group
+/// survives at all only if its minimum energy is *strictly* below the
+/// best energy seen at any strictly higher speedup (a faster point with
+/// energy ≤ ours dominates us). Points with a NaN coordinate are
+/// incomparable under [`dominates`] — they neither dominate nor are
+/// dominated — so they are always on the front, exactly as the quadratic
+/// all-pairs scan classified them.
 pub fn pareto_front_indices(points: &[(f64, f64)]) -> Vec<usize> {
-    (0..points.len())
-        .filter(|&i| !points.iter().any(|&q| dominates(q, points[i])))
-        .collect()
+    let n = points.len();
+    let mut on_front = vec![true; n];
+    let mut order: Vec<usize> = (0..n)
+        .filter(|&i| !points[i].0.is_nan() && !points[i].1.is_nan())
+        .collect();
+    order.sort_by(|&a, &b| {
+        points[b]
+            .0
+            .total_cmp(&points[a].0)
+            .then(points[a].1.total_cmp(&points[b].1))
+    });
+    // Minimum energy among points with strictly greater speedup than the
+    // current group (those dominate at energy ≤ ours: speedup is already
+    // strictly better). `None` until a group has been seen — a literal
+    // +∞ sentinel would wrongly reject a genuine (fastest, energy = +∞)
+    // point.
+    let mut best_above: Option<f64> = None;
+    let mut i = 0;
+    while i < order.len() {
+        let speedup = points[order[i]].0;
+        let mut j = i;
+        // Group by numeric equality, so -0.0 and 0.0 share a group just
+        // as dominance compares them equal. (That also means the group is
+        // not necessarily one sorted run — the minimum is computed below,
+        // not taken from the first element.)
+        while j < order.len() && points[order[j]].0 == speedup {
+            j += 1;
+        }
+        let group_min = order[i..j]
+            .iter()
+            .map(|&idx| points[idx].1)
+            .fold(f64::INFINITY, f64::min);
+        let group_survives = best_above.is_none_or(|b| group_min < b);
+        for &idx in &order[i..j] {
+            on_front[idx] = group_survives && points[idx].1 == group_min;
+        }
+        best_above = Some(best_above.map_or(group_min, |b| b.min(group_min)));
+        i = j;
+    }
+    (0..n).filter(|&i| on_front[i]).collect()
 }
 
 /// Accuracy of a predicted Pareto frequency set against the true one
@@ -148,6 +195,34 @@ mod tests {
     }
 
     #[test]
+    fn duplicates_of_dominated_points_all_excluded() {
+        let pts = vec![(1.0, 1.0), (1.2, 0.9), (1.0, 1.0), (1.2, 0.9)];
+        assert_eq!(pareto_front_indices(&pts), vec![1, 3]);
+    }
+
+    #[test]
+    fn equal_speedup_keeps_only_minimum_energy() {
+        let pts = vec![(1.0, 1.2), (1.0, 0.9), (1.0, 0.9), (1.0, 1.5)];
+        assert_eq!(pareto_front_indices(&pts), vec![1, 2]);
+    }
+
+    #[test]
+    fn negative_zero_speedup_groups_with_positive_zero() {
+        // -0.0 == 0.0 for dominance, but total_cmp orders them apart: the
+        // sweep must still see them as one group.
+        let pts = vec![(0.0, 5.0), (-0.0, 1.0)];
+        assert_eq!(pareto_front_indices(&pts), vec![1]);
+    }
+
+    #[test]
+    fn nan_points_are_incomparable_and_kept() {
+        let pts = vec![(f64::NAN, 0.1), (1.0, 1.0), (2.0, f64::NAN), (0.5, 2.0)];
+        // Index 3 is dominated by index 1; the NaN points dominate nothing
+        // and are dominated by nothing.
+        assert_eq!(pareto_front_indices(&pts), vec![0, 1, 2]);
+    }
+
+    #[test]
     fn empty_input_empty_front() {
         assert!(pareto_front_indices(&[]).is_empty());
     }
@@ -185,5 +260,58 @@ mod tests {
         let realized = [(1.0, 1.5)]; // 0.5 away in energy
         let cmp = compare_pareto_sets(&true_freqs, &true_pts, &pred, &realized);
         assert!((cmp.mean_distance - 0.5).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// The original all-pairs `O(n²)` scan, retained verbatim as the
+    /// property-test oracle for the sort-and-sweep implementation.
+    fn pareto_front_indices_naive(points: &[(f64, f64)]) -> Vec<usize> {
+        (0..points.len())
+            .filter(|&i| !points.iter().any(|&q| dominates(q, points[i])))
+            .collect()
+    }
+
+    /// Coarsely quantized points: exact ties and duplicates everywhere —
+    /// the cases where sweep bookkeeping could diverge from the oracle.
+    fn quantized_points() -> impl Strategy<Value = Vec<(f64, f64)>> {
+        proptest::collection::vec((0u64..12, 0u64..12), 1..60).prop_map(|v| {
+            v.into_iter()
+                .map(|(s, e)| (0.5 + s as f64 * 0.125, 0.5 + e as f64 * 0.125))
+                .collect()
+        })
+    }
+
+    /// Full pathological coordinate set: smooth values, both zeros,
+    /// infinities, and NaN.
+    fn wild_coord() -> impl Strategy<Value = f64> {
+        prop_oneof![
+            -2.0..2.0f64,
+            Just(0.0),
+            Just(-0.0),
+            Just(f64::INFINITY),
+            Just(f64::NEG_INFINITY),
+            Just(f64::NAN),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn sweep_matches_naive_on_quantized_grids(pts in quantized_points()) {
+            prop_assert_eq!(pareto_front_indices(&pts), pareto_front_indices_naive(&pts));
+        }
+
+        #[test]
+        fn sweep_matches_naive_on_wild_floats(
+            pts in proptest::collection::vec((wild_coord(), wild_coord()), 1..40)
+        ) {
+            prop_assert_eq!(pareto_front_indices(&pts), pareto_front_indices_naive(&pts));
+        }
     }
 }

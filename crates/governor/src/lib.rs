@@ -1,0 +1,48 @@
+//! # governor — online frequency selection over trained energy models
+//!
+//! The paper's end goal is to *use* the domain-specific models: pick the
+//! energy-optimal frequency for each incoming workload (§5.2.2, Fig. 14).
+//! The rest of this workspace trains and evaluates those models offline;
+//! this crate closes the loop at run time:
+//!
+//! * [`registry`] — a versioned, checksummed on-disk model registry over
+//!   [`energy_model::artifact`] envelopes and atomic writes: publish a
+//!   trained [`energy_model::DomainSpecificModel`], load it back verified,
+//!   reject corruption/version skew/stale training fingerprints with typed
+//!   errors;
+//! * [`serving`] — a batched inference engine: an admission-controlled
+//!   bounded request queue in front of a quantized-feature prediction memo
+//!   cache (the same design discipline as `gpu_sim::pricing::PriceTable`:
+//!   FNV word hashing, a custom map hasher, per-key overflow chains with
+//!   full equality verification, and hit/miss/collision counters);
+//! * [`policy`] — what to do with a predicted Pareto set: minimize energy
+//!   under a per-job deadline, minimize energy-delay product, or hold the
+//!   vendor default clock (the baseline every other policy is judged
+//!   against);
+//! * [`sim`] — the closed-loop online simulation: a seeded, deterministic
+//!   arrival stream of LiGen ligand-batch and Cronos grid jobs with
+//!   per-job deadlines, scheduled onto a `gpu-sim` device through the
+//!   fallible SYnergy backend path. Every decision is recorded; every
+//!   failure mode (model missing, stale artifact, rejected clock request,
+//!   admission overflow) degrades to the default clock instead of
+//!   stopping the fleet.
+//!
+//! Everything is deterministic given `(seed, fault plan, policy)`, and
+//! armed `governor.*` telemetry leaves measured results bit-identical —
+//! the same contracts the sweep engine and campaign layers already hold.
+
+pub mod policy;
+pub mod registry;
+pub mod serving;
+pub mod sim;
+
+pub use policy::{choose_frequency, Policy};
+pub use registry::{ModelRegistry, RegistryError};
+pub use serving::{
+    AdmissionError, CacheStats, EngineConfig, PredictedProfile, PredictionEngine,
+    PredictionRequest, ServeError,
+};
+pub use sim::{
+    run_governor, train_and_publish, DecisionRecord, FallbackReason, GovernorConfig,
+    GovernorReport, ModelFaults,
+};

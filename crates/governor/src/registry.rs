@@ -1,0 +1,277 @@
+//! The versioned on-disk model registry.
+//!
+//! Layout: one directory per model name under the registry root, one
+//! artifact file per published version:
+//!
+//! ```text
+//! registry/
+//!   cronos/v0001.json
+//!   cronos/v0002.json
+//!   ligen/v0001.json
+//! ```
+//!
+//! Every file is a [`ModelArtifact`] envelope written through the atomic
+//! persist path (temp + fsync + rename), so a concurrent or crashed
+//! publish can never leave a half-written version behind — a version file
+//! either exists completely or not at all. Versions are immutable once
+//! published; [`ModelRegistry::publish`] always allocates the next number.
+//!
+//! Loading verifies the envelope (schema version, content digest, and —
+//! for [`ModelRegistry::load_expecting`] — the training fingerprint) and
+//! surfaces every failure as a typed [`RegistryError`], never a panic:
+//! a corrupt registry entry is an expected runtime condition that the
+//! governor degrades around.
+
+// The registry is runtime-load infrastructure: typed errors only.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use energy_model::artifact::{ArtifactError, ModelArtifact};
+use energy_model::ds_model::DomainSpecificModel;
+
+/// A typed registry failure.
+#[derive(Debug)]
+pub enum RegistryError {
+    /// The model name is not a safe directory name.
+    InvalidName(String),
+    /// No published version of the model exists.
+    NotFound {
+        /// The model name looked up.
+        name: String,
+    },
+    /// The requested version does not exist (but the model does).
+    VersionNotFound {
+        /// The model name looked up.
+        name: String,
+        /// The missing version.
+        version: u32,
+    },
+    /// The stored artifact failed verification or parsing.
+    Artifact {
+        /// The model name involved.
+        name: String,
+        /// The version involved.
+        version: u32,
+        /// What the envelope verification found.
+        source: ArtifactError,
+    },
+    /// A filesystem operation failed.
+    Io {
+        /// The path the operation was acting on.
+        path: PathBuf,
+        /// The underlying error.
+        source: io::Error,
+    },
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::InvalidName(name) => {
+                write!(f, "invalid model name {name:?}: expected [a-z0-9_-]+")
+            }
+            RegistryError::NotFound { name } => {
+                write!(f, "model {name:?} has no published versions")
+            }
+            RegistryError::VersionNotFound { name, version } => {
+                write!(f, "model {name:?} has no version {version}")
+            }
+            RegistryError::Artifact {
+                name,
+                version,
+                source,
+            } => {
+                write!(f, "artifact {name:?} v{version}: {source}")
+            }
+            RegistryError::Io { path, source } => {
+                write!(f, "registry io error at {}: {source}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RegistryError::Artifact { source, .. } => Some(source),
+            RegistryError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// A handle on a registry root directory. Opening performs no I/O; the
+/// directory is created lazily on first publish.
+#[derive(Debug, Clone)]
+pub struct ModelRegistry {
+    root: PathBuf,
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-' || c == '_')
+}
+
+fn version_file(version: u32) -> String {
+    format!("v{version:04}.json")
+}
+
+impl ModelRegistry {
+    /// Opens (without touching) the registry rooted at `root`.
+    pub fn open(root: &Path) -> Self {
+        ModelRegistry {
+            root: root.to_path_buf(),
+        }
+    }
+
+    /// The registry root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn model_dir(&self, name: &str) -> Result<PathBuf, RegistryError> {
+        if !valid_name(name) {
+            return Err(RegistryError::InvalidName(name.to_string()));
+        }
+        Ok(self.root.join(name))
+    }
+
+    /// Published versions of `name`, ascending. A model that was never
+    /// published has no versions (empty vec, not an error).
+    pub fn versions(&self, name: &str) -> Result<Vec<u32>, RegistryError> {
+        let dir = self.model_dir(name)?;
+        let entries = match fs::read_dir(&dir) {
+            Ok(e) => e,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => {
+                return Err(RegistryError::Io {
+                    path: dir,
+                    source: e,
+                })
+            }
+        };
+        let mut versions = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| RegistryError::Io {
+                path: dir.clone(),
+                source: e,
+            })?;
+            let file = entry.file_name();
+            let file = file.to_string_lossy();
+            // Only `vNNNN.json` files are versions; temp siblings and
+            // foreign files are ignored.
+            if let Some(num) = file
+                .strip_prefix('v')
+                .and_then(|rest| rest.strip_suffix(".json"))
+            {
+                if let Ok(v) = num.parse::<u32>() {
+                    versions.push(v);
+                }
+            }
+        }
+        versions.sort_unstable();
+        Ok(versions)
+    }
+
+    /// The latest published version of `name`.
+    pub fn latest(&self, name: &str) -> Result<u32, RegistryError> {
+        self.versions(name)?
+            .last()
+            .copied()
+            .ok_or_else(|| RegistryError::NotFound {
+                name: name.to_string(),
+            })
+    }
+
+    /// Publishes a model as the next version of `name`, sealing it into a
+    /// checksummed artifact and writing it atomically. Returns the
+    /// allocated version number.
+    pub fn publish(
+        &self,
+        name: &str,
+        model: &DomainSpecificModel,
+        training_fingerprint: u64,
+    ) -> Result<u32, RegistryError> {
+        let dir = self.model_dir(name)?;
+        let version = self.versions(name)?.last().map_or(1, |v| v + 1);
+        let path = dir.join(version_file(version));
+        model
+            .save_artifact(&path, name, training_fingerprint)
+            .map_err(|source| RegistryError::Artifact {
+                name: name.to_string(),
+                version,
+                source,
+            })?;
+        Ok(version)
+    }
+
+    fn artifact_at(&self, name: &str, version: u32) -> Result<ModelArtifact, RegistryError> {
+        let path = self.model_dir(name)?.join(version_file(version));
+        ModelArtifact::load(&path).map_err(|source| match &source {
+            ArtifactError::Persist(energy_model::persist::PersistError::Io {
+                source: e, ..
+            }) if e.kind() == io::ErrorKind::NotFound => RegistryError::VersionNotFound {
+                name: name.to_string(),
+                version,
+            },
+            _ => RegistryError::Artifact {
+                name: name.to_string(),
+                version,
+                source,
+            },
+        })
+    }
+
+    /// Loads a model (the latest version when `version` is `None`),
+    /// verifying schema version and content digest. Returns the model,
+    /// its envelope, and the resolved version.
+    pub fn load(
+        &self,
+        name: &str,
+        version: Option<u32>,
+    ) -> Result<(DomainSpecificModel, ModelArtifact, u32), RegistryError> {
+        let version = match version {
+            Some(v) => v,
+            None => self.latest(name)?,
+        };
+        let artifact = self.artifact_at(name, version)?;
+        let model = artifact.open().map_err(|source| RegistryError::Artifact {
+            name: name.to_string(),
+            version,
+            source,
+        })?;
+        Ok((model, artifact, version))
+    }
+
+    /// [`ModelRegistry::load`] plus a training-fingerprint check: a model
+    /// trained under different conditions than the caller expects is
+    /// rejected as a typed [`ArtifactError::Fingerprint`] — the
+    /// stale-model guard the governor leans on.
+    pub fn load_expecting(
+        &self,
+        name: &str,
+        version: Option<u32>,
+        fingerprint: u64,
+    ) -> Result<(DomainSpecificModel, ModelArtifact, u32), RegistryError> {
+        let version = match version {
+            Some(v) => v,
+            None => self.latest(name)?,
+        };
+        let artifact = self.artifact_at(name, version)?;
+        let model =
+            artifact
+                .open_expecting(fingerprint)
+                .map_err(|source| RegistryError::Artifact {
+                    name: name.to_string(),
+                    version,
+                    source,
+                })?;
+        Ok((model, artifact, version))
+    }
+}

@@ -1,0 +1,599 @@
+//! Batched prediction serving: admission control + a prediction memo cache.
+//!
+//! The governor's decision loop asks the same question over and over —
+//! *"what does the model predict for this input across the frequency
+//! sweep?"* — and real arrival streams are heavily repetitive (the same
+//! ligand batches and grid shapes recur). Random-forest inference over a
+//! ~100-point frequency sweep is the expensive step of a decision, so the
+//! engine in this module puts two familiar pieces in front of it:
+//!
+//! * an **admission-controlled bounded queue**: requests are enqueued with
+//!   [`PredictionEngine::try_enqueue`] and rejected (not blocked, not
+//!   dropped silently) when the queue is full, so a burst can never grow
+//!   memory without bound, and the caller gets a typed
+//!   [`AdmissionError::QueueFull`] it can turn into a default-clock
+//!   fallback;
+//! * a **quantized-feature memo cache** with the same design discipline as
+//!   `gpu_sim::pricing::PriceTable`: FNV-1a word hashing into a custom
+//!   map hasher, per-key overflow chains verified by full key equality
+//!   (64-bit collisions degrade to one extra compare, never to a wrong
+//!   answer), and relaxed-atomic hit/miss/collision counters surfaced as
+//!   [`CacheStats`].
+//!
+//! Features are quantized onto a 1/1024 grid before keying, so the cache
+//! key is exact integer data — two requests whose features round to the
+//! same grid cell share a profile. The workloads' feature spaces are
+//! integer-valued (grid dimensions, ligand counts), so quantization is
+//! lossless there; it exists to keep float bit-noise from defeating
+//! memoization if a caller computes features.
+
+// Serving is runtime infrastructure: typed errors, no panics.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::hash::BuildHasherDefault;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use energy_model::ds_model::PredictedPoint;
+use energy_model::pareto::pareto_front_indices;
+use energy_model::DomainSpecificModel;
+use serde::Serialize;
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+/// Feature quantization: 1024 steps per unit. Integer-valued features
+/// (every workload feature in this workspace) round-trip exactly.
+const QUANT_STEPS_PER_UNIT: f64 = 1024.0;
+
+#[inline]
+fn fnv_word(h: u64, word: u64) -> u64 {
+    (h ^ word).wrapping_mul(FNV_PRIME)
+}
+
+/// FNV-1a over a string, word-at-a-time, with the length folded in as a
+/// separator (same framing as `gpu_sim::pricing::kernel_cache_id`).
+fn fnv_str(mut h: u64, s: &str) -> u64 {
+    let bytes = s.as_bytes();
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        let mut word = [0u8; 8];
+        word.copy_from_slice(c);
+        h = fnv_word(h, u64::from_le_bytes(word));
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut last = [0u8; 8];
+        last[..rem.len()].copy_from_slice(rem);
+        h = fnv_word(h, u64::from_le_bytes(last));
+    }
+    fnv_word(h, bytes.len() as u64 ^ 0xff00_0000_0000_0000)
+}
+
+/// Map hasher for the cache: keys are already FNV digests, so fold the
+/// single word and skip SipHash (see `PriceTable`'s `KeyHasher`).
+#[derive(Default)]
+struct DigestHasher(u64);
+
+impl std::hash::Hasher for DigestHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for b in bytes {
+            self.0 = fnv_word(self.0, *b as u64);
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 = fnv_word(self.0, n);
+    }
+}
+
+/// The exact (post-quantization) identity of a cached profile: which app
+/// model it came from and the quantized feature words. Stored in full so
+/// a 64-bit digest collision is caught by equality, never served.
+#[derive(Clone, PartialEq, Eq)]
+struct CacheKey {
+    app_id: u64,
+    quant_features: Vec<i64>,
+}
+
+impl CacheKey {
+    fn digest(&self) -> u64 {
+        let mut h = fnv_word(FNV_OFFSET, self.app_id);
+        for &q in &self.quant_features {
+            h = fnv_word(h, q as u64);
+        }
+        fnv_word(h, self.quant_features.len() as u64)
+    }
+}
+
+struct CacheEntry {
+    key: CacheKey,
+    profile: Arc<PredictedProfile>,
+}
+
+/// Lookup counters of the prediction memo cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that ran forest inference.
+    pub misses: u64,
+    /// Entries chained behind a different key with the same 64-bit digest.
+    pub collisions: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction over all lookups (0 when the cache was never used).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// What the engine predicts for one request: the absolute default-clock
+/// operating point and the predicted Pareto set over the sweep
+/// frequencies (already filtered through [`pareto_front_indices`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictedProfile {
+    /// Predicted wall time at the default clock (seconds).
+    pub default_time_s: f64,
+    /// Predicted energy at the default clock (joules).
+    pub default_energy_j: f64,
+    /// Predicted default clock (MHz) — the model's normalization anchor.
+    pub default_freq_mhz: f64,
+    /// The Pareto-optimal subset of the predicted (speedup, norm-energy)
+    /// curve, in ascending frequency order.
+    pub pareto: Vec<PredictedPoint>,
+}
+
+/// One prediction request waiting in the admission queue.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictionRequest {
+    /// Caller-assigned job identity, carried through to the response.
+    pub job_id: u64,
+    /// Which application model to serve from (e.g. `"cronos"`, `"ligen"`).
+    pub app: String,
+    /// Domain-specific input features, in the model's training order.
+    pub features: Vec<f64>,
+}
+
+/// Why a request was refused at the queue boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The bounded queue is at capacity; the caller should fall back.
+    QueueFull {
+        /// The configured capacity that was hit.
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionError::QueueFull { capacity } => {
+                write!(f, "prediction queue full (capacity {capacity})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+/// Why a drained request could not be served.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// No model is installed for the request's app.
+    ModelUnavailable {
+        /// The app that had no model.
+        app: String,
+    },
+    /// The request's feature width does not match the installed model.
+    FeatureWidth {
+        /// The app whose model was consulted.
+        app: String,
+        /// What the model was trained on.
+        expected: usize,
+        /// What the request carried.
+        found: usize,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::ModelUnavailable { app } => {
+                write!(f, "no model installed for app {app:?}")
+            }
+            ServeError::FeatureWidth {
+                app,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "app {app:?}: request has {found} features, model expects {expected}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineConfig {
+    /// The frequency sweep (MHz) every prediction is evaluated over.
+    pub freqs: Vec<f64>,
+    /// Admission queue capacity; `try_enqueue` rejects beyond this.
+    pub queue_capacity: usize,
+    /// Maximum requests served per [`PredictionEngine::drain_batch`] call.
+    pub max_batch: usize,
+}
+
+struct InstalledModel {
+    model: DomainSpecificModel,
+    app_id: u64,
+}
+
+/// The batched prediction server: installed models, the admission queue,
+/// and the shared memo cache.
+pub struct PredictionEngine {
+    config: EngineConfig,
+    models: HashMap<String, InstalledModel>,
+    queue: VecDeque<PredictionRequest>,
+    cache: RwLock<HashMap<u64, Vec<CacheEntry>, BuildHasherDefault<DigestHasher>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    collisions: AtomicU64,
+    admitted: u64,
+    rejected: u64,
+}
+
+impl PredictionEngine {
+    /// Builds an empty engine (no models, empty queue, cold cache).
+    pub fn new(config: EngineConfig) -> Self {
+        PredictionEngine {
+            config,
+            models: HashMap::new(),
+            queue: VecDeque::new(),
+            cache: RwLock::new(HashMap::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            collisions: AtomicU64::new(0),
+            admitted: 0,
+            rejected: 0,
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Installs (or replaces) the model served for `app`. Replacing a
+    /// model invalidates its cached profiles.
+    pub fn install_model(&mut self, app: &str, model: DomainSpecificModel) {
+        let app_id = fnv_str(FNV_OFFSET, app);
+        if self.models.contains_key(app) {
+            // A replaced model must not serve its predecessor's
+            // predictions: drop every chain entry keyed to this app.
+            if let Ok(mut cache) = self.cache.write() {
+                for chain in cache.values_mut() {
+                    chain.retain(|e| e.key.app_id != app_id);
+                }
+                cache.retain(|_, chain| !chain.is_empty());
+            }
+        }
+        self.models
+            .insert(app.to_string(), InstalledModel { model, app_id });
+    }
+
+    /// Whether a model is installed for `app`.
+    pub fn has_model(&self, app: &str) -> bool {
+        self.models.contains_key(app)
+    }
+
+    /// Requests admitted / rejected at the queue boundary so far.
+    pub fn admission_counts(&self) -> (u64, u64) {
+        (self.admitted, self.rejected)
+    }
+
+    /// Current queue depth.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Admits a request into the bounded queue, or rejects it when the
+    /// queue is at capacity.
+    pub fn try_enqueue(&mut self, request: PredictionRequest) -> Result<(), AdmissionError> {
+        if self.queue.len() >= self.config.queue_capacity {
+            self.rejected += 1;
+            return Err(AdmissionError::QueueFull {
+                capacity: self.config.queue_capacity,
+            });
+        }
+        self.admitted += 1;
+        self.queue.push_back(request);
+        Ok(())
+    }
+
+    /// Serves up to `max_batch` queued requests in FIFO order. Each
+    /// response pairs the request with its profile or a typed serve error;
+    /// a failed request consumes its queue slot like a served one.
+    #[allow(clippy::type_complexity)]
+    pub fn drain_batch(
+        &mut self,
+    ) -> Vec<(PredictionRequest, Result<Arc<PredictedProfile>, ServeError>)> {
+        let n = self.config.max_batch.min(self.queue.len());
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let Some(request) = self.queue.pop_front() else {
+                break;
+            };
+            let result = self.serve_one(&request);
+            out.push((request, result));
+        }
+        out
+    }
+
+    /// Cache counters so far.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            collisions: self.collisions.load(Ordering::Relaxed),
+        }
+    }
+
+    fn serve_one(&self, request: &PredictionRequest) -> Result<Arc<PredictedProfile>, ServeError> {
+        let installed =
+            self.models
+                .get(&request.app)
+                .ok_or_else(|| ServeError::ModelUnavailable {
+                    app: request.app.clone(),
+                })?;
+        let expected = installed.model.n_features();
+        if request.features.len() != expected {
+            return Err(ServeError::FeatureWidth {
+                app: request.app.clone(),
+                expected,
+                found: request.features.len(),
+            });
+        }
+
+        let key = CacheKey {
+            app_id: installed.app_id,
+            quant_features: request
+                .features
+                .iter()
+                .map(|&f| (f * QUANT_STEPS_PER_UNIT).round() as i64)
+                .collect(),
+        };
+        let digest = key.digest();
+
+        if let Ok(cache) = self.cache.read() {
+            if let Some(chain) = cache.get(&digest) {
+                for entry in chain {
+                    if entry.key == key {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return Ok(Arc::clone(&entry.profile));
+                    }
+                }
+            }
+        }
+
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let profile = Arc::new(self.predict(&installed.model, &request.features));
+
+        if let Ok(mut cache) = self.cache.write() {
+            let chain = cache.entry(digest).or_default();
+            // A racing writer may have filled the slot between our read
+            // and write lock; serve-once semantics don't matter for
+            // correctness (profiles are deterministic), but don't chain a
+            // duplicate.
+            if !chain.iter().any(|e| e.key == key) {
+                if !chain.is_empty() {
+                    self.collisions.fetch_add(1, Ordering::Relaxed);
+                }
+                chain.push(CacheEntry {
+                    key,
+                    profile: Arc::clone(&profile),
+                });
+            }
+        }
+        Ok(profile)
+    }
+
+    fn predict(&self, model: &DomainSpecificModel, features: &[f64]) -> PredictedProfile {
+        let default_freq_mhz = model.default_freq_mhz();
+        let (default_time_s, default_energy_j) =
+            model.predict_time_energy(features, default_freq_mhz);
+        let curve = model.predict_curve(features, &self.config.freqs);
+        let plane: Vec<(f64, f64)> = curve.iter().map(|p| (p.speedup, p.norm_energy)).collect();
+        let front = pareto_front_indices(&plane);
+        let mut pareto: Vec<PredictedPoint> = front.into_iter().map(|i| curve[i]).collect();
+        pareto.sort_by(|a, b| a.freq_mhz.total_cmp(&b.freq_mhz));
+        PredictedProfile {
+            default_time_s,
+            default_energy_j,
+            default_freq_mhz,
+            pareto,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+    use energy_model::ds_model::DsSample;
+
+    fn tiny_model() -> DomainSpecificModel {
+        // A deliberately small synthetic design: time falls and energy
+        // rises with frequency, scaled by a single "size" feature.
+        let mut samples = Vec::new();
+        for size in [1.0f64, 2.0, 4.0, 8.0] {
+            let features = Arc::new(vec![size]);
+            for freq in [600.0f64, 900.0, 1200.0, 1500.0] {
+                samples.push(DsSample {
+                    features: Arc::clone(&features),
+                    freq_mhz: freq,
+                    time_s: size * 1500.0 / freq,
+                    energy_j: size * (0.5 + freq / 1000.0),
+                });
+            }
+        }
+        DomainSpecificModel::train(&samples, 1500.0, 7)
+    }
+
+    fn engine_with_model() -> PredictionEngine {
+        let mut engine = PredictionEngine::new(EngineConfig {
+            freqs: vec![600.0, 900.0, 1200.0, 1500.0],
+            queue_capacity: 4,
+            max_batch: 8,
+        });
+        engine.install_model("toy", tiny_model());
+        engine
+    }
+
+    fn request(job_id: u64, size: f64) -> PredictionRequest {
+        PredictionRequest {
+            job_id,
+            app: "toy".to_string(),
+            features: vec![size],
+        }
+    }
+
+    #[test]
+    fn admission_rejects_beyond_capacity() {
+        let mut engine = engine_with_model();
+        for i in 0..4 {
+            assert!(engine.try_enqueue(request(i, 2.0)).is_ok());
+        }
+        assert_eq!(
+            engine.try_enqueue(request(4, 2.0)),
+            Err(AdmissionError::QueueFull { capacity: 4 })
+        );
+        assert_eq!(engine.admission_counts(), (4, 1));
+    }
+
+    #[test]
+    fn drain_is_fifo_and_batch_bounded() {
+        let mut engine = engine_with_model();
+        engine.config.max_batch = 2;
+        for i in 0..4 {
+            engine.try_enqueue(request(i, 2.0)).ok();
+        }
+        let first = engine.drain_batch();
+        assert_eq!(
+            first.iter().map(|(r, _)| r.job_id).collect::<Vec<_>>(),
+            vec![0, 1]
+        );
+        let second = engine.drain_batch();
+        assert_eq!(
+            second.iter().map(|(r, _)| r.job_id).collect::<Vec<_>>(),
+            vec![2, 3]
+        );
+        assert!(engine.drain_batch().is_empty());
+    }
+
+    #[test]
+    fn repeat_features_hit_the_cache_with_identical_profiles() {
+        let mut engine = engine_with_model();
+        engine.try_enqueue(request(0, 4.0)).ok();
+        engine.try_enqueue(request(1, 4.0)).ok();
+        let served = engine.drain_batch();
+        let a = served[0].1.as_ref().ok().cloned();
+        let b = served[1].1.as_ref().ok().cloned();
+        let (a, b) = (a.unwrap(), b.unwrap());
+        assert!(Arc::ptr_eq(&a, &b), "second request must share the memo");
+        assert_eq!(*a, *b);
+        let stats = engine.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn missing_model_is_a_typed_error_not_a_panic() {
+        let mut engine = engine_with_model();
+        engine
+            .try_enqueue(PredictionRequest {
+                job_id: 9,
+                app: "nope".to_string(),
+                features: vec![1.0],
+            })
+            .ok();
+        let served = engine.drain_batch();
+        assert_eq!(
+            served[0].1,
+            Err(ServeError::ModelUnavailable {
+                app: "nope".to_string()
+            })
+        );
+    }
+
+    #[test]
+    fn feature_width_mismatch_is_a_typed_error() {
+        let mut engine = engine_with_model();
+        engine
+            .try_enqueue(PredictionRequest {
+                job_id: 1,
+                app: "toy".to_string(),
+                features: vec![1.0, 2.0],
+            })
+            .ok();
+        let served = engine.drain_batch();
+        assert_eq!(
+            served[0].1,
+            Err(ServeError::FeatureWidth {
+                app: "toy".to_string(),
+                expected: 1,
+                found: 2,
+            })
+        );
+    }
+
+    #[test]
+    fn profile_pareto_is_a_front_and_anchored_at_default() {
+        let mut engine = engine_with_model();
+        engine.try_enqueue(request(0, 2.0)).ok();
+        let served = engine.drain_batch();
+        let profile = served[0].1.as_ref().ok().cloned().unwrap();
+        assert!(!profile.pareto.is_empty());
+        assert!(profile.default_time_s > 0.0);
+        assert!(profile.default_energy_j > 0.0);
+        // No point on the served front may dominate another.
+        for a in &profile.pareto {
+            for b in &profile.pareto {
+                let dominates = (a.speedup >= b.speedup && a.norm_energy <= b.norm_energy)
+                    && (a.speedup > b.speedup || a.norm_energy < b.norm_energy);
+                assert!(!dominates, "served Pareto set contains a dominated point");
+            }
+        }
+    }
+
+    #[test]
+    fn replacing_a_model_invalidates_its_cache_entries() {
+        let mut engine = engine_with_model();
+        engine.try_enqueue(request(0, 2.0)).ok();
+        engine.drain_batch();
+        assert_eq!(engine.cache_stats().misses, 1);
+        engine.install_model("toy", tiny_model());
+        engine.try_enqueue(request(1, 2.0)).ok();
+        engine.drain_batch();
+        // The second request must re-run inference, not hit a stale memo.
+        assert_eq!(engine.cache_stats().misses, 2);
+        assert_eq!(engine.cache_stats().hits, 0);
+    }
+}

@@ -1,0 +1,726 @@
+//! The closed-loop online simulation: a deterministic arrival stream of
+//! LiGen and Cronos jobs, governed frequency selection, and graceful
+//! degradation to the default clock.
+//!
+//! ## Shape of a run
+//!
+//! [`train_and_publish`] plays the offline phase: characterize the fixed
+//! job-configuration sets noiselessly, train one [`DomainSpecificModel`]
+//! per application, and publish both into a [`ModelRegistry`] under a
+//! training fingerprint derived from `(device, default clock, sweep,
+//! seed)`. [`run_governor`] then plays the online phase against that
+//! registry:
+//!
+//! 1. a seeded stream of jobs arrives in bursts of 1–3, each job drawn
+//!    from the fixed configuration sets with a per-job deadline (default
+//!    clock time × a slack factor drawn from `cfg.slack`);
+//! 2. each job's prediction request passes through the admission-controlled
+//!    [`PredictionEngine`]; models are loaded lazily from the registry
+//!    (envelope- and fingerprint-verified) the first time an application
+//!    needs one;
+//! 3. the policy picks a clock from the predicted Pareto set; the job's
+//!    recorded [`KernelTrace`] is replayed on the shared `gpu-sim` device
+//!    through the fallible SYnergy backend path under that clock;
+//! 4. anything that goes wrong — model missing from the registry, load
+//!    fault, stale training fingerprint, admission overflow, rejected
+//!    clock request, failed launch — degrades the job to the default
+//!    clock (or records the failure) and the run continues. The fleet
+//!    never deadlocks on a bad model or a flaky device.
+//!
+//! ## Contracts
+//!
+//! *Determinism*: every decision and measurement is a pure function of
+//! `(seed, policies, fault plans)`. The arrival stream, slack draws, and
+//! fault schedules all use seeded stateless generators.
+//!
+//! *Telemetry inertness*: an armed `cfg.telemetry` sink observes counters
+//! after the fact; [`GovernorReport::decisions`] and every measured
+//! number are bit-identical with telemetry armed or absent.
+
+// The governor must degrade, not die: no unwraps on the runtime path.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use energy_model::characterize::Workload;
+use energy_model::telemetry::Telemetry;
+use energy_model::workflow::{
+    characterize_cronos, characterize_ligen, experiment_frequencies, training_set, CRONOS_STEPS,
+};
+use energy_model::{training_fingerprint, CronosInput, DomainSpecificModel, LigenInput};
+use gpu_sim::{Device, DeviceSpec, FaultPlan, Schedule};
+use serde::Serialize;
+use synergy::{FrequencyPolicy, KernelTrace, SynergyQueue};
+
+use crate::policy::{choose_frequency, Policy};
+use crate::registry::{ModelRegistry, RegistryError};
+use crate::serving::{CacheStats, EngineConfig, PredictionEngine, PredictionRequest, ServeError};
+
+/// The pinned experiment seed shared with the offline benchmarks.
+pub const GOVERNOR_SEED: u64 = 20231112;
+
+/// The fixed Cronos job-configuration set (also the training set: the
+/// governor serves the input distribution it was characterized on).
+pub fn cronos_job_set() -> Vec<CronosInput> {
+    vec![
+        CronosInput::new(16, 16, 16),
+        CronosInput::new(24, 24, 24),
+        CronosInput::new(32, 24, 16),
+        CronosInput::new(32, 32, 32),
+    ]
+}
+
+/// The fixed LiGen job-configuration set.
+pub fn ligen_job_set() -> Vec<LigenInput> {
+    vec![
+        LigenInput::new(1000, 40, 8),
+        LigenInput::new(2000, 60, 12),
+        LigenInput::new(4000, 89, 20),
+        LigenInput::new(8000, 50, 10),
+    ]
+}
+
+/// Deterministic fault injection on the *model* path, mirroring the
+/// device-side `gpu_sim::FaultPlan`: schedules are interpreted over a
+/// counter of registry load attempts with a seeded stateless stream.
+#[derive(Debug, Clone, Default)]
+pub struct ModelFaults {
+    /// Seed of the probabilistic schedules.
+    pub seed: u64,
+    /// Registry load attempts that fail outright (I/O-style failure).
+    pub load_failures: Schedule,
+    /// Registry load attempts that surface a stale training fingerprint.
+    pub stale_fingerprints: Schedule,
+}
+
+impl ModelFaults {
+    /// The inert plan: every load succeeds.
+    pub fn none() -> Self {
+        ModelFaults::default()
+    }
+}
+
+const STREAM_LOAD_FAIL: u64 = 11;
+const STREAM_STALE: u64 = 12;
+
+/// Stateless uniform draw in `[0, 1)` — the same splitmix64-finalizer
+/// construction as the device fault plans, so model faults are pure
+/// functions of the load-attempt index.
+fn unit_draw(seed: u64, stream: u64, index: u64) -> f64 {
+    let mut z = seed
+        ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ index.wrapping_mul(0xD1B5_4A32_D192_ED03);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+fn schedule_fires(schedule: &Schedule, seed: u64, stream: u64, index: u64) -> bool {
+    match schedule {
+        Schedule::Never => false,
+        Schedule::At(set) => set.contains(&index),
+        Schedule::Prob(p) => unit_draw(seed, stream, index) < *p,
+    }
+}
+
+/// Sequential splitmix64 — drives the arrival stream and slack draws.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+/// Configuration of one governor run.
+#[derive(Clone)]
+pub struct GovernorConfig {
+    /// The simulated device.
+    pub spec: DeviceSpec,
+    /// The frequency-selection policy under test.
+    pub policy: Policy,
+    /// Number of jobs in the arrival stream.
+    pub n_jobs: usize,
+    /// Seed of the arrival stream and slack draws (also the training
+    /// seed [`train_and_publish`] fingerprints models under).
+    pub seed: u64,
+    /// Per-job deadline slack range: deadline = default-clock time × a
+    /// uniform draw from `[slack.0, slack.1]`.
+    pub slack: (f64, f64),
+    /// Safety factor applied to the deadline the policy plans against
+    /// (< 1 leaves headroom for prediction error).
+    pub deadline_safety: f64,
+    /// Admission queue capacity of the serving engine.
+    pub queue_capacity: usize,
+    /// Maximum requests served per drain call.
+    pub max_batch: usize,
+    /// Stride thinning the serving-time frequency sweep.
+    pub freq_stride: usize,
+    /// Stride thinning the training characterization sweep.
+    pub train_stride: usize,
+    /// Device-side fault injection (clock rejections, launch failures…).
+    pub device_faults: FaultPlan,
+    /// Model-path fault injection (load failures, stale fingerprints).
+    pub model_faults: ModelFaults,
+    /// Optional metrics sink; arming it must not change any result.
+    pub telemetry: Option<Arc<Telemetry>>,
+}
+
+impl GovernorConfig {
+    /// The pinned configuration the regression guard and the `figures
+    /// govern` experiment run: V100, seed [`GOVERNOR_SEED`], 40 jobs, no
+    /// faults.
+    pub fn pinned(policy: Policy) -> Self {
+        GovernorConfig {
+            spec: DeviceSpec::v100(),
+            policy,
+            n_jobs: 40,
+            seed: GOVERNOR_SEED,
+            slack: (1.15, 1.6),
+            deadline_safety: 0.92,
+            queue_capacity: 8,
+            max_batch: 4,
+            freq_stride: 2,
+            train_stride: 2,
+            device_faults: FaultPlan::none(),
+            model_faults: ModelFaults::none(),
+            telemetry: None,
+        }
+    }
+
+    fn expected_fingerprint(&self) -> u64 {
+        let train_freqs = experiment_frequencies(&self.spec, self.train_stride);
+        training_fingerprint(
+            &self.spec.name,
+            self.spec.default_core_mhz,
+            &train_freqs,
+            self.seed,
+        )
+    }
+}
+
+/// Characterizes the fixed job sets noiselessly, trains the two
+/// domain-specific models, and publishes them into `registry` under the
+/// run's training fingerprint. Returns that fingerprint — what
+/// [`run_governor`] will demand of the artifacts it loads.
+pub fn train_and_publish(
+    cfg: &GovernorConfig,
+    registry: &ModelRegistry,
+) -> Result<u64, RegistryError> {
+    let freqs = experiment_frequencies(&cfg.spec, cfg.train_stride);
+    let default_mhz = cfg.spec.default_core_mhz;
+    let fingerprint = cfg.expected_fingerprint();
+
+    let cronos_chars = characterize_cronos(&cfg.spec, &cronos_job_set(), &freqs, 1, None);
+    let cronos_model =
+        DomainSpecificModel::train(&training_set(&cronos_chars), default_mhz, cfg.seed);
+    registry.publish("cronos", &cronos_model, fingerprint)?;
+
+    let ligen_chars = characterize_ligen(&cfg.spec, &ligen_job_set(), &freqs, 1, None);
+    let ligen_model =
+        DomainSpecificModel::train(&training_set(&ligen_chars), default_mhz, cfg.seed);
+    registry.publish("ligen", &ligen_model, fingerprint)?;
+
+    Ok(fingerprint)
+}
+
+/// Why a job ran at the default clock (or failed) instead of at the
+/// policy's chosen frequency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum FallbackReason {
+    /// The registry has no published model for the application.
+    ModelMissing,
+    /// A model-load fault fired on the registry read.
+    LoadFailed,
+    /// The artifact's training fingerprint did not match this run.
+    StaleArtifact,
+    /// The admission queue was full; the job skipped prediction.
+    AdmissionRejected,
+    /// The device rejected the clock request; the retry path fell back.
+    FrequencyRejected,
+    /// A kernel launch failed permanently; the job did not complete.
+    LaunchFailed,
+}
+
+/// One job's complete decision trail.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct DecisionRecord {
+    /// Arrival-order job id.
+    pub job_id: u64,
+    /// Application (`"cronos"` / `"ligen"`).
+    pub app: String,
+    /// Input-configuration label.
+    pub label: String,
+    /// Clock the policy requested; `None` = default clock.
+    pub requested_mhz: Option<f64>,
+    /// Why the request was not honored (absent on the happy path).
+    pub fallback: Option<FallbackReason>,
+    /// The job's deadline (s).
+    pub deadline_s: f64,
+    /// Model-predicted wall time at the chosen clock, when a prediction
+    /// was served.
+    pub predicted_time_s: Option<f64>,
+    /// Measured wall time (s); 0 for jobs that failed to complete.
+    pub measured_time_s: f64,
+    /// Measured energy (J); 0 for jobs that failed to complete.
+    pub measured_energy_j: f64,
+    /// Whether the job completed (launch faults can kill it).
+    pub completed: bool,
+    /// Whether the job completed within its deadline.
+    pub met_deadline: bool,
+}
+
+/// The result of one governor run.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct GovernorReport {
+    /// Policy the run executed.
+    pub policy: Policy,
+    /// Device name.
+    pub device: String,
+    /// Stream seed.
+    pub seed: u64,
+    /// Jobs processed.
+    pub n_jobs: usize,
+    /// Total measured wall time (s).
+    pub total_time_s: f64,
+    /// Total measured energy (J).
+    pub total_energy_j: f64,
+    /// Jobs that missed their deadline (incl. failed jobs).
+    pub deadline_misses: usize,
+    /// `deadline_misses / n_jobs`.
+    pub miss_rate: f64,
+    /// Jobs that fell back to the default clock (or failed).
+    pub fallbacks: usize,
+    /// Jobs rejected at the admission queue.
+    pub admission_rejected: usize,
+    /// Prediction memo-cache counters.
+    pub cache: CacheStats,
+    /// Clock requests the device rejected (from queue degradation).
+    pub frequency_rejections: u64,
+    /// Retry-path default-clock fallbacks (from queue degradation).
+    pub default_clock_fallbacks: u64,
+    /// Per-job decision trail, in arrival order.
+    pub decisions: Vec<DecisionRecord>,
+}
+
+struct JobTemplate {
+    app: &'static str,
+    label: String,
+    features: Vec<f64>,
+    trace: KernelTrace,
+    base_time_s: f64,
+}
+
+struct Job {
+    id: u64,
+    template: usize,
+    deadline_s: f64,
+}
+
+/// Tracks lazy per-application model loading through the registry.
+struct ModelLoader {
+    expected_fingerprint: u64,
+    attempts: u64,
+    /// Last failure per app, reported when serving finds no model.
+    last_failure: BTreeMap<&'static str, FallbackReason>,
+}
+
+impl ModelLoader {
+    fn ensure(
+        &mut self,
+        app: &'static str,
+        cfg: &GovernorConfig,
+        registry: &ModelRegistry,
+        engine: &mut PredictionEngine,
+    ) {
+        if engine.has_model(app) {
+            return;
+        }
+        let index = self.attempts;
+        self.attempts += 1;
+        let faults = &cfg.model_faults;
+        if schedule_fires(&faults.load_failures, faults.seed, STREAM_LOAD_FAIL, index) {
+            self.last_failure.insert(app, FallbackReason::LoadFailed);
+            return;
+        }
+        // A stale-fingerprint fault models an artifact trained under
+        // different conditions: demand a fingerprint the artifact cannot
+        // have, and let the registry's typed rejection drive the fallback.
+        let expected =
+            if schedule_fires(&faults.stale_fingerprints, faults.seed, STREAM_STALE, index) {
+                self.expected_fingerprint ^ 0x5DEE_CE66_ADD1_C7ED
+            } else {
+                self.expected_fingerprint
+            };
+        match registry.load_expecting(app, None, expected) {
+            Ok((model, _, _)) => {
+                engine.install_model(app, model);
+                self.last_failure.remove(app);
+            }
+            Err(RegistryError::NotFound { .. }) => {
+                self.last_failure.insert(app, FallbackReason::ModelMissing);
+            }
+            Err(RegistryError::Artifact {
+                source: energy_model::ArtifactError::Fingerprint { .. },
+                ..
+            }) => {
+                self.last_failure.insert(app, FallbackReason::StaleArtifact);
+            }
+            Err(_) => {
+                self.last_failure.insert(app, FallbackReason::LoadFailed);
+            }
+        }
+    }
+
+    fn failure_for(&self, app: &str) -> FallbackReason {
+        *self
+            .last_failure
+            .get(app)
+            .unwrap_or(&FallbackReason::ModelMissing)
+    }
+}
+
+fn build_templates(spec: &DeviceSpec) -> Vec<JobTemplate> {
+    let mut templates = Vec::new();
+    for cfg in cronos_job_set() {
+        let workload = cronos::GpuCronos::new(
+            cronos::Grid::cubic(cfg.grid_x, cfg.grid_y, cfg.grid_z),
+            CRONOS_STEPS,
+        );
+        templates.push(JobTemplate {
+            app: "cronos",
+            label: cfg.label(),
+            features: cfg.features(),
+            trace: Workload::record(&workload, spec),
+            base_time_s: 0.0,
+        });
+    }
+    for cfg in ligen_job_set() {
+        let workload =
+            ligen::GpuLigen::new(cfg.ligands as u64, cfg.atoms as u64, cfg.fragments as u64);
+        templates.push(JobTemplate {
+            app: "ligen",
+            label: cfg.label(),
+            features: cfg.features(),
+            trace: Workload::record(&workload, spec),
+            base_time_s: 0.0,
+        });
+    }
+    // Default-clock reference times on a clean, faultless device: the
+    // deadline anchor must not depend on the run's fault plan.
+    let mut device = Device::new(spec.clone());
+    device.set_trace_capacity(Some(0));
+    let mut queue = SynergyQueue::for_device(device);
+    queue.set_policy(FrequencyPolicy::DeviceDefault);
+    for t in &mut templates {
+        t.base_time_s = t.trace.replay_on(&mut queue).time_s;
+    }
+    templates
+}
+
+fn generate_stream(cfg: &GovernorConfig, templates: &[JobTemplate]) -> Vec<Vec<Job>> {
+    let mut rng = SplitMix64::new(cfg.seed);
+    let (lo, hi) = cfg.slack;
+    let mut bursts: Vec<Vec<Job>> = Vec::new();
+    let mut id = 0u64;
+    while (id as usize) < cfg.n_jobs {
+        let burst_len = (1 + rng.below(3)).min((cfg.n_jobs - id as usize) as u64);
+        let mut burst = Vec::with_capacity(burst_len as usize);
+        for _ in 0..burst_len {
+            let template = rng.below(templates.len() as u64) as usize;
+            let slack = lo + rng.unit() * (hi - lo);
+            burst.push(Job {
+                id,
+                template,
+                deadline_s: templates[template].base_time_s * slack,
+            });
+            id += 1;
+        }
+        bursts.push(burst);
+    }
+    bursts
+}
+
+/// Runs the closed loop against a registry populated by
+/// [`train_and_publish`] (or deliberately empty, to exercise fallback).
+/// Infallible by design: every failure mode becomes a recorded
+/// [`FallbackReason`], not an error.
+pub fn run_governor(cfg: &GovernorConfig, registry: &ModelRegistry) -> GovernorReport {
+    let templates = build_templates(&cfg.spec);
+    let bursts = generate_stream(cfg, &templates);
+
+    let serve_freqs = experiment_frequencies(&cfg.spec, cfg.freq_stride);
+    let mut engine = PredictionEngine::new(EngineConfig {
+        freqs: serve_freqs,
+        queue_capacity: cfg.queue_capacity,
+        max_batch: cfg.max_batch,
+    });
+    let mut loader = ModelLoader {
+        expected_fingerprint: cfg.expected_fingerprint(),
+        attempts: 0,
+        last_failure: BTreeMap::new(),
+    };
+
+    let mut device = Device::with_faults(cfg.spec.clone(), cfg.device_faults.clone());
+    device.set_trace_capacity(Some(0));
+    let mut queue = SynergyQueue::for_device(device);
+
+    let mut decisions: Vec<DecisionRecord> = Vec::with_capacity(cfg.n_jobs);
+    let mut admission_rejected = 0usize;
+
+    for burst in &bursts {
+        // Admission: the whole burst hits the queue before any draining,
+        // so a burst larger than the queue sheds load visibly.
+        let mut rejected: Vec<&Job> = Vec::new();
+        for job in burst {
+            let template = &templates[job.template];
+            loader.ensure(template.app, cfg, registry, &mut engine);
+            let request = PredictionRequest {
+                job_id: job.id,
+                app: template.app.to_string(),
+                features: template.features.clone(),
+            };
+            if engine.try_enqueue(request).is_err() {
+                rejected.push(job);
+            }
+        }
+
+        // Rejected jobs still run — at the default clock, recorded as
+        // admission fallbacks.
+        for job in rejected {
+            admission_rejected += 1;
+            let record = execute_job(
+                cfg,
+                &templates[job.template],
+                job,
+                None,
+                None,
+                Some(FallbackReason::AdmissionRejected),
+                &mut queue,
+            );
+            decisions.push(record);
+        }
+
+        // Serve and execute in batches until the burst's queue drains.
+        while engine.queue_len() > 0 {
+            let served = engine.drain_batch();
+            for (request, result) in served {
+                let Some(job) = burst.iter().find(|j| j.id == request.job_id) else {
+                    continue;
+                };
+                let template = &templates[job.template];
+                let (requested, predicted, fallback) = match result {
+                    Ok(profile) => {
+                        let planned_deadline = job.deadline_s * cfg.deadline_safety;
+                        match choose_frequency(cfg.policy, &profile, planned_deadline) {
+                            Some(freq) => {
+                                let predicted = profile
+                                    .pareto
+                                    .iter()
+                                    .find(|p| p.freq_mhz == freq)
+                                    .map(|p| profile.default_time_s / p.speedup);
+                                (Some(freq), predicted, None)
+                            }
+                            None => (None, Some(profile.default_time_s), None),
+                        }
+                    }
+                    Err(ServeError::ModelUnavailable { ref app }) => {
+                        (None, None, Some(loader.failure_for(app)))
+                    }
+                    Err(ServeError::FeatureWidth { .. }) => {
+                        (None, None, Some(FallbackReason::StaleArtifact))
+                    }
+                };
+                let record = execute_job(
+                    cfg, template, job, requested, predicted, fallback, &mut queue,
+                );
+                decisions.push(record);
+            }
+        }
+    }
+
+    decisions.sort_by_key(|d| d.job_id);
+
+    let deadline_misses = decisions.iter().filter(|d| !d.met_deadline).count();
+    let fallbacks = decisions.iter().filter(|d| d.fallback.is_some()).count();
+    let degradation = queue.degradation();
+    let report = GovernorReport {
+        policy: cfg.policy,
+        device: cfg.spec.name.clone(),
+        seed: cfg.seed,
+        n_jobs: decisions.len(),
+        total_time_s: decisions.iter().map(|d| d.measured_time_s).sum(),
+        total_energy_j: decisions.iter().map(|d| d.measured_energy_j).sum(),
+        deadline_misses,
+        miss_rate: if decisions.is_empty() {
+            0.0
+        } else {
+            deadline_misses as f64 / decisions.len() as f64
+        },
+        fallbacks,
+        admission_rejected,
+        cache: engine.cache_stats(),
+        frequency_rejections: degradation.frequency_rejections,
+        default_clock_fallbacks: degradation.default_clock_fallbacks,
+        decisions,
+    };
+
+    // Telemetry is observation-only: armed or not, the report above is
+    // already complete and bit-identical.
+    if let Some(telemetry) = &cfg.telemetry {
+        let registry = telemetry.registry();
+        registry
+            .counter("governor.jobs_total")
+            .add(report.n_jobs as u64);
+        registry
+            .counter("governor.deadline_misses")
+            .add(report.deadline_misses as u64);
+        registry
+            .counter("governor.fallbacks")
+            .add(report.fallbacks as u64);
+        registry
+            .counter("governor.admission_rejected")
+            .add(report.admission_rejected as u64);
+        registry
+            .counter("governor.cache_hits")
+            .add(report.cache.hits);
+        registry
+            .counter("governor.cache_misses")
+            .add(report.cache.misses);
+        registry
+            .counter("governor.frequency_rejections")
+            .add(report.frequency_rejections);
+        registry
+            .gauge("governor.total_energy_j")
+            .set(report.total_energy_j);
+        registry
+            .gauge("governor.total_time_s")
+            .set(report.total_time_s);
+        registry.gauge("governor.miss_rate").set(report.miss_rate);
+        registry
+            .gauge("governor.cache_hit_rate")
+            .set(report.cache.hit_rate());
+    }
+
+    report
+}
+
+/// Replays one job under the chosen clock and records the outcome,
+/// folding device-side degradation (clock rejections riding the retry
+/// path back to the default clock) into the fallback field.
+fn execute_job(
+    _cfg: &GovernorConfig,
+    template: &JobTemplate,
+    job: &Job,
+    requested_mhz: Option<f64>,
+    predicted_time_s: Option<f64>,
+    fallback: Option<FallbackReason>,
+    queue: &mut SynergyQueue,
+) -> DecisionRecord {
+    let before = queue.degradation();
+    match requested_mhz {
+        Some(freq) if fallback.is_none() => {
+            queue.set_policy(FrequencyPolicy::Fixed(freq));
+        }
+        _ => queue.set_policy(FrequencyPolicy::DeviceDefault),
+    }
+    let outcome = template.trace.try_replay_on(queue);
+    let after = queue.degradation();
+
+    let mut fallback = fallback;
+    let (measured_time_s, measured_energy_j, completed) = match outcome {
+        Ok(m) => {
+            if fallback.is_none() && after.default_clock_fallbacks > before.default_clock_fallbacks
+            {
+                fallback = Some(FallbackReason::FrequencyRejected);
+            }
+            (m.time_s, m.energy_j, true)
+        }
+        Err(_) => {
+            fallback = Some(FallbackReason::LaunchFailed);
+            (0.0, 0.0, false)
+        }
+    };
+
+    DecisionRecord {
+        job_id: job.id,
+        app: template.app.to_string(),
+        label: template.label.clone(),
+        requested_mhz,
+        fallback,
+        deadline_s: job.deadline_s,
+        predicted_time_s,
+        measured_time_s,
+        measured_energy_j,
+        completed,
+        met_deadline: completed && measured_time_s <= job.deadline_s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+
+    fn fast_cfg(policy: Policy) -> GovernorConfig {
+        let mut cfg = GovernorConfig::pinned(policy);
+        cfg.n_jobs = 10;
+        cfg.freq_stride = 8;
+        cfg.train_stride = 8;
+        cfg
+    }
+
+    #[test]
+    fn stream_is_deterministic_and_covers_both_apps() {
+        let cfg = fast_cfg(Policy::DefaultClock);
+        let templates = build_templates(&cfg.spec);
+        let a = generate_stream(&cfg, &templates);
+        let b = generate_stream(&cfg, &templates);
+        let ids = |bursts: &[Vec<Job>]| -> Vec<(u64, usize, u64)> {
+            bursts
+                .iter()
+                .flatten()
+                .map(|j| (j.id, j.template, j.deadline_s.to_bits()))
+                .collect()
+        };
+        assert_eq!(ids(&a), ids(&b));
+        assert_eq!(ids(&a).len(), cfg.n_jobs);
+    }
+
+    #[test]
+    fn empty_registry_degrades_every_job_to_default_clock() {
+        let dir = std::env::temp_dir().join("governor-sim-empty-registry");
+        let _ = std::fs::remove_dir_all(&dir);
+        let registry = ModelRegistry::open(&dir);
+        let cfg = fast_cfg(Policy::MinEnergyUnderDeadline);
+        let report = run_governor(&cfg, &registry);
+        assert_eq!(report.n_jobs, cfg.n_jobs);
+        assert_eq!(report.fallbacks, cfg.n_jobs);
+        assert!(report
+            .decisions
+            .iter()
+            .all(|d| d.fallback == Some(FallbackReason::ModelMissing)));
+        assert!(report.decisions.iter().all(|d| d.requested_mhz.is_none()));
+        // Default-clock execution with generous slack never misses.
+        assert_eq!(report.deadline_misses, 0);
+    }
+}

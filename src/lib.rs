@@ -12,9 +12,13 @@
 //! * [`ml`] — from-scratch regression models, CV, and metrics
 //! * [`energy_model`] — the paper's contribution: general-purpose and
 //!   domain-specific energy/time models with Pareto-front analysis
+//! * [`governor`] — the online frequency governor: versioned model
+//!   registry, batched prediction serving, and deadline-aware closed-loop
+//!   DVFS over the trained models
 
 pub use cronos;
 pub use energy_model;
+pub use governor;
 pub use gpu_sim;
 pub use ligen;
 pub use ml;
