@@ -435,6 +435,199 @@ fn sweep_profile() -> ExperimentResult {
     Ok(())
 }
 
+/// Profiles the flattened-forest serving path against the row-at-a-time
+/// pointer-walk reference on a production-shape Cronos model and writes
+/// the comparison to `BENCH_serving.json` (the committed before/after
+/// record backing DESIGN.md's serving section). Asserts bit-identity
+/// between the paths unconditionally, and the ≥`SERVING_SPEEDUP_MIN`×
+/// throughput floor when that env var is set (CI sets it).
+fn serving_profile(quick: bool) -> ExperimentResult {
+    use governor::{EngineConfig, PredictionEngine, PredictionRequest};
+    use serde::Serialize;
+    use std::time::Instant;
+
+    #[derive(Serialize)]
+    struct Drain {
+        batch_size: u64,
+        rounds: u64,
+        distinct_keys: u64,
+        p99_ms: f64,
+        cache_hit_rate: f64,
+    }
+
+    #[derive(Serialize)]
+    struct Profile {
+        bench: String,
+        device: String,
+        freq_points: u64,
+        training_samples: u64,
+        eval_requests: u64,
+        bit_identical: bool,
+        single_reference_predictions_per_s: f64,
+        single_flat_predictions_per_s: f64,
+        batched_flat_predictions_per_s: f64,
+        batched_speedup_vs_reference: f64,
+        drain: Drain,
+    }
+
+    println!("\n## Serving profile — flat-forest batched inference vs pointer walk (V100)");
+    let spec = DeviceSpec::v100();
+    // Quick mode thins the *training* grid (characterization cost) but the
+    // curve evaluation always sweeps the full frequency list — that is the
+    // shape the serving path sees in production.
+    let train_freqs = if quick {
+        spec.core_freqs.strided(8)
+    } else {
+        sweep_freqs(&spec)
+    };
+    let freqs = sweep_freqs(&spec);
+    let configs = CronosInput::paper_configs();
+    let configs = if quick { &configs[..2] } else { &configs[..] };
+    let reps = if quick { 1 } else { REPS };
+    let inputs = characterize_cronos(&spec, configs, &train_freqs, reps, Some(SEED));
+    let samples = energy_model::workflow::training_set(&inputs);
+    let model = train_ds(&inputs, spec.default_core_mhz);
+    assert!(model.has_flat(), "forest model must carry the flat layout");
+
+    // Distinct off-grid queries: every one misses the memo cache, so the
+    // throughput numbers measure inference, not memoization.
+    let eval: Vec<Vec<f64>> = (0..64)
+        .map(|i| {
+            vec![
+                8.0 + (i % 17) as f64 * 7.0,
+                4.0 + (i % 11) as f64 * 3.0,
+                4.0 + (i % 7) as f64 * 5.0,
+            ]
+        })
+        .collect();
+    let refs: Vec<&[f64]> = eval.iter().map(|f| f.as_slice()).collect();
+
+    // Bit-identity before any timing: a fast wrong answer must never pass.
+    let batched = model.predict_curves_batch(&refs, &freqs);
+    for (f, prediction) in eval.iter().zip(&batched) {
+        let reference = model.predict_curve_reference(f, &freqs);
+        assert_eq!(prediction.curve.len(), reference.len());
+        for (a, b) in prediction.curve.iter().zip(&reference) {
+            assert_eq!(a.freq_mhz.to_bits(), b.freq_mhz.to_bits());
+            assert_eq!(a.speedup.to_bits(), b.speedup.to_bits(), "input {f:?}");
+            assert_eq!(a.norm_energy.to_bits(), b.norm_energy.to_bits());
+        }
+    }
+
+    // Interleaved per-round minima (scheduler noise only adds time).
+    let rounds = if quick { 4 } else { 12 };
+    let mut reference_min = f64::INFINITY;
+    let mut flat_single_min = f64::INFINITY;
+    let mut flat_batched_min = f64::INFINITY;
+    for _ in 0..rounds {
+        let t0 = Instant::now();
+        for f in &eval {
+            std::hint::black_box(model.predict_curve_reference(f, &freqs));
+        }
+        reference_min = reference_min.min(t0.elapsed().as_secs_f64());
+
+        let t1 = Instant::now();
+        for f in &eval {
+            std::hint::black_box(model.predict_curve(f, &freqs));
+        }
+        flat_single_min = flat_single_min.min(t1.elapsed().as_secs_f64());
+
+        let t2 = Instant::now();
+        std::hint::black_box(model.predict_curves_batch(&refs, &freqs));
+        flat_batched_min = flat_batched_min.min(t2.elapsed().as_secs_f64());
+    }
+    let n = eval.len() as f64;
+    let speedup = reference_min / flat_batched_min;
+    println!(
+        "{} requests × {} freqs: reference {:.2} ms, flat single {:.2} ms, \
+         flat batched {:.2} ms — {speedup:.1}×",
+        eval.len(),
+        freqs.len(),
+        reference_min * 1e3,
+        flat_single_min * 1e3,
+        flat_batched_min * 1e3,
+    );
+
+    // End-to-end drain: a repetitive arrival stream (the governor's common
+    // case) over a bounded key set, so later rounds serve from the shards.
+    let mut engine = PredictionEngine::new(EngineConfig {
+        freqs: freqs.clone(),
+        queue_capacity: 64,
+        max_batch: 64,
+    });
+    engine.install_model("cronos", model);
+    let pool: Vec<Vec<f64>> = (0..96)
+        .map(|i| {
+            vec![
+                8.0 + (i % 19) as f64 * 6.0,
+                4.0 + (i % 13) as f64 * 3.0,
+                4.0 + (i % 5) as f64 * 5.0,
+            ]
+        })
+        .collect();
+    let drain_rounds = if quick { 50 } else { 400 };
+    let mut latencies = Vec::with_capacity(drain_rounds);
+    let mut next = 0usize;
+    for _ in 0..drain_rounds {
+        for _ in 0..64 {
+            let features = pool[next % pool.len()].clone();
+            let _ = engine.try_enqueue(PredictionRequest {
+                job_id: next as u64,
+                app: "cronos".to_string(),
+                features,
+            });
+            next += 1;
+        }
+        let t = Instant::now();
+        let served = engine.drain_batch();
+        latencies.push(t.elapsed().as_secs_f64());
+        assert_eq!(served.len(), 64);
+    }
+    latencies.sort_by(f64::total_cmp);
+    let p99_idx = ((latencies.len() as f64 * 0.99).ceil() as usize).max(1) - 1;
+    let p99_ms = latencies[p99_idx] * 1e3;
+    let stats = engine.cache_stats();
+    println!(
+        "drain: {drain_rounds} batches of 64 over {} keys — p99 {p99_ms:.3} ms, \
+         cache hit rate {:.1}%",
+        pool.len(),
+        100.0 * stats.hit_rate()
+    );
+
+    if let Ok(min) = std::env::var("SERVING_SPEEDUP_MIN") {
+        let min: f64 = min.parse()?;
+        assert!(
+            speedup >= min,
+            "flat batched serving is only {speedup:.2}× the pointer walk (floor {min}×)"
+        );
+    }
+
+    let profile = Profile {
+        bench: "prediction serving: row-at-a-time pointer walk vs sweep-aware flat batched"
+            .to_string(),
+        device: spec.name.clone(),
+        freq_points: freqs.len() as u64,
+        training_samples: samples.len() as u64,
+        eval_requests: eval.len() as u64,
+        bit_identical: true,
+        single_reference_predictions_per_s: n / reference_min,
+        single_flat_predictions_per_s: n / flat_single_min,
+        batched_flat_predictions_per_s: n / flat_batched_min,
+        batched_speedup_vs_reference: speedup,
+        drain: Drain {
+            batch_size: 64,
+            rounds: drain_rounds as u64,
+            distinct_keys: pool.len() as u64,
+            p99_ms,
+            cache_hit_rate: stats.hit_rate(),
+        },
+    };
+    let json = serde_json::to_string_pretty(&profile)?;
+    atomic_write_str(std::path::Path::new("BENCH_serving.json"), &json)?;
+    println!("\nwrote BENCH_serving.json");
+    Ok(())
+}
+
 /// Runs a supervised multi-device characterization campaign (one healthy
 /// device slot plus one degraded one) with journaled checkpoint/resume
 /// under `results/campaign/`. Kill it at any point and re-run with
@@ -721,11 +914,12 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!(
-            "usage: figures -- <id> [...]   ids: fig1..fig10 table1 table2 fig13 fig14 headline portability sweep-profile campaign [--resume] telemetry govern [--policy <name>] all"
+            "usage: figures -- <id> [...]   ids: fig1..fig10 table1 table2 fig13 fig14 headline portability sweep-profile serving-profile [--quick] campaign [--resume] telemetry govern [--policy <name>] all"
         );
         std::process::exit(2);
     }
     let resume = args.iter().any(|a| a == "--resume");
+    let quick = args.iter().any(|a| a == "--quick");
     // `--policy <name>` (repeatable) selects which governor policies run
     // against the default-clock baseline; default is all of them.
     let mut policies: Vec<governor::Policy> = Vec::new();
@@ -771,6 +965,7 @@ fn main() {
             "portability" => portability(),
             "fig13-mi100" => fig13_mi100(),
             "sweep-profile" => return sweep_profile(),
+            "serving-profile" => return serving_profile(quick),
             "campaign" => return campaign_cmd(resume),
             "telemetry" => return telemetry_cmd(),
             "govern" => return govern_cmd(&policies),
@@ -789,6 +984,9 @@ fn main() {
         }
         if id == "--resume" {
             continue; // flag for `campaign`, not an experiment id
+        }
+        if id == "--quick" {
+            continue; // flag for `serving-profile`, not an experiment id
         }
         if id == "--policy" {
             skip_next = true; // flag for `govern`, not an experiment id

@@ -312,6 +312,44 @@ mod tests {
         );
     }
 
+    /// FNV-1a over the little-endian bits of the flat-path predictions on a
+    /// fixed grid — a stable fingerprint of model behaviour.
+    fn prediction_fingerprint(model: &DomainSpecificModel) -> u64 {
+        let mut bytes = Vec::new();
+        for &(a, b) in &[(2.0, 3.0), (4.0, 5.0), (8.0, 2.0), (5.0, 5.0)] {
+            for f in [600.0, 750.0, 900.0, 1100.0, 1300.0] {
+                let (t, e) = model.predict_time_energy(&[a, b], f);
+                bytes.extend_from_slice(&t.to_bits().to_le_bytes());
+                bytes.extend_from_slice(&e.to_bits().to_le_bytes());
+            }
+        }
+        fnv1a_64(&bytes)
+    }
+
+    #[test]
+    fn flatten_round_trip_is_fingerprint_stable() {
+        // serialize → load → (implicit) re-flatten must reproduce the exact
+        // prediction fingerprint: the recompiled SoA arena serves the same
+        // bits as the arena compiled at training time, across repeated
+        // round trips.
+        let dir = scratch("flat-fingerprint");
+        let model = tiny_model();
+        assert!(model.has_flat(), "forest pair must carry a flat layout");
+        let original = prediction_fingerprint(&model);
+
+        let path = dir.join("toy.json");
+        model.save_artifact(&path, "toy", 7).unwrap();
+        let (back, _) = DomainSpecificModel::load_artifact(&path).unwrap();
+        assert!(back.has_flat(), "load must recompile the flat layout");
+        assert_eq!(prediction_fingerprint(&back), original);
+
+        // Second generation: re-seal the reloaded model and load again.
+        let path2 = dir.join("toy2.json");
+        back.save_artifact(&path2, "toy", 7).unwrap();
+        let (back2, _) = DomainSpecificModel::load_artifact(&path2).unwrap();
+        assert_eq!(prediction_fingerprint(&back2), original);
+    }
+
     #[test]
     fn version_skew_is_a_typed_error() {
         let mut art = ModelArtifact::seal("toy", &tiny_model(), 0);

@@ -19,6 +19,7 @@
 use std::sync::Arc;
 
 use ml::dataset::Matrix;
+use ml::flat::FlatForest;
 use ml::forest::{RandomForest, RandomForestParams};
 use ml::lasso::Lasso;
 use ml::linear::LinearRegression;
@@ -113,9 +114,36 @@ impl Regressor for AnyModel {
             AnyModel::Forest(m) => m.predict_row(row),
         }
     }
+
+    /// One enum dispatch per batch instead of per row; the forest arm also
+    /// picks up `RandomForest`'s tree-major override.
+    fn predict_batch(&self, x: &Matrix, out: &mut Vec<f64>) {
+        match self {
+            AnyModel::Linear(m) => m.predict_batch(x, out),
+            AnyModel::Lasso(m) => m.predict_batch(x, out),
+            AnyModel::Svr(m) => m.predict_batch(x, out),
+            AnyModel::Forest(m) => m.predict_batch(x, out),
+        }
+    }
+}
+
+impl AnyModel {
+    /// Flattened-forest compilation hook: `Some` only for the forest arm.
+    fn compile_flat(&self) -> Option<FlatForest> {
+        match self {
+            AnyModel::Forest(m) => Some(m.flatten()),
+            _ => None,
+        }
+    }
 }
 
 /// A trained domain-specific model pair (time + energy).
+///
+/// Forest models additionally carry a compiled [`FlatForest`] — a derived
+/// struct-of-arrays arena used on the serving hot path. The flat layouts
+/// are **not** serialized (the pointer forests remain the source of truth);
+/// they are recompiled by `train*` and [`DomainSpecificModel::from_json`],
+/// and their predictions are bit-identical to the pointer walk.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DomainSpecificModel {
     time_model: AnyModel,
@@ -124,6 +152,22 @@ pub struct DomainSpecificModel {
     pub algorithm: Algorithm,
     n_features: usize,
     default_freq_mhz: f64,
+    // Compiled flat layouts serialize as `null` (see the FlatForest serde
+    // impls) and are recompiled on deserialize by `from_json`.
+    time_flat: Option<FlatForest>,
+    energy_flat: Option<FlatForest>,
+}
+
+/// One input's batched curve prediction: the predicted default-frequency
+/// anchors plus the Figure-12 normalized curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CurvePrediction {
+    /// Predicted execution time at the default frequency (s).
+    pub default_time_s: f64,
+    /// Predicted energy at the default frequency (J).
+    pub default_energy_j: f64,
+    /// Speedup / normalized energy over the requested frequencies.
+    pub curve: Vec<PredictedPoint>,
 }
 
 fn build_design(samples: &[DsSample]) -> (Matrix, Vec<f64>, Vec<f64>) {
@@ -176,12 +220,16 @@ impl DomainSpecificModel {
         time_model.fit(&x, &y_time);
         let mut energy_model = algorithm.build(seed ^ 0xE);
         energy_model.fit(&x, &y_energy);
+        let time_flat = time_model.compile_flat();
+        let energy_flat = energy_model.compile_flat();
         DomainSpecificModel {
             time_model,
             energy_model,
             algorithm,
             n_features: samples[0].features.len(),
             default_freq_mhz,
+            time_flat,
+            energy_flat,
         }
     }
 
@@ -260,11 +308,31 @@ impl DomainSpecificModel {
         )
     }
 
-    /// Predicts raw `(time, energy)` for an input at one frequency.
+    /// Predicts raw `(time, energy)` for an input at one frequency,
+    /// through the flat layout when the model pair is a forest.
     ///
     /// # Panics
     /// Panics on a feature-width mismatch.
     pub fn predict_time_energy(&self, features: &[f64], freq_mhz: f64) -> (f64, f64) {
+        assert_eq!(features.len(), self.n_features, "feature width mismatch");
+        let mut row = Vec::with_capacity(self.n_features + 1);
+        row.extend_from_slice(features);
+        row.push(freq_mhz);
+        let t = match &self.time_flat {
+            Some(flat) => flat.predict_row(&row),
+            None => self.time_model.predict_row(&row),
+        };
+        let e = match &self.energy_flat {
+            Some(flat) => flat.predict_row(&row),
+            None => self.energy_model.predict_row(&row),
+        };
+        (t.exp(), e.exp())
+    }
+
+    /// Pointer-walk reference for [`DomainSpecificModel::predict_time_energy`]:
+    /// bypasses the flat layout. Kept as the bit-identity oracle for golden
+    /// tests and the `BENCH_serving` baseline.
+    pub fn predict_time_energy_reference(&self, features: &[f64], freq_mhz: f64) -> (f64, f64) {
         assert_eq!(features.len(), self.n_features, "feature width mismatch");
         let mut row = features.to_vec();
         row.push(freq_mhz);
@@ -276,13 +344,24 @@ impl DomainSpecificModel {
 
     /// The Figure-12 prediction phase: predicted speedup and normalized
     /// energy over `freqs`, normalized by the *predicted* default-frequency
-    /// values.
+    /// values. Evaluates the whole curve as one batch through the flat
+    /// layout — bit-identical to the row-at-a-time reference.
     pub fn predict_curve(&self, features: &[f64], freqs: &[f64]) -> Vec<PredictedPoint> {
-        let (t_def, e_def) = self.predict_time_energy(features, self.default_freq_mhz);
+        self.predict_curves_batch(&[features], freqs)
+            .pop()
+            .expect("one input yields one curve")
+            .curve
+    }
+
+    /// Row-at-a-time pointer-walk reference for
+    /// [`DomainSpecificModel::predict_curve`] — the pre-flattening serving
+    /// path, kept for golden tests and the `BENCH_serving` baseline.
+    pub fn predict_curve_reference(&self, features: &[f64], freqs: &[f64]) -> Vec<PredictedPoint> {
+        let (t_def, e_def) = self.predict_time_energy_reference(features, self.default_freq_mhz);
         freqs
             .iter()
             .map(|&f| {
-                let (t, e) = self.predict_time_energy(features, f);
+                let (t, e) = self.predict_time_energy_reference(features, f);
                 PredictedPoint {
                     freq_mhz: f,
                     speedup: t_def / t,
@@ -290,6 +369,127 @@ impl DomainSpecificModel {
                 }
             })
             .collect()
+    }
+
+    /// Batched prediction phase for many inputs at once. The serving drain
+    /// path feeds whole admitted batches through this.
+    ///
+    /// Forest models (the production pair) take the **sweep-aware flat
+    /// path**: every `(input, frequency)` row of a curve differs from its
+    /// siblings only in the frequency column, so each flattened tree is
+    /// descended once per input via `FlatForest::predict_sweep_into` —
+    /// frequency splits partition the sweep range instead of re-walking
+    /// the tree per frequency. Non-forest models materialize one design
+    /// matrix and evaluate it in two batched model passes.
+    ///
+    /// Per-row float schedules are unchanged on both paths, so every
+    /// returned curve is bit-identical to
+    /// [`DomainSpecificModel::predict_curve_reference`].
+    ///
+    /// # Panics
+    /// Panics on a feature-width mismatch.
+    pub fn predict_curves_batch(&self, inputs: &[&[f64]], freqs: &[f64]) -> Vec<CurvePrediction> {
+        let stride = freqs.len() + 1;
+        let assemble = |t_log: &[f64], e_log: &[f64], base: usize| {
+            let t_def = t_log[base].exp();
+            let e_def = e_log[base].exp();
+            let curve = freqs
+                .iter()
+                .enumerate()
+                .map(|(j, &f)| {
+                    let t = t_log[base + 1 + j].exp();
+                    let e = e_log[base + 1 + j].exp();
+                    PredictedPoint {
+                        freq_mhz: f,
+                        speedup: t_def / t,
+                        norm_energy: e / e_def,
+                    }
+                })
+                .collect();
+            CurvePrediction {
+                default_time_s: t_def,
+                default_energy_j: e_def,
+                curve,
+            }
+        };
+
+        if let (Some(time_flat), Some(energy_flat)) = (&self.time_flat, &self.energy_flat) {
+            // One template row per input, the default frequency in the
+            // swept column: the same matrix serves as the anchor batch
+            // (feature-major plain descents) and as the sweep templates
+            // (tree-major, frequency splits partition the ascending sweep
+            // range) — four tree-major passes total, each arena streamed
+            // once per pass regardless of batch size.
+            let mut x = Matrix::with_cols(self.n_features + 1);
+            let mut row = Vec::with_capacity(self.n_features + 1);
+            for features in inputs {
+                assert_eq!(features.len(), self.n_features, "feature width mismatch");
+                row.clear();
+                row.extend_from_slice(features);
+                row.push(self.default_freq_mhz);
+                x.push_row(&row);
+            }
+            let mut t_def_log = Vec::with_capacity(inputs.len());
+            let mut e_def_log = Vec::with_capacity(inputs.len());
+            time_flat.predict_batch_into(&x, &mut t_def_log);
+            energy_flat.predict_batch_into(&x, &mut e_def_log);
+            let mut t_curve = Vec::new();
+            let mut e_curve = Vec::new();
+            time_flat.predict_sweep_batch_into(&x, self.n_features, freqs, &mut t_curve);
+            energy_flat.predict_sweep_batch_into(&x, self.n_features, freqs, &mut e_curve);
+            return (0..inputs.len())
+                .map(|i| {
+                    let t_def = t_def_log[i].exp();
+                    let e_def = e_def_log[i].exp();
+                    let base = i * freqs.len();
+                    let curve = freqs
+                        .iter()
+                        .enumerate()
+                        .map(|(j, &f)| PredictedPoint {
+                            freq_mhz: f,
+                            speedup: t_def / t_curve[base + j].exp(),
+                            norm_energy: e_curve[base + j].exp() / e_def,
+                        })
+                        .collect();
+                    CurvePrediction {
+                        default_time_s: t_def,
+                        default_energy_j: e_def,
+                        curve,
+                    }
+                })
+                .collect();
+        }
+
+        let mut x = Matrix::with_cols(self.n_features + 1);
+        let mut row = Vec::with_capacity(self.n_features + 1);
+        for features in inputs {
+            assert_eq!(features.len(), self.n_features, "feature width mismatch");
+            row.clear();
+            row.extend_from_slice(features);
+            row.push(self.default_freq_mhz);
+            x.push_row(&row);
+            for &f in freqs {
+                if let Some(last) = row.last_mut() {
+                    *last = f;
+                }
+                x.push_row(&row);
+            }
+        }
+
+        let mut t_log = Vec::with_capacity(x.rows());
+        let mut e_log = Vec::with_capacity(x.rows());
+        self.time_model.predict_batch(&x, &mut t_log);
+        self.energy_model.predict_batch(&x, &mut e_log);
+
+        (0..inputs.len())
+            .map(|i| assemble(&t_log, &e_log, i * stride))
+            .collect()
+    }
+
+    /// Whether the model pair carries compiled flat forests (true for every
+    /// trained or deserialized Random Forest pair).
+    pub fn has_flat(&self) -> bool {
+        self.time_flat.is_some() && self.energy_flat.is_some()
     }
 
     /// Default frequency used for normalization.
@@ -311,9 +511,13 @@ impl DomainSpecificModel {
         serde_json::to_string(self).expect("model serialization cannot fail")
     }
 
-    /// Restores a model pair from [`DomainSpecificModel::to_json`] output.
+    /// Restores a model pair from [`DomainSpecificModel::to_json`] output,
+    /// recompiling the flat inference layout (it is never serialized).
     pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(json)
+        let mut model: Self = serde_json::from_str(json)?;
+        model.time_flat = model.time_model.compile_flat();
+        model.energy_flat = model.energy_model.compile_flat();
+        Ok(model)
     }
 }
 
@@ -441,6 +645,78 @@ mod tests {
     #[test]
     fn malformed_json_is_an_error() {
         assert!(DomainSpecificModel::from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn flat_path_bit_identical_to_reference() {
+        let samples = synth_samples(&[(2.0, 3.0), (4.0, 5.0), (8.0, 2.0)], &freqs());
+        let model = DomainSpecificModel::train(&samples, 855.0, 4);
+        assert!(model.has_flat());
+        for &f in freqs().iter().step_by(3) {
+            let (t, e) = model.predict_time_energy(&[4.0, 5.0], f);
+            let (tr, er) = model.predict_time_energy_reference(&[4.0, 5.0], f);
+            assert_eq!(t.to_bits(), tr.to_bits());
+            assert_eq!(e.to_bits(), er.to_bits());
+        }
+        let fs = freqs();
+        let curve = model.predict_curve(&[4.0, 5.0], &fs);
+        let reference = model.predict_curve_reference(&[4.0, 5.0], &fs);
+        assert_eq!(curve.len(), reference.len());
+        for (a, b) in curve.iter().zip(&reference) {
+            assert_eq!(a.speedup.to_bits(), b.speedup.to_bits());
+            assert_eq!(a.norm_energy.to_bits(), b.norm_energy.to_bits());
+        }
+    }
+
+    #[test]
+    fn batched_curves_match_per_input_curves() {
+        let samples = synth_samples(&[(2.0, 3.0), (4.0, 5.0), (8.0, 2.0)], &freqs());
+        let model = DomainSpecificModel::train(&samples, 855.0, 7);
+        let fs = freqs();
+        let inputs: [&[f64]; 3] = [&[2.0, 3.0], &[4.0, 5.0], &[12.0, 9.0]];
+        let batch = model.predict_curves_batch(&inputs, &fs);
+        assert_eq!(batch.len(), 3);
+        for (input, pred) in inputs.iter().zip(&batch) {
+            let (t_def, e_def) = model.predict_time_energy_reference(input, 855.0);
+            assert_eq!(pred.default_time_s.to_bits(), t_def.to_bits());
+            assert_eq!(pred.default_energy_j.to_bits(), e_def.to_bits());
+            let single = model.predict_curve_reference(input, &fs);
+            for (a, b) in pred.curve.iter().zip(&single) {
+                assert_eq!(a.speedup.to_bits(), b.speedup.to_bits());
+                assert_eq!(a.norm_energy.to_bits(), b.norm_energy.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn deserialized_model_recompiles_flat_layout() {
+        let samples = synth_samples(&[(2.0, 3.0), (4.0, 5.0), (8.0, 2.0)], &freqs());
+        let model = DomainSpecificModel::train(&samples, 855.0, 4);
+        let back = DomainSpecificModel::from_json(&model.to_json()).unwrap();
+        assert!(back.has_flat());
+        // The recompiled flat layout must stay bit-identical to the pointer
+        // forest it was compiled from (the JSON float round-trip itself is
+        // only covered to 1e-12 by `json_round_trip_preserves_predictions`).
+        for &f in freqs().iter().step_by(5) {
+            let (t0, e0) = back.predict_time_energy(&[4.0, 5.0], f);
+            let (t1, e1) = back.predict_time_energy_reference(&[4.0, 5.0], f);
+            assert_eq!(t0.to_bits(), t1.to_bits());
+            assert_eq!(e0.to_bits(), e1.to_bits());
+        }
+    }
+
+    #[test]
+    fn non_forest_models_serve_without_flat_layout() {
+        let samples = synth_samples(&[(2.0, 3.0), (4.0, 5.0), (8.0, 2.0)], &freqs());
+        let model = DomainSpecificModel::train_algorithm(&samples, 855.0, Algorithm::Linear, 0);
+        assert!(!model.has_flat());
+        let fs = freqs();
+        let curve = model.predict_curve(&[4.0, 5.0], &fs);
+        let reference = model.predict_curve_reference(&[4.0, 5.0], &fs);
+        for (a, b) in curve.iter().zip(&reference) {
+            assert_eq!(a.speedup.to_bits(), b.speedup.to_bits());
+            assert_eq!(a.norm_energy.to_bits(), b.norm_energy.to_bits());
+        }
     }
 
     #[test]

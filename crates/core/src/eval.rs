@@ -10,6 +10,11 @@
 //!   predicted Pareto-optimal frequency sets are *realized* (looked up in
 //!   the measured characterization) and compared against the true front
 //!   (Figure 14).
+//!
+//! Both evaluations score whole curves through `predict_curve`, which
+//! batches every frequency point through the flattened-forest layout
+//! (`ml::flat`) — the same inference path the governor serves from, so
+//! LOOCV exercises exactly the code that ships.
 
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};

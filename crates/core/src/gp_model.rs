@@ -146,21 +146,35 @@ impl GeneralPurposeModel {
         )
     }
 
-    /// Predicts the full curve over `freqs`.
+    /// Predicts the full curve over `freqs` as one batch: a single design
+    /// matrix and two tree-major `predict_batch` passes instead of
+    /// `2 × freqs` virtual dispatches. Bit-identical to calling
+    /// [`GeneralPurposeModel::predict`] per frequency.
     pub fn predict_curve(
         &self,
         app_features: &[f64; N_STATIC_FEATURES],
         freqs: &[f64],
     ) -> Vec<PredictedPoint> {
+        let mut x = Matrix::with_cols(N_STATIC_FEATURES + 1);
+        let mut row = app_features.to_vec();
+        row.push(0.0);
+        for &f in freqs {
+            if let Some(last) = row.last_mut() {
+                *last = f;
+            }
+            x.push_row(&row);
+        }
+        let mut speedup = Vec::with_capacity(freqs.len());
+        let mut energy = Vec::with_capacity(freqs.len());
+        self.speedup_model.predict_batch(&x, &mut speedup);
+        self.energy_model.predict_batch(&x, &mut energy);
         freqs
             .iter()
-            .map(|&f| {
-                let (s, e) = self.predict(app_features, f);
-                PredictedPoint {
-                    freq_mhz: f,
-                    speedup: s,
-                    norm_energy: e,
-                }
+            .zip(speedup.iter().zip(&energy))
+            .map(|(&f, (&s, &e))| PredictedPoint {
+                freq_mhz: f,
+                speedup: s,
+                norm_energy: e,
             })
             .collect()
     }
@@ -250,6 +264,21 @@ mod tests {
         let curve = model.predict_curve(&sf, &freqs);
         assert_eq!(curve.len(), 3);
         assert_eq!(curve[1].freq_mhz, 1000.0);
+    }
+
+    #[test]
+    fn batched_curve_matches_per_frequency_predict() {
+        let spec = DeviceSpec::v100();
+        let model = quick_model(&spec);
+        let k = KernelProfile::compute_bound("app", 4_000_000, 2000.0);
+        let sf = GeneralPurposeModel::application_features(&[k]);
+        let freqs = [500.0, 900.0, 1100.0, 1380.0];
+        let curve = model.predict_curve(&sf, &freqs);
+        for p in &curve {
+            let (s, e) = model.predict(&sf, p.freq_mhz);
+            assert_eq!(p.speedup.to_bits(), s.to_bits());
+            assert_eq!(p.norm_energy.to_bits(), e.to_bits());
+        }
     }
 
     #[test]

@@ -74,7 +74,7 @@ pub use characterize::{
     characterize, characterize_serial, characterize_serial_with_options, characterize_with_options,
     CharPoint, Characterization, PointDiagnostics, SweepDiagnostics, SweepOptions, Workload,
 };
-pub use ds_model::DomainSpecificModel;
+pub use ds_model::{CurvePrediction, DomainSpecificModel};
 pub use features::{CronosInput, LigenInput};
 pub use gp_model::GeneralPurposeModel;
 pub use pareto::pareto_front_indices;

@@ -20,6 +20,19 @@
 //!   answer), and relaxed-atomic hit/miss/collision counters surfaced as
 //!   [`CacheStats`].
 //!
+//! The cache is **sharded**: [`N_SHARDS`] independent maps, each behind
+//! its own `RwLock` with its own counters, selected by the *high* bits of
+//! the key digest (the map indexes by the full digest, so low bits keep
+//! their within-shard entropy). Concurrent submitters touch disjoint
+//! shards instead of serializing on one lock; [`CacheStats`] totals are
+//! folded across shards on read.
+//!
+//! Cache misses in a drained batch are not served row-at-a-time: they are
+//! grouped per app and evaluated through
+//! `DomainSpecificModel::predict_curves_batch`, which walks the flattened
+//! struct-of-arrays forest (`ml::flat`) feature-major across the whole
+//! batch — bit-identical to the pointer walk, several times faster.
+//!
 //! Features are quantized onto a 1/1024 grid before keying, so the cache
 //! key is exact integer data — two requests whose features round to the
 //! same grid cell share a profile. The workloads' feature spaces are
@@ -36,13 +49,29 @@ use std::hash::BuildHasherDefault;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
-use energy_model::ds_model::PredictedPoint;
+use energy_model::ds_model::{CurvePrediction, PredictedPoint};
 use energy_model::pareto::pareto_front_indices;
 use energy_model::DomainSpecificModel;
 use serde::Serialize;
 
 const FNV_OFFSET: u64 = 0xcbf29ce484222325;
 const FNV_PRIME: u64 = 0x100000001b3;
+
+/// log2 of the cache shard count.
+const SHARD_BITS: u32 = 4;
+
+/// Number of independent cache shards. A compile-time constant (not an
+/// [`EngineConfig`] knob) so existing config literals stay valid; 16 locks
+/// comfortably out-provisions the worker counts this workspace targets.
+pub const N_SHARDS: usize = 1 << SHARD_BITS;
+
+/// Shard selector: the digest's *high* bits. The within-shard map hashes
+/// the full 64-bit digest, so discarding low bits here costs no entropy
+/// where the map needs it.
+#[inline]
+fn shard_index(digest: u64) -> usize {
+    (digest >> (64 - SHARD_BITS)) as usize
+}
 
 /// Feature quantization: 1024 steps per unit. Integer-valued features
 /// (every workload feature in this workspace) round-trip exactly.
@@ -117,6 +146,27 @@ struct CacheEntry {
     profile: Arc<PredictedProfile>,
 }
 
+/// One independent cache shard: its own map, lock, and counters. Counters
+/// live with the shard (not the engine) so concurrent submitters never
+/// contend on a shared cache line; totals are folded on read.
+#[derive(Default)]
+struct CacheShard {
+    map: RwLock<HashMap<u64, Vec<CacheEntry>, BuildHasherDefault<DigestHasher>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    collisions: AtomicU64,
+}
+
+impl CacheShard {
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            collisions: self.collisions.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// Lookup counters of the prediction memo cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
 pub struct CacheStats {
@@ -137,6 +187,17 @@ impl CacheStats {
         } else {
             self.hits as f64 / total as f64
         }
+    }
+
+    /// Folds another counter set (one shard's) into this one. Summing raw
+    /// counters — never averaging per-shard rates — keeps `hit_rate`
+    /// correct when some shards saw no lookups at all: an idle shard
+    /// contributes zero to both numerator and denominator instead of
+    /// dragging a rate average toward zero.
+    pub fn accumulate(&mut self, other: CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.collisions += other.collisions;
     }
 }
 
@@ -246,16 +307,24 @@ struct InstalledModel {
     app_id: u64,
 }
 
+/// A within-batch cache miss awaiting batched inference: which response
+/// slot it fills, its cache identity, and any later same-batch requests
+/// with the same key (served as hits off this miss's profile, exactly as
+/// sequential serving would have found the freshly inserted memo).
+struct MissSlot {
+    slot: usize,
+    key: CacheKey,
+    digest: u64,
+    dependents: Vec<usize>,
+}
+
 /// The batched prediction server: installed models, the admission queue,
-/// and the shared memo cache.
+/// and the sharded memo cache.
 pub struct PredictionEngine {
     config: EngineConfig,
     models: HashMap<String, InstalledModel>,
     queue: VecDeque<PredictionRequest>,
-    cache: RwLock<HashMap<u64, Vec<CacheEntry>, BuildHasherDefault<DigestHasher>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    collisions: AtomicU64,
+    shards: Vec<CacheShard>,
     admitted: u64,
     rejected: u64,
 }
@@ -267,10 +336,7 @@ impl PredictionEngine {
             config,
             models: HashMap::new(),
             queue: VecDeque::new(),
-            cache: RwLock::new(HashMap::default()),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            collisions: AtomicU64::new(0),
+            shards: (0..N_SHARDS).map(|_| CacheShard::default()).collect(),
             admitted: 0,
             rejected: 0,
         }
@@ -287,12 +353,15 @@ impl PredictionEngine {
         let app_id = fnv_str(FNV_OFFSET, app);
         if self.models.contains_key(app) {
             // A replaced model must not serve its predecessor's
-            // predictions: drop every chain entry keyed to this app.
-            if let Ok(mut cache) = self.cache.write() {
-                for chain in cache.values_mut() {
-                    chain.retain(|e| e.key.app_id != app_id);
+            // predictions: drop every chain entry keyed to this app, in
+            // every shard (an app's keys spread across all of them).
+            for shard in &self.shards {
+                if let Ok(mut map) = shard.map.write() {
+                    for chain in map.values_mut() {
+                        chain.retain(|e| e.key.app_id != app_id);
+                    }
+                    map.retain(|_, chain| !chain.is_empty());
                 }
-                cache.retain(|_, chain| !chain.is_empty());
             }
         }
         self.models
@@ -331,105 +400,208 @@ impl PredictionEngine {
     /// Serves up to `max_batch` queued requests in FIFO order. Each
     /// response pairs the request with its profile or a typed serve error;
     /// a failed request consumes its queue slot like a served one.
+    ///
+    /// Cache misses in the drained batch are grouped per app and evaluated
+    /// as **one** `predict_curves_batch` call through the flattened forest
+    /// — not row-at-a-time — so a cold batch costs two feature-major model
+    /// passes per app instead of `2 × (freqs + 1)` dispatches per request.
+    /// Responses are bit-identical to sequential row-at-a-time serving,
+    /// including the hit/miss accounting: a duplicate key later in the
+    /// same batch counts as a hit and shares the first request's `Arc`.
     #[allow(clippy::type_complexity)]
     pub fn drain_batch(
         &mut self,
     ) -> Vec<(PredictionRequest, Result<Arc<PredictedProfile>, ServeError>)> {
         let n = self.config.max_batch.min(self.queue.len());
-        let mut out = Vec::with_capacity(n);
-        for _ in 0..n {
-            let Some(request) = self.queue.pop_front() else {
-                break;
-            };
-            let result = self.serve_one(&request);
-            out.push((request, result));
-        }
-        out
+        let requests: Vec<PredictionRequest> = self.queue.drain(..n).collect();
+        let results = self.serve_batch(&requests);
+        requests.into_iter().zip(results).collect()
     }
 
-    /// Cache counters so far.
+    /// Cache counters so far, summed across shards. Raw counters are
+    /// folded (see [`CacheStats::accumulate`]), so the hit fraction stays
+    /// correct even when most shards never saw a lookup.
     pub fn cache_stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            collisions: self.collisions.load(Ordering::Relaxed),
+        let mut total = CacheStats::default();
+        for shard in &self.shards {
+            total.accumulate(shard.stats());
         }
+        total
     }
 
-    fn serve_one(&self, request: &PredictionRequest) -> Result<Arc<PredictedProfile>, ServeError> {
-        let installed =
-            self.models
-                .get(&request.app)
-                .ok_or_else(|| ServeError::ModelUnavailable {
+    /// Per-shard cache counters, in shard-index order ([`N_SHARDS`] rows).
+    pub fn shard_stats(&self) -> Vec<CacheStats> {
+        self.shards.iter().map(CacheShard::stats).collect()
+    }
+
+    /// Serves a drained batch: validate → probe shards → batch the misses
+    /// per app through the flat layout → insert → fill response slots.
+    fn serve_batch(
+        &self,
+        requests: &[PredictionRequest],
+    ) -> Vec<Result<Arc<PredictedProfile>, ServeError>> {
+        let mut slots: Vec<Option<Result<Arc<PredictedProfile>, ServeError>>> =
+            (0..requests.len()).map(|_| None).collect();
+        // Misses grouped per app in first-miss order; a batch holds few
+        // distinct apps, so linear scans beat map overhead here.
+        let mut groups: Vec<(&str, Vec<MissSlot>)> = Vec::new();
+
+        for (i, request) in requests.iter().enumerate() {
+            let Some(installed) = self.models.get(&request.app) else {
+                slots[i] = Some(Err(ServeError::ModelUnavailable {
                     app: request.app.clone(),
-                })?;
-        let expected = installed.model.n_features();
-        if request.features.len() != expected {
-            return Err(ServeError::FeatureWidth {
-                app: request.app.clone(),
-                expected,
-                found: request.features.len(),
-            });
-        }
+                }));
+                continue;
+            };
+            let expected = installed.model.n_features();
+            if request.features.len() != expected {
+                slots[i] = Some(Err(ServeError::FeatureWidth {
+                    app: request.app.clone(),
+                    expected,
+                    found: request.features.len(),
+                }));
+                continue;
+            }
 
-        let key = CacheKey {
-            app_id: installed.app_id,
-            quant_features: request
-                .features
-                .iter()
-                .map(|&f| (f * QUANT_STEPS_PER_UNIT).round() as i64)
-                .collect(),
-        };
-        let digest = key.digest();
+            let key = CacheKey {
+                app_id: installed.app_id,
+                quant_features: request
+                    .features
+                    .iter()
+                    .map(|&f| (f * QUANT_STEPS_PER_UNIT).round() as i64)
+                    .collect(),
+            };
+            let digest = key.digest();
+            let shard = &self.shards[shard_index(digest)];
 
-        if let Ok(cache) = self.cache.read() {
-            if let Some(chain) = cache.get(&digest) {
-                for entry in chain {
-                    if entry.key == key {
-                        self.hits.fetch_add(1, Ordering::Relaxed);
-                        return Ok(Arc::clone(&entry.profile));
+            let mut cached = None;
+            if let Ok(map) = shard.map.read() {
+                if let Some(chain) = map.get(&digest) {
+                    for entry in chain {
+                        if entry.key == key {
+                            cached = Some(Arc::clone(&entry.profile));
+                            break;
+                        }
                     }
                 }
             }
+            if let Some(profile) = cached {
+                shard.hits.fetch_add(1, Ordering::Relaxed);
+                slots[i] = Some(Ok(profile));
+                continue;
+            }
+
+            let group = match groups.iter_mut().find(|(app, _)| *app == request.app) {
+                Some((_, misses)) => misses,
+                None => {
+                    groups.push((request.app.as_str(), Vec::new()));
+                    // Just pushed; the vec cannot be empty.
+                    match groups.last_mut() {
+                        Some((_, misses)) => misses,
+                        None => continue,
+                    }
+                }
+            };
+            // An earlier miss in this batch with the same key will produce
+            // this request's profile: sequential serving would have found
+            // the freshly inserted memo, so count a hit and share the Arc.
+            if let Some(first) = group
+                .iter_mut()
+                .find(|m| m.digest == digest && m.key == key)
+            {
+                shard.hits.fetch_add(1, Ordering::Relaxed);
+                first.dependents.push(i);
+                continue;
+            }
+            shard.misses.fetch_add(1, Ordering::Relaxed);
+            group.push(MissSlot {
+                slot: i,
+                key,
+                digest,
+                dependents: Vec::new(),
+            });
         }
 
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let profile = Arc::new(self.predict(&installed.model, &request.features));
+        // Batched inference: one design matrix and two feature-major flat
+        // passes per app with misses.
+        for (app, misses) in &groups {
+            let Some(installed) = self.models.get(*app) else {
+                continue; // unreachable: groups only hold installed apps
+            };
+            let inputs: Vec<&[f64]> = misses
+                .iter()
+                .map(|m| requests[m.slot].features.as_slice())
+                .collect();
+            let predictions = installed
+                .model
+                .predict_curves_batch(&inputs, &self.config.freqs);
+            let default_freq_mhz = installed.model.default_freq_mhz();
+            for (miss, prediction) in misses.iter().zip(predictions) {
+                let profile = Arc::new(assemble_profile(default_freq_mhz, prediction));
+                self.insert(miss, &profile);
+                for &dependent in &miss.dependents {
+                    slots[dependent] = Some(Ok(Arc::clone(&profile)));
+                }
+                slots[miss.slot] = Some(Ok(profile));
+            }
+        }
 
-        if let Ok(mut cache) = self.cache.write() {
-            let chain = cache.entry(digest).or_default();
+        slots
+            .into_iter()
+            .zip(requests)
+            .map(|(slot, request)| {
+                slot.unwrap_or_else(|| {
+                    // Unreachable: every request is assigned an error, a
+                    // hit, a dependent fill, or a miss fill above.
+                    Err(ServeError::ModelUnavailable {
+                        app: request.app.clone(),
+                    })
+                })
+            })
+            .collect()
+    }
+
+    /// Inserts a freshly computed profile into its shard, preserving the
+    /// collision accounting and racing-writer duplicate check of the
+    /// pre-sharding cache.
+    fn insert(&self, miss: &MissSlot, profile: &Arc<PredictedProfile>) {
+        let shard = &self.shards[shard_index(miss.digest)];
+        if let Ok(mut map) = shard.map.write() {
+            let chain = map.entry(miss.digest).or_default();
             // A racing writer may have filled the slot between our read
             // and write lock; serve-once semantics don't matter for
             // correctness (profiles are deterministic), but don't chain a
             // duplicate.
-            if !chain.iter().any(|e| e.key == key) {
+            if !chain.iter().any(|e| e.key == miss.key) {
                 if !chain.is_empty() {
-                    self.collisions.fetch_add(1, Ordering::Relaxed);
+                    shard.collisions.fetch_add(1, Ordering::Relaxed);
                 }
                 chain.push(CacheEntry {
-                    key,
-                    profile: Arc::clone(&profile),
+                    key: miss.key.clone(),
+                    profile: Arc::clone(profile),
                 });
             }
         }
-        Ok(profile)
     }
+}
 
-    fn predict(&self, model: &DomainSpecificModel, features: &[f64]) -> PredictedProfile {
-        let default_freq_mhz = model.default_freq_mhz();
-        let (default_time_s, default_energy_j) =
-            model.predict_time_energy(features, default_freq_mhz);
-        let curve = model.predict_curve(features, &self.config.freqs);
-        let plane: Vec<(f64, f64)> = curve.iter().map(|p| (p.speedup, p.norm_energy)).collect();
-        let front = pareto_front_indices(&plane);
-        let mut pareto: Vec<PredictedPoint> = front.into_iter().map(|i| curve[i]).collect();
-        pareto.sort_by(|a, b| a.freq_mhz.total_cmp(&b.freq_mhz));
-        PredictedProfile {
-            default_time_s,
-            default_energy_j,
-            default_freq_mhz,
-            pareto,
-        }
+/// Builds the served profile from one batched curve prediction: Pareto
+/// filter, ascending-frequency order, default-clock anchors — the same
+/// float schedule as the old row-at-a-time `predict`.
+fn assemble_profile(default_freq_mhz: f64, prediction: CurvePrediction) -> PredictedProfile {
+    let plane: Vec<(f64, f64)> = prediction
+        .curve
+        .iter()
+        .map(|p| (p.speedup, p.norm_energy))
+        .collect();
+    let front = pareto_front_indices(&plane);
+    let mut pareto: Vec<PredictedPoint> = front.into_iter().map(|i| prediction.curve[i]).collect();
+    pareto.sort_by(|a, b| a.freq_mhz.total_cmp(&b.freq_mhz));
+    PredictedProfile {
+        default_time_s: prediction.default_time_s,
+        default_energy_j: prediction.default_energy_j,
+        default_freq_mhz,
+        pareto,
     }
 }
 
@@ -581,6 +753,116 @@ mod tests {
                 assert!(!dominates, "served Pareto set contains a dominated point");
             }
         }
+    }
+
+    #[test]
+    fn cache_stats_sum_across_shards_with_unused_shards() {
+        let mut engine = engine_with_model();
+        engine.config.queue_capacity = 64;
+        engine.config.max_batch = 64;
+        // 24 distinct keys spread over the shards, then 8 repeats.
+        for i in 0..24 {
+            engine.try_enqueue(request(i, i as f64)).ok();
+        }
+        engine.drain_batch();
+        for i in 0..8 {
+            engine.try_enqueue(request(100 + i, i as f64)).ok();
+        }
+        engine.drain_batch();
+
+        let per_shard = engine.shard_stats();
+        assert_eq!(per_shard.len(), N_SHARDS);
+        let mut folded = CacheStats::default();
+        for s in &per_shard {
+            folded.accumulate(*s);
+        }
+        let total = engine.cache_stats();
+        assert_eq!(folded, total, "totals must be the fold of shard stats");
+        assert_eq!((total.hits, total.misses), (8, 24));
+
+        // With 24 keys over 16 shards some shards are busier than others
+        // and an idle shard must not skew the fold: the hit fraction is
+        // hits / lookups of the *sums*, not an average of per-shard rates.
+        assert!((total.hit_rate() - 8.0 / 32.0).abs() < 1e-12);
+        let lookups: u64 = per_shard.iter().map(|s| s.hits + s.misses).sum();
+        assert_eq!(lookups, 32);
+    }
+
+    #[test]
+    fn batched_drain_is_bit_identical_to_reference_path() {
+        let model = tiny_model();
+        let mut engine = engine_with_model();
+        engine.config.queue_capacity = 16;
+        engine.config.max_batch = 16;
+        let sizes = [1.0, 2.0, 3.0, 4.0, 5.5, 8.0];
+        for (i, &s) in sizes.iter().enumerate() {
+            engine.try_enqueue(request(i as u64, s)).ok();
+        }
+        let served = engine.drain_batch();
+        assert_eq!(served.len(), sizes.len());
+        for ((req, result), &size) in served.iter().zip(&sizes) {
+            let profile = result.as_ref().ok().cloned().unwrap();
+            // Reference: the pre-flattening row-at-a-time pointer walk.
+            let (t_def, e_def) =
+                model.predict_time_energy_reference(&req.features, model.default_freq_mhz());
+            assert_eq!(profile.default_time_s.to_bits(), t_def.to_bits(), "{size}");
+            assert_eq!(profile.default_energy_j.to_bits(), e_def.to_bits());
+            let curve = model.predict_curve_reference(&req.features, &engine.config.freqs);
+            let plane: Vec<(f64, f64)> = curve.iter().map(|p| (p.speedup, p.norm_energy)).collect();
+            let front = pareto_front_indices(&plane);
+            let mut pareto: Vec<PredictedPoint> = front.into_iter().map(|i| curve[i]).collect();
+            pareto.sort_by(|a, b| a.freq_mhz.total_cmp(&b.freq_mhz));
+            assert_eq!(profile.pareto.len(), pareto.len());
+            for (a, b) in profile.pareto.iter().zip(&pareto) {
+                assert_eq!(a.freq_mhz.to_bits(), b.freq_mhz.to_bits());
+                assert_eq!(a.speedup.to_bits(), b.speedup.to_bits());
+                assert_eq!(a.norm_energy.to_bits(), b.norm_energy.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_batch_preserves_order_errors_and_sharing() {
+        let mut engine = engine_with_model();
+        engine.config.queue_capacity = 8;
+        engine.config.max_batch = 8;
+        engine.try_enqueue(request(0, 2.0)).ok();
+        engine
+            .try_enqueue(PredictionRequest {
+                job_id: 1,
+                app: "nope".to_string(),
+                features: vec![1.0],
+            })
+            .ok();
+        engine
+            .try_enqueue(PredictionRequest {
+                job_id: 2,
+                app: "toy".to_string(),
+                features: vec![1.0, 2.0],
+            })
+            .ok();
+        engine.try_enqueue(request(3, 2.0)).ok(); // duplicate of job 0
+        engine.try_enqueue(request(4, 7.0)).ok();
+
+        let served = engine.drain_batch();
+        assert_eq!(
+            served.iter().map(|(r, _)| r.job_id).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4]
+        );
+        assert!(matches!(
+            served[1].1,
+            Err(ServeError::ModelUnavailable { .. })
+        ));
+        assert!(matches!(served[2].1, Err(ServeError::FeatureWidth { .. })));
+        let first = served[0].1.as_ref().ok().cloned().unwrap();
+        let dup = served[3].1.as_ref().ok().cloned().unwrap();
+        assert!(
+            Arc::ptr_eq(&first, &dup),
+            "within-batch duplicate must share the Arc"
+        );
+        let stats = engine.cache_stats();
+        // job 0 and 4 miss, job 3 is a (within-batch) hit, errors don't count.
+        assert_eq!((stats.hits, stats.misses), (1, 2));
     }
 
     #[test]

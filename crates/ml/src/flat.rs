@@ -1,0 +1,594 @@
+//! Flattened Random Forest inference.
+//!
+//! [`FlatForest`] compiles a fitted [`RandomForest`] into a contiguous
+//! struct-of-arrays node arena for the governor's online hot path. The
+//! pointer-based trees in [`crate::tree`] are ideal for training (recursive
+//! construction, cheap structural sharing in tests) but hostile to serving:
+//! every descent chases `Box<Node>` pointers scattered across the heap, and
+//! every level pays an enum-tag branch.
+//!
+//! The flat layout stores one node per index across three parallel arrays:
+//!
+//! * `feature[i]` — split feature as `u16` (unused for leaves);
+//! * `threshold[i]` — split threshold, or the **leaf value** for leaves;
+//! * `child[i]` — index of the left child, or `0` for a leaf.
+//!
+//! Nodes are emitted in BFS order per tree and a split's two children always
+//! occupy adjacent slots, so `right == left + 1` and descent is
+//! near-branchless: `idx = child[idx] + (go_right as u32)`. Index `0` is
+//! always the first tree's root — never a child — which makes `child == 0`
+//! an unambiguous leaf sentinel without a separate tag array.
+//!
+//! Predictions are **bit-identical** to the pointer walk: the comparison is
+//! the same `row[feature] <= threshold` (negated for the right step, so NaN
+//! features fall right exactly as the recursive walk does), per-row tree
+//! contributions accumulate in tree order, and the mean divides once by the
+//! tree count — the precise float schedule of
+//! [`RandomForest::predict_row`].
+//!
+//! [`FlatForest::predict_batch`] additionally evaluates *feature-major*:
+//! the outer loop walks one tree across every row before moving to the next
+//! tree, so a tree's ~few-KiB arena stays resident in L1/L2 for the whole
+//! batch instead of re-streaming the entire forest per row.
+
+use crate::dataset::Matrix;
+use crate::forest::RandomForest;
+use crate::tree::Node;
+
+/// `child` sentinel marking a leaf (arena slot 0 is always a root, so no
+/// real child can ever be 0).
+const LEAF: u32 = 0;
+
+/// A [`RandomForest`] compiled to a contiguous struct-of-arrays layout.
+///
+/// This is a derived, compile-on-load artifact — it is *not* serialized.
+/// Persisted models store the pointer forest; callers re-compile after
+/// deserializing (see `DomainSpecificModel::from_json` in `energy_model`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlatForest {
+    n_features: usize,
+    /// Arena index of each tree's root, in tree order.
+    roots: Vec<u32>,
+    feature: Vec<u16>,
+    threshold: Vec<f64>,
+    child: Vec<u32>,
+}
+
+impl FlatForest {
+    /// Compiles a fitted forest into the flat arena.
+    ///
+    /// # Panics
+    /// Panics if the forest is unfitted, has ≥ `u16::MAX` features, or more
+    /// than `u32::MAX - 1` total nodes (far beyond any forest this repo
+    /// trains).
+    pub fn compile(forest: &RandomForest) -> Self {
+        let trees = forest.trees();
+        assert!(!trees.is_empty(), "flatten before fit");
+        let n_features = trees[0].n_features();
+        assert!(
+            n_features < usize::from(u16::MAX),
+            "feature index must fit u16"
+        );
+
+        let mut flat = FlatForest {
+            n_features,
+            roots: Vec::with_capacity(trees.len()),
+            feature: Vec::new(),
+            threshold: Vec::new(),
+            child: Vec::new(),
+        };
+        for tree in trees {
+            debug_assert_eq!(tree.n_features(), n_features);
+            let root = tree.root().expect("flatten before fit");
+            let slot = flat.emit_tree(root);
+            flat.roots.push(slot);
+        }
+        flat
+    }
+
+    /// Emits one tree in BFS order, returning its root's arena index.
+    /// A split's children are pushed together so `right == left + 1`.
+    fn emit_tree(&mut self, root: &Node) -> u32 {
+        let base = self.push_slot();
+        let mut queue: std::collections::VecDeque<(&Node, u32)> = std::collections::VecDeque::new();
+        queue.push_back((root, base));
+        while let Some((node, slot)) = queue.pop_front() {
+            let slot_us = slot as usize;
+            match node {
+                Node::Leaf { value } => {
+                    self.threshold[slot_us] = *value;
+                    self.child[slot_us] = LEAF;
+                }
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    let left_slot = self.push_slot();
+                    let right_slot = self.push_slot();
+                    debug_assert_eq!(right_slot, left_slot + 1);
+                    self.feature[slot_us] = *feature as u16;
+                    self.threshold[slot_us] = *threshold;
+                    self.child[slot_us] = left_slot;
+                    queue.push_back((left, left_slot));
+                    queue.push_back((right, right_slot));
+                }
+            }
+        }
+        base
+    }
+
+    /// Reserves one arena slot, returning its index.
+    fn push_slot(&mut self) -> u32 {
+        let idx = self.feature.len();
+        assert!(idx < u32::MAX as usize, "node count must fit u32");
+        self.feature.push(0);
+        self.threshold.push(0.0);
+        self.child.push(LEAF);
+        idx as u32
+    }
+
+    /// Number of compiled trees.
+    pub fn n_trees(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Total arena nodes across all trees.
+    pub fn n_nodes(&self) -> usize {
+        self.feature.len()
+    }
+
+    /// Feature width expected by `predict_row`/`predict_batch`.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Walks one tree for one row. The right-step predicate is the negation
+    /// of the pointer walk's `<=` so NaN features take the right branch in
+    /// both layouts — `!(v <= t)` is *not* `v > t` when `v` is NaN, which
+    /// is exactly why clippy's rewrite suggestion must be refused here.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    #[inline]
+    fn descend(&self, root: u32, row: &[f64]) -> f64 {
+        let mut idx = root as usize;
+        loop {
+            let c = self.child[idx];
+            if c == LEAF {
+                return self.threshold[idx];
+            }
+            let go_right = !(row[self.feature[idx] as usize] <= self.threshold[idx]);
+            idx = (c + u32::from(go_right)) as usize;
+        }
+    }
+
+    /// Predicts one row — bit-identical to `RandomForest::predict_row` on
+    /// the source forest.
+    ///
+    /// # Panics
+    /// Panics on a feature-count mismatch.
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        assert_eq!(row.len(), self.n_features, "feature count mismatch");
+        let s: f64 = self.roots.iter().map(|&r| self.descend(r, row)).sum();
+        s / self.roots.len() as f64
+    }
+
+    /// Feature-major batched prediction: walks one tree across every row
+    /// before advancing to the next tree. Per-row accumulation stays in
+    /// tree order, so results are bit-identical to calling
+    /// [`FlatForest::predict_row`] per row.
+    pub fn predict_batch(&self, x: &Matrix) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.predict_batch_into(x, &mut out);
+        out
+    }
+
+    /// [`FlatForest::predict_batch`] into a caller-owned buffer (cleared
+    /// and refilled), for allocation-free steady-state serving.
+    ///
+    /// # Panics
+    /// Panics on a feature-count mismatch.
+    pub fn predict_batch_into(&self, x: &Matrix, out: &mut Vec<f64>) {
+        assert_eq!(x.cols(), self.n_features, "feature count mismatch");
+        out.clear();
+        out.resize(x.rows(), 0.0);
+        for &root in &self.roots {
+            for (acc, row) in out.iter_mut().zip(x.iter_rows()) {
+                *acc += self.descend(root, row);
+            }
+        }
+        let n = self.roots.len() as f64;
+        for acc in out.iter_mut() {
+            *acc /= n;
+        }
+    }
+
+    /// Sweep evaluation: predictions for `values.len()` virtual rows that
+    /// are all equal to `template` except column `sweep_col`, which takes
+    /// each of `values` in turn. `out` is cleared and refilled with one
+    /// prediction per value, in `values` order.
+    ///
+    /// This is the frequency-curve hot path: instead of materializing the
+    /// rows and descending every tree once *per value*, each tree is
+    /// descended **once per call** — splits on any column other than
+    /// `sweep_col` resolve identically for every value, so they follow a
+    /// single child, and splits on `sweep_col` partition the (sorted)
+    /// value range between the two children. Every value still lands on
+    /// exactly the leaf the plain descent would reach, per-value tree
+    /// contributions accumulate in tree order, and the mean divides once —
+    /// so results are bit-identical to materializing the rows and calling
+    /// [`FlatForest::predict_batch`].
+    ///
+    /// # Panics
+    /// Panics on a feature-count mismatch, `sweep_col` out of range, or a
+    /// NaN sweep value (range partitioning needs an ordered sweep axis;
+    /// `template` columns may still be NaN and fall right as usual).
+    pub fn predict_sweep_into(
+        &self,
+        template: &[f64],
+        sweep_col: usize,
+        values: &[f64],
+        out: &mut Vec<f64>,
+    ) {
+        assert_eq!(template.len(), self.n_features, "feature count mismatch");
+        assert!(sweep_col < self.n_features, "sweep column out of range");
+        assert!(
+            values.iter().all(|v| !v.is_nan()),
+            "sweep values must not be NaN"
+        );
+        out.clear();
+        out.resize(values.len(), 0.0);
+        if values.is_empty() {
+            return;
+        }
+
+        let plan = SweepPlan::new(values);
+        let mut stack = Vec::with_capacity(64);
+        for &root in &self.roots {
+            self.sweep_tree(root, template, sweep_col, &plan, &mut stack, out);
+        }
+        let n = self.roots.len() as f64;
+        for acc in out.iter_mut() {
+            *acc /= n;
+        }
+    }
+
+    /// Tree-major batched sweep: [`FlatForest::predict_sweep_into`] for
+    /// many templates at once, with the **outer loop over trees** — each
+    /// tree's few-KiB arena slice stays cache-resident while it serves
+    /// every template, instead of re-streaming the whole forest per
+    /// template. `out` is refilled template-major: the predictions for
+    /// `templates` row `k` occupy `out[k * values.len()..][..values.len()]`,
+    /// in `values` order, bit-identical to calling
+    /// [`FlatForest::predict_sweep_into`] per row.
+    ///
+    /// # Panics
+    /// Same contract as [`FlatForest::predict_sweep_into`].
+    pub fn predict_sweep_batch_into(
+        &self,
+        templates: &Matrix,
+        sweep_col: usize,
+        values: &[f64],
+        out: &mut Vec<f64>,
+    ) {
+        assert_eq!(templates.cols(), self.n_features, "feature count mismatch");
+        assert!(sweep_col < self.n_features, "sweep column out of range");
+        assert!(
+            values.iter().all(|v| !v.is_nan()),
+            "sweep values must not be NaN"
+        );
+        out.clear();
+        out.resize(templates.rows() * values.len(), 0.0);
+        if values.is_empty() || templates.rows() == 0 {
+            return;
+        }
+
+        let plan = SweepPlan::new(values);
+        let mut stack = Vec::with_capacity(64);
+        for &root in &self.roots {
+            for (row, acc) in templates
+                .iter_rows()
+                .zip(out.chunks_exact_mut(values.len()))
+            {
+                self.sweep_tree(root, row, sweep_col, &plan, &mut stack, acc);
+            }
+        }
+        let n = self.roots.len() as f64;
+        for acc in out.iter_mut() {
+            *acc /= n;
+        }
+    }
+
+    /// One tree of a sweep evaluation: adds the tree's leaf value for every
+    /// swept value into `out` (no mean division). Non-sweep splits follow a
+    /// single child; sweep-column splits partition the sorted value range,
+    /// deferring the right branch on `stack` (passed in so callers reuse
+    /// its allocation; always left empty on return).
+    // `!(v <= t)` is NaN-aware (not `v > t`); see `descend`.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    fn sweep_tree(
+        &self,
+        root: u32,
+        template: &[f64],
+        sweep_col: usize,
+        plan: &SweepPlan,
+        stack: &mut Vec<(u32, u32, u32)>,
+        out: &mut [f64],
+    ) {
+        let (mut idx, mut lo, mut hi) = (root as usize, 0u32, plan.sorted.len() as u32);
+        loop {
+            let c = self.child[idx];
+            if c == LEAF {
+                let v = self.threshold[idx];
+                if plan.identity {
+                    for acc in &mut out[lo as usize..hi as usize] {
+                        *acc += v;
+                    }
+                } else {
+                    for &o in &plan.order[lo as usize..hi as usize] {
+                        out[o as usize] += v;
+                    }
+                }
+                match stack.pop() {
+                    Some((i, l, h)) => {
+                        idx = i as usize;
+                        lo = l;
+                        hi = h;
+                    }
+                    None => break,
+                }
+                continue;
+            }
+            let t = self.threshold[idx];
+            let f = self.feature[idx] as usize;
+            if f == sweep_col {
+                // Values `<= t` go left — the same predicate as the plain
+                // descent. A branchless linear count beats binary search
+                // on the short ranges seen here.
+                let left = plan.sorted[lo as usize..hi as usize]
+                    .iter()
+                    .filter(|&&v| v <= t)
+                    .count() as u32;
+                let mid = lo + left;
+                if mid == hi {
+                    idx = c as usize; // every value goes left
+                } else if mid == lo {
+                    idx = (c + 1) as usize; // every value goes right
+                } else {
+                    stack.push((c + 1, mid, hi));
+                    idx = c as usize;
+                    hi = mid;
+                }
+            } else {
+                idx = (c + u32::from(!(template[f] <= t))) as usize;
+            }
+        }
+    }
+}
+
+/// Sorted view of a sweep's value list, shared by every (tree, template)
+/// walk of one sweep call. Range partitioning needs the sweep axis sorted;
+/// callers pass arbitrary value lists, so leaves write through an index
+/// permutation — except in the common case (an already-ascending frequency
+/// grid), detected here so leaves accumulate into contiguous output ranges
+/// with no indirection.
+struct SweepPlan {
+    sorted: Vec<f64>,
+    order: Vec<u32>,
+    identity: bool,
+}
+
+impl SweepPlan {
+    fn new(values: &[f64]) -> Self {
+        let mut order: Vec<u32> = (0..values.len() as u32).collect();
+        order.sort_by(|&a, &b| values[a as usize].total_cmp(&values[b as usize]));
+        let identity = order.iter().enumerate().all(|(i, &o)| o as usize == i);
+        let sorted: Vec<f64> = order.iter().map(|&i| values[i as usize]).collect();
+        SweepPlan {
+            sorted,
+            order,
+            identity,
+        }
+    }
+}
+
+impl RandomForest {
+    /// Compiles this fitted forest into a [`FlatForest`].
+    ///
+    /// # Panics
+    /// Panics before `fit`.
+    pub fn flatten(&self) -> FlatForest {
+        FlatForest::compile(self)
+    }
+}
+
+/// The flat arena is a derived compile-on-load cache, never persisted:
+/// it serializes as `null`, so an `Option<FlatForest>` field reads back as
+/// `None` and holders recompile from the pointer forest after load.
+impl serde::Serialize for FlatForest {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Null
+    }
+}
+
+impl serde::Deserialize for FlatForest {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        Err(serde::DeError::custom(format!(
+            "FlatForest is a compiled cache and is never serialized; \
+             recompile from the pointer forest (got {v:?})"
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forest::RandomForestParams;
+    use crate::Regressor;
+
+    fn fitted_forest(n_estimators: usize, seed: u64) -> (RandomForest, Matrix) {
+        let rows: Vec<Vec<f64>> = (0..120)
+            .map(|i| {
+                vec![
+                    ((i * 7919) % 1000) as f64 / 1000.0,
+                    ((i * 104729) % 1000) as f64 / 1000.0,
+                    ((i * 1299709) % 1000) as f64 / 1000.0,
+                ]
+            })
+            .collect();
+        let y: Vec<f64> = rows
+            .iter()
+            .map(|r| 10.0 * (std::f64::consts::PI * r[0]).sin() + 5.0 * r[1] * r[1] + 2.0 * r[2])
+            .collect();
+        let x = Matrix::from_rows(&rows);
+        let mut f = RandomForest::new(
+            RandomForestParams {
+                n_estimators,
+                ..Default::default()
+            },
+            seed,
+        );
+        f.fit(&x, &y);
+        (f, x)
+    }
+
+    #[test]
+    fn flat_matches_pointer_walk_bitwise() {
+        let (forest, x) = fitted_forest(12, 42);
+        let flat = forest.flatten();
+        assert_eq!(flat.n_trees(), 12);
+        assert_eq!(flat.n_features(), 3);
+        for row in x.iter_rows() {
+            let a = forest.predict_row(row);
+            let b = flat.predict_row(row);
+            assert_eq!(a.to_bits(), b.to_bits(), "row {row:?}");
+        }
+    }
+
+    #[test]
+    fn batch_matches_scalar_bitwise() {
+        let (forest, x) = fitted_forest(9, 7);
+        let flat = forest.flatten();
+        let batch = flat.predict_batch(&x);
+        assert_eq!(batch.len(), x.rows());
+        for (i, row) in x.iter_rows().enumerate() {
+            assert_eq!(batch[i].to_bits(), flat.predict_row(row).to_bits());
+        }
+    }
+
+    #[test]
+    fn batch_into_reuses_buffer() {
+        let (forest, x) = fitted_forest(5, 3);
+        let flat = forest.flatten();
+        let mut buf = vec![f64::NAN; 999];
+        flat.predict_batch_into(&x, &mut buf);
+        assert_eq!(buf.len(), x.rows());
+        assert_eq!(buf, flat.predict_batch(&x));
+    }
+
+    #[test]
+    fn sweep_matches_materialized_batch_bitwise() {
+        let (forest, x) = fitted_forest(10, 21);
+        let flat = forest.flatten();
+        // Unsorted values with duplicates, swept over every column.
+        let values = [0.7, 0.1, 0.9, 0.1, 0.35, 1.2, -0.2, 0.5];
+        let template = [0.3, 0.6, 0.45];
+        let _ = x;
+        for col in 0..3 {
+            let rows: Vec<Vec<f64>> = values
+                .iter()
+                .map(|&v| {
+                    let mut r = template.to_vec();
+                    r[col] = v;
+                    r
+                })
+                .collect();
+            let materialized = flat.predict_batch(&Matrix::from_rows(&rows));
+            let mut swept = Vec::new();
+            flat.predict_sweep_into(&template, col, &values, &mut swept);
+            assert_eq!(swept.len(), values.len());
+            for (a, b) in swept.iter().zip(&materialized) {
+                assert_eq!(a.to_bits(), b.to_bits(), "col {col}");
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_with_nan_template_matches_batch() {
+        let (forest, _) = fitted_forest(6, 5);
+        let flat = forest.flatten();
+        let template = [f64::NAN, 0.5, f64::NAN];
+        let values = [0.2, 0.8, 0.5];
+        let rows: Vec<Vec<f64>> = values
+            .iter()
+            .map(|&v| vec![f64::NAN, v, f64::NAN])
+            .collect();
+        let materialized = flat.predict_batch(&Matrix::from_rows(&rows));
+        let mut swept = Vec::new();
+        flat.predict_sweep_into(&template, 1, &values, &mut swept);
+        for (a, b) in swept.iter().zip(&materialized) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn sweep_with_empty_values_clears_output() {
+        let (forest, _) = fitted_forest(3, 2);
+        let flat = forest.flatten();
+        let mut out = vec![1.0; 7];
+        flat.predict_sweep_into(&[0.1, 0.2, 0.3], 0, &[], &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "sweep values must not be NaN")]
+    fn sweep_nan_values_panic() {
+        let (forest, _) = fitted_forest(3, 2);
+        let flat = forest.flatten();
+        let mut out = Vec::new();
+        flat.predict_sweep_into(&[0.1, 0.2, 0.3], 0, &[0.5, f64::NAN], &mut out);
+    }
+
+    #[test]
+    fn nan_features_fall_right_like_pointer_walk() {
+        let (forest, _) = fitted_forest(6, 11);
+        let flat = forest.flatten();
+        let row = [f64::NAN, 0.5, f64::NAN];
+        let a = forest.predict_row(&row);
+        let b = flat.predict_row(&row);
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    #[test]
+    fn single_leaf_trees_compile() {
+        // Constant targets collapse every tree to one leaf.
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let y = vec![3.5; 10];
+        let x = Matrix::from_rows(&rows);
+        let mut f = RandomForest::new(
+            RandomForestParams {
+                n_estimators: 4,
+                ..Default::default()
+            },
+            0,
+        );
+        f.fit(&x, &y);
+        let flat = f.flatten();
+        assert_eq!(flat.n_nodes(), 4);
+        assert_eq!(flat.predict_row(&[2.0]).to_bits(), 3.5f64.to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "flatten before fit")]
+    fn flatten_unfitted_panics() {
+        let f = RandomForest::with_defaults(0);
+        let _ = f.flatten();
+    }
+
+    #[test]
+    #[should_panic(expected = "feature count mismatch")]
+    fn wrong_width_panics() {
+        let (forest, _) = fitted_forest(3, 1);
+        let _ = forest.flatten().predict_row(&[1.0]);
+    }
+}

@@ -80,8 +80,25 @@ impl RandomForest {
     /// # Panics
     /// Panics before `fit`.
     pub fn tree_predictions(&self, row: &[f64]) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.tree_predictions_into(row, &mut out);
+        out
+    }
+
+    /// [`RandomForest::tree_predictions`] into a caller-owned buffer
+    /// (cleared and refilled) — no allocation in steady state.
+    ///
+    /// # Panics
+    /// Panics before `fit`.
+    pub fn tree_predictions_into(&self, row: &[f64], out: &mut Vec<f64>) {
         assert!(!self.trees.is_empty(), "predict before fit");
-        self.trees.iter().map(|t| t.predict_row(row)).collect()
+        out.clear();
+        out.extend(self.trees.iter().map(|t| t.predict_row(row)));
+    }
+
+    /// Fitted trees (compile hook for [`crate::flat::FlatForest`]).
+    pub(crate) fn trees(&self) -> &[DecisionTree] {
+        &self.trees
     }
 }
 
@@ -116,6 +133,25 @@ impl Regressor for RandomForest {
         assert!(!self.trees.is_empty(), "predict before fit");
         let s: f64 = self.trees.iter().map(|t| t.predict_row(row)).sum();
         s / self.trees.len() as f64
+    }
+
+    /// Tree-major batched prediction: each tree scores every row before the
+    /// next tree runs, keeping one tree hot in cache across the batch.
+    /// Per-row accumulation stays in tree order, so results are
+    /// bit-identical to `predict_row` per row.
+    fn predict_batch(&self, x: &Matrix, out: &mut Vec<f64>) {
+        assert!(!self.trees.is_empty(), "predict before fit");
+        out.clear();
+        out.resize(x.rows(), 0.0);
+        for tree in &self.trees {
+            for (acc, row) in out.iter_mut().zip(x.iter_rows()) {
+                *acc += tree.predict_row(row);
+            }
+        }
+        let n = self.trees.len() as f64;
+        for acc in out.iter_mut() {
+            *acc /= n;
+        }
     }
 }
 

@@ -26,6 +26,7 @@
 
 pub mod cv;
 pub mod dataset;
+pub mod flat;
 pub mod forest;
 pub mod grid_search;
 pub mod importance;
@@ -37,6 +38,7 @@ pub mod svr;
 pub mod tree;
 
 pub use dataset::{Dataset, Matrix};
+pub use flat::FlatForest;
 pub use forest::{RandomForest, RandomForestParams};
 pub use metrics::{mae, mape, mse, r2, rmse};
 
@@ -55,8 +57,22 @@ pub trait Regressor: Send + Sync {
     /// Panics if called before `fit` or with the wrong number of features.
     fn predict_row(&self, row: &[f64]) -> f64;
 
+    /// Predicts targets for every row of `x` into a caller-owned buffer
+    /// (cleared and refilled). One virtual dispatch serves the whole batch,
+    /// and steady-state callers reuse `out` across calls instead of
+    /// allocating per batch. Implementations may override with a layout
+    /// better than row-at-a-time (the forest walks tree-major) but must
+    /// stay bit-identical to `predict_row` per row.
+    fn predict_batch(&self, x: &Matrix, out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(x.rows());
+        out.extend(x.iter_rows().map(|row| self.predict_row(row)));
+    }
+
     /// Predicts targets for every row of `x`.
     fn predict(&self, x: &Matrix) -> Vec<f64> {
-        (0..x.rows()).map(|i| self.predict_row(x.row(i))).collect()
+        let mut out = Vec::with_capacity(x.rows());
+        self.predict_batch(x, &mut out);
+        out
     }
 }

@@ -67,7 +67,7 @@ impl Default for TreeParams {
 }
 
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-enum Node {
+pub(crate) enum Node {
     Leaf {
         value: f64,
     },
@@ -149,6 +149,17 @@ impl DecisionTree {
     /// Panics before `fit`.
     pub fn n_leaves(&self) -> usize {
         self.root.as_ref().expect("fitted").leaves()
+    }
+
+    /// Root node of the fitted tree, if any (compile hook for
+    /// [`crate::flat::FlatForest`]).
+    pub(crate) fn root(&self) -> Option<&Node> {
+        self.root.as_ref()
+    }
+
+    /// Feature width this tree was fitted on (0 before `fit`).
+    pub(crate) fn n_features(&self) -> usize {
+        self.n_features
     }
 
     fn build(
