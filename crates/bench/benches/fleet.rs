@@ -1,0 +1,103 @@
+//! Fleet scheduling benchmarks, plus the pinned-seed guard run the CI
+//! smoke job executes in `--test` mode.
+//!
+//! Groups:
+//!
+//! * `fleet/closed_loop` — one full heterogeneous fleet run (2×V100 +
+//!   2×MI100, min-energy placement with within-class stealing) against a
+//!   published per-class registry: the cost of a fleet scheduling pass;
+//! * `fleet/round_robin` — the same stream under the round-robin
+//!   default-clock baseline (no prediction path), isolating what the
+//!   placement machinery costs;
+//! * `fleet_guard` — not a timing: asserts the ROADMAP pin (fleet
+//!   min-energy beats round-robin *and* the single-device governor on
+//!   total energy at no worse a miss rate) before any number is
+//!   recorded, so a fast-but-wrong scheduler can never look good here.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use governor::{
+    run_fleet, run_governor, train_and_publish, train_and_publish_fleet, FleetConfig,
+    GovernorConfig, ModelRegistry, Policy,
+};
+
+/// Published single-device + per-class artifacts, rebuilt per process.
+fn published_registry(dir: &std::path::Path) -> ModelRegistry {
+    let _ = std::fs::remove_dir_all(dir);
+    let registry = ModelRegistry::open(dir);
+    train_and_publish(&GovernorConfig::pinned(Policy::DefaultClock), &registry)
+        .expect("publish single-device models");
+    train_and_publish_fleet(&FleetConfig::pinned(), &registry)
+        .expect("publish per-class fleet models");
+    registry
+}
+
+fn registry_dir() -> std::path::PathBuf {
+    std::env::temp_dir().join("fleet-bench-registry")
+}
+
+fn bench_closed_loop(c: &mut Criterion) {
+    let registry = published_registry(&registry_dir());
+    let cfg = FleetConfig::pinned();
+    let mut group = c.benchmark_group("fleet/closed_loop");
+    group.sample_size(10);
+    group.bench_function("heterogeneous_40_jobs", |b| {
+        b.iter(|| run_fleet(&cfg, &registry))
+    });
+    group.finish();
+}
+
+fn bench_round_robin(c: &mut Criterion) {
+    let registry = published_registry(&registry_dir());
+    let cfg = FleetConfig::pinned_round_robin();
+    let mut group = c.benchmark_group("fleet/round_robin");
+    group.sample_size(10);
+    group.bench_function("baseline_40_jobs", |b| {
+        b.iter(|| run_fleet(&cfg, &registry))
+    });
+    group.finish();
+}
+
+/// The pinned-seed regression guard, asserted unconditionally: the
+/// numbers `figures fleet` writes to `BENCH_fleet.json` must hold every
+/// time this bench binary runs (CI runs it in `--test` mode).
+fn fleet_guard(_c: &mut Criterion) {
+    let registry = published_registry(&registry_dir());
+    let fleet = run_fleet(&FleetConfig::pinned(), &registry);
+    let round_robin = run_fleet(&FleetConfig::pinned_round_robin(), &registry);
+    let single = run_governor(
+        &GovernorConfig::pinned(Policy::MinEnergyUnderDeadline),
+        &registry,
+    );
+
+    assert!(
+        fleet.total_energy_j <= round_robin.total_energy_j,
+        "fleet {:.1} J vs round-robin {:.1} J",
+        fleet.total_energy_j,
+        round_robin.total_energy_j
+    );
+    assert!(
+        fleet.total_energy_j <= single.total_energy_j,
+        "fleet {:.1} J vs single-device {:.1} J",
+        fleet.total_energy_j,
+        single.total_energy_j
+    );
+    assert!(fleet.miss_rate <= round_robin.miss_rate);
+    assert!(fleet.miss_rate <= single.miss_rate);
+
+    println!(
+        "fleet guard: fleet {:.1} J ({:.1}% vs round-robin {:.1} J, {:.1}% vs \
+         single-device {:.1} J), miss rates {:.1}% / {:.1}% / {:.1}%",
+        fleet.total_energy_j,
+        100.0 * (1.0 - fleet.total_energy_j / round_robin.total_energy_j),
+        round_robin.total_energy_j,
+        100.0 * (1.0 - fleet.total_energy_j / single.total_energy_j),
+        single.total_energy_j,
+        100.0 * fleet.miss_rate,
+        100.0 * round_robin.miss_rate,
+        100.0 * single.miss_rate,
+    );
+}
+
+criterion_group!(benches, bench_closed_loop, bench_round_robin, fleet_guard);
+criterion_main!(benches);

@@ -847,6 +847,183 @@ fn govern_cmd(policies: &[governor::Policy]) -> ExperimentResult {
     Ok(())
 }
 
+/// Runs the heterogeneous fleet experiment — min-energy placement over
+/// 2×V100 + 2×MI100 vs the round-robin-at-default-clock fleet baseline
+/// vs the single-device governor — and writes the committed guard
+/// numbers to `BENCH_fleet.json` (the margins the `fleet` Criterion
+/// bench and the `fleet-smoke` CI job re-assert).
+fn fleet_cmd() -> ExperimentResult {
+    use governor::{
+        run_fleet, run_governor, train_and_publish, train_and_publish_fleet, FleetConfig,
+        GovernorConfig, ModelRegistry, Policy,
+    };
+    use serde::Serialize;
+
+    println!("\n## Fleet — heterogeneous multi-device scheduling (2×V100 + 2×MI100)");
+    let dir = std::path::Path::new("results/fleet");
+    let registry = ModelRegistry::open(&dir.join("registry"));
+    train_and_publish(&GovernorConfig::pinned(Policy::DefaultClock), &registry)?;
+    let fingerprints = train_and_publish_fleet(&FleetConfig::pinned(), &registry)?;
+    for (class, fingerprint) in &fingerprints {
+        println!("published per-class models for {class} (fingerprint {fingerprint:#018x})");
+    }
+
+    let fleet = run_fleet(&FleetConfig::pinned(), &registry);
+    let round_robin = run_fleet(&FleetConfig::pinned_round_robin(), &registry);
+    let single = run_governor(
+        &GovernorConfig::pinned(Policy::MinEnergyUnderDeadline),
+        &registry,
+    );
+
+    print_table(
+        "Fleet vs baselines (pinned stream, 40 jobs)",
+        &[
+            "scheduler",
+            "energy (J)",
+            "miss rate",
+            "makespan (s)",
+            "stolen",
+            "rescheduled",
+        ],
+        &[
+            vec![
+                "fleet min-energy".to_string(),
+                format!("{:.1}", fleet.total_energy_j),
+                format!("{:.1}%", 100.0 * fleet.miss_rate),
+                format!("{:.3}", fleet.makespan_s),
+                fleet.jobs_stolen.to_string(),
+                fleet.items_rescheduled.to_string(),
+            ],
+            vec![
+                "fleet round-robin".to_string(),
+                format!("{:.1}", round_robin.total_energy_j),
+                format!("{:.1}%", 100.0 * round_robin.miss_rate),
+                format!("{:.3}", round_robin.makespan_s),
+                round_robin.jobs_stolen.to_string(),
+                round_robin.items_rescheduled.to_string(),
+            ],
+            vec![
+                "single V100 min-energy".to_string(),
+                format!("{:.1}", single.total_energy_j),
+                format!("{:.1}%", 100.0 * single.miss_rate),
+                format!("{:.3}", single.total_time_s),
+                "-".to_string(),
+                "-".to_string(),
+            ],
+        ],
+    );
+
+    let device_rows: Vec<Vec<String>> = fleet
+        .devices
+        .iter()
+        .map(|d| {
+            vec![
+                d.name.clone(),
+                d.class.clone(),
+                d.jobs_run.to_string(),
+                format!("{:.3}", d.busy_time_s),
+                format!("{:.1}", d.energy_j),
+                d.stolen_in.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Per-device fleet breakdown (min-energy placement)",
+        &[
+            "device",
+            "class",
+            "jobs",
+            "busy (s)",
+            "energy (J)",
+            "stolen in",
+        ],
+        &device_rows,
+    );
+
+    #[derive(Serialize)]
+    struct SchedulerRow {
+        total_energy_j: f64,
+        miss_rate: f64,
+        deadline_misses: usize,
+        fallbacks: usize,
+        jobs_stolen: u64,
+        items_rescheduled: u64,
+        affinity_fallbacks: u64,
+        cache_hit_rate: f64,
+    }
+    fn row_fleet(r: &governor::FleetReport) -> SchedulerRow {
+        SchedulerRow {
+            total_energy_j: r.total_energy_j,
+            miss_rate: r.miss_rate,
+            deadline_misses: r.deadline_misses,
+            fallbacks: r.fallbacks,
+            jobs_stolen: r.jobs_stolen,
+            items_rescheduled: r.items_rescheduled,
+            affinity_fallbacks: r.affinity_fallbacks,
+            cache_hit_rate: r.cache.hit_rate(),
+        }
+    }
+
+    #[derive(Serialize)]
+    struct FleetBench {
+        bench: String,
+        seed: u64,
+        n_jobs: usize,
+        devices: Vec<String>,
+        fleet: SchedulerRow,
+        round_robin: SchedulerRow,
+        single_device: SchedulerRow,
+        energy_margin_vs_round_robin: f64,
+        energy_margin_vs_single_device: f64,
+        miss_rate_delta_vs_round_robin: f64,
+        miss_rate_delta_vs_single_device: f64,
+    }
+    let bench = FleetBench {
+        bench: "fleet scheduling: min-energy placement vs round-robin default clock \
+                vs single-device governor"
+            .to_string(),
+        seed: fleet.seed,
+        n_jobs: fleet.n_jobs,
+        devices: fleet
+            .devices
+            .iter()
+            .map(|d| format!("{} ({})", d.name, d.class))
+            .collect(),
+        fleet: row_fleet(&fleet),
+        round_robin: row_fleet(&round_robin),
+        single_device: SchedulerRow {
+            total_energy_j: single.total_energy_j,
+            miss_rate: single.miss_rate,
+            deadline_misses: single.deadline_misses,
+            fallbacks: single.fallbacks,
+            jobs_stolen: 0,
+            items_rescheduled: 0,
+            affinity_fallbacks: 0,
+            cache_hit_rate: single.cache.hit_rate(),
+        },
+        energy_margin_vs_round_robin: 1.0 - fleet.total_energy_j / round_robin.total_energy_j,
+        energy_margin_vs_single_device: 1.0 - fleet.total_energy_j / single.total_energy_j,
+        miss_rate_delta_vs_round_robin: fleet.miss_rate - round_robin.miss_rate,
+        miss_rate_delta_vs_single_device: fleet.miss_rate - single.miss_rate,
+    };
+
+    // The pin itself, enforced before anything is written: the committed
+    // numbers can never describe a regressed scheduler.
+    assert!(bench.energy_margin_vs_round_robin >= 0.0);
+    assert!(bench.energy_margin_vs_single_device >= 0.0);
+    assert!(bench.miss_rate_delta_vs_round_robin <= 0.0);
+    assert!(bench.miss_rate_delta_vs_single_device <= 0.0);
+
+    let json = serde_json::to_string_pretty(&bench)?;
+    atomic_write_str(std::path::Path::new("BENCH_fleet.json"), &json)?;
+    println!(
+        "\nwrote BENCH_fleet.json ({:.1}% energy vs round-robin, {:.1}% vs single device)",
+        100.0 * bench.energy_margin_vs_round_robin,
+        100.0 * bench.energy_margin_vs_single_device
+    );
+    Ok(())
+}
+
 /// Runs the two paper applications through instrumented characterization
 /// sweeps and exports the unified observability artifacts to
 /// `results/telemetry/`: `metrics.json` (the registry snapshot),
@@ -914,7 +1091,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!(
-            "usage: figures -- <id> [...]   ids: fig1..fig10 table1 table2 fig13 fig14 headline portability sweep-profile serving-profile [--quick] campaign [--resume] telemetry govern [--policy <name>] all"
+            "usage: figures -- <id> [...]   ids: fig1..fig10 table1 table2 fig13 fig14 headline portability sweep-profile serving-profile [--quick] campaign [--resume] telemetry govern [--policy <name>] fleet all"
         );
         std::process::exit(2);
     }
@@ -969,6 +1146,7 @@ fn main() {
             "campaign" => return campaign_cmd(resume),
             "telemetry" => return telemetry_cmd(),
             "govern" => return govern_cmd(&policies),
+            "fleet" => return fleet_cmd(),
             other => {
                 eprintln!("unknown experiment id: {other}");
                 std::process::exit(2);

@@ -661,6 +661,7 @@ impl Telemetry {
             ("queue.watchdog_misses", d.watchdog_misses),
             ("queue.items_rescheduled", d.items_rescheduled),
             ("queue.devices_evicted", d.devices_evicted),
+            ("queue.affinity_fallbacks", d.affinity_fallbacks),
         ] {
             if v > 0 {
                 r.counter(name).add(v);

@@ -25,17 +25,27 @@
 //!   fallible SYnergy backend path. Every decision is recorded; every
 //!   failure mode (model missing, stale artifact, rejected clock request,
 //!   admission overflow) degrades to the default clock instead of
-//!   stopping the fleet.
+//!   stopping the fleet;
+//! * [`fleet`] — the multi-device scale-out of [`sim`]: heterogeneous
+//!   device classes (V100s + MI100s) with per-class model artifacts,
+//!   per-device FIFO queues with work stealing, energy-aware placement,
+//!   and the campaign circuit breakers so evicted devices drain onto
+//!   survivors. A single-device fleet is bit-identical to [`sim`].
 //!
 //! Everything is deterministic given `(seed, fault plan, policy)`, and
 //! armed `governor.*` telemetry leaves measured results bit-identical —
 //! the same contracts the sweep engine and campaign layers already hold.
 
+pub mod fleet;
 pub mod policy;
 pub mod registry;
 pub mod serving;
 pub mod sim;
 
+pub use fleet::{
+    class_slug, fleet_model_name, run_fleet, train_and_publish_fleet, DeviceReport, FleetConfig,
+    FleetDecision, FleetDevice, FleetEvent, FleetReport, Placement, StealPolicy, FLEET_SEED,
+};
 pub use policy::{choose_frequency, Policy};
 pub use registry::{ModelRegistry, RegistryError};
 pub use serving::{

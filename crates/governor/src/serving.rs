@@ -418,6 +418,25 @@ impl PredictionEngine {
         requests.into_iter().zip(results).collect()
     }
 
+    /// Serves one request immediately, bypassing the admission queue —
+    /// the fleet's cross-class re-resolution path (a stolen or
+    /// rescheduled job re-priced for the class that actually runs it).
+    /// Identical serving semantics to a one-element drained batch,
+    /// including cache accounting.
+    pub fn serve_one(
+        &self,
+        request: &PredictionRequest,
+    ) -> Result<Arc<PredictedProfile>, ServeError> {
+        self.serve_batch(std::slice::from_ref(request))
+            .pop()
+            .unwrap_or_else(|| {
+                // Unreachable: serve_batch returns one slot per request.
+                Err(ServeError::ModelUnavailable {
+                    app: request.app.clone(),
+                })
+            })
+    }
+
     /// Cache counters so far, summed across shards. Raw counters are
     /// folded (see [`CacheStats::accumulate`]), so the hit fraction stays
     /// correct even when most shards never saw a lookup.

@@ -101,8 +101,8 @@ impl ModelFaults {
     }
 }
 
-const STREAM_LOAD_FAIL: u64 = 11;
-const STREAM_STALE: u64 = 12;
+pub(crate) const STREAM_LOAD_FAIL: u64 = 11;
+pub(crate) const STREAM_STALE: u64 = 12;
 
 /// Stateless uniform draw in `[0, 1)` — the same splitmix64-finalizer
 /// construction as the device fault plans, so model faults are pure
@@ -117,7 +117,7 @@ fn unit_draw(seed: u64, stream: u64, index: u64) -> f64 {
     (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 
-fn schedule_fires(schedule: &Schedule, seed: u64, stream: u64, index: u64) -> bool {
+pub(crate) fn schedule_fires(schedule: &Schedule, seed: u64, stream: u64, index: u64) -> bool {
     match schedule {
         Schedule::Never => false,
         Schedule::At(set) => set.contains(&index),
@@ -126,10 +126,10 @@ fn schedule_fires(schedule: &Schedule, seed: u64, stream: u64, index: u64) -> bo
 }
 
 /// Sequential splitmix64 — drives the arrival stream and slack draws.
-struct SplitMix64(u64);
+pub(crate) struct SplitMix64(u64);
 
 impl SplitMix64 {
-    fn new(seed: u64) -> Self {
+    pub(crate) fn new(seed: u64) -> Self {
         SplitMix64(seed)
     }
 
@@ -141,11 +141,11 @@ impl SplitMix64 {
         z ^ (z >> 31)
     }
 
-    fn unit(&mut self) -> f64 {
+    pub(crate) fn unit(&mut self) -> f64 {
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
-    fn below(&mut self, n: u64) -> u64 {
+    pub(crate) fn below(&mut self, n: u64) -> u64 {
         self.next_u64() % n
     }
 }
@@ -258,6 +258,10 @@ pub enum FallbackReason {
     FrequencyRejected,
     /// A kernel launch failed permanently; the job did not complete.
     LaunchFailed,
+    /// The job landed (by stealing or rescheduling) on a device class
+    /// with no matching model artifact; device affinity forced the
+    /// default clock. Only a fleet run produces this.
+    AffinityDegraded,
 }
 
 /// One job's complete decision trail.
@@ -321,22 +325,23 @@ pub struct GovernorReport {
     pub decisions: Vec<DecisionRecord>,
 }
 
-struct JobTemplate {
-    app: &'static str,
-    label: String,
-    features: Vec<f64>,
-    trace: KernelTrace,
-    base_time_s: f64,
+pub(crate) struct JobTemplate {
+    pub(crate) app: &'static str,
+    pub(crate) label: String,
+    pub(crate) features: Vec<f64>,
+    pub(crate) trace: KernelTrace,
+    pub(crate) base_time_s: f64,
 }
 
-struct Job {
-    id: u64,
-    template: usize,
-    deadline_s: f64,
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Job {
+    pub(crate) id: u64,
+    pub(crate) template: usize,
+    pub(crate) deadline_s: f64,
 }
 
 /// Tracks lazy per-application model loading through the registry.
-struct ModelLoader {
+pub(crate) struct ModelLoader {
     expected_fingerprint: u64,
     attempts: u64,
     /// Last failure per app, reported when serving finds no model.
@@ -344,10 +349,33 @@ struct ModelLoader {
 }
 
 impl ModelLoader {
+    pub(crate) fn new(expected_fingerprint: u64) -> Self {
+        ModelLoader {
+            expected_fingerprint,
+            attempts: 0,
+            last_failure: BTreeMap::new(),
+        }
+    }
+
     fn ensure(
         &mut self,
         app: &'static str,
         cfg: &GovernorConfig,
+        registry: &ModelRegistry,
+        engine: &mut PredictionEngine,
+    ) {
+        self.ensure_named(app, app, &cfg.model_faults, registry, engine);
+    }
+
+    /// Like `ensure`, but the registry artifact may live under a name
+    /// other than the engine's app key — the fleet publishes per-device-
+    /// class artifacts as `"<app>@<class-slug>"` while every class engine
+    /// serves them under the plain app name.
+    pub(crate) fn ensure_named(
+        &mut self,
+        app: &'static str,
+        registry_name: &str,
+        faults: &ModelFaults,
         registry: &ModelRegistry,
         engine: &mut PredictionEngine,
     ) {
@@ -356,7 +384,6 @@ impl ModelLoader {
         }
         let index = self.attempts;
         self.attempts += 1;
-        let faults = &cfg.model_faults;
         if schedule_fires(&faults.load_failures, faults.seed, STREAM_LOAD_FAIL, index) {
             self.last_failure.insert(app, FallbackReason::LoadFailed);
             return;
@@ -370,7 +397,7 @@ impl ModelLoader {
             } else {
                 self.expected_fingerprint
             };
-        match registry.load_expecting(app, None, expected) {
+        match registry.load_expecting(registry_name, None, expected) {
             Ok((model, _, _)) => {
                 engine.install_model(app, model);
                 self.last_failure.remove(app);
@@ -390,7 +417,7 @@ impl ModelLoader {
         }
     }
 
-    fn failure_for(&self, app: &str) -> FallbackReason {
+    pub(crate) fn failure_for(&self, app: &str) -> FallbackReason {
         *self
             .last_failure
             .get(app)
@@ -398,7 +425,7 @@ impl ModelLoader {
     }
 }
 
-fn build_templates(spec: &DeviceSpec) -> Vec<JobTemplate> {
+pub(crate) fn build_templates(spec: &DeviceSpec) -> Vec<JobTemplate> {
     let mut templates = Vec::new();
     for cfg in cronos_job_set() {
         let workload = cronos::GpuCronos::new(
@@ -436,13 +463,18 @@ fn build_templates(spec: &DeviceSpec) -> Vec<JobTemplate> {
     templates
 }
 
-fn generate_stream(cfg: &GovernorConfig, templates: &[JobTemplate]) -> Vec<Vec<Job>> {
-    let mut rng = SplitMix64::new(cfg.seed);
-    let (lo, hi) = cfg.slack;
+pub(crate) fn generate_stream(
+    seed: u64,
+    n_jobs: usize,
+    slack: (f64, f64),
+    templates: &[JobTemplate],
+) -> Vec<Vec<Job>> {
+    let mut rng = SplitMix64::new(seed);
+    let (lo, hi) = slack;
     let mut bursts: Vec<Vec<Job>> = Vec::new();
     let mut id = 0u64;
-    while (id as usize) < cfg.n_jobs {
-        let burst_len = (1 + rng.below(3)).min((cfg.n_jobs - id as usize) as u64);
+    while (id as usize) < n_jobs {
+        let burst_len = (1 + rng.below(3)).min((n_jobs - id as usize) as u64);
         let mut burst = Vec::with_capacity(burst_len as usize);
         for _ in 0..burst_len {
             let template = rng.below(templates.len() as u64) as usize;
@@ -465,7 +497,7 @@ fn generate_stream(cfg: &GovernorConfig, templates: &[JobTemplate]) -> Vec<Vec<J
 /// [`FallbackReason`], not an error.
 pub fn run_governor(cfg: &GovernorConfig, registry: &ModelRegistry) -> GovernorReport {
     let templates = build_templates(&cfg.spec);
-    let bursts = generate_stream(cfg, &templates);
+    let bursts = generate_stream(cfg.seed, cfg.n_jobs, cfg.slack, &templates);
 
     let serve_freqs = experiment_frequencies(&cfg.spec, cfg.freq_stride);
     let mut engine = PredictionEngine::new(EngineConfig {
@@ -473,11 +505,7 @@ pub fn run_governor(cfg: &GovernorConfig, registry: &ModelRegistry) -> GovernorR
         queue_capacity: cfg.queue_capacity,
         max_batch: cfg.max_batch,
     });
-    let mut loader = ModelLoader {
-        expected_fingerprint: cfg.expected_fingerprint(),
-        attempts: 0,
-        last_failure: BTreeMap::new(),
-    };
+    let mut loader = ModelLoader::new(cfg.expected_fingerprint());
 
     let mut device = Device::with_faults(cfg.spec.clone(), cfg.device_faults.clone());
     device.set_trace_capacity(Some(0));
@@ -508,7 +536,6 @@ pub fn run_governor(cfg: &GovernorConfig, registry: &ModelRegistry) -> GovernorR
         for job in rejected {
             admission_rejected += 1;
             let record = execute_job(
-                cfg,
                 &templates[job.template],
                 job,
                 None,
@@ -549,9 +576,7 @@ pub fn run_governor(cfg: &GovernorConfig, registry: &ModelRegistry) -> GovernorR
                         (None, None, Some(FallbackReason::StaleArtifact))
                     }
                 };
-                let record = execute_job(
-                    cfg, template, job, requested, predicted, fallback, &mut queue,
-                );
+                let record = execute_job(template, job, requested, predicted, fallback, &mut queue);
                 decisions.push(record);
             }
         }
@@ -626,8 +651,7 @@ pub fn run_governor(cfg: &GovernorConfig, registry: &ModelRegistry) -> GovernorR
 /// Replays one job under the chosen clock and records the outcome,
 /// folding device-side degradation (clock rejections riding the retry
 /// path back to the default clock) into the fallback field.
-fn execute_job(
-    _cfg: &GovernorConfig,
+pub(crate) fn execute_job(
     template: &JobTemplate,
     job: &Job,
     requested_mhz: Option<f64>,
@@ -693,8 +717,8 @@ mod tests {
     fn stream_is_deterministic_and_covers_both_apps() {
         let cfg = fast_cfg(Policy::DefaultClock);
         let templates = build_templates(&cfg.spec);
-        let a = generate_stream(&cfg, &templates);
-        let b = generate_stream(&cfg, &templates);
+        let a = generate_stream(cfg.seed, cfg.n_jobs, cfg.slack, &templates);
+        let b = generate_stream(cfg.seed, cfg.n_jobs, cfg.slack, &templates);
         let ids = |bursts: &[Vec<Job>]| -> Vec<(u64, usize, u64)> {
             bursts
                 .iter()

@@ -56,7 +56,7 @@ pub mod trace;
 pub mod voltage;
 
 pub use device::{Device, LaunchRecord};
-pub use faults::{FaultError, FaultPlan, FaultState, Schedule, ThrottleWindow};
+pub use faults::{substream_seed, FaultError, FaultPlan, FaultState, Schedule, ThrottleWindow};
 pub use kernel::{KernelProfile, OpMix};
 pub use pricing::PriceTable;
 pub use spec::{DeviceSpec, Vendor};

@@ -24,7 +24,7 @@
 //! features fall right exactly as the recursive walk does), per-row tree
 //! contributions accumulate in tree order, and the mean divides once by the
 //! tree count — the precise float schedule of
-//! [`RandomForest::predict_row`].
+//! `RandomForest`'s [`Regressor::predict_row`](crate::Regressor::predict_row).
 //!
 //! [`FlatForest::predict_batch`] additionally evaluates *feature-major*:
 //! the outer loop walks one tree across every row before moving to the next

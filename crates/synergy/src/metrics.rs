@@ -105,6 +105,10 @@ pub struct DegradationMetrics {
     /// Devices a campaign's circuit breakers permanently evicted. Only a
     /// campaign supervisor raises this.
     pub devices_evicted: u64,
+    /// Jobs that ran on a device class with no matching model artifact
+    /// and were degraded to the default clock to keep predictions
+    /// device-faithful. Only a fleet scheduler raises this.
+    pub affinity_fallbacks: u64,
 }
 
 impl DegradationMetrics {
@@ -133,6 +137,7 @@ impl DegradationMetrics {
         self.watchdog_misses += other.watchdog_misses;
         self.items_rescheduled += other.items_rescheduled;
         self.devices_evicted += other.devices_evicted;
+        self.affinity_fallbacks += other.affinity_fallbacks;
     }
 }
 
@@ -294,6 +299,7 @@ mod tests {
             watchdog_misses: 8,
             items_rescheduled: 9,
             devices_evicted: 10,
+            affinity_fallbacks: 11,
         };
         let b = a;
         a.merge(&b);
@@ -307,6 +313,7 @@ mod tests {
         assert_eq!(a.watchdog_misses, 16);
         assert_eq!(a.items_rescheduled, 18);
         assert_eq!(a.devices_evicted, 20);
+        assert_eq!(a.affinity_fallbacks, 22);
         // Merging a clean record is a no-op.
         let before = a;
         a.merge(&DegradationMetrics::default());
