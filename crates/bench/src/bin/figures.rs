@@ -1024,6 +1024,246 @@ fn fleet_cmd() -> ExperimentResult {
     Ok(())
 }
 
+/// Runs the adaptive model lifecycle experiment: a governor stream with
+/// (optionally) injected hardware efficiency drift mid-stream, the drift
+/// detector armed, online retraining from a quarantine-cleaned campaign,
+/// and a canary publish with measured promote/rollback. Writes
+/// `results/lifecycle/summary.json` and — with `--inject-drift` — the
+/// committed guard numbers to `BENCH_lifecycle.json` (recovery time and
+/// the post-promote MAPE margin versus a from-scratch retrain), asserted
+/// before anything is written.
+fn lifecycle_cmd(inject_drift: bool) -> ExperimentResult {
+    use governor::{
+        efficiency_drift, run_lifecycle, train_and_publish, DriftConfig, DriftScenario,
+        LifecycleConfig, LifecycleEvent, ModelRegistry, Policy,
+    };
+    use serde::Serialize;
+
+    println!("\n## Lifecycle — drift detection, online retrain, canary publish (V100)");
+    let dir = std::path::Path::new("results/lifecycle");
+    // Version numbers feed the canary traffic hash, so a stale registry
+    // from a previous invocation would shift the measured slice: every
+    // run starts from a clean slate to stay pinned.
+    let _ = std::fs::remove_dir_all(dir);
+    let registry = ModelRegistry::open(&dir.join("registry"));
+    let mut cfg = LifecycleConfig::pinned(Policy::MinEnergyUnderDeadline);
+    let drift_at = (cfg.governor.n_jobs as u64) / 3;
+    if inject_drift {
+        cfg.scenario = Some(DriftScenario {
+            at_job: drift_at,
+            spec: efficiency_drift(&cfg.governor.spec),
+        });
+    }
+    let fingerprint = train_and_publish(&cfg.governor, &registry)?;
+    println!(
+        "published cronos v{:04} + ligen v{:04} (fingerprint {fingerprint:#018x}), \
+         drift {}",
+        registry.latest("cronos")?,
+        registry.latest("ligen")?,
+        if inject_drift {
+            format!("injected at job {drift_at}")
+        } else {
+            "not injected".to_string()
+        }
+    );
+
+    // The stale baseline: same stream, same (possibly drifted) hardware,
+    // detector disabled — the governor that never adapts.
+    let mut stale_cfg = cfg.clone();
+    stale_cfg.drift = DriftConfig::disabled();
+    let stale = run_lifecycle(&stale_cfg, &registry, &dir.join("baseline"), false)?;
+    let report = run_lifecycle(&cfg, &registry, &dir.join("run"), false)?;
+
+    #[derive(Serialize)]
+    struct Row {
+        mode: String,
+        total_energy_j: f64,
+        deadline_miss_rate: f64,
+        retrains: u32,
+        promotes: u32,
+        rollbacks: u32,
+        lifecycle_fallbacks: u64,
+    }
+    let row = |mode: &str, r: &governor::LifecycleReport| Row {
+        mode: mode.to_string(),
+        total_energy_j: r.total_energy_j,
+        deadline_miss_rate: r.miss_rate,
+        retrains: r.retrains,
+        promotes: r.promotes,
+        rollbacks: r.rollbacks,
+        lifecycle_fallbacks: r.degradation.lifecycle_fallbacks,
+    };
+    let rows = vec![
+        row("stale (no lifecycle)", &stale),
+        row("lifecycle", &report),
+    ];
+    print_table(
+        "Adaptive lifecycle vs stale governor (pinned stream, 40 jobs)",
+        &[
+            "mode",
+            "energy (J)",
+            "miss rate",
+            "retrains",
+            "promotes",
+            "rollbacks",
+            "fallbacks",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.mode.clone(),
+                    format!("{:.1}", r.total_energy_j),
+                    format!("{:.1}%", 100.0 * r.deadline_miss_rate),
+                    r.retrains.to_string(),
+                    r.promotes.to_string(),
+                    r.rollbacks.to_string(),
+                    r.lifecycle_fallbacks.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    #[derive(Serialize)]
+    struct Summary {
+        device: String,
+        seed: u64,
+        n_jobs: usize,
+        injected_drift: bool,
+        drift_at_job: Option<u64>,
+        modes: Vec<Row>,
+        events: Vec<governor::LifecycleEvent>,
+    }
+    let summary = Summary {
+        device: report.device.clone(),
+        seed: report.seed,
+        n_jobs: report.n_jobs,
+        injected_drift: inject_drift,
+        drift_at_job: inject_drift.then_some(drift_at),
+        modes: rows,
+        events: report.events.clone(),
+    };
+    atomic_write_str(
+        &dir.join("summary.json"),
+        &serde_json::to_string_pretty(&summary)?,
+    )?;
+    println!("wrote results/lifecycle/summary.json");
+
+    if !inject_drift {
+        // A healthy stream must leave the lifecycle silent.
+        assert_eq!(
+            report.retrains, 0,
+            "lifecycle retrained on a healthy stream"
+        );
+        return Ok(());
+    }
+
+    // ---- The committed guards (asserted before BENCH is written) ----
+    let (promoted_app, promote_at) = report
+        .events
+        .iter()
+        .find_map(|e| match e {
+            LifecycleEvent::PromoteIntent { app, at_job, .. } => Some((app.clone(), *at_job)),
+            _ => None,
+        })
+        .ok_or("lifecycle never promoted a canary under injected drift")?;
+    let recovery_jobs = promote_at - drift_at;
+    assert!(
+        report.total_energy_j < stale.total_energy_j,
+        "lifecycle energy {} not better than stale {}",
+        report.total_energy_j,
+        stale.total_energy_j
+    );
+
+    // From-scratch reference: the same stream with models trained
+    // directly on the drifted hardware from the start.
+    let scratch_registry = ModelRegistry::open(&dir.join("scratch-registry"));
+    let mut scratch_cfg = LifecycleConfig::pinned(Policy::MinEnergyUnderDeadline);
+    scratch_cfg.governor.spec = efficiency_drift(&scratch_cfg.governor.spec);
+    scratch_cfg.drift = DriftConfig::disabled();
+    train_and_publish(&scratch_cfg.governor, &scratch_registry)?;
+    let scratch = run_lifecycle(
+        &scratch_cfg,
+        &scratch_registry,
+        &dir.join("scratch-run"),
+        false,
+    )?;
+
+    let post_mape = |r: &governor::LifecycleReport| {
+        let apes: Vec<f64> = r
+            .decisions
+            .iter()
+            .filter(|d| d.record.app == promoted_app && d.record.job_id > promote_at)
+            .filter_map(|d| d.ape)
+            .collect();
+        apes.iter().sum::<f64>() / apes.len().max(1) as f64
+    };
+    let post_promote_mape = post_mape(&report);
+    let scratch_mape = post_mape(&scratch);
+    let stale_mape = post_mape(&stale);
+    let mape_ratio = post_promote_mape / scratch_mape.max(1e-9);
+    assert!(
+        mape_ratio <= 1.25,
+        "post-promote MAPE {post_promote_mape:.5} not within 25% of \
+         from-scratch {scratch_mape:.5}"
+    );
+
+    #[derive(Serialize)]
+    struct Bench {
+        bench: String,
+        seed: u64,
+        n_jobs: usize,
+        drift_at_job: u64,
+        promoted_app: String,
+        promote_at_job: u64,
+        recovery_jobs: u64,
+        post_promote_mape: f64,
+        stale_mape: f64,
+        from_scratch_mape: f64,
+        mape_ratio_vs_scratch: f64,
+        mape_guard: f64,
+        lifecycle_energy_j: f64,
+        stale_energy_j: f64,
+        energy_saved_vs_stale: f64,
+        retrains: u32,
+        promotes: u32,
+        rollbacks: u32,
+        lifecycle_fallbacks: u64,
+    }
+    let bench = Bench {
+        bench: "adaptive model lifecycle: drift detect -> retrain -> canary -> promote \
+                vs stale governor under injected efficiency drift"
+            .to_string(),
+        seed: report.seed,
+        n_jobs: report.n_jobs,
+        drift_at_job: drift_at,
+        promoted_app,
+        promote_at_job: promote_at,
+        recovery_jobs,
+        post_promote_mape,
+        stale_mape,
+        from_scratch_mape: scratch_mape,
+        mape_ratio_vs_scratch: mape_ratio,
+        mape_guard: 1.25,
+        lifecycle_energy_j: report.total_energy_j,
+        stale_energy_j: stale.total_energy_j,
+        energy_saved_vs_stale: 1.0 - report.total_energy_j / stale.total_energy_j,
+        retrains: report.retrains,
+        promotes: report.promotes,
+        rollbacks: report.rollbacks,
+        lifecycle_fallbacks: report.degradation.lifecycle_fallbacks,
+    };
+    let json = serde_json::to_string_pretty(&bench)?;
+    atomic_write_str(std::path::Path::new("BENCH_lifecycle.json"), &json)?;
+    println!(
+        "\nwrote BENCH_lifecycle.json (recovered in {recovery_jobs} jobs, \
+         post-promote MAPE {post_promote_mape:.4} vs stale {stale_mape:.4}, \
+         ratio {mape_ratio:.2} vs from-scratch, {:.2}% energy vs stale)",
+        100.0 * bench.energy_saved_vs_stale
+    );
+    Ok(())
+}
+
 /// Runs the two paper applications through instrumented characterization
 /// sweeps and exports the unified observability artifacts to
 /// `results/telemetry/`: `metrics.json` (the registry snapshot),
@@ -1091,12 +1331,13 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!(
-            "usage: figures -- <id> [...]   ids: fig1..fig10 table1 table2 fig13 fig14 headline portability sweep-profile serving-profile [--quick] campaign [--resume] telemetry govern [--policy <name>] fleet all"
+            "usage: figures -- <id> [...]   ids: fig1..fig10 table1 table2 fig13 fig14 headline portability sweep-profile serving-profile [--quick] campaign [--resume] telemetry govern [--policy <name>] fleet lifecycle [--inject-drift] all"
         );
         std::process::exit(2);
     }
     let resume = args.iter().any(|a| a == "--resume");
     let quick = args.iter().any(|a| a == "--quick");
+    let inject_drift = args.iter().any(|a| a == "--inject-drift");
     // `--policy <name>` (repeatable) selects which governor policies run
     // against the default-clock baseline; default is all of them.
     let mut policies: Vec<governor::Policy> = Vec::new();
@@ -1147,6 +1388,7 @@ fn main() {
             "telemetry" => return telemetry_cmd(),
             "govern" => return govern_cmd(&policies),
             "fleet" => return fleet_cmd(),
+            "lifecycle" => return lifecycle_cmd(inject_drift),
             other => {
                 eprintln!("unknown experiment id: {other}");
                 std::process::exit(2);
@@ -1165,6 +1407,9 @@ fn main() {
         }
         if id == "--quick" {
             continue; // flag for `serving-profile`, not an experiment id
+        }
+        if id == "--inject-drift" {
+            continue; // flag for `lifecycle`, not an experiment id
         }
         if id == "--policy" {
             skip_next = true; // flag for `govern`, not an experiment id

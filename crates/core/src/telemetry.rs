@@ -662,6 +662,7 @@ impl Telemetry {
             ("queue.items_rescheduled", d.items_rescheduled),
             ("queue.devices_evicted", d.devices_evicted),
             ("queue.affinity_fallbacks", d.affinity_fallbacks),
+            ("queue.lifecycle_fallbacks", d.lifecycle_fallbacks),
         ] {
             if v > 0 {
                 r.counter(name).add(v);

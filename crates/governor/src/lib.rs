@@ -37,6 +37,7 @@
 //! the same contracts the sweep engine and campaign layers already hold.
 
 pub mod fleet;
+pub mod lifecycle;
 pub mod policy;
 pub mod registry;
 pub mod serving;
@@ -46,8 +47,13 @@ pub use fleet::{
     class_slug, fleet_model_name, run_fleet, train_and_publish_fleet, DeviceReport, FleetConfig,
     FleetDecision, FleetDevice, FleetEvent, FleetReport, Placement, StealPolicy, FLEET_SEED,
 };
+pub use lifecycle::{
+    efficiency_drift, residual_ape, run_lifecycle, DriftConfig, DriftDetector, DriftScenario,
+    DriftSummary, ForcedTrip, LifecycleConfig, LifecycleDecision, LifecycleError, LifecycleEvent,
+    LifecycleReport, ResidualTracker, ServedChannel,
+};
 pub use policy::{choose_frequency, Policy};
-pub use registry::{ModelRegistry, RegistryError};
+pub use registry::{ModelRegistry, RegistryError, RegistryEvent};
 pub use serving::{
     AdmissionError, CacheStats, EngineConfig, PredictedProfile, PredictionEngine,
     PredictionRequest, ServeError,

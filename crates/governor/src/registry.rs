@@ -21,6 +21,28 @@
 //! surfaces every failure as a typed [`RegistryError`], never a panic:
 //! a corrupt registry entry is an expected runtime condition that the
 //! governor degrades around.
+//!
+//! # Channels
+//!
+//! Each model directory optionally carries a `canary.json` pointer naming
+//! one *active* version as the canary channel. The **stable** channel is
+//! the highest active version that is not the canary; the canary rides
+//! alongside until it is promoted (pointer removed — the canary version,
+//! being the highest, becomes the new stable latest) or rolled back (its
+//! version file is renamed to `vNNNN.retired.json` and the pointer
+//! removed; the incumbent is untouched). Retired files still reserve
+//! their version numbers — [`ModelRegistry::publish`] allocates past
+//! them — so version numbering stays monotone and immutable even across
+//! rollbacks. A pointer naming a missing or retired version (a crash
+//! between the two rollback steps) is *dangling* and reads as "no
+//! canary": the registry self-heals on the next canary operation.
+//!
+//! [`ModelRegistry::load_latest_healthy`] is the hardened serving path:
+//! it walks the stable channel newest→oldest, skipping (and reporting as
+//! [`RegistryEvent::CorruptSkipped`]) versions that fail digest or parse
+//! verification, and silently skipping versions from a different
+//! training generation, so neither one corrupt file nor one
+//! crash-orphaned retrain artifact can brick or hijack serving.
 
 // The registry is runtime-load infrastructure: typed errors only.
 #![deny(clippy::unwrap_used, clippy::expect_used)]
@@ -32,6 +54,8 @@ use std::path::{Path, PathBuf};
 
 use energy_model::artifact::{ArtifactError, ModelArtifact};
 use energy_model::ds_model::DomainSpecificModel;
+use energy_model::persist::atomic_write_str;
+use serde::{Deserialize, Serialize};
 
 /// A typed registry failure.
 #[derive(Debug)]
@@ -66,6 +90,15 @@ pub enum RegistryError {
         /// The underlying error.
         source: io::Error,
     },
+    /// A canary operation named a version that is not the current canary.
+    CanaryMismatch {
+        /// The model name involved.
+        name: String,
+        /// The version the operation expected to be the canary.
+        version: u32,
+        /// The version the pointer actually names (if any).
+        canary: Option<u32>,
+    },
 }
 
 impl fmt::Display for RegistryError {
@@ -90,8 +123,48 @@ impl fmt::Display for RegistryError {
             RegistryError::Io { path, source } => {
                 write!(f, "registry io error at {}: {source}", path.display())
             }
+            RegistryError::CanaryMismatch {
+                name,
+                version,
+                canary,
+            } => match canary {
+                Some(c) => write!(f, "model {name:?}: expected canary v{version}, found v{c}"),
+                None => write!(f, "model {name:?}: expected canary v{version}, none is set"),
+            },
         }
     }
+}
+
+/// An observation a hardened registry walk makes while degrading around
+/// damage. These are facts about the registry's state, surfaced so a
+/// caller can journal them; the walk itself already routed around the
+/// problem.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RegistryEvent {
+    /// A published version failed envelope verification (digest, schema,
+    /// or parse) and was skipped in favor of an older healthy one.
+    CorruptSkipped {
+        /// The model whose version was skipped.
+        name: String,
+        /// The version skipped.
+        version: u32,
+        /// The verification failure, rendered.
+        reason: String,
+    },
+    /// The canary pointer named a missing or retired version (a crash
+    /// between rollback's two steps) and was treated as "no canary".
+    DanglingCanary {
+        /// The model whose pointer dangled.
+        name: String,
+        /// The version the stale pointer named.
+        version: u32,
+    },
+}
+
+/// The on-disk `canary.json` pointer payload.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+struct CanaryPointer {
+    version: u32,
 }
 
 impl std::error::Error for RegistryError {
@@ -122,6 +195,13 @@ fn version_file(version: u32) -> String {
     format!("v{version:04}.json")
 }
 
+fn retired_file(version: u32) -> String {
+    format!("v{version:04}.retired.json")
+}
+
+/// The per-model canary pointer file name.
+const CANARY_FILE: &str = "canary.json";
+
 impl ModelRegistry {
     /// Opens (without touching) the registry rooted at `root`.
     pub fn open(root: &Path) -> Self {
@@ -142,13 +222,13 @@ impl ModelRegistry {
         Ok(self.root.join(name))
     }
 
-    /// Published versions of `name`, ascending. A model that was never
-    /// published has no versions (empty vec, not an error).
-    pub fn versions(&self, name: &str) -> Result<Vec<u32>, RegistryError> {
+    /// Scans the model directory once, returning (active, retired)
+    /// version lists, each ascending.
+    fn scan_versions(&self, name: &str) -> Result<(Vec<u32>, Vec<u32>), RegistryError> {
         let dir = self.model_dir(name)?;
         let entries = match fs::read_dir(&dir) {
             Ok(e) => e,
-            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok((Vec::new(), Vec::new())),
             Err(e) => {
                 return Err(RegistryError::Io {
                     path: dir,
@@ -156,7 +236,8 @@ impl ModelRegistry {
                 })
             }
         };
-        let mut versions = Vec::new();
+        let mut active = Vec::new();
+        let mut retired = Vec::new();
         for entry in entries {
             let entry = entry.map_err(|e| RegistryError::Io {
                 path: dir.clone(),
@@ -164,19 +245,53 @@ impl ModelRegistry {
             })?;
             let file = entry.file_name();
             let file = file.to_string_lossy();
-            // Only `vNNNN.json` files are versions; temp siblings and
-            // foreign files are ignored.
-            if let Some(num) = file
+            // Only `vNNNN.json` / `vNNNN.retired.json` files are
+            // versions; temp siblings and foreign files are ignored.
+            let Some(rest) = file
                 .strip_prefix('v')
                 .and_then(|rest| rest.strip_suffix(".json"))
-            {
+            else {
+                continue;
+            };
+            if let Some(num) = rest.strip_suffix(".retired") {
                 if let Ok(v) = num.parse::<u32>() {
-                    versions.push(v);
+                    retired.push(v);
                 }
+            } else if let Ok(v) = rest.parse::<u32>() {
+                active.push(v);
             }
         }
-        versions.sort_unstable();
-        Ok(versions)
+        active.sort_unstable();
+        retired.sort_unstable();
+        Ok((active, retired))
+    }
+
+    /// Published (active) versions of `name`, ascending. A model that was
+    /// never published has no versions (empty vec, not an error).
+    /// Rolled-back versions are excluded — see
+    /// [`ModelRegistry::retired_versions`].
+    pub fn versions(&self, name: &str) -> Result<Vec<u32>, RegistryError> {
+        Ok(self.scan_versions(name)?.0)
+    }
+
+    /// Versions retired by a canary rollback, ascending. They still
+    /// reserve their numbers (publish allocates past them) but never
+    /// serve.
+    pub fn retired_versions(&self, name: &str) -> Result<Vec<u32>, RegistryError> {
+        Ok(self.scan_versions(name)?.1)
+    }
+
+    /// The version the next publish will allocate: one past the highest
+    /// number ever used, active or retired — a rollback must not free its
+    /// number for reuse.
+    pub fn next_version(&self, name: &str) -> Result<u32, RegistryError> {
+        let (active, retired) = self.scan_versions(name)?;
+        let max = active
+            .last()
+            .copied()
+            .max(retired.last().copied())
+            .unwrap_or(0);
+        Ok(max + 1)
     }
 
     /// The latest published version of `name`.
@@ -198,8 +313,23 @@ impl ModelRegistry {
         model: &DomainSpecificModel,
         training_fingerprint: u64,
     ) -> Result<u32, RegistryError> {
+        let version = self.next_version(name)?;
+        self.publish_at(name, version, model, training_fingerprint)?;
+        Ok(version)
+    }
+
+    /// Publishes a model at an explicit version number. The write is
+    /// atomic and idempotent (re-writing the same deterministic model at
+    /// the same version replaces the file with identical bytes), which is
+    /// what a journaled publisher needs to redo a publish after a crash.
+    pub fn publish_at(
+        &self,
+        name: &str,
+        version: u32,
+        model: &DomainSpecificModel,
+        training_fingerprint: u64,
+    ) -> Result<(), RegistryError> {
         let dir = self.model_dir(name)?;
-        let version = self.versions(name)?.last().map_or(1, |v| v + 1);
         let path = dir.join(version_file(version));
         model
             .save_artifact(&path, name, training_fingerprint)
@@ -208,7 +338,7 @@ impl ModelRegistry {
                 version,
                 source,
             })?;
-        Ok(version)
+        Ok(())
     }
 
     fn artifact_at(&self, name: &str, version: u32) -> Result<ModelArtifact, RegistryError> {
@@ -273,5 +403,224 @@ impl ModelRegistry {
                     source,
                 })?;
         Ok((model, artifact, version))
+    }
+
+    fn canary_path(&self, name: &str) -> Result<PathBuf, RegistryError> {
+        Ok(self.model_dir(name)?.join(CANARY_FILE))
+    }
+
+    /// The raw canary pointer, if the file exists — no validation against
+    /// the active version set.
+    fn canary_pointer(&self, name: &str) -> Result<Option<u32>, RegistryError> {
+        let path = self.canary_path(name)?;
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(RegistryError::Io { path, source: e }),
+        };
+        let pointer: CanaryPointer =
+            serde_json::from_str(&text).map_err(|e| RegistryError::Io {
+                path,
+                source: io::Error::new(io::ErrorKind::InvalidData, e.to_string()),
+            })?;
+        Ok(Some(pointer.version))
+    }
+
+    /// The current canary version, with a self-healing read: a pointer
+    /// naming a missing or retired version (a crash between rollback's
+    /// retire and pointer removal) is *dangling* and reads as no canary,
+    /// reported as the second tuple element so callers can journal it.
+    pub fn canary(
+        &self,
+        name: &str,
+    ) -> Result<(Option<u32>, Option<RegistryEvent>), RegistryError> {
+        let Some(version) = self.canary_pointer(name)? else {
+            return Ok((None, None));
+        };
+        let (active, _) = self.scan_versions(name)?;
+        if active.binary_search(&version).is_ok() {
+            Ok((Some(version), None))
+        } else {
+            Ok((
+                None,
+                Some(RegistryEvent::DanglingCanary {
+                    name: name.to_string(),
+                    version,
+                }),
+            ))
+        }
+    }
+
+    /// Points the canary channel at an active version. Atomic and
+    /// idempotent.
+    pub fn set_canary(&self, name: &str, version: u32) -> Result<(), RegistryError> {
+        let (active, _) = self.scan_versions(name)?;
+        if active.binary_search(&version).is_err() {
+            return Err(RegistryError::VersionNotFound {
+                name: name.to_string(),
+                version,
+            });
+        }
+        let path = self.canary_path(name)?;
+        let text = match serde_json::to_string(&CanaryPointer { version }) {
+            Ok(t) => t,
+            Err(e) => {
+                return Err(RegistryError::Io {
+                    path,
+                    source: io::Error::new(io::ErrorKind::InvalidData, e.to_string()),
+                })
+            }
+        };
+        atomic_write_str(&path, &text).map_err(|e| RegistryError::Io {
+            path,
+            source: io::Error::other(e.to_string()),
+        })
+    }
+
+    /// Removes the canary pointer if present. Idempotent.
+    fn clear_canary(&self, name: &str) -> Result<(), RegistryError> {
+        let path = self.canary_path(name)?;
+        match fs::remove_file(&path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(RegistryError::Io { path, source: e }),
+        }
+    }
+
+    /// The latest *stable* version: the highest active version that is
+    /// not the current canary. This is what serving loads while a canary
+    /// is in flight.
+    pub fn stable_latest(&self, name: &str) -> Result<u32, RegistryError> {
+        let (canary, _) = self.canary(name)?;
+        self.versions(name)?
+            .into_iter()
+            .rfind(|v| Some(*v) != canary)
+            .ok_or_else(|| RegistryError::NotFound {
+                name: name.to_string(),
+            })
+    }
+
+    /// Promotes the canary `version` to stable: the pointer is removed,
+    /// and the version — being the highest active — becomes the stable
+    /// latest. Idempotent: promoting an already-promoted version (no
+    /// pointer, version active) is a no-op, which is what a journaled
+    /// publisher needs to redo a promote after a crash. Promoting while
+    /// the pointer names a *different* version is a typed error.
+    pub fn promote_version(&self, name: &str, version: u32) -> Result<(), RegistryError> {
+        match self.canary_pointer(name)? {
+            Some(c) if c == version => self.clear_canary(name),
+            Some(c) => Err(RegistryError::CanaryMismatch {
+                name: name.to_string(),
+                version,
+                canary: Some(c),
+            }),
+            None => {
+                // Already promoted iff the version is still active.
+                let (active, _) = self.scan_versions(name)?;
+                if active.binary_search(&version).is_ok() {
+                    Ok(())
+                } else {
+                    Err(RegistryError::CanaryMismatch {
+                        name: name.to_string(),
+                        version,
+                        canary: None,
+                    })
+                }
+            }
+        }
+    }
+
+    /// Rolls the canary `version` back: its file is renamed to
+    /// `vNNNN.retired.json` (reserving the number forever), then the
+    /// pointer is removed. The incumbent stable version is untouched.
+    /// Idempotent at every step — a crash between the two leaves a
+    /// dangling pointer that [`ModelRegistry::canary`] already reads as
+    /// "no canary", and redoing the rollback converges.
+    pub fn rollback_version(&self, name: &str, version: u32) -> Result<(), RegistryError> {
+        let dir = self.model_dir(name)?;
+        let active_path = dir.join(version_file(version));
+        let retired_path = dir.join(retired_file(version));
+        match fs::rename(&active_path, &retired_path) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::NotFound && retired_path.exists() => {
+                // Already retired by a previous (crashed) attempt.
+            }
+            Err(e) => {
+                return Err(RegistryError::Io {
+                    path: active_path,
+                    source: e,
+                })
+            }
+        }
+        match self.canary_pointer(name)? {
+            Some(c) if c == version => self.clear_canary(name),
+            _ => Ok(()),
+        }
+    }
+
+    /// The hardened serving load: walks the stable channel newest→oldest
+    /// and returns the first version that verifies, skipping corrupt ones
+    /// and reporting each skip as a [`RegistryEvent::CorruptSkipped`].
+    /// Versions whose training fingerprint does not match
+    /// `expected_fingerprint` are skipped *silently*: they belong to a
+    /// different training generation (for example a retrain artifact
+    /// orphaned by a crash mid-publish), and the serving generation lives
+    /// further back. Fails with the newest version's error only when no
+    /// stable version fits.
+    #[allow(clippy::type_complexity)]
+    pub fn load_latest_healthy(
+        &self,
+        name: &str,
+        expected_fingerprint: Option<u64>,
+    ) -> Result<(DomainSpecificModel, ModelArtifact, u32, Vec<RegistryEvent>), RegistryError> {
+        let (canary, _) = self.canary(name)?;
+        let stable: Vec<u32> = self
+            .versions(name)?
+            .into_iter()
+            .filter(|v| Some(*v) != canary)
+            .collect();
+        if stable.is_empty() {
+            return Err(RegistryError::NotFound {
+                name: name.to_string(),
+            });
+        }
+        let mut events = Vec::new();
+        let mut first_err = None;
+        for &version in stable.iter().rev() {
+            let result = match expected_fingerprint {
+                Some(fp) => self.load_expecting(name, Some(version), fp),
+                None => self.load(name, Some(version)),
+            };
+            match result {
+                Ok((model, artifact, v)) => return Ok((model, artifact, v, events)),
+                Err(
+                    e @ RegistryError::Artifact {
+                        source: ArtifactError::Fingerprint { .. },
+                        ..
+                    },
+                ) => {
+                    // A different training generation, not corruption:
+                    // walk back silently to the serving generation. A
+                    // crash-orphaned retrain artifact must never hijack
+                    // the stable channel on resume.
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+                Err(e) => {
+                    events.push(RegistryEvent::CorruptSkipped {
+                        name: name.to_string(),
+                        version,
+                        reason: e.to_string(),
+                    });
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        Err(first_err.unwrap_or(RegistryError::NotFound {
+            name: name.to_string(),
+        }))
     }
 }

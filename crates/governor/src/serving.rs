@@ -368,9 +368,49 @@ impl PredictionEngine {
             .insert(app.to_string(), InstalledModel { model, app_id });
     }
 
+    /// Removes the model served for `app`, purging every cached profile
+    /// keyed to it in every shard. Returns whether a model was installed.
+    /// This is the rollback path: after a canary is withdrawn its channel
+    /// must serve nothing, and no stale profile may survive in the memo
+    /// cache.
+    pub fn remove_model(&mut self, app: &str) -> bool {
+        if self.models.remove(app).is_none() {
+            return false;
+        }
+        let app_id = fnv_str(FNV_OFFSET, app);
+        for shard in &self.shards {
+            if let Ok(mut map) = shard.map.write() {
+                for chain in map.values_mut() {
+                    chain.retain(|e| e.key.app_id != app_id);
+                }
+                map.retain(|_, chain| !chain.is_empty());
+            }
+        }
+        true
+    }
+
     /// Whether a model is installed for `app`.
     pub fn has_model(&self, app: &str) -> bool {
         self.models.contains_key(app)
+    }
+
+    /// How many cached profile entries are keyed to `app`, per shard, in
+    /// shard-index order ([`N_SHARDS`] rows). Introspection for the cache
+    /// invalidation tests: after an install/remove of `app` every row must
+    /// read zero.
+    pub fn cached_entries_per_shard(&self, app: &str) -> Vec<usize> {
+        let app_id = fnv_str(FNV_OFFSET, app);
+        self.shards
+            .iter()
+            .map(|shard| {
+                shard.map.read().map_or(0, |map| {
+                    map.values()
+                        .flat_map(|chain| chain.iter())
+                        .filter(|e| e.key.app_id == app_id)
+                        .count()
+                })
+            })
+            .collect()
     }
 
     /// Requests admitted / rejected at the queue boundary so far.

@@ -107,7 +107,7 @@ pub(crate) const STREAM_STALE: u64 = 12;
 /// Stateless uniform draw in `[0, 1)` — the same splitmix64-finalizer
 /// construction as the device fault plans, so model faults are pure
 /// functions of the load-attempt index.
-fn unit_draw(seed: u64, stream: u64, index: u64) -> f64 {
+pub(crate) fn unit_draw(seed: u64, stream: u64, index: u64) -> f64 {
     let mut z = seed
         ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15)
         ^ index.wrapping_mul(0xD1B5_4A32_D192_ED03);

@@ -1,0 +1,134 @@
+//! Property suite for the drift detector: the Page–Hinkley layer must
+//! never cry wolf on a healthy residual stream, must always catch a
+//! sustained bias, and must replay bit-identically under the same seed —
+//! with or without telemetry armed.
+
+use energy_model::telemetry::Telemetry;
+use governor::{DriftConfig, DriftDetector, ResidualTracker};
+use proptest::prelude::*;
+
+/// Deterministic unit draws for residual streams (splitmix64 finalizer).
+fn unit(seed: u64, i: u64) -> f64 {
+    let mut z = seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// A zero-residual stream is the healthiest possible model; the
+    /// detector must never trip on it, at any length.
+    #[test]
+    fn never_trips_on_zero_residuals(n in 1usize..512) {
+        let mut d = DriftDetector::new(DriftConfig::pinned());
+        for _ in 0..n {
+            prop_assert!(!d.observe(0.0));
+        }
+        prop_assert!(!d.tripped());
+    }
+
+    /// Any constant APE level is a *calibration* offset, not drift: the
+    /// running mean adapts and the statistic stays flat.
+    #[test]
+    fn never_trips_on_constant_streams(level in 0.0f64..2.0, n in 1usize..512) {
+        let mut d = DriftDetector::new(DriftConfig::pinned());
+        for _ in 0..n {
+            prop_assert!(!d.observe(level));
+        }
+        prop_assert!(!d.tripped());
+    }
+
+    /// A quiet stream with small noise stays below the trip line.
+    #[test]
+    fn never_trips_on_small_noise(seed in 0u64..u64::MAX, n in 1usize..256) {
+        let mut d = DriftDetector::new(DriftConfig::pinned());
+        for i in 0..n {
+            // APE jitter in [0, 0.02): under the pinned delta slack.
+            d.observe(0.02 * unit(seed, i as u64));
+        }
+        prop_assert!(!d.tripped());
+    }
+
+    /// After any quiet burn-in, a sustained bias of at least 0.2 APE must
+    /// trip the detector — and once tripped it latches until reset.
+    #[test]
+    fn always_trips_under_sustained_bias(
+        seed in 0u64..u64::MAX,
+        quiet in 4u64..64,
+        bias in 0.2f64..1.5,
+    ) {
+        let cfg = DriftConfig::pinned();
+        let mut d = DriftDetector::new(cfg);
+        for i in 0..quiet {
+            d.observe(0.01 * unit(seed, i));
+        }
+        prop_assert!(!d.tripped());
+        // The PH statistic gains ~(bias - delta) per biased sample once
+        // the mean lags; this bound is generous.
+        let budget = quiet + 16 + (8.0 * cfg.lambda / (bias - cfg.delta)).ceil() as u64;
+        let mut tripped_at = None;
+        for i in 0..budget {
+            let ape = bias + 0.01 * unit(seed ^ 0xD1F7, i);
+            if d.observe(ape) {
+                tripped_at = Some(i);
+                break;
+            }
+        }
+        prop_assert!(tripped_at.is_some(), "no trip within {budget} biased samples");
+        prop_assert!(d.tripped());
+        // Latched: further observations are absorbed (the edge fired
+        // once) and the detector stays tripped until reset.
+        prop_assert!(!d.observe(bias));
+        prop_assert!(d.tripped());
+        d.reset();
+        prop_assert!(!d.tripped());
+    }
+
+    /// Same seed, same stream → bit-identical detector trajectory, and
+    /// arming telemetry on the tracker changes nothing about it.
+    #[test]
+    fn replay_is_bit_identical_with_and_without_telemetry(
+        seed in 0u64..u64::MAX,
+        n in 1usize..256,
+        bias_at in 0usize..256,
+    ) {
+        let stream: Vec<f64> = (0..n)
+            .map(|i| {
+                let base = 0.02 * unit(seed, i as u64);
+                if i >= bias_at { base + 0.4 } else { base }
+            })
+            .collect();
+
+        let mut quiet = ResidualTracker::new(DriftConfig::pinned());
+        let telemetry = Telemetry::new();
+        let mut armed = ResidualTracker::new(DriftConfig::pinned());
+        for ape in &stream {
+            let a = quiet.observe("app", *ape, None);
+            let b = armed.observe("app", *ape, Some(&telemetry));
+            prop_assert_eq!(a, b);
+        }
+        let qs = quiet.summary();
+        let as_ = armed.summary();
+        prop_assert_eq!(qs.len(), as_.len());
+        for (q, a) in qs.values().zip(as_.values()) {
+            prop_assert_eq!(q.observations, a.observations);
+            prop_assert_eq!(q.trips, a.trips);
+            prop_assert_eq!(q.statistic.to_bits(), a.statistic.to_bits());
+            prop_assert_eq!(q.mean_ape.to_bits(), a.mean_ape.to_bits());
+        }
+
+        // And a third, fully independent replay of the same stream is
+        // bit-identical sample for sample.
+        let mut replay = DriftDetector::new(DriftConfig::pinned());
+        let mut first = DriftDetector::new(DriftConfig::pinned());
+        for ape in &stream {
+            let x = first.observe(*ape);
+            let y = replay.observe(*ape);
+            prop_assert_eq!(x, y);
+            prop_assert_eq!(first.statistic().to_bits(), replay.statistic().to_bits());
+        }
+    }
+}

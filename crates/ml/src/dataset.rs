@@ -261,6 +261,26 @@ impl SanitizeReport {
     pub fn is_clean(&self) -> bool {
         self.non_finite_rows.is_empty() && self.outlier_rows.is_empty()
     }
+
+    /// All dropped original row indices — non-finite and outlier rows
+    /// merged, sorted, deduplicated. The shape a caller needs to drop the
+    /// same rows from a parallel structure (e.g. per-row provenance).
+    pub fn dropped_rows(&self) -> Vec<usize> {
+        let mut rows: Vec<usize> = self
+            .non_finite_rows
+            .iter()
+            .chain(self.outlier_rows.iter())
+            .copied()
+            .collect();
+        rows.sort_unstable();
+        rows.dedup();
+        rows
+    }
+
+    /// How many distinct rows were dropped.
+    pub fn dropped_count(&self) -> usize {
+        self.dropped_rows().len()
+    }
 }
 
 fn median(values: &[f64]) -> f64 {

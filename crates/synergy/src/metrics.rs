@@ -109,6 +109,11 @@ pub struct DegradationMetrics {
     /// and were degraded to the default clock to keep predictions
     /// device-faithful. Only a fleet scheduler raises this.
     pub affinity_fallbacks: u64,
+    /// Lifecycle operations (retrain, canary publish, promote) that failed
+    /// and degraded serving back to the incumbent model. Only a model
+    /// lifecycle supervisor raises this; the request itself is still
+    /// served.
+    pub lifecycle_fallbacks: u64,
 }
 
 impl DegradationMetrics {
@@ -138,6 +143,7 @@ impl DegradationMetrics {
         self.items_rescheduled += other.items_rescheduled;
         self.devices_evicted += other.devices_evicted;
         self.affinity_fallbacks += other.affinity_fallbacks;
+        self.lifecycle_fallbacks += other.lifecycle_fallbacks;
     }
 }
 
@@ -300,6 +306,7 @@ mod tests {
             items_rescheduled: 9,
             devices_evicted: 10,
             affinity_fallbacks: 11,
+            lifecycle_fallbacks: 12,
         };
         let b = a;
         a.merge(&b);
@@ -314,6 +321,7 @@ mod tests {
         assert_eq!(a.items_rescheduled, 18);
         assert_eq!(a.devices_evicted, 20);
         assert_eq!(a.affinity_fallbacks, 22);
+        assert_eq!(a.lifecycle_fallbacks, 24);
         // Merging a clean record is a no-op.
         let before = a;
         a.merge(&DegradationMetrics::default());
