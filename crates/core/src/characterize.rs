@@ -664,6 +664,370 @@ pub fn characterize_serial_with_options(
     )
 }
 
+// ---------------------------------------------------------------------------
+// Configuration-lattice characterization: core clock × memory clock × power cap
+// ---------------------------------------------------------------------------
+
+/// The axes of a configuration-lattice sweep. The lattice is the cartesian
+/// product `core_mhz × mem_mhz × power_caps_w`, enumerated core-outer →
+/// memory → cap, so a degenerate memory/cap axis leaves the enumeration
+/// order (and every noise/fault seed) identical to the plain frequency
+/// sweep's.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatticeAxes {
+    /// Core frequencies to sweep (MHz). Must be non-empty.
+    pub core_mhz: Vec<f64>,
+    /// Memory frequencies to sweep (MHz). Empty means *default only*: the
+    /// sweep stays on the device's top memory clock and never issues a
+    /// memory-clock management call — which is what keeps a degenerate
+    /// lattice bit-identical to [`characterize`].
+    pub mem_mhz: Vec<f64>,
+    /// Operator power caps to sweep (W); `None` is the uncapped (TDP-only)
+    /// configuration. Empty means *uncapped only*, with no cap call issued.
+    pub power_caps_w: Vec<Option<f64>>,
+}
+
+impl LatticeAxes {
+    /// A core-only lattice: one point per core frequency on the default
+    /// memory clock with no power cap. Sweeping it is bit-identical to the
+    /// plain frequency sweep over the same list.
+    pub fn core_only(core_mhz: impl Into<Vec<f64>>) -> Self {
+        LatticeAxes {
+            core_mhz: core_mhz.into(),
+            mem_mhz: Vec::new(),
+            power_caps_w: Vec::new(),
+        }
+    }
+
+    /// A full lattice over explicit axes. `caps_w` are finite positive
+    /// watts; the uncapped configuration is always included first.
+    pub fn full(
+        core_mhz: impl Into<Vec<f64>>,
+        mem_mhz: impl Into<Vec<f64>>,
+        caps_w: &[f64],
+    ) -> Self {
+        let mut power_caps_w = vec![None];
+        power_caps_w.extend(caps_w.iter().map(|&c| Some(c)));
+        LatticeAxes {
+            core_mhz: core_mhz.into(),
+            mem_mhz: mem_mhz.into(),
+            power_caps_w,
+        }
+    }
+
+    /// Number of lattice points one sweep measures (excluding the baseline).
+    pub fn len(&self) -> usize {
+        self.core_mhz.len() * self.mem_mhz.len().max(1) * self.power_caps_w.len().max(1)
+    }
+
+    /// True when the lattice has no core axis (nothing to sweep).
+    pub fn is_empty(&self) -> bool {
+        self.core_mhz.is_empty()
+    }
+}
+
+/// One characterized lattice operating point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatticePoint {
+    /// Core frequency (MHz).
+    pub core_mhz: f64,
+    /// Memory frequency (MHz) the point was *requested* at (a rejected
+    /// request degrades to the default clock and is flagged in the
+    /// diagnostics).
+    pub mem_mhz: f64,
+    /// Operator power cap (W); `None` = uncapped.
+    pub cap_w: Option<f64>,
+    /// Median run time (s).
+    pub time_s: f64,
+    /// Median run energy (J).
+    pub energy_j: f64,
+    /// `t_baseline / time_s`.
+    pub speedup: f64,
+    /// `energy_j / e_baseline`.
+    pub norm_energy: f64,
+}
+
+/// A full configuration-lattice characterization of one workload on one
+/// device: the three-axis generalization of [`Characterization`]. The
+/// non-dominated subset of its points is a Pareto *surface* — trading
+/// speed against energy across core clock, memory clock, and power cap at
+/// once — rather than the frequency sweep's Pareto front.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatticeCharacterization {
+    /// Device name.
+    pub device: String,
+    /// Workload name.
+    pub workload: String,
+    /// Baseline (default-configuration) run time (s).
+    pub baseline_time_s: f64,
+    /// Baseline run energy (J).
+    pub baseline_energy_j: f64,
+    /// Points in lattice-enumeration order (core-outer → memory → cap).
+    pub points: Vec<LatticePoint>,
+}
+
+impl LatticeCharacterization {
+    /// The `(speedup, norm_energy)` pairs in lattice order.
+    pub fn objective_points(&self) -> Vec<(f64, f64)> {
+        self.points
+            .iter()
+            .map(|p| (p.speedup, p.norm_energy))
+            .collect()
+    }
+
+    /// The non-dominated points — the Pareto surface in the
+    /// (speedup, normalized-energy) plane, in lattice order.
+    pub fn pareto_surface(&self) -> Vec<&LatticePoint> {
+        crate::pareto::pareto_front_indices(&self.objective_points())
+            .into_iter()
+            .map(|i| &self.points[i])
+            .collect()
+    }
+
+    /// The minimum-energy point of the lattice.
+    pub fn min_energy(&self) -> &LatticePoint {
+        self.points
+            .iter()
+            .min_by(|a, b| a.energy_j.total_cmp(&b.energy_j))
+            .expect("non-empty lattice")
+    }
+
+    /// The minimum-energy point whose runtime meets `deadline_s`, if any.
+    pub fn min_energy_within(&self, deadline_s: f64) -> Option<&LatticePoint> {
+        self.points
+            .iter()
+            .filter(|p| p.time_s <= deadline_s)
+            .min_by(|a, b| a.energy_j.total_cmp(&b.energy_j))
+    }
+}
+
+/// Diagnostics of one lattice point: which configuration it was, plus the
+/// fault-aware measurement record.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatticePointDiagnostics {
+    /// Requested core frequency (MHz).
+    pub core_mhz: f64,
+    /// Requested memory frequency (MHz).
+    pub mem_mhz: f64,
+    /// Requested power cap (W).
+    pub cap_w: Option<f64>,
+    /// The measurement diagnostics (re-measurements, flags, degradation
+    /// counters — including [`DegradationMetrics::mem_clock_fallbacks`] and
+    /// [`DegradationMetrics::power_cap_fallbacks`]).
+    pub diag: PointDiagnostics,
+}
+
+/// Per-point diagnostics of one lattice sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatticeDiagnostics {
+    /// Baseline (default-configuration) point.
+    pub baseline: PointDiagnostics,
+    /// Lattice points, in enumeration order.
+    pub points: Vec<LatticePointDiagnostics>,
+}
+
+impl LatticeDiagnostics {
+    /// No point saw a fault, retried, fell back, or was re-measured.
+    pub fn is_clean(&self) -> bool {
+        (!self.baseline.flagged
+            && self.baseline.remeasured == 0
+            && self.baseline.degradation.is_clean())
+            && self
+                .points
+                .iter()
+                .all(|p| !p.diag.flagged && p.diag.remeasured == 0 && p.diag.degradation.is_clean())
+    }
+
+    /// Lattice points whose accepted measurement is still degraded.
+    pub fn flagged_points(&self) -> Vec<&LatticePointDiagnostics> {
+        self.points.iter().filter(|p| p.diag.flagged).collect()
+    }
+
+    /// Folds every point's degradation counters into one audit record.
+    pub fn total_degradation(&self) -> DegradationMetrics {
+        let mut total = self.baseline.degradation;
+        for p in &self.points {
+            total.merge(&p.diag.degradation);
+        }
+        total
+    }
+}
+
+/// Sweeps the full configuration lattice `core × mem × cap` with the same
+/// trace-once / re-price-everywhere engine as [`characterize_with_options`].
+///
+/// Every lattice point pins its three actuators before replaying the trace:
+/// the memory clock (skipped when the point sits on the device's default,
+/// so the request sequence of a degenerate lattice is identical to the
+/// frequency sweep's), the power cap (skipped when uncapped), and the core
+/// clock via the queue policy. Noise and fault seeds are keyed by the
+/// point's flat lattice index — baseline `0`, point *i* → `1 + i` — so a
+/// single-point memory/cap axis reproduces [`characterize`] **bit for
+/// bit**, and thread scheduling cannot reorder random streams.
+///
+/// A rejected memory-clock or cap request degrades to the default
+/// configuration on that axis (recorded in the queue's
+/// [`DegradationMetrics`]), which marks the attempt dirty: the point is
+/// re-measured up to `opts.remeasure_limit` times and flagged if it never
+/// comes back clean — the same quarantine contract as the frequency sweep.
+///
+/// # Panics
+/// Panics on an empty core-frequency axis, `reps == 0`, or a backend
+/// without memory-clock/cap control when a non-default axis requests it.
+pub fn characterize_lattice(
+    spec: &DeviceSpec,
+    workload: &dyn Workload,
+    axes: &LatticeAxes,
+    opts: &SweepOptions,
+) -> (LatticeCharacterization, LatticeDiagnostics) {
+    assert!(
+        !axes.core_mhz.is_empty(),
+        "need at least one core frequency"
+    );
+    assert!(opts.reps > 0, "need at least one repetition");
+
+    let default_mem = spec.mem_freqs.max();
+    let mem_axis: Vec<f64> = if axes.mem_mhz.is_empty() {
+        vec![default_mem]
+    } else {
+        axes.mem_mhz.clone()
+    };
+    let caps: Vec<Option<f64>> = if axes.power_caps_w.is_empty() {
+        vec![None]
+    } else {
+        axes.power_caps_w.clone()
+    };
+
+    let tel = opts.telemetry.as_deref();
+    let meters = tel.map(SweepMeters::new);
+    let _sweep_span = tel.map(|t| {
+        t.registry().counter("sweep.runs").inc();
+        t.span(
+            SpanLevel::Sweep,
+            "lattice",
+            vec![
+                ("device", spec.name.clone()),
+                ("workload", workload.name()),
+                ("cores", axes.core_mhz.len().to_string()),
+                ("mems", mem_axis.len().to_string()),
+                ("caps", caps.len().to_string()),
+                ("reps", opts.reps.to_string()),
+            ],
+        )
+    });
+
+    let trace = workload.record(spec);
+    let prices = Arc::new(PriceTable::new());
+    let make_queue =
+        |seed_off: u64, attempt: u32| replay_queue(spec, opts, &prices, seed_off, attempt);
+    let run_once = |q: &mut SynergyQueue| trace.try_replay_on(q).is_err();
+
+    // Baseline: the device's default configuration — top memory clock,
+    // uncapped, default core clock. Seed offset 0, exactly like the
+    // frequency sweep's baseline.
+    let (baseline, base_diag) = {
+        let _span = tel.map(|t| {
+            t.span(
+                SpanLevel::Point,
+                "point",
+                vec![("config", "baseline".into())],
+            )
+        });
+        measure_attempts(opts, |attempt| make_queue(0, attempt), run_once)
+    };
+    if let (Some(t), Some(m)) = (tel, &meters) {
+        m.record(t, baseline, &base_diag);
+    }
+
+    // Flat enumeration, core-outer → memory → cap.
+    let mut grid: Vec<(u64, f64, f64, Option<f64>)> = Vec::with_capacity(axes.len());
+    for &f in &axes.core_mhz {
+        for &m in &mem_axis {
+            for &cap in &caps {
+                grid.push((grid.len() as u64, f, m, cap));
+            }
+        }
+    }
+
+    let results: Vec<(LatticePoint, LatticePointDiagnostics)> = grid
+        .par_iter()
+        .map(|&(i, f, m, cap)| {
+            let _span = tel.map(|t| {
+                t.span(
+                    SpanLevel::Point,
+                    "point",
+                    vec![("config", format!("{f}MHz/{m}MHz/{cap:?}W"))],
+                )
+            });
+            let (meas, mut diag) = measure_attempts(
+                opts,
+                |attempt| {
+                    let mut q = make_queue(1 + i, attempt);
+                    if m != default_mem {
+                        match q.set_memory_frequency(Some(m)) {
+                            // A fallback or transient rejection is already
+                            // recorded in the degradation counters, which
+                            // marks this attempt dirty for re-measurement.
+                            Ok(_) | Err(synergy::BackendError::FrequencyRejected { .. }) => {}
+                            Err(e) => panic!("memory-clock axis unsupported: {e}"),
+                        }
+                    }
+                    if cap.is_some() {
+                        match q.set_power_cap(cap) {
+                            Ok(_) | Err(synergy::BackendError::FrequencyRejected { .. }) => {}
+                            Err(e) => panic!("power-cap axis unsupported: {e}"),
+                        }
+                    }
+                    q.set_policy(synergy::FrequencyPolicy::Fixed(f));
+                    q
+                },
+                run_once,
+            );
+            diag.freq_mhz = Some(f);
+            if let (Some(t), Some(sm)) = (tel, &meters) {
+                sm.record(t, meas, &diag);
+            }
+            let cp = char_point(f, meas, baseline);
+            (
+                LatticePoint {
+                    core_mhz: f,
+                    mem_mhz: m,
+                    cap_w: cap,
+                    time_s: cp.time_s,
+                    energy_j: cp.energy_j,
+                    speedup: cp.speedup,
+                    norm_energy: cp.norm_energy,
+                },
+                LatticePointDiagnostics {
+                    core_mhz: f,
+                    mem_mhz: m,
+                    cap_w: cap,
+                    diag,
+                },
+            )
+        })
+        .collect();
+    let (points, diags): (Vec<LatticePoint>, Vec<LatticePointDiagnostics>) =
+        results.into_iter().unzip();
+    if let Some(t) = tel {
+        t.record_pricing(prices.stats(), prices.len());
+    }
+
+    (
+        LatticeCharacterization {
+            device: spec.name.clone(),
+            workload: workload.name(),
+            baseline_time_s: baseline.time_s,
+            baseline_energy_j: baseline.energy_j,
+            points,
+        },
+        LatticeDiagnostics {
+            baseline: base_diag,
+            points: diags,
+        },
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1087,5 +1451,121 @@ mod tests {
         assert!(p.degradation.frequency_rejections > 0);
         assert!(p.degradation.retries > 0);
         assert!(p.flagged);
+    }
+
+    // ---- Configuration lattice ----
+
+    #[test]
+    fn degenerate_lattice_is_bit_identical_to_frequency_sweep() {
+        // A core-only lattice (default memory clock, no cap) must reproduce
+        // the plain frequency sweep exactly — same seeds, same request
+        // sequence, same f64 bits.
+        let spec = v100();
+        let freqs = [500.0, 900.0, 1312.1, 1597.0];
+        let plain = characterize(&spec, &small_cronos(), &freqs, 3, Some(20231112));
+        let (lat, diag) = characterize_lattice(
+            &spec,
+            &small_cronos(),
+            &LatticeAxes::core_only(freqs),
+            &inert_opts(3, Some(20231112)),
+        );
+        assert_eq!(lat.baseline_time_s, plain.baseline_time_s);
+        assert_eq!(lat.baseline_energy_j, plain.baseline_energy_j);
+        assert_eq!(lat.points.len(), plain.points.len());
+        for (lp, pp) in lat.points.iter().zip(&plain.points) {
+            assert_eq!(lp.core_mhz, pp.freq_mhz);
+            assert_eq!(lp.mem_mhz, 1107.0, "degenerate axis sits on default");
+            assert_eq!(lp.cap_w, None);
+            assert_eq!(lp.time_s, pp.time_s, "at {} MHz", pp.freq_mhz);
+            assert_eq!(lp.energy_j, pp.energy_j, "at {} MHz", pp.freq_mhz);
+            assert_eq!(lp.speedup, pp.speedup);
+            assert_eq!(lp.norm_energy, pp.norm_energy);
+        }
+        assert!(
+            diag.is_clean(),
+            "inert plan, default config: no fault trace"
+        );
+    }
+
+    #[test]
+    fn full_lattice_enumerates_in_declared_order_and_caps_cost_time() {
+        let spec = v100();
+        let axes = LatticeAxes::full([900.0, 1312.1], [810.0, 1107.0], &[200.0]);
+        assert_eq!(axes.len(), 8);
+        // Noiseless, so the capped/uncapped comparison below is pure
+        // physics — each lattice index seeds its own noise stream, which
+        // would otherwise jitter the inequality.
+        let (lat, diag) = characterize_lattice(&spec, &small_cronos(), &axes, &inert_opts(2, None));
+        assert_eq!(lat.points.len(), 8);
+        // Core-outer → memory → cap enumeration.
+        let mut expect = Vec::new();
+        for &f in &[900.0, 1312.1] {
+            for &m in &[810.0, 1107.0] {
+                for cap in [None, Some(200.0)] {
+                    expect.push((f, m, cap));
+                }
+            }
+        }
+        let got: Vec<_> = lat
+            .points
+            .iter()
+            .map(|p| (p.core_mhz, p.mem_mhz, p.cap_w))
+            .collect();
+        assert_eq!(got, expect);
+        // A cap can only slow a configuration down, never speed it up.
+        for pair in lat.points.chunks(2) {
+            let (uncapped, capped) = (&pair[0], &pair[1]);
+            assert_eq!(uncapped.core_mhz, capped.core_mhz);
+            assert_eq!(uncapped.mem_mhz, capped.mem_mhz);
+            assert!(
+                capped.time_s >= uncapped.time_s,
+                "cap stretched nothing at {} MHz / {} MHz?",
+                capped.core_mhz,
+                capped.mem_mhz
+            );
+            assert!(capped.energy_j.is_finite() && capped.energy_j > 0.0);
+        }
+        // Deterministic actuator work (mem clock, cap) is not degradation.
+        assert!(diag.is_clean(), "fault-free lattice must be clean");
+        // The surface helpers stay coherent.
+        let best = lat.min_energy();
+        assert!(lat.points.iter().all(|p| p.energy_j >= best.energy_j));
+        let surface = lat.pareto_surface();
+        assert!(!surface.is_empty() && surface.len() <= lat.points.len());
+        let within = lat.min_energy_within(lat.baseline_time_s * 10.0).unwrap();
+        assert!(within.energy_j >= best.energy_j || within == best);
+    }
+
+    #[test]
+    fn lattice_rejected_mem_clock_degrades_and_is_flagged() {
+        use gpu_sim::Schedule;
+        // Every memory-clock set is rejected: the queue falls back to the
+        // default clock, the fallback is recorded, and the point — measured
+        // at the wrong configuration — must be flagged, never silently kept.
+        let spec = v100();
+        let axes = LatticeAxes {
+            core_mhz: vec![1312.1],
+            mem_mhz: vec![810.0],
+            power_caps_w: Vec::new(),
+        };
+        let opts = SweepOptions {
+            reps: 1,
+            noise_seed: None,
+            faults: FaultPlan::seeded(11).reject_set_frequency(Schedule::Prob(1.0)),
+            retry: RetryPolicy::default(),
+            remeasure_limit: 1,
+            telemetry: None,
+        };
+        let (lat, diag) = characterize_lattice(&spec, &small_cronos(), &axes, &opts);
+        assert_eq!(lat.points.len(), 1);
+        assert!(lat.points[0].time_s > 0.0);
+        let p = &diag.points[0];
+        assert_eq!(p.mem_mhz, 810.0, "diagnostics keep the *requested* config");
+        assert!(
+            p.diag.degradation.mem_clock_fallbacks > 0,
+            "fallback must be audited"
+        );
+        assert!(p.diag.flagged, "degraded configuration must be flagged");
+        assert!(!diag.is_clean());
     }
 }

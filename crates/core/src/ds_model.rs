@@ -47,6 +47,58 @@ pub struct DsSample {
     pub energy_j: f64,
 }
 
+/// One lattice training sample: input features plus the full
+/// `(core, mem, cap)` operating configuration (the three-axis
+/// generalization of [`DsSample`]).
+///
+/// The cap column is a plain finite wattage: pass the device TDP for
+/// uncapped points so the model sees one continuous axis instead of a
+/// sentinel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatticeSample {
+    /// Domain-specific input features `f⃗` (Table 2).
+    pub features: Arc<Vec<f64>>,
+    /// Core frequency (MHz).
+    pub core_mhz: f64,
+    /// Memory frequency (MHz).
+    pub mem_mhz: f64,
+    /// Effective power cap (W); the device TDP when uncapped.
+    pub cap_w: f64,
+    /// Measured execution time `t` (s).
+    pub time_s: f64,
+    /// Measured energy `e` (J).
+    pub energy_j: f64,
+}
+
+/// One predicted lattice operating point, normalized to the model's
+/// default configuration (the lattice sibling of
+/// [`PredictedPoint`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatticePredictedPoint {
+    /// Core frequency (MHz).
+    pub core_mhz: f64,
+    /// Memory frequency (MHz).
+    pub mem_mhz: f64,
+    /// Effective power cap (W); the device TDP when uncapped.
+    pub cap_w: f64,
+    /// Predicted `t_default / t`.
+    pub speedup: f64,
+    /// Predicted `e / e_default`.
+    pub norm_energy: f64,
+}
+
+/// One input's predicted lattice curve: the default-configuration anchors
+/// plus the normalized surface points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatticeCurvePrediction {
+    /// Predicted execution time at the default configuration (s).
+    pub default_time_s: f64,
+    /// Predicted energy at the default configuration (J).
+    pub default_energy_j: f64,
+    /// Normalized predictions over the requested lattice points.
+    pub curve: Vec<LatticePredictedPoint>,
+}
+
 /// The regression algorithms the paper compares.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Algorithm {
@@ -152,10 +204,25 @@ pub struct DomainSpecificModel {
     pub algorithm: Algorithm,
     n_features: usize,
     default_freq_mhz: f64,
+    /// How many configuration columns follow the input features in the
+    /// design matrix: 1 for the legacy frequency-only models, 3 for
+    /// lattice models (`core_mhz`, `mem_mhz`, `cap_w`). Serde-defaulted to
+    /// 1 so pre-lattice JSON artifacts deserialize unchanged.
+    #[serde(default = "one_config_col")]
+    config_cols: usize,
+    /// The default operating configuration lattice models normalize by
+    /// (`[core_mhz, mem_mhz, cap_w]`); empty for legacy models, whose
+    /// anchor is `default_freq_mhz` alone.
+    #[serde(default)]
+    default_config: Vec<f64>,
     // Compiled flat layouts serialize as `null` (see the FlatForest serde
     // impls) and are recompiled on deserialize by `from_json`.
     time_flat: Option<FlatForest>,
     energy_flat: Option<FlatForest>,
+}
+
+fn one_config_col() -> usize {
+    1
 }
 
 /// One input's batched curve prediction: the predicted default-frequency
@@ -228,6 +295,59 @@ impl DomainSpecificModel {
             algorithm,
             n_features: samples[0].features.len(),
             default_freq_mhz,
+            config_cols: 1,
+            default_config: Vec::new(),
+            time_flat,
+            energy_flat,
+        }
+    }
+
+    /// Trains the Random Forest model pair on configuration-lattice
+    /// samples: the design matrix carries **three** configuration columns
+    /// (`core_mhz`, `mem_mhz`, `cap_w`) after the input features, and
+    /// predictions are normalized by `default_config` instead of a bare
+    /// default frequency. Legacy (frequency-only) training paths are
+    /// untouched — their design matrices, seeds, and predictions stay
+    /// bit-identical.
+    ///
+    /// # Panics
+    /// Panics on an empty sample set or inconsistent feature widths.
+    pub fn train_lattice(samples: &[LatticeSample], default_config: [f64; 3], seed: u64) -> Self {
+        assert!(!samples.is_empty(), "empty training set");
+        let n_features = samples[0].features.len();
+        let mut x = Matrix::with_cols(n_features + 3);
+        let mut y_time = Vec::with_capacity(samples.len());
+        let mut y_energy = Vec::with_capacity(samples.len());
+        let mut row = Vec::with_capacity(n_features + 3);
+        for s in samples {
+            assert_eq!(s.features.len(), n_features, "ragged feature vectors");
+            assert!(
+                s.time_s > 0.0 && s.energy_j > 0.0,
+                "times and energies must be positive"
+            );
+            row.clear();
+            row.extend_from_slice(&s.features);
+            row.push(s.core_mhz);
+            row.push(s.mem_mhz);
+            row.push(s.cap_w);
+            x.push_row(&row);
+            y_time.push(s.time_s.ln());
+            y_energy.push(s.energy_j.ln());
+        }
+        let mut time_model = Algorithm::RandomForest.build(seed);
+        time_model.fit(&x, &y_time);
+        let mut energy_model = Algorithm::RandomForest.build(seed ^ 0xE);
+        energy_model.fit(&x, &y_energy);
+        let time_flat = time_model.compile_flat();
+        let energy_flat = energy_model.compile_flat();
+        DomainSpecificModel {
+            time_model,
+            energy_model,
+            algorithm: Algorithm::RandomForest,
+            n_features,
+            default_freq_mhz: default_config[0],
+            config_cols: 3,
+            default_config: default_config.to_vec(),
             time_flat,
             energy_flat,
         }
@@ -315,6 +435,10 @@ impl DomainSpecificModel {
     /// Panics on a feature-width mismatch.
     pub fn predict_time_energy(&self, features: &[f64], freq_mhz: f64) -> (f64, f64) {
         assert_eq!(features.len(), self.n_features, "feature width mismatch");
+        assert_eq!(
+            self.config_cols, 1,
+            "lattice model needs a full configuration, not a bare frequency"
+        );
         let mut row = Vec::with_capacity(self.n_features + 1);
         row.extend_from_slice(features);
         row.push(freq_mhz);
@@ -334,6 +458,10 @@ impl DomainSpecificModel {
     /// tests and the `BENCH_serving` baseline.
     pub fn predict_time_energy_reference(&self, features: &[f64], freq_mhz: f64) -> (f64, f64) {
         assert_eq!(features.len(), self.n_features, "feature width mismatch");
+        assert_eq!(
+            self.config_cols, 1,
+            "lattice model needs a full configuration, not a bare frequency"
+        );
         let mut row = features.to_vec();
         row.push(freq_mhz);
         (
@@ -389,6 +517,10 @@ impl DomainSpecificModel {
     /// # Panics
     /// Panics on a feature-width mismatch.
     pub fn predict_curves_batch(&self, inputs: &[&[f64]], freqs: &[f64]) -> Vec<CurvePrediction> {
+        assert_eq!(
+            self.config_cols, 1,
+            "lattice model needs a full configuration, not a bare frequency"
+        );
         let stride = freqs.len() + 1;
         let assemble = |t_log: &[f64], e_log: &[f64], base: usize| {
             let t_def = t_log[base].exp();
@@ -484,6 +616,114 @@ impl DomainSpecificModel {
         (0..inputs.len())
             .map(|i| assemble(&t_log, &e_log, i * stride))
             .collect()
+    }
+
+    /// Predicts raw `(time, energy)` for an input at one operating
+    /// configuration. `config` must carry exactly
+    /// [`DomainSpecificModel::config_cols`] values — `[freq_mhz]` for
+    /// legacy models, `[core_mhz, mem_mhz, cap_w]` for lattice models.
+    ///
+    /// # Panics
+    /// Panics on a feature- or configuration-width mismatch.
+    pub fn predict_time_energy_config(&self, features: &[f64], config: &[f64]) -> (f64, f64) {
+        assert_eq!(features.len(), self.n_features, "feature width mismatch");
+        assert_eq!(
+            config.len(),
+            self.config_cols,
+            "configuration width mismatch"
+        );
+        let mut row = Vec::with_capacity(self.n_features + self.config_cols);
+        row.extend_from_slice(features);
+        row.extend_from_slice(config);
+        let t = match &self.time_flat {
+            Some(flat) => flat.predict_row(&row),
+            None => self.time_model.predict_row(&row),
+        };
+        let e = match &self.energy_flat {
+            Some(flat) => flat.predict_row(&row),
+            None => self.energy_model.predict_row(&row),
+        };
+        (t.exp(), e.exp())
+    }
+
+    /// The lattice prediction phase: speedup and normalized energy over
+    /// explicit `(core, mem, cap)` points, normalized by the *predicted*
+    /// default-configuration values — the three-axis Figure-12. The anchor
+    /// row and every point row go through one batched model pass per
+    /// target.
+    ///
+    /// # Panics
+    /// Panics unless the model was trained by
+    /// [`DomainSpecificModel::train_lattice`], or on a feature-width
+    /// mismatch.
+    pub fn predict_lattice_curve(
+        &self,
+        features: &[f64],
+        points: &[[f64; 3]],
+    ) -> LatticeCurvePrediction {
+        assert_eq!(features.len(), self.n_features, "feature width mismatch");
+        assert_eq!(
+            self.config_cols, 3,
+            "frequency-only model cannot price a configuration lattice"
+        );
+        let mut x = Matrix::with_cols(self.n_features + 3);
+        let mut row = Vec::with_capacity(self.n_features + 3);
+        row.extend_from_slice(features);
+        row.extend_from_slice(&self.default_config);
+        x.push_row(&row);
+        for p in points {
+            row.truncate(self.n_features);
+            row.extend_from_slice(p);
+            x.push_row(&row);
+        }
+        let mut t_log = Vec::with_capacity(x.rows());
+        let mut e_log = Vec::with_capacity(x.rows());
+        match (&self.time_flat, &self.energy_flat) {
+            (Some(tf), Some(ef)) => {
+                tf.predict_batch_into(&x, &mut t_log);
+                ef.predict_batch_into(&x, &mut e_log);
+            }
+            _ => {
+                self.time_model.predict_batch(&x, &mut t_log);
+                self.energy_model.predict_batch(&x, &mut e_log);
+            }
+        }
+        let t_def = t_log[0].exp();
+        let e_def = e_log[0].exp();
+        let curve = points
+            .iter()
+            .enumerate()
+            .map(|(j, p)| LatticePredictedPoint {
+                core_mhz: p[0],
+                mem_mhz: p[1],
+                cap_w: p[2],
+                speedup: t_def / t_log[1 + j].exp(),
+                norm_energy: e_log[1 + j].exp() / e_def,
+            })
+            .collect();
+        LatticeCurvePrediction {
+            default_time_s: t_def,
+            default_energy_j: e_def,
+            curve,
+        }
+    }
+
+    /// How many configuration columns the design matrix carries after the
+    /// input features: 1 (frequency) for legacy models, 3 for lattice
+    /// models.
+    pub fn config_cols(&self) -> usize {
+        self.config_cols
+    }
+
+    /// The default operating configuration predictions normalize by:
+    /// `[core, mem, cap]` for lattice models, `[default_freq_mhz]` for
+    /// legacy ones.
+    pub fn default_config(&self) -> Vec<f64> {
+        if self.default_config.is_empty() {
+            vec![self.default_freq_mhz]
+        } else {
+            self.default_config.clone()
+        }
     }
 
     /// Whether the model pair carries compiled flat forests (true for every
@@ -731,5 +971,132 @@ mod tests {
         let samples = synth_samples(&[(2.0, 3.0), (4.0, 5.0)], &freqs());
         let model = DomainSpecificModel::train(&samples, 855.0, 0);
         let _ = model.predict_time_energy(&[1.0], 500.0);
+    }
+
+    // ---- Configuration-lattice models ----
+
+    /// Synthetic lattice app: the memory clock moves the roofline, the cap
+    /// stretches time when it binds — the qualitative response surface of
+    /// the simulator's power model.
+    fn synth_lattice_samples(inputs: &[(f64, f64)]) -> Vec<LatticeSample> {
+        let mut out = Vec::new();
+        for &(a, b) in inputs {
+            let work = a * b * 1e6;
+            for &f in &[600.0f64, 900.0, 1200.0, 1500.0] {
+                for &m in &[800.0f64, 1100.0] {
+                    for &cap in &[150.0f64, 300.0] {
+                        let roof = 0.9 * m;
+                        let eff = f.min(roof);
+                        let raw_power = 60.0 + 0.08 * f + 0.03 * m;
+                        let stretch = (raw_power / cap).max(1.0);
+                        let time = (work / (eff * 1e6) + 4.0e-5) * stretch;
+                        let power = raw_power.min(cap);
+                        out.push(LatticeSample {
+                            features: Arc::new(vec![a, b]),
+                            core_mhz: f,
+                            mem_mhz: m,
+                            cap_w: cap,
+                            time_s: time,
+                            energy_j: time * power,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn lattice_model_fits_training_configurations() {
+        let samples = synth_lattice_samples(&[(2.0, 3.0), (4.0, 5.0), (8.0, 2.0), (10.0, 10.0)]);
+        let model = DomainSpecificModel::train_lattice(&samples, [1500.0, 1100.0, 300.0], 0);
+        assert_eq!(model.config_cols(), 3);
+        assert_eq!(model.default_config(), vec![1500.0, 1100.0, 300.0]);
+        for s in samples.iter().step_by(5) {
+            let (t, e) =
+                model.predict_time_energy_config(&s.features, &[s.core_mhz, s.mem_mhz, s.cap_w]);
+            assert!((t - s.time_s).abs() / s.time_s < 0.15, "time");
+            assert!((e - s.energy_j).abs() / s.energy_j < 0.15, "energy");
+        }
+    }
+
+    #[test]
+    fn lattice_curve_normalizes_to_default_config() {
+        let samples = synth_lattice_samples(&[(2.0, 3.0), (4.0, 5.0), (8.0, 2.0)]);
+        let default = [1500.0, 1100.0, 300.0];
+        let model = DomainSpecificModel::train_lattice(&samples, default, 0);
+        let pred = model.predict_lattice_curve(&[4.0, 5.0], &[default]);
+        assert!((pred.curve[0].speedup - 1.0).abs() < 1e-9);
+        assert!((pred.curve[0].norm_energy - 1.0).abs() < 1e-9);
+        // And the curve rows agree with the row-at-a-time config path.
+        let pts = [[900.0, 800.0, 150.0], [1200.0, 1100.0, 300.0]];
+        let pred = model.predict_lattice_curve(&[4.0, 5.0], &pts);
+        let (t_def, e_def) = model.predict_time_energy_config(&[4.0, 5.0], &default);
+        for (p, cfg) in pred.curve.iter().zip(&pts) {
+            let (t, e) = model.predict_time_energy_config(&[4.0, 5.0], cfg);
+            assert_eq!(p.speedup.to_bits(), (t_def / t).to_bits());
+            assert_eq!(p.norm_energy.to_bits(), (e / e_def).to_bits());
+        }
+        assert_eq!(pred.default_time_s.to_bits(), t_def.to_bits());
+        assert_eq!(pred.default_energy_j.to_bits(), e_def.to_bits());
+    }
+
+    #[test]
+    fn lattice_model_json_round_trip_keeps_config_cols() {
+        let samples = synth_lattice_samples(&[(2.0, 3.0), (4.0, 5.0), (8.0, 2.0)]);
+        let model = DomainSpecificModel::train_lattice(&samples, [1500.0, 1100.0, 300.0], 4);
+        let back = DomainSpecificModel::from_json(&model.to_json()).unwrap();
+        assert_eq!(back.config_cols(), 3);
+        assert_eq!(back.default_config(), model.default_config());
+        assert!(back.has_flat());
+        let cfg = [900.0, 800.0, 150.0];
+        let (t0, e0) = model.predict_time_energy_config(&[4.0, 5.0], &cfg);
+        let (t1, e1) = back.predict_time_energy_config(&[4.0, 5.0], &cfg);
+        assert!(((t1 - t0) / t0).abs() < 1e-12);
+        assert!(((e1 - e0) / e0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn legacy_json_defaults_to_one_config_col() {
+        let samples = synth_samples(&[(2.0, 3.0), (4.0, 5.0)], &freqs());
+        let model = DomainSpecificModel::train(&samples, 855.0, 9);
+        // Strip the new fields from the JSON to simulate a pre-lattice
+        // artifact; deserialization must default them.
+        let json = model
+            .to_json()
+            .replace("\"config_cols\":1,", "")
+            .replace("\"default_config\":[],", "");
+        let back = DomainSpecificModel::from_json(&json).unwrap();
+        assert_eq!(back.config_cols(), 1);
+        assert_eq!(back.default_config(), vec![855.0]);
+        let (t0, _) = model.predict_time_energy(&[2.0, 3.0], 700.0);
+        let (t1, _) = back.predict_time_energy(&[2.0, 3.0], 700.0);
+        assert!(((t1 - t0) / t0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn legacy_config_path_matches_frequency_path() {
+        let samples = synth_samples(&[(2.0, 3.0), (4.0, 5.0)], &freqs());
+        let model = DomainSpecificModel::train(&samples, 855.0, 9);
+        let (t0, e0) = model.predict_time_energy(&[2.0, 3.0], 700.0);
+        let (t1, e1) = model.predict_time_energy_config(&[2.0, 3.0], &[700.0]);
+        assert_eq!(t0.to_bits(), t1.to_bits());
+        assert_eq!(e0.to_bits(), e1.to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "lattice model needs a full configuration")]
+    fn lattice_model_rejects_bare_frequency_prediction() {
+        let samples = synth_lattice_samples(&[(2.0, 3.0), (4.0, 5.0)]);
+        let model = DomainSpecificModel::train_lattice(&samples, [1500.0, 1100.0, 300.0], 0);
+        let _ = model.predict_time_energy(&[2.0, 3.0], 900.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "frequency-only model cannot price a configuration lattice")]
+    fn legacy_model_rejects_lattice_curve() {
+        let samples = synth_samples(&[(2.0, 3.0), (4.0, 5.0)], &freqs());
+        let model = DomainSpecificModel::train(&samples, 855.0, 0);
+        let _ = model.predict_lattice_curve(&[2.0, 3.0], &[[900.0, 800.0, 150.0]]);
     }
 }

@@ -71,10 +71,15 @@ pub use campaign::{
     DeviceSlot,
 };
 pub use characterize::{
-    characterize, characterize_serial, characterize_serial_with_options, characterize_with_options,
-    CharPoint, Characterization, PointDiagnostics, SweepDiagnostics, SweepOptions, Workload,
+    characterize, characterize_lattice, characterize_serial, characterize_serial_with_options,
+    characterize_with_options, CharPoint, Characterization, LatticeAxes, LatticeCharacterization,
+    LatticeDiagnostics, LatticePoint, LatticePointDiagnostics, PointDiagnostics, SweepDiagnostics,
+    SweepOptions, Workload,
 };
-pub use ds_model::{CurvePrediction, DomainSpecificModel};
+pub use ds_model::{
+    CurvePrediction, DomainSpecificModel, LatticeCurvePrediction, LatticePredictedPoint,
+    LatticeSample,
+};
 pub use features::{CronosInput, LigenInput};
 pub use gp_model::GeneralPurposeModel;
 pub use pareto::pareto_front_indices;

@@ -1169,9 +1169,11 @@ fn place_min_energy(run: &mut FleetRun<'_>, registry: &ModelRegistry, burst: &[J
                     Some(Err(ServeError::ModelUnavailable { app })) => ClassCandidate::Unserved {
                         reason: run.classes[c].loader.failure_for(app),
                     },
-                    Some(Err(ServeError::FeatureWidth { .. })) => ClassCandidate::Unserved {
-                        reason: FallbackReason::StaleArtifact,
-                    },
+                    Some(Err(ServeError::FeatureWidth { .. } | ServeError::ConfigWidth { .. })) => {
+                        ClassCandidate::Unserved {
+                            reason: FallbackReason::StaleArtifact,
+                        }
+                    }
                     None => ClassCandidate::Unserved {
                         reason: FallbackReason::ModelMissing,
                     },

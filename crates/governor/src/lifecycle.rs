@@ -1311,7 +1311,7 @@ pub fn run_lifecycle(
                     Err(ServeError::ModelUnavailable { ref app }) => {
                         (None, None, None, Some(loader.failure_for(app)))
                     }
-                    Err(ServeError::FeatureWidth { .. }) => {
+                    Err(ServeError::FeatureWidth { .. } | ServeError::ConfigWidth { .. }) => {
                         (None, None, None, Some(FallbackReason::StaleArtifact))
                     }
                 };

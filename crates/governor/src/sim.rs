@@ -572,7 +572,7 @@ pub fn run_governor(cfg: &GovernorConfig, registry: &ModelRegistry) -> GovernorR
                     Err(ServeError::ModelUnavailable { ref app }) => {
                         (None, None, Some(loader.failure_for(app)))
                     }
-                    Err(ServeError::FeatureWidth { .. }) => {
+                    Err(ServeError::FeatureWidth { .. } | ServeError::ConfigWidth { .. }) => {
                         (None, None, Some(FallbackReason::StaleArtifact))
                     }
                 };

@@ -13,10 +13,10 @@ use serde::{Deserialize, Serialize};
 use crate::faults::{FaultError, FaultPlan, FaultState};
 use crate::kernel::KernelProfile;
 use crate::noise::NoiseModel;
-use crate::power::{kernel_power, PowerBreakdown};
+use crate::power::{energy_from_parts, resolve_power_cap, CapResolution, PowerBreakdown};
 use crate::pricing::PriceTable;
 use crate::spec::DeviceSpec;
-use crate::timing::{kernel_timing, TimingBreakdown};
+use crate::timing::TimingBreakdown;
 use crate::trace::{Trace, TraceEvent};
 
 /// Result of one kernel launch: what a profiler would hand back.
@@ -32,9 +32,16 @@ pub struct LaunchRecord {
     pub core_mhz: f64,
     /// Memory clock the kernel ran at (MHz).
     pub mem_mhz: f64,
-    /// True when a power/thermal throttle window held the effective clock
-    /// below the requested one for this launch.
+    /// True when the effective clock sat below the requested one for *any*
+    /// reason: an injected fault window, the always-on firmware TDP loop,
+    /// or a binding operator power cap.
     pub throttled: bool,
+    /// True only when a fault-injected throttle window held the granted
+    /// clock below the request — a transient anomaly worth re-measuring.
+    /// Deterministic TDP/power-cap throttling sets [`LaunchRecord::throttled`]
+    /// but not this: it is physics of the requested configuration, and a
+    /// re-measurement would reproduce it exactly.
+    pub fault_throttled: bool,
 }
 
 /// A simulated GPU with mutable clock and counter state.
@@ -43,6 +50,9 @@ pub struct Device {
     spec: DeviceSpec,
     core_mhz: f64,
     mem_mhz: f64,
+    /// Operator power cap (W), `None` = TDP only. Enforced by
+    /// [`resolve_power_cap`] on every launch.
+    power_cap_w: Option<f64>,
     /// Cumulative energy counter in joules (NVML reports millijoules; the
     /// NVML layer converts).
     energy_counter_j: f64,
@@ -69,6 +79,7 @@ impl Device {
             spec,
             core_mhz: core,
             mem_mhz: mem,
+            power_cap_w: None,
             energy_counter_j: 0.0,
             clock_s: 0.0,
             last_power_w: idle,
@@ -131,16 +142,55 @@ impl Device {
     }
 
     /// Sets the memory clock, snapping to the nearest supported frequency.
-    pub fn set_mem_mhz(&mut self, mhz: f64) -> f64 {
-        self.mem_mhz = self.spec.mem_freqs.snap(mhz);
-        self.mem_mhz
+    /// Like [`Device::set_core_mhz`] this is a management request the fault
+    /// plan may reject — but only a request that *changes* the clock
+    /// consumes a management operation, so setting the clock the device is
+    /// already at is always a no-op success (matching drivers, which
+    /// short-circuit idempotent clock requests).
+    pub fn set_mem_mhz(&mut self, mhz: f64) -> Result<f64, FaultError> {
+        let requested = self.spec.mem_freqs.snap(mhz);
+        if requested != self.mem_mhz {
+            self.faults.on_set_frequency(requested)?;
+            self.mem_mhz = requested;
+        }
+        Ok(self.mem_mhz)
     }
 
-    /// Restores the default clock configuration
-    /// (`nvmlDeviceResetApplicationsClocks` analogue).
+    /// Current operator power cap (W); `None` means TDP-only.
+    pub fn power_cap_w(&self) -> Option<f64> {
+        self.power_cap_w
+    }
+
+    /// Sets (or clears, with `None`) the operator power cap — the
+    /// `nvmlDeviceSetPowerManagementLimit` analogue. Caps above TDP are
+    /// accepted but the TDP still binds first. Only a changing request
+    /// consumes a fault-plan management operation (reported with the cap
+    /// value — or TDP when clearing — in the `requested_mhz` slot of
+    /// [`FaultError::FrequencyRejected`]).
+    ///
+    /// # Panics
+    /// Panics on a non-finite or non-positive cap.
+    pub fn set_power_cap_w(&mut self, cap_w: Option<f64>) -> Result<Option<f64>, FaultError> {
+        if let Some(c) = cap_w {
+            assert!(
+                c.is_finite() && c > 0.0,
+                "power cap must be finite and positive"
+            );
+        }
+        if cap_w != self.power_cap_w {
+            self.faults
+                .on_set_frequency(cap_w.unwrap_or(self.spec.tdp_w))?;
+            self.power_cap_w = cap_w;
+        }
+        Ok(self.power_cap_w)
+    }
+
+    /// Restores the default clock configuration and clears any operator
+    /// power cap (`nvmlDeviceResetApplicationsClocks` analogue).
     pub fn reset_clocks(&mut self) {
         self.core_mhz = self.spec.default_core_mhz;
         self.mem_mhz = self.spec.mem_freqs.max();
+        self.power_cap_w = None;
     }
 
     /// Executes a kernel at the current clocks, advancing the device clock
@@ -171,7 +221,7 @@ impl Device {
         if requested != self.core_mhz {
             self.faults.on_set_frequency(requested)?;
         }
-        let f = match self.faults.on_launch_attempt(&kernel.name)? {
+        let granted = match self.faults.on_launch_attempt(&kernel.name)? {
             Some(cap_mhz) => {
                 let cap = self.spec.core_freqs.snap(cap_mhz);
                 if cap < requested {
@@ -182,11 +232,15 @@ impl Device {
             }
             None => requested,
         };
-        let timing = kernel_timing(&self.spec, kernel, f, self.mem_mhz);
+        // Firmware power-cap enforcement: the effective clock may sit below
+        // the fault-granted one when demand exceeds min(TDP, operator cap);
+        // the body then runs (and stretches) at that lower clock.
+        let res = resolve_power_cap(&self.spec, kernel, granted, self.mem_mhz, self.power_cap_w);
+        let f = res.core_mhz;
 
-        let time_s = timing.total_s * self.noise.time_factor();
+        let time_s = res.timing.total_s * self.noise.time_factor();
         let energy_j =
-            crate::power::kernel_energy(&self.spec, &timing, f) * self.noise.energy_factor();
+            energy_from_parts(&self.spec, &res.timing, &res.power) * self.noise.energy_factor();
         let avg_power_w = energy_j / time_s;
 
         let rec = LaunchRecord {
@@ -196,6 +250,7 @@ impl Device {
             core_mhz: f,
             mem_mhz: self.mem_mhz,
             throttled: f < requested,
+            fault_throttled: granted < requested,
         };
         self.trace.push(TraceEvent {
             kernel: kernel.name.clone(),
@@ -218,23 +273,31 @@ impl Device {
         Ok(rec)
     }
 
+    /// Resolves the effective configuration a request for `core_mhz` would
+    /// run at under the current memory clock and power cap, without
+    /// mutating any state.
+    pub fn resolve(&self, kernel: &KernelProfile, core_mhz: f64) -> CapResolution {
+        resolve_power_cap(&self.spec, kernel, core_mhz, self.mem_mhz, self.power_cap_w)
+    }
+
     /// Dry-run: computes what a launch *would* cost at `core_mhz` without
     /// mutating any state (no trace, no counters, no noise). Used by models
-    /// that need ground truth independent of measurement jitter.
+    /// that need ground truth independent of measurement jitter. Reflects
+    /// cap throttling: the returned timing/power belong to the *effective*
+    /// clock.
     pub fn peek(&self, kernel: &KernelProfile, core_mhz: f64) -> (TimingBreakdown, PowerBreakdown) {
-        let f = self.spec.core_freqs.snap(core_mhz);
-        let timing = kernel_timing(&self.spec, kernel, f, self.mem_mhz);
-        let power = kernel_power(&self.spec, &timing, f);
-        (timing, power)
+        let r = self.resolve(kernel, core_mhz);
+        (r.timing, r.power)
     }
 
     /// Dry-run returning `(time_s, energy_j)` with the same phase-split
     /// energy accounting as [`Device::launch`], noise-free.
     pub fn peek_cost(&self, kernel: &KernelProfile, core_mhz: f64) -> (f64, f64) {
-        let f = self.spec.core_freqs.snap(core_mhz);
-        let timing = kernel_timing(&self.spec, kernel, f, self.mem_mhz);
-        let energy = crate::power::kernel_energy(&self.spec, &timing, f);
-        (timing.total_s, energy)
+        let r = self.resolve(kernel, core_mhz);
+        (
+            r.timing.total_s,
+            energy_from_parts(&self.spec, &r.timing, &r.power),
+        )
     }
 
     /// Pure pricing: `(time_s, energy_j)` of one noiseless launch of
@@ -246,7 +309,7 @@ impl Device {
     /// a frequency sweep a hash lookup instead of a cost-model evaluation.
     pub fn price(&self, kernel: &KernelProfile, core_mhz: f64) -> (f64, f64) {
         self.prices
-            .price_or_insert_with(kernel, core_mhz, self.mem_mhz, || {
+            .price_or_insert_with(kernel, core_mhz, self.mem_mhz, self.power_cap_w, || {
                 self.peek_cost(kernel, core_mhz)
             })
     }
@@ -265,11 +328,15 @@ impl Device {
     /// plus the skipped per-launch cost-model evaluations, is where the
     /// batch path's speed comes from.
     ///
-    /// Returns the number of throttled launches in the batch. Under an
-    /// active fault plan the batch runs launch by launch and stops at the
-    /// first injected failure: `sink` has then observed every completed
-    /// launch and the error is returned. With the inert plan this is the
-    /// bit-identical fast path and always succeeds with `Ok(0)`.
+    /// Returns the number of *fault-throttled* launches in the batch —
+    /// launches a fault-injected throttle window held below the request
+    /// (see [`LaunchRecord::fault_throttled`]). Deterministic TDP/cap
+    /// throttling is not counted: it is physics of the configuration, not
+    /// degradation. Under an active fault plan the batch runs launch by
+    /// launch and stops at the first injected failure: `sink` has then
+    /// observed every completed launch and the error is returned. With the
+    /// inert plan this is the bit-identical fast path, and no window can
+    /// fire, so the count is zero.
     pub fn launch_batch(
         &mut self,
         kernel: &KernelProfile,
@@ -284,7 +351,7 @@ impl Device {
             let mut throttled = 0;
             for _ in 0..n {
                 let rec = self.launch_at(kernel, core_mhz)?;
-                if rec.throttled {
+                if rec.fault_throttled {
                     throttled += 1;
                 }
                 sink(rec.time_s, rec.energy_j);
@@ -292,6 +359,13 @@ impl Device {
             return Ok(throttled);
         }
         let (base_time_s, base_energy_j) = self.price(kernel, core_mhz);
+        // One resolution per batch (not per launch) recovers the effective
+        // clock the serial path would have reported. With an inert fault
+        // plan no throttle *window* can fire, so the fault-throttle count
+        // is zero even when the TDP/cap resolver lowers the clock.
+        let requested = self.spec.core_freqs.snap(core_mhz);
+        let res = self.resolve(kernel, requested);
+        let throttled = 0;
         let start_s = self.clock_s;
         let mut batch_time_s = 0.0;
         let mut batch_energy_j = 0.0;
@@ -306,19 +380,18 @@ impl Device {
             sink(time_s, energy_j);
         }
         if self.trace.is_recording() {
-            let f = self.spec.core_freqs.snap(core_mhz);
             self.trace.push(TraceEvent {
                 kernel: kernel.name.clone(),
                 start_s,
                 duration_s: batch_time_s,
                 energy_j: batch_energy_j,
-                core_mhz: f,
+                core_mhz: res.core_mhz,
                 mem_mhz: self.mem_mhz,
                 avg_power_w: batch_energy_j / batch_time_s,
                 work_items: kernel.work_items.saturating_mul(n),
             });
         }
-        Ok(0)
+        Ok(throttled)
     }
 
     /// The device's price memo cache.
@@ -598,14 +671,100 @@ mod tests {
         );
         let mut d = Device::with_faults(DeviceSpec::v100(), plan);
         let k = KernelProfile::compute_bound("k", 1_000_000, 100.0);
-        let r1 = d.launch_at(&k, 1597.0).unwrap();
+        // Request a clock whose power demand fits under TDP, so the only
+        // throttle in play is the injected fault window (at the very top
+        // clock the firmware TDP loop would throttle this kernel too).
+        let r1 = d.launch_at(&k, 1400.0).unwrap();
         assert!(r1.throttled);
+        assert!(r1.fault_throttled, "window throttles are fault throttles");
         assert!(r1.core_mhz <= 700.0 + 15.0);
-        let r2 = d.launch_at(&k, 1597.0).unwrap();
+        let r2 = d.launch_at(&k, 1400.0).unwrap();
         assert!(r2.throttled);
-        let r3 = d.launch_at(&k, 1597.0).unwrap();
+        let r3 = d.launch_at(&k, 1400.0).unwrap();
         assert!(!r3.throttled, "window over");
-        assert!((r3.core_mhz - 1597.0).abs() < 1.0);
+        assert!(!r3.fault_throttled);
+        assert!((r3.core_mhz - 1400.0).abs() < 10.0);
+    }
+
+    #[test]
+    fn tdp_throttles_saturating_kernel_at_top_clock() {
+        // No fault plan at all: the always-on firmware TDP loop throttles a
+        // saturating compute-bound kernel whose demand at 1597 MHz exceeds
+        // 300 W, and reports it in the launch record.
+        let mut d = Device::new(DeviceSpec::v100());
+        let k = KernelProfile::compute_bound("k", 100_000_000, 200.0);
+        let rec = d.launch_at(&k, 1597.0).unwrap();
+        assert!(rec.throttled);
+        assert!(
+            !rec.fault_throttled,
+            "TDP throttling is deterministic physics, not a fault"
+        );
+        assert!(rec.core_mhz < 1597.0);
+        assert!(rec.avg_power_w <= d.spec().tdp_w * 1.001);
+    }
+
+    #[test]
+    fn set_mem_mhz_snaps_and_idempotent_requests_are_free() {
+        let plan = FaultPlan::none().reject_set_frequency(Schedule::once(0));
+        let mut d = Device::with_faults(DeviceSpec::v100(), plan);
+        let top = d.spec().mem_freqs.max();
+        // Setting the clock the device is already at consumes no
+        // management op, so the scheduled rejection stays pending.
+        assert_eq!(d.set_mem_mhz(top).unwrap(), top);
+        let err = d.set_mem_mhz(800.0).unwrap_err();
+        assert!(matches!(err, FaultError::FrequencyRejected { .. }));
+        assert_eq!(d.mem_mhz(), top, "device keeps previous memory clock");
+        let applied = d.set_mem_mhz(800.0).unwrap();
+        assert!((applied - 810.0).abs() < 1e-9, "snapped to table entry");
+        assert_eq!(d.mem_mhz(), applied);
+    }
+
+    #[test]
+    fn power_cap_throttles_and_reset_clears_it() {
+        let mut d = Device::new(DeviceSpec::v100());
+        let k = KernelProfile::compute_bound("k", 1_000_000, 100.0);
+        let free = d.launch_at(&k, 1200.0).unwrap();
+        assert!(!free.throttled);
+        d.set_power_cap_w(Some(120.0)).unwrap();
+        let capped = d.launch_at(&k, 1200.0).unwrap();
+        assert!(capped.throttled, "120 W must bind at 1200 MHz");
+        assert!(!capped.fault_throttled, "cap throttling is not a fault");
+        assert!(capped.core_mhz < free.core_mhz);
+        assert!(capped.time_s > free.time_s, "cap stretches the body");
+        assert!(capped.avg_power_w <= 120.0 + 1e-9);
+        d.reset_clocks();
+        assert_eq!(d.power_cap_w(), None);
+        let again = d.launch_at(&k, 1200.0).unwrap();
+        assert_eq!(again.time_s.to_bits(), free.time_s.to_bits());
+    }
+
+    #[test]
+    fn batch_reports_cap_throttled_launches_like_serial() {
+        let spec = DeviceSpec::v100();
+        let k = KernelProfile::compute_bound("k", 1_000_000, 100.0);
+        let mut serial = Device::new(spec.clone());
+        serial.set_power_cap_w(Some(150.0)).unwrap();
+        let mut batched = Device::new(spec);
+        batched.set_power_cap_w(Some(150.0)).unwrap();
+        let mut n_fault_throttled = 0;
+        let mut expected = Vec::new();
+        for _ in 0..3 {
+            let rec = serial.launch_at(&k, 1400.0).unwrap();
+            assert!(rec.throttled, "150 W binds at 1400 MHz on this kernel");
+            n_fault_throttled += u64::from(rec.fault_throttled);
+            expected.push((rec.time_s, rec.energy_j));
+        }
+        let mut seen = Vec::new();
+        let throttled = batched
+            .launch_batch(&k, 1400.0, 3, &mut |t, e| seen.push((t, e)))
+            .unwrap();
+        assert_eq!(seen, expected);
+        assert_eq!(throttled, n_fault_throttled);
+        assert_eq!(
+            throttled, 0,
+            "cap throttling is configuration physics, not a fault count"
+        );
+        assert_eq!(batched.energy_counter_j(), serial.energy_counter_j());
     }
 
     #[test]

@@ -28,8 +28,19 @@ impl FrequencyTable {
             "frequencies must be finite and positive"
         );
         freqs.sort_by(f64::total_cmp);
-        freqs.dedup_by(|a, b| (*a - *b).abs() < 1e-3);
-        FrequencyTable { freqs }
+        // Dedup against the last *retained* frequency, never the previous
+        // raw element: a chain of near-duplicates each within 1 kHz of its
+        // neighbour must not transitively collapse entries that are farther
+        // than 1 kHz apart. Retained entries are therefore always ≥ 1 kHz
+        // from each other, which is what makes `snap_index` exact.
+        let mut deduped: Vec<f64> = Vec::with_capacity(freqs.len());
+        for f in freqs {
+            match deduped.last() {
+                Some(&kept) if (f - kept).abs() < 1e-3 => {}
+                _ => deduped.push(f),
+            }
+        }
+        FrequencyTable { freqs: deduped }
     }
 
     /// Builds `n` evenly spaced frequencies over `[lo, hi]` (inclusive).
@@ -76,21 +87,24 @@ impl FrequencyTable {
     }
 
     /// Snaps `mhz` to the nearest supported frequency, like the driver does.
+    /// Always equal to `self.as_slice()[self.snap_index(mhz)]` — `snap` and
+    /// `snap_index` share one nearest-neighbour search, so they can never
+    /// disagree about which table entry a request lands on.
     pub fn snap(&self, mhz: f64) -> f64 {
-        self.freqs
-            .iter()
-            .copied()
-            .min_by(|a, b| (a - mhz).abs().total_cmp(&(b - mhz).abs()))
-            .expect("non-empty")
+        self.freqs[self.snap_index(mhz)]
     }
 
-    /// Index of the nearest supported frequency.
+    /// Index of the nearest supported frequency. This is the primitive
+    /// `snap` is defined in terms of (it used to re-locate the snapped
+    /// value with a 1e-9 tolerance scan, a different tolerance than the
+    /// 1 kHz the table itself is deduplicated with).
     pub fn snap_index(&self, mhz: f64) -> usize {
-        let snapped = self.snap(mhz);
         self.freqs
             .iter()
-            .position(|f| (*f - snapped).abs() < 1e-9)
-            .expect("snapped frequency is in table")
+            .enumerate()
+            .min_by(|(_, a), (_, b)| (*a - mhz).abs().total_cmp(&(*b - mhz).abs()))
+            .map(|(i, _)| i)
+            .expect("non-empty")
     }
 
     /// Whether `mhz` is (within 1 kHz of) a supported frequency.
@@ -146,6 +160,40 @@ mod tests {
         let t = FrequencyTable::linspace(135.0, 1597.0, 196);
         for (i, f) in t.iter().enumerate() {
             assert_eq!(t.snap_index(f), i);
+        }
+    }
+
+    #[test]
+    fn neighbour_chain_does_not_collapse_distant_points() {
+        // Five entries, each 0.4 kHz from its neighbour: pairwise-adjacent
+        // values are "duplicates", but the ends are 1.6 kHz apart and must
+        // survive. Transitive dedup would collapse the whole chain to one.
+        let t = FrequencyTable::new(vec![100.0, 100.0004, 100.0008, 100.0012, 100.0016]);
+        assert!(t.len() >= 2, "chain ends are > 1 kHz apart: {:?}", t);
+        assert!((t.min() - 100.0).abs() < 1e-12);
+        assert!(t.max() - t.min() > 1e-3);
+        // Every retained pair is at least the dedup tolerance apart.
+        for w in t.as_slice().windows(2) {
+            assert!(w[1] - w[0] >= 1e-3);
+        }
+    }
+
+    proptest::proptest! {
+        /// `snap` ∘ `snap_index` round-trips on arbitrary tables: every
+        /// table entry snaps to itself (same index, same bits), and an
+        /// arbitrary query snaps to the entry its index points at.
+        #[test]
+        fn snap_and_snap_index_agree(
+            raw in proptest::collection::vec(1.0f64..5000.0, 1..40),
+            query in -100.0f64..6000.0,
+        ) {
+            let t = FrequencyTable::new(raw);
+            for (i, f) in t.iter().enumerate() {
+                proptest::prop_assert_eq!(t.snap_index(f), i);
+                proptest::prop_assert_eq!(t.snap(f).to_bits(), f.to_bits());
+            }
+            let i = t.snap_index(query);
+            proptest::prop_assert_eq!(t.snap(query).to_bits(), t.as_slice()[i].to_bits());
         }
     }
 

@@ -190,6 +190,42 @@ impl ZeDevice {
         self.range = (dev.spec().min_core_mhz(), dev.spec().max_core_mhz());
     }
 
+    /// `zesFrequencyGetAvailableClocks` on the memory domain — the
+    /// supported memory clocks.
+    pub fn available_memory_clocks(&self) -> Vec<f64> {
+        self.inner.lock().spec().mem_freqs.as_slice().to_vec()
+    }
+
+    /// `zesFrequencySetRange` on the memory domain, pinned form: sets the
+    /// memory clock (snapping to a supported bin) and returns the applied
+    /// frequency.
+    pub fn set_memory_frequency(&mut self, mem_mhz: f64) -> Result<f64, ZeError> {
+        if !mem_mhz.is_finite() || mem_mhz <= 0.0 {
+            return Err(ZeError::InvalidRange {
+                min_mhz: mem_mhz,
+                max_mhz: mem_mhz,
+            });
+        }
+        self.inner
+            .lock()
+            .set_mem_mhz(mem_mhz)
+            .map_err(ZeError::from)
+    }
+
+    /// `zesPowerSetLimits` analogue — sets (or clears, with `None`) the
+    /// sustained power limit in watts.
+    pub fn set_power_limit_w(&mut self, cap_w: Option<f64>) -> Result<Option<f64>, ZeError> {
+        self.inner
+            .lock()
+            .set_power_cap_w(cap_w)
+            .map_err(ZeError::from)
+    }
+
+    /// `zesPowerGetLimits` analogue — current sustained limit in watts.
+    pub fn power_limit_w(&self) -> Option<f64> {
+        self.inner.lock().power_cap_w()
+    }
+
     /// The frequency the firmware governor actually runs a loaded kernel
     /// at: its preferred sustained clock, clamped into the active range.
     pub fn governor_frequency(&self) -> f64 {
@@ -280,6 +316,18 @@ mod tests {
         assert!(dev.set_frequency_range(1000.0, 500.0).is_err());
         assert!(dev.set_frequency_range(f64::NAN, 1000.0).is_err());
         assert!(dev.set_frequency_range(-5.0, 1000.0).is_err());
+    }
+
+    #[test]
+    fn memory_domain_and_power_limit_round_trip() {
+        let mut dev = ZeDevice::max1100();
+        assert_eq!(dev.available_memory_clocks(), vec![1046.0, 1305.0, 1565.0]);
+        let applied = dev.set_memory_frequency(1200.0).unwrap();
+        assert_eq!(applied, 1305.0, "snaps to a supported bin");
+        assert!(dev.set_memory_frequency(-1.0).is_err());
+        assert_eq!(dev.set_power_limit_w(Some(250.0)).unwrap(), Some(250.0));
+        assert_eq!(dev.power_limit_w(), Some(250.0));
+        assert_eq!(dev.set_power_limit_w(None).unwrap(), None);
     }
 
     #[test]

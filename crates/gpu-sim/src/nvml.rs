@@ -174,9 +174,27 @@ impl NvmlDevice {
         if !dev.spec().mem_freqs.contains(mem_mhz) {
             return Err(NvmlError::InvalidMemoryClock(mem_mhz));
         }
-        let m = dev.set_mem_mhz(mem_mhz);
+        let m = dev.set_mem_mhz(mem_mhz)?;
         let c = dev.set_core_mhz(core_mhz)?;
         Ok((m, c))
+    }
+
+    /// `nvmlDeviceSetPowerManagementLimit` — sets (or clears, with `None`)
+    /// the operator power cap in watts. Returns the cap actually applied.
+    pub fn set_power_management_limit_w(
+        &self,
+        cap_w: Option<f64>,
+    ) -> Result<Option<f64>, NvmlError> {
+        self.inner
+            .lock()
+            .set_power_cap_w(cap_w)
+            .map_err(NvmlError::from)
+    }
+
+    /// `nvmlDeviceGetPowerManagementLimit` — current cap in watts; `None`
+    /// means the board runs at its default TDP limit.
+    pub fn power_management_limit_w(&self) -> Option<f64> {
+        self.inner.lock().power_cap_w()
     }
 
     /// `nvmlDeviceResetApplicationsClocks`.
@@ -187,6 +205,11 @@ impl NvmlDevice {
     /// `nvmlDeviceGetClockInfo(NVML_CLOCK_GRAPHICS)` — current core clock.
     pub fn clock_info_graphics(&self) -> f64 {
         self.inner.lock().core_mhz()
+    }
+
+    /// `nvmlDeviceGetClockInfo(NVML_CLOCK_MEM)` — current memory clock.
+    pub fn clock_info_memory(&self) -> f64 {
+        self.inner.lock().mem_mhz()
     }
 
     /// `nvmlDeviceGetPowerUsage` — last power sample in **milliwatts**.
@@ -241,10 +264,23 @@ mod tests {
     fn supported_clocks_match_spec() {
         let dev = one_v100().device_by_index(0).unwrap();
         let mems = dev.supported_memory_clocks();
-        assert_eq!(mems, vec![1107.0]);
+        assert_eq!(mems, vec![703.0, 810.0, 958.0, 1107.0]);
         let clocks = dev.supported_graphics_clocks(1107.0).unwrap();
         assert_eq!(clocks.len(), 196);
         assert!(dev.supported_graphics_clocks(999.0).is_err());
+    }
+
+    #[test]
+    fn power_limit_round_trips() {
+        let dev = one_v100().device_by_index(0).unwrap();
+        assert_eq!(dev.power_management_limit_w(), None);
+        assert_eq!(
+            dev.set_power_management_limit_w(Some(200.0)).unwrap(),
+            Some(200.0)
+        );
+        assert_eq!(dev.power_management_limit_w(), Some(200.0));
+        dev.reset_applications_clocks();
+        assert_eq!(dev.power_management_limit_w(), None, "reset clears the cap");
     }
 
     #[test]

@@ -17,9 +17,20 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::kernel::KernelProfile;
 use crate::spec::DeviceSpec;
-use crate::timing::TimingBreakdown;
+use crate::timing::{kernel_timing, TimingBreakdown};
 use crate::voltage::dynamic_scale;
+
+/// How strongly the memory power *floor* (refresh, PHY, controller clocks)
+/// follows the memory clock: at memory-clock scale `s = mem_mhz / mem_max`
+/// the floor draws `floor · (1 − κ·(1−s))` of its top-clock value. The
+/// dynamic (bandwidth-tracking) component scales fully with `s`; the floor
+/// only partially, because DRAM refresh and rail leakage survive a
+/// down-clock. κ = 0 reproduces the old clock-blind floor; κ = 1 scales it
+/// fully. At `s = 1` the factor is exactly `1.0`, bit-preserving the
+/// top-memory-clock power.
+pub const MEM_FLOOR_CLOCK_SENSITIVITY: f64 = 0.6;
 
 /// Average-power breakdown for one kernel launch.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -34,10 +45,22 @@ pub struct PowerBreakdown {
     pub mem_w: f64,
 }
 
-/// Average power drawn while executing a kernel with the given timing
-/// breakdown at core frequency `core_mhz`.
-pub fn kernel_power(spec: &DeviceSpec, timing: &TimingBreakdown, core_mhz: f64) -> PowerBreakdown {
+/// Average power *demand* while executing a kernel with the given timing
+/// breakdown at `core_mhz` / `mem_mhz`. This is the raw CMOS model — it is
+/// **not** clamped to the board power limit. A real board never reports
+/// power above its cap; it *throttles the clock* until demand fits, which
+/// stretches the kernel body. [`resolve_power_cap`] models that firmware
+/// loop; the old behaviour here (silently `min`-ing `total_w` with the TDP
+/// while keeping full-clock timing) gave capped kernels free energy savings
+/// with no runtime penalty.
+pub fn kernel_power(
+    spec: &DeviceSpec,
+    timing: &TimingBreakdown,
+    core_mhz: f64,
+    mem_mhz: f64,
+) -> PowerBreakdown {
     assert!(core_mhz > 0.0, "core frequency must be positive");
+    assert!(mem_mhz > 0.0, "memory frequency must be positive");
     let dyn_scale = dynamic_scale(spec, core_mhz);
 
     // Occupancy gates how many SMs actually switch: idle SMs are
@@ -52,9 +75,16 @@ pub fn kernel_power(spec: &DeviceSpec, timing: &TimingBreakdown, core_mhz: f64) 
     let core_w = spec.core_power_w * dyn_scale * core_activity;
 
     let mf = spec.mem_power_floor;
-    // Memory power follows achieved bandwidth; activity already encodes how
-    // much of the body the memory system is busy.
-    let mem_activity = mf + (1.0 - mf) * timing.mem_activity * occ_mix;
+    // Memory power follows the achieved memory clock as well as achieved
+    // bandwidth. `s` scales the dynamic (activity) component linearly —
+    // HBM switching energy per transfer is ∝ f_mem at fixed I/O voltage —
+    // and the floor partially (κ): down-clocking memory saves real power
+    // even for compute-bound kernels that barely touch DRAM. At the top
+    // memory clock `s == 1.0` and both factors are exact no-ops, keeping
+    // single-memory-point sweeps bit-identical.
+    let s = mem_mhz / spec.mem_freqs.max();
+    let floor_scale = 1.0 - MEM_FLOOR_CLOCK_SENSITIVITY * (1.0 - s);
+    let mem_activity = mf * floor_scale + (1.0 - mf) * timing.mem_activity * occ_mix * s;
     let mem_w = spec.mem_power_w * mem_activity;
 
     // Static/idle power rises with the pinned voltage and clock (leakage ∝
@@ -62,8 +92,7 @@ pub fn kernel_power(spec: &DeviceSpec, timing: &TimingBreakdown, core_mhz: f64) 
     // application clocks draws roughly twice its minimum-clock idle power.
     let idle_w = spec.idle_power_w * (0.55 + 0.45 * dyn_scale);
 
-    // The board firmware enforces the power limit (TDP clamp).
-    let total_w = (idle_w + core_w + mem_w).min(spec.tdp_w);
+    let total_w = idle_w + core_w + mem_w;
     PowerBreakdown {
         total_w,
         idle_w,
@@ -78,11 +107,78 @@ pub fn kernel_power(spec: &DeviceSpec, timing: &TimingBreakdown, core_mhz: f64) 
 /// idle floor. Charging body power across the overhead would grossly
 /// inflate tiny launches — which are precisely the workloads whose energy
 /// behaviour the paper's small-input experiments probe.
-pub fn kernel_energy(spec: &DeviceSpec, timing: &TimingBreakdown, core_mhz: f64) -> f64 {
-    let p = kernel_power(spec, timing, core_mhz);
+pub fn kernel_energy(
+    spec: &DeviceSpec,
+    timing: &TimingBreakdown,
+    core_mhz: f64,
+    mem_mhz: f64,
+) -> f64 {
+    let p = kernel_power(spec, timing, core_mhz, mem_mhz);
+    energy_from_parts(spec, timing, &p)
+}
+
+/// The phase-split energy integral for an already-computed power breakdown.
+/// Factored out so the cap resolver can price a launch without evaluating
+/// the power model twice.
+pub fn energy_from_parts(spec: &DeviceSpec, timing: &TimingBreakdown, p: &PowerBreakdown) -> f64 {
     let body_s = (timing.total_s - timing.overhead_s).max(0.0);
     let overhead_power = p.idle_w + spec.mem_power_floor * spec.mem_power_w;
     p.total_w * body_s + overhead_power * timing.overhead_s
+}
+
+/// A launch configuration after firmware power-cap enforcement: the
+/// effective core clock, its timing and power, and whether the cap bound.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CapResolution {
+    /// Effective core clock the kernel body runs at (MHz).
+    pub core_mhz: f64,
+    /// Timing at the effective clock — a binding cap *stretches* the body.
+    pub timing: TimingBreakdown,
+    /// Power at the effective clock.
+    pub power: PowerBreakdown,
+    /// True when the cap forced the effective clock below the request.
+    pub throttled: bool,
+}
+
+/// Resolves the effective core clock under the board power limit, the way
+/// GPU firmware does: if the power demand at the requested clock exceeds
+/// the cap, step down the supported-frequency table until demand fits (or
+/// the bottom of the table is reached — at the minimum clock the cap can
+/// physically be exceeded, matching real boards whose floor power is above
+/// an aggressive `nvidia-smi -pl` setting). Work is conserved: the body
+/// runs longer at the lower clock instead of getting free energy.
+///
+/// The enforced limit is `min(spec.tdp_w, cap_w)` — the TDP is always on;
+/// `cap_w` models an operator-set limit below it. When the cap does not
+/// bind, the resolution is exactly the requested (snapped) clock with
+/// untouched timing/power, so uncapped sweeps stay bit-identical.
+pub fn resolve_power_cap(
+    spec: &DeviceSpec,
+    kernel: &KernelProfile,
+    core_mhz: f64,
+    mem_mhz: f64,
+    cap_w: Option<f64>,
+) -> CapResolution {
+    let limit = match cap_w {
+        Some(c) => c.min(spec.tdp_w),
+        None => spec.tdp_w,
+    };
+    let mut idx = spec.core_freqs.snap_index(core_mhz);
+    let requested = spec.core_freqs.as_slice()[idx];
+    loop {
+        let f = spec.core_freqs.as_slice()[idx];
+        let timing = kernel_timing(spec, kernel, f, mem_mhz);
+        let power = kernel_power(spec, &timing, f, mem_mhz);
+        if power.total_w <= limit || idx == 0 {
+            return CapResolution {
+                core_mhz: f,
+                timing,
+                power,
+                throttled: f < requested,
+            };
+        }
+        idx -= 1;
+    }
 }
 
 #[cfg(test)]
@@ -93,25 +189,56 @@ mod tests {
     use crate::timing::kernel_timing;
 
     fn run(spec: &DeviceSpec, k: &KernelProfile, f: f64) -> (TimingBreakdown, PowerBreakdown) {
-        let t = kernel_timing(spec, k, f, spec.mem_freqs.max());
-        let p = kernel_power(spec, &t, f);
+        let m = spec.mem_freqs.max();
+        let t = kernel_timing(spec, k, f, m);
+        let p = kernel_power(spec, &t, f, m);
         (t, p)
     }
 
     #[test]
     fn power_within_physical_envelope() {
+        // The physical envelope is enforced by the firmware throttle loop,
+        // not by the raw demand model: a saturating kernel's *demand* at the
+        // top clock may exceed the TDP, but the clock the body actually runs
+        // at keeps reported power within the limit (unless pinned at the
+        // minimum clock, which these kernels are not).
         let spec = DeviceSpec::v100();
         let tdp = spec.tdp_w;
+        let mem = spec.mem_freqs.max();
         for k in [
             KernelProfile::compute_bound("cb", 50_000_000, 100.0),
             KernelProfile::memory_bound("mb", 50_000_000, 64.0),
         ] {
             for f in spec.core_freqs.strided(20) {
-                let (_, p) = run(&spec, &k, f);
-                assert!(p.total_w >= spec.idle_power_w, "below idle floor");
-                assert!(p.total_w <= tdp * 1.001, "exceeds TDP: {}", p.total_w);
+                let r = resolve_power_cap(&spec, &k, f, mem, None);
+                assert!(r.power.total_w >= spec.idle_power_w, "below idle floor");
+                assert!(
+                    r.power.total_w <= tdp * 1.001,
+                    "exceeds TDP: {}",
+                    r.power.total_w
+                );
+                assert!(r.core_mhz <= spec.core_freqs.snap(f));
             }
         }
+    }
+
+    #[test]
+    fn raw_demand_can_exceed_tdp_and_throttle_resolves_it() {
+        // The demand model is unclamped by design: at the top clock a hot
+        // compute-bound V100 kernel asks for more than 300 W. The resolver
+        // must report `throttled` and land strictly below the request.
+        let spec = DeviceSpec::v100();
+        let k = KernelProfile::compute_bound("cb", 100_000_000, 200.0);
+        let f_max = spec.max_core_mhz();
+        let (_, raw) = run(&spec, &k, f_max);
+        assert!(
+            raw.total_w > spec.tdp_w,
+            "demand should exceed TDP at f_max"
+        );
+        let r = resolve_power_cap(&spec, &k, f_max, spec.mem_freqs.max(), None);
+        assert!(r.throttled);
+        assert!(r.core_mhz < f_max);
+        assert!(r.power.total_w <= spec.tdp_w);
     }
 
     #[test]
@@ -140,24 +267,169 @@ mod tests {
                 ..Default::default()
             },
         );
-        let (_, p) = run(&spec, &k, spec.max_core_mhz());
+        let r = resolve_power_cap(&spec, &k, spec.max_core_mhz(), spec.mem_freqs.max(), None);
         let tdp = spec.tdp_w;
         assert!(
-            p.total_w > 0.75 * tdp,
+            r.power.total_w > 0.75 * tdp,
             "saturating kernel should be near TDP, got {} of {}",
-            p.total_w,
+            r.power.total_w,
             tdp
         );
+    }
+
+    #[test]
+    fn compute_bound_mem_downclock_saves_energy_at_no_slowdown() {
+        // The mem-clock blind spot regression: on a compute-bound kernel,
+        // down-clocking *memory* must save energy (floor + residual dynamic
+        // memory power both shrink) at essentially no runtime cost, because
+        // the body is limited by the compute pipes, not bandwidth.
+        let spec = DeviceSpec::v100();
+        // High arithmetic intensity (2000 flops per 8 bytes) so the memory
+        // pipe is genuinely idle-ish: mem activity is tiny and the runtime
+        // barely notices the slower memory clock.
+        let k = KernelProfile::compute_bound("cb", 100_000_000, 2000.0);
+        let f = spec.default_core_mhz;
+        let m_hi = spec.mem_freqs.max();
+        let m_lo = spec.mem_freqs.min();
+        assert!(m_lo < m_hi, "spec must expose a real memory-clock axis");
+        let t_hi = kernel_timing(&spec, &k, f, m_hi);
+        let t_lo = kernel_timing(&spec, &k, f, m_lo);
+        let e_hi = kernel_energy(&spec, &t_hi, f, m_hi);
+        let e_lo = kernel_energy(&spec, &t_lo, f, m_lo);
+        assert!(
+            e_lo < e_hi,
+            "mem down-clock on a compute-bound kernel must save energy \
+             (got {e_lo:.3} vs {e_hi:.3})"
+        );
+        assert!(
+            t_lo.total_s < t_hi.total_s * 1.02,
+            "with ~no slowdown (got {} vs {})",
+            t_lo.total_s,
+            t_hi.total_s
+        );
+    }
+
+    #[test]
+    fn mem_power_scales_with_mem_clock() {
+        let spec = DeviceSpec::v100();
+        let k = KernelProfile::memory_bound("mb", 50_000_000, 64.0);
+        let f = spec.default_core_mhz;
+        let m_hi = spec.mem_freqs.max();
+        let m_lo = spec.mem_freqs.min();
+        let t_hi = kernel_timing(&spec, &k, f, m_hi);
+        let t_lo = kernel_timing(&spec, &k, f, m_lo);
+        let p_hi = kernel_power(&spec, &t_hi, f, m_hi);
+        let p_lo = kernel_power(&spec, &t_lo, f, m_lo);
+        assert!(
+            p_lo.mem_w < p_hi.mem_w,
+            "memory power must fall with the memory clock ({} vs {})",
+            p_lo.mem_w,
+            p_hi.mem_w
+        );
+        // Floor survives: power does not collapse to zero.
+        assert!(p_lo.mem_w > 0.25 * p_hi.mem_w);
+    }
+
+    fn capped_cost(
+        spec: &DeviceSpec,
+        k: &KernelProfile,
+        f: f64,
+        cap: Option<f64>,
+    ) -> (f64, f64, CapResolution) {
+        let r = resolve_power_cap(spec, k, f, spec.mem_freqs.max(), cap);
+        let e = energy_from_parts(spec, &r.timing, &r.power);
+        (r.timing.total_s, e, r)
+    }
+
+    #[test]
+    fn binding_cap_stretches_runtime_and_respects_limit() {
+        let spec = DeviceSpec::v100();
+        let k = KernelProfile::compute_bound("cb", 100_000_000, 200.0);
+        let f = spec.max_core_mhz();
+        let (t_unc, _, r_unc) = capped_cost(&spec, &k, f, None);
+        let (t_cap, _, r_cap) = capped_cost(&spec, &k, f, Some(180.0));
+        assert!(r_cap.throttled, "a 180 W cap must bind on a hot kernel");
+        assert!(
+            t_cap > t_unc,
+            "a binding cap must stretch runtime ({t_cap} vs {t_unc}); no free lunch"
+        );
+        assert!(r_cap.power.total_w <= 180.0 + 1e-9);
+        assert!(r_cap.core_mhz < r_unc.core_mhz);
+    }
+
+    #[test]
+    fn cap_energy_and_runtime_bounds() {
+        // Property sweep over a grid of caps: capped runtime is monotone
+        // non-increasing in the cap, capped runtime ≥ uncapped runtime,
+        // reported body power ≤ cap unless pinned at the minimum clock, and
+        // a non-binding cap is bit-identical to no cap at all.
+        let spec = DeviceSpec::v100();
+        for k in [
+            KernelProfile::compute_bound("cb", 100_000_000, 200.0),
+            KernelProfile::memory_bound("mb", 100_000_000, 64.0),
+        ] {
+            let f = spec.max_core_mhz();
+            let (t_unc, e_unc, _) = capped_cost(&spec, &k, f, None);
+            let mut prev_t = f64::INFINITY;
+            for cap in [60.0, 90.0, 120.0, 150.0, 180.0, 210.0, 240.0, 270.0, 300.0] {
+                let (t_cap, e_cap, r) = capped_cost(&spec, &k, f, Some(cap));
+                assert!(
+                    t_cap >= t_unc - 1e-15,
+                    "capped runtime can never beat uncapped ({t_cap} vs {t_unc})"
+                );
+                assert!(
+                    t_cap <= prev_t + 1e-15,
+                    "runtime must be monotone non-increasing in the cap"
+                );
+                prev_t = t_cap;
+                let at_floor = r.core_mhz == spec.min_core_mhz();
+                assert!(
+                    r.power.total_w <= cap.min(spec.tdp_w) + 1e-9 || at_floor,
+                    "power {} exceeds cap {} away from the clock floor",
+                    r.power.total_w,
+                    cap
+                );
+                if !r.throttled {
+                    // Non-binding cap: bit-identical to the uncapped launch.
+                    assert_eq!(t_cap.to_bits(), t_unc.to_bits());
+                    assert_eq!(e_cap.to_bits(), e_unc.to_bits());
+                }
+            }
+            // Generous cap at exactly TDP equals the uncapped resolution.
+            let (t_tdp, e_tdp, _) = capped_cost(&spec, &k, f, Some(spec.tdp_w));
+            assert_eq!(t_tdp.to_bits(), t_unc.to_bits());
+            assert_eq!(e_tdp.to_bits(), e_unc.to_bits());
+        }
+    }
+
+    #[test]
+    fn impossible_cap_pins_minimum_clock() {
+        let spec = DeviceSpec::v100();
+        let k = KernelProfile::compute_bound("cb", 100_000_000, 200.0);
+        // 10 W is below the idle floor: the resolver must pin the minimum
+        // supported clock rather than spin or panic; power may exceed the
+        // cap there (physical floor).
+        let r = resolve_power_cap(
+            &spec,
+            &k,
+            spec.max_core_mhz(),
+            spec.mem_freqs.max(),
+            Some(10.0),
+        );
+        assert_eq!(r.core_mhz, spec.min_core_mhz());
+        assert!(r.throttled);
+        assert!(r.power.total_w > 10.0);
     }
 
     #[test]
     fn memory_bound_downclock_saves_energy() {
         let spec = DeviceSpec::v100();
         let k = KernelProfile::memory_bound("mb", 100_000_000, 64.0);
+        let mem = spec.mem_freqs.max();
         let (t_def, _) = run(&spec, &k, spec.default_core_mhz);
         let (t_lo, _) = run(&spec, &k, 900.0);
-        let e_def = kernel_energy(&spec, &t_def, spec.default_core_mhz);
-        let e_lo = kernel_energy(&spec, &t_lo, 900.0);
+        let e_def = kernel_energy(&spec, &t_def, spec.default_core_mhz, mem);
+        let e_lo = kernel_energy(&spec, &t_lo, 900.0, mem);
         assert!(
             e_lo < e_def * 0.9,
             "down-clocking a memory-bound kernel must save >10% energy \
@@ -178,7 +450,7 @@ mod tests {
             .iter()
             .map(|f| {
                 let (t, _) = run(&spec, &k, f);
-                (f, kernel_energy(&spec, &t, f))
+                (f, kernel_energy(&spec, &t, f, spec.mem_freqs.max()))
             })
             .collect();
         let (f_min, _) = energies

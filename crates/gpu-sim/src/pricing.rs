@@ -12,7 +12,7 @@
 //!
 //! ## Key and correctness
 //!
-//! Entries are keyed by `(kernel-id, freq-bits)`:
+//! Entries are keyed by `(kernel-id, freq-bits, cap-bits)`:
 //!
 //! * the *kernel id* is an FNV-1a hash over the kernel's complete pricing
 //!   inputs (name, work items, op mix, ILP efficiency);
@@ -20,7 +20,10 @@
 //!   memory clocks — snapping to a supported frequency is itself
 //!   deterministic, so it can happen lazily inside the priced computation
 //!   and only on a cache miss (snapping is a linear scan over the frequency
-//!   table and is a measurable share of per-launch cost).
+//!   table and is a measurable share of per-launch cost);
+//! * the *cap bits* are the operator power cap's bits (`u64::MAX` for "no
+//!   cap"), since a binding cap throttles the effective clock and changes
+//!   the price of the very same requested clocks.
 //!
 //! A 64-bit hash can collide in principle, so every entry stores the full
 //! [`KernelProfile`] it was priced for and a hit is only served after an
@@ -90,6 +93,18 @@ struct PriceKey {
     kernel_id: u64,
     core_bits: u64,
     mem_bits: u64,
+    /// Operator power cap bits; `u64::MAX` (a NaN pattern no real cap can
+    /// produce) encodes "no cap", so capped and uncapped prices of the same
+    /// clocks never alias.
+    cap_bits: u64,
+}
+
+#[inline]
+fn cap_bits(cap_w: Option<f64>) -> u64 {
+    match cap_w {
+        Some(c) => c.to_bits(),
+        None => u64::MAX,
+    }
 }
 
 /// Map hasher for [`PriceKey`]: the key's first field is already a 64-bit
@@ -188,8 +203,8 @@ impl PriceTable {
         }
     }
 
-    /// Returns the cached price for `(kernel, core_mhz, mem_mhz)`, or
-    /// computes it with `compute` and caches it. A kernel-id collision
+    /// Returns the cached price for `(kernel, core_mhz, mem_mhz, cap_w)`,
+    /// or computes it with `compute` and caches it. A kernel-id collision
     /// (two unequal profiles hashing to the same 64-bit id) lands the new
     /// profile in the key's overflow chain: lookups verify by equality
     /// over the chain, so a collision can never serve wrong numbers *and*
@@ -199,9 +214,17 @@ impl PriceTable {
         kernel: &KernelProfile,
         core_mhz: f64,
         mem_mhz: f64,
+        cap_w: Option<f64>,
         compute: impl FnOnce() -> (f64, f64),
     ) -> (f64, f64) {
-        self.price_with_id(kernel_cache_id(kernel), kernel, core_mhz, mem_mhz, compute)
+        self.price_with_id(
+            kernel_cache_id(kernel),
+            kernel,
+            core_mhz,
+            mem_mhz,
+            cap_w,
+            compute,
+        )
     }
 
     /// [`Self::price_or_insert_with`] with the kernel id supplied by the
@@ -213,12 +236,14 @@ impl PriceTable {
         kernel: &KernelProfile,
         core_mhz: f64,
         mem_mhz: f64,
+        cap_w: Option<f64>,
         compute: impl FnOnce() -> (f64, f64),
     ) -> (f64, f64) {
         let key = PriceKey {
             kernel_id,
             core_bits: core_mhz.to_bits(),
             mem_bits: mem_mhz.to_bits(),
+            cap_bits: cap_bits(cap_w),
         };
         if let Some(chain) = self.entries.read().expect("price table poisoned").get(&key) {
             if let Some(entry) = chain.iter().find(|e| e.profile == *kernel) {
@@ -279,11 +304,11 @@ mod tests {
         let table = PriceTable::new();
         let kernel = k("a", 1000);
         let mut calls = 0;
-        let first = table.price_or_insert_with(&kernel, 1312.0, 1107.0, || {
+        let first = table.price_or_insert_with(&kernel, 1312.0, 1107.0, None, || {
             calls += 1;
             (1.0, 2.0)
         });
-        let second = table.price_or_insert_with(&kernel, 1312.0, 1107.0, || {
+        let second = table.price_or_insert_with(&kernel, 1312.0, 1107.0, None, || {
             calls += 1;
             (99.0, 99.0)
         });
@@ -295,12 +320,29 @@ mod tests {
     #[test]
     fn distinct_kernels_and_freqs_get_distinct_entries() {
         let table = PriceTable::new();
-        table.price_or_insert_with(&k("a", 1000), 1312.0, 1107.0, || (1.0, 1.0));
-        table.price_or_insert_with(&k("a", 2000), 1312.0, 1107.0, || (2.0, 2.0));
-        table.price_or_insert_with(&k("a", 1000), 800.0, 1107.0, || (3.0, 3.0));
+        table.price_or_insert_with(&k("a", 1000), 1312.0, 1107.0, None, || (1.0, 1.0));
+        table.price_or_insert_with(&k("a", 2000), 1312.0, 1107.0, None, || (2.0, 2.0));
+        table.price_or_insert_with(&k("a", 1000), 800.0, 1107.0, None, || (3.0, 3.0));
         assert_eq!(table.len(), 3);
-        let hit = table.price_or_insert_with(&k("a", 2000), 1312.0, 1107.0, || unreachable!());
+        let hit =
+            table.price_or_insert_with(&k("a", 2000), 1312.0, 1107.0, None, || unreachable!());
         assert_eq!(hit, (2.0, 2.0));
+    }
+
+    #[test]
+    fn mem_clock_and_cap_are_part_of_the_key() {
+        let table = PriceTable::new();
+        let kernel = k("a", 1000);
+        table.price_or_insert_with(&kernel, 1312.0, 1107.0, None, || (1.0, 1.0));
+        table.price_or_insert_with(&kernel, 1312.0, 810.0, None, || (2.0, 2.0));
+        table.price_or_insert_with(&kernel, 1312.0, 1107.0, Some(200.0), || (3.0, 3.0));
+        table.price_or_insert_with(&kernel, 1312.0, 1107.0, Some(250.0), || (4.0, 4.0));
+        assert_eq!(table.len(), 4, "mem clock and cap each key new entries");
+        let uncapped = table.price_or_insert_with(&kernel, 1312.0, 1107.0, None, || unreachable!());
+        assert_eq!(uncapped, (1.0, 1.0));
+        let capped =
+            table.price_or_insert_with(&kernel, 1312.0, 1107.0, Some(200.0), || unreachable!());
+        assert_eq!(capped, (3.0, 3.0));
     }
 
     #[test]
@@ -324,7 +366,7 @@ mod tests {
     #[test]
     fn clear_empties_the_table() {
         let table = PriceTable::new();
-        table.price_or_insert_with(&k("a", 1000), 1312.0, 1107.0, || (1.0, 1.0));
+        table.price_or_insert_with(&k("a", 1000), 1312.0, 1107.0, None, || (1.0, 1.0));
         assert!(!table.is_empty());
         table.clear();
         assert!(table.is_empty());
@@ -334,9 +376,9 @@ mod tests {
     fn stats_count_hits_and_misses() {
         let table = PriceTable::new();
         let kernel = k("a", 1000);
-        table.price_or_insert_with(&kernel, 1312.0, 1107.0, || (1.0, 2.0));
-        table.price_or_insert_with(&kernel, 1312.0, 1107.0, || unreachable!());
-        table.price_or_insert_with(&kernel, 1312.0, 1107.0, || unreachable!());
+        table.price_or_insert_with(&kernel, 1312.0, 1107.0, None, || (1.0, 2.0));
+        table.price_or_insert_with(&kernel, 1312.0, 1107.0, None, || unreachable!());
+        table.price_or_insert_with(&kernel, 1312.0, 1107.0, None, || unreachable!());
         let s = table.stats();
         assert_eq!(s.misses, 1);
         assert_eq!(s.hits, 2);
@@ -352,15 +394,15 @@ mod tests {
         let a = k("a", 1000);
         let b = k("b", 2000);
         let mut b_computes = 0;
-        table.price_with_id(42, &a, 1312.0, 1107.0, || (1.0, 10.0));
-        let first_b = table.price_with_id(42, &b, 1312.0, 1107.0, || {
+        table.price_with_id(42, &a, 1312.0, 1107.0, None, || (1.0, 10.0));
+        let first_b = table.price_with_id(42, &b, 1312.0, 1107.0, None, || {
             b_computes += 1;
             (2.0, 20.0)
         });
         assert_eq!(first_b, (2.0, 20.0));
         // Both profiles now hit, each serving its own numbers.
-        let hit_a = table.price_with_id(42, &a, 1312.0, 1107.0, || unreachable!());
-        let hit_b = table.price_with_id(42, &b, 1312.0, 1107.0, || {
+        let hit_a = table.price_with_id(42, &a, 1312.0, 1107.0, None, || unreachable!());
+        let hit_b = table.price_with_id(42, &b, 1312.0, 1107.0, None, || {
             b_computes += 1;
             (99.0, 99.0)
         });
@@ -379,11 +421,11 @@ mod tests {
         let table = PriceTable::new();
         let profiles: Vec<KernelProfile> = (0..4).map(|i| k("k", 1000 + i)).collect();
         for (i, p) in profiles.iter().enumerate() {
-            table.price_with_id(7, p, 800.0, 1107.0, || (i as f64, i as f64));
+            table.price_with_id(7, p, 800.0, 1107.0, None, || (i as f64, i as f64));
         }
         assert_eq!(table.stats().collisions, 3);
         for (i, p) in profiles.iter().enumerate() {
-            let got = table.price_with_id(7, p, 800.0, 1107.0, || unreachable!());
+            let got = table.price_with_id(7, p, 800.0, 1107.0, None, || unreachable!());
             assert_eq!(got, (i as f64, i as f64));
         }
     }

@@ -206,6 +206,40 @@ impl RocmDevice {
         Ok(applied)
     }
 
+    /// `rsmi_dev_gpu_clk_freq_get(RSMI_CLK_TYPE_MEM)` — supported memory
+    /// frequencies.
+    pub fn supported_mem_clocks(&self) -> Vec<f64> {
+        self.inner.lock().spec().mem_freqs.as_slice().to_vec()
+    }
+
+    /// `rsmi_dev_gpu_clk_freq_set(RSMI_CLK_TYPE_MEM)` analogue: pins the
+    /// memory clock and returns the frequency actually applied. Does not
+    /// disturb the core performance level.
+    pub fn set_mem_clk_freq(&mut self, mem_mhz: f64) -> Result<f64, RsmiError> {
+        if !mem_mhz.is_finite() || mem_mhz <= 0.0 {
+            return Err(RsmiError::InvalidFrequency(mem_mhz));
+        }
+        self.inner
+            .lock()
+            .set_mem_mhz(mem_mhz)
+            .map_err(RsmiError::from)
+    }
+
+    /// `rsmi_dev_power_cap_set` analogue — sets (or clears, with `None`)
+    /// the operator power cap in watts (real ROCm-SMI speaks microwatts;
+    /// the simulator keeps watts everywhere).
+    pub fn set_power_cap_w(&mut self, cap_w: Option<f64>) -> Result<Option<f64>, RsmiError> {
+        self.inner
+            .lock()
+            .set_power_cap_w(cap_w)
+            .map_err(RsmiError::from)
+    }
+
+    /// `rsmi_dev_power_cap_get` analogue — current cap in watts.
+    pub fn power_cap_w(&self) -> Option<f64> {
+        self.inner.lock().power_cap_w()
+    }
+
     /// Current core clock (MHz). Under `Auto`, reports the frequency the
     /// governor would run a loaded kernel at.
     pub fn current_clk_freq(&self) -> f64 {
@@ -311,6 +345,19 @@ mod tests {
         low_dev.set_perf_level(PerfLevel::Low).unwrap();
         let t_low = low_dev.launch(&k).unwrap().time_s;
         assert!(t_auto < t_low);
+    }
+
+    #[test]
+    fn mem_clock_and_power_cap_round_trip() {
+        let mut dev = RocmDevice::mi100();
+        assert_eq!(dev.supported_mem_clocks(), vec![800.0, 1000.0, 1200.0]);
+        let applied = dev.set_mem_clk_freq(950.0).unwrap();
+        assert_eq!(applied, 1000.0, "snaps to the supported table");
+        assert_eq!(dev.perf_level(), PerfLevel::Auto, "core level untouched");
+        assert!(dev.set_mem_clk_freq(f64::NAN).is_err());
+        assert_eq!(dev.set_power_cap_w(Some(220.0)).unwrap(), Some(220.0));
+        assert_eq!(dev.power_cap_w(), Some(220.0));
+        assert_eq!(dev.set_power_cap_w(None).unwrap(), None);
     }
 
     #[test]

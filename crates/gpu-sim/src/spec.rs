@@ -3,7 +3,7 @@
 //! A [`DeviceSpec`] captures everything the timing and power models need to
 //! know about a GPU. Two presets are provided, matching the hardware used in
 //! the paper: [`DeviceSpec::v100`] (NVIDIA V100, 196 core frequencies from
-//! 135 MHz to 1597 MHz, one 1107 MHz memory frequency) and
+//! 135 MHz to 1597 MHz, four memory frequencies topping at 1107 MHz) and
 //! [`DeviceSpec::mi100`] (AMD MI100, whose stock behaviour is an "auto"
 //! performance level rather than a fixed default clock).
 
@@ -81,8 +81,10 @@ pub struct DeviceSpec {
     pub core_power_w: f64,
     /// Maximum memory subsystem power at full bandwidth utilization (W).
     pub mem_power_w: f64,
-    /// Board power limit (W): total power is clamped here, modelling the
-    /// firmware power cap that keeps idle + core + memory under TDP.
+    /// Board power limit (W): when demand exceeds it the firmware throttles
+    /// the effective core clock until the launch fits (see
+    /// [`crate::power::resolve_power_cap`]); an operator power cap below
+    /// TDP tightens the same loop.
     pub tdp_w: f64,
     /// Voltage/frequency curve parameters.
     pub voltage: VoltageCurve,
@@ -111,8 +113,9 @@ pub struct DeviceSpec {
 impl DeviceSpec {
     /// The NVIDIA V100 (SXM2 32 GB) descriptor used throughout the paper.
     ///
-    /// 80 SMs × 64 FP32 lanes, 900 GB/s HBM2 at a single 1107 MHz memory
-    /// frequency, 196 supported core frequencies from 135 to 1597 MHz
+    /// 80 SMs × 64 FP32 lanes, 900 GB/s HBM2 at the stock 1107 MHz memory
+    /// clock (three lower bins are settable for the configuration
+    /// lattice), 196 supported core frequencies from 135 to 1597 MHz
     /// (matching §5.1 of the paper), 300 W TDP. The paper's "default
     /// configuration" is the stock application clock, 1312 MHz.
     pub fn v100() -> Self {
@@ -129,7 +132,9 @@ impl DeviceSpec {
             saturation_threads_per_sm: 512,
             power_saturation_threads_per_sm: 128,
             core_freqs,
-            mem_freqs: FrequencyTable::new(vec![1107.0]),
+            // NVML on a V100 reports four application memory clocks; the
+            // stock (and default) configuration is the top one, 1107 MHz.
+            mem_freqs: FrequencyTable::new(vec![703.0, 810.0, 958.0, 1107.0]),
             default_core_mhz,
             mem_bandwidth_gbs: 900.0,
             idle_power_w: 30.0,
@@ -169,7 +174,9 @@ impl DeviceSpec {
             saturation_threads_per_sm: 512,
             power_saturation_threads_per_sm: 128,
             core_freqs: FrequencyTable::linspace(300.0, 1500.0, 121),
-            mem_freqs: FrequencyTable::new(vec![1200.0]),
+            // ROCm-SMI exposes three memory performance levels on MI100;
+            // the auto governor parks at the top one under load.
+            mem_freqs: FrequencyTable::new(vec![800.0, 1000.0, 1200.0]),
             default_core_mhz: 1450.0,
             mem_bandwidth_gbs: 1228.8,
             idle_power_w: 35.0,
@@ -208,7 +215,8 @@ impl DeviceSpec {
             saturation_threads_per_sm: 1024,
             power_saturation_threads_per_sm: 256,
             core_freqs: FrequencyTable::linspace(300.0, 1550.0, 26),
-            mem_freqs: FrequencyTable::new(vec![1565.0]),
+            // HBM2e stacks on PVC support three memory frequency bins.
+            mem_freqs: FrequencyTable::new(vec![1046.0, 1305.0, 1565.0]),
             default_core_mhz: 1450.0,
             mem_bandwidth_gbs: 1228.8,
             idle_power_w: 38.0,
@@ -276,10 +284,24 @@ mod tests {
     }
 
     #[test]
-    fn v100_single_memory_frequency() {
+    fn v100_memory_frequency_lattice() {
         let spec = DeviceSpec::v100();
-        assert_eq!(spec.mem_freqs.len(), 1);
-        assert!((spec.mem_freqs.min() - 1107.0).abs() < 1e-9);
+        assert_eq!(spec.mem_freqs.len(), 4);
+        assert!((spec.mem_freqs.min() - 703.0).abs() < 1e-9);
+        // The *top* memory clock stays 1107 MHz — it is the default
+        // configuration, so single-point sweeps remain bit-identical.
+        assert!((spec.mem_freqs.max() - 1107.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn every_vendor_has_a_memory_clock_axis() {
+        for spec in [
+            DeviceSpec::v100(),
+            DeviceSpec::mi100(),
+            DeviceSpec::max1100(),
+        ] {
+            assert!(spec.mem_freqs.len() >= 2, "{} has no mem axis", spec.name);
+        }
     }
 
     #[test]
@@ -293,7 +315,8 @@ mod tests {
     #[test]
     fn tdp_caps_the_component_sum() {
         // The component maxima can nominally exceed the board limit (they
-        // never all saturate at once); the TDP clamp holds the line.
+        // never all saturate at once); the firmware throttle loop
+        // ([`crate::power::resolve_power_cap`]) holds the line.
         for spec in [DeviceSpec::v100(), DeviceSpec::mi100()] {
             let sum = spec.idle_power_w + spec.core_power_w + spec.mem_power_w;
             assert!(sum >= spec.tdp_w, "components must be able to reach TDP");

@@ -141,6 +141,35 @@ pub trait Backend: Send {
     /// Applies a clock configuration without launching anything; `None`
     /// restores the vendor default. Returns the effective clock (MHz).
     fn set_frequency(&mut self, freq_mhz: Option<f64>) -> Result<f64, BackendError>;
+    /// All memory frequencies the device supports, ascending (MHz). A
+    /// backend without a controllable memory domain reports an empty list —
+    /// lattice sweeps then collapse to the core axis.
+    fn supported_memory_frequencies(&self) -> Vec<f64> {
+        Vec::new()
+    }
+    /// Applies a memory clock; `None` restores the vendor default (the top
+    /// supported memory clock). Returns the effective memory clock (MHz).
+    /// Like [`Backend::set_frequency`] this is a management request the
+    /// driver may reject, leaving the previous memory clock active.
+    fn set_memory_frequency(&mut self, mem_mhz: Option<f64>) -> Result<f64, BackendError> {
+        let _ = mem_mhz;
+        Err(BackendError::Management(
+            "memory clock control not supported".into(),
+        ))
+    }
+    /// Sets (or clears, with `None`) the operator power cap in watts.
+    /// Returns the cap actually applied. A binding cap throttles the
+    /// effective core clock — it never discounts energy for free.
+    fn set_power_cap(&mut self, cap_w: Option<f64>) -> Result<Option<f64>, BackendError> {
+        let _ = cap_w;
+        Err(BackendError::Management(
+            "power cap control not supported".into(),
+        ))
+    }
+    /// The operator power cap currently in force, if any.
+    fn power_cap(&self) -> Option<f64> {
+        None
+    }
     /// Lets device time pass without work — the retry machinery charges its
     /// backoff waits here so they show up as idle energy, like a real pause
     /// between NVML calls would.
@@ -168,7 +197,7 @@ pub trait Backend: Send {
         let mut throttled = 0;
         for _ in 0..n {
             let rec = self.launch(kernel, freq_mhz)?;
-            throttled += u64::from(rec.throttled);
+            throttled += u64::from(rec.fault_throttled);
             sink(rec.time_s, rec.energy_j);
         }
         Ok(throttled)
@@ -198,7 +227,13 @@ impl Backend for NvmlBackend {
     }
 
     fn supported_core_frequencies(&self) -> Vec<f64> {
-        let mem = self.device.supported_memory_clocks()[0];
+        // The mem table is ascending; the graphics-clock query wants any
+        // supported memory clock, so use the top (default) one.
+        let mem = *self
+            .device
+            .supported_memory_clocks()
+            .last()
+            .expect("non-empty memory clock table");
         self.device
             .supported_graphics_clocks(mem)
             .expect("own memory clock is supported")
@@ -228,7 +263,11 @@ impl Backend for NvmlBackend {
     fn set_frequency(&mut self, freq_mhz: Option<f64>) -> Result<f64, BackendError> {
         match freq_mhz {
             Some(f) => {
-                let mem = self.device.supported_memory_clocks()[0];
+                // Keep the memory clock where it is: applications clocks
+                // set both domains, and a mem-clock change here would
+                // clobber a lattice point's memory setting (the idempotent
+                // mem request consumes no management op).
+                let mem = self.device.clock_info_memory();
                 let (_, c) = self.device.set_applications_clocks(mem, f)?;
                 Ok(c)
             }
@@ -237,6 +276,33 @@ impl Backend for NvmlBackend {
                 Ok(self.device.clock_info_graphics())
             }
         }
+    }
+
+    fn supported_memory_frequencies(&self) -> Vec<f64> {
+        self.device.supported_memory_clocks()
+    }
+
+    fn set_memory_frequency(&mut self, mem_mhz: Option<f64>) -> Result<f64, BackendError> {
+        let target = mem_mhz.unwrap_or_else(|| {
+            *self
+                .device
+                .supported_memory_clocks()
+                .last()
+                .expect("non-empty memory clock table")
+        });
+        let shared = self.device.shared();
+        let mut dev = shared.lock();
+        dev.set_mem_mhz(target).map_err(BackendError::from)
+    }
+
+    fn set_power_cap(&mut self, cap_w: Option<f64>) -> Result<Option<f64>, BackendError> {
+        self.device
+            .set_power_management_limit_w(cap_w)
+            .map_err(BackendError::from)
+    }
+
+    fn power_cap(&self) -> Option<f64> {
+        self.device.power_management_limit_w()
     }
 
     fn idle_wait(&mut self, dt_s: f64) {
@@ -316,6 +382,29 @@ impl Backend for RocmBackend {
                 Ok(self.device.current_clk_freq())
             }
         }
+    }
+
+    fn supported_memory_frequencies(&self) -> Vec<f64> {
+        self.device.supported_mem_clocks()
+    }
+
+    fn set_memory_frequency(&mut self, mem_mhz: Option<f64>) -> Result<f64, BackendError> {
+        let target = mem_mhz.unwrap_or_else(|| {
+            *self
+                .device
+                .supported_mem_clocks()
+                .last()
+                .expect("non-empty memory clock table")
+        });
+        Ok(self.device.set_mem_clk_freq(target)?)
+    }
+
+    fn set_power_cap(&mut self, cap_w: Option<f64>) -> Result<Option<f64>, BackendError> {
+        Ok(self.device.set_power_cap_w(cap_w)?)
+    }
+
+    fn power_cap(&self) -> Option<f64> {
+        self.device.power_cap_w()
     }
 
     fn idle_wait(&mut self, dt_s: f64) {
@@ -403,6 +492,29 @@ impl Backend for LevelZeroBackend {
         }
     }
 
+    fn supported_memory_frequencies(&self) -> Vec<f64> {
+        self.device.available_memory_clocks()
+    }
+
+    fn set_memory_frequency(&mut self, mem_mhz: Option<f64>) -> Result<f64, BackendError> {
+        let target = mem_mhz.unwrap_or_else(|| {
+            *self
+                .device
+                .available_memory_clocks()
+                .last()
+                .expect("non-empty memory clock table")
+        });
+        Ok(self.device.set_memory_frequency(target)?)
+    }
+
+    fn set_power_cap(&mut self, cap_w: Option<f64>) -> Result<Option<f64>, BackendError> {
+        Ok(self.device.set_power_limit_w(cap_w)?)
+    }
+
+    fn power_cap(&self) -> Option<f64> {
+        self.device.power_limit_w()
+    }
+
     fn idle_wait(&mut self, dt_s: f64) {
         self.device.lock_device().idle_advance(dt_s);
     }
@@ -487,6 +599,48 @@ mod tests {
         let k = KernelProfile::memory_bound("k", 5_000_000, 32.0);
         b.launch(&k, None).unwrap();
         assert!(b.energy_counter_j() > before);
+    }
+
+    #[test]
+    fn lattice_actuators_round_trip_on_every_vendor() {
+        let mut backends: Vec<Box<dyn Backend>> = vec![
+            Box::new(NvmlBackend::new(NvmlDevice::v100())),
+            Box::new(RocmBackend::new(RocmDevice::mi100())),
+            Box::new(LevelZeroBackend::new(ZeDevice::max1100())),
+        ];
+        for b in &mut backends {
+            let mems = b.supported_memory_frequencies();
+            assert!(
+                mems.len() >= 3,
+                "{} must expose a real memory-clock axis",
+                b.device_name()
+            );
+            assert!(mems.windows(2).all(|w| w[0] < w[1]), "ascending table");
+            let lo = mems[0];
+            assert_eq!(b.set_memory_frequency(Some(lo)).unwrap(), lo);
+            assert_eq!(
+                b.set_memory_frequency(None).unwrap(),
+                *mems.last().unwrap(),
+                "None restores the top (default) memory clock"
+            );
+            assert_eq!(b.set_power_cap(Some(200.0)).unwrap(), Some(200.0));
+            assert_eq!(b.power_cap(), Some(200.0));
+            assert_eq!(b.set_power_cap(None).unwrap(), None);
+            assert_eq!(b.power_cap(), None);
+        }
+    }
+
+    #[test]
+    fn nvml_core_set_preserves_memory_clock() {
+        let mut b = NvmlBackend::new(NvmlDevice::v100());
+        b.set_memory_frequency(Some(810.0)).unwrap();
+        b.set_frequency(Some(900.0)).unwrap();
+        let k = KernelProfile::compute_bound("k", 1_000_000, 100.0);
+        let rec = b.launch(&k, None).unwrap();
+        assert_eq!(
+            rec.mem_mhz, 810.0,
+            "core-set path must not clobber mem clock"
+        );
     }
 
     #[test]

@@ -85,7 +85,10 @@ pub struct DegradationMetrics {
     pub frequency_rejections: u64,
     /// Launches dropped by a transient device failure.
     pub launch_failures: u64,
-    /// Launches that completed below the requested clock.
+    /// Launches held below the requested clock by a fault-injected throttle
+    /// window. Deterministic TDP / power-cap throttling is *not* counted —
+    /// that is reproducible physics of the requested configuration, not
+    /// degradation (see `LaunchRecord::fault_throttled`).
     pub throttled_launches: u64,
     /// Energy-counter rewinds transparently healed.
     pub counter_rewinds_healed: u64,
@@ -114,6 +117,14 @@ pub struct DegradationMetrics {
     /// lifecycle supervisor raises this; the request itself is still
     /// served.
     pub lifecycle_fallbacks: u64,
+    /// Memory-clock requests that kept failing and were degraded to the
+    /// vendor default memory clock (the top of the table) so the lattice
+    /// point could still be measured — on the wrong memory axis, which is
+    /// why characterization flags such samples.
+    pub mem_clock_fallbacks: u64,
+    /// Power-cap requests that kept failing and were degraded to the
+    /// uncapped (TDP-only) configuration.
+    pub power_cap_fallbacks: u64,
 }
 
 impl DegradationMetrics {
@@ -144,6 +155,8 @@ impl DegradationMetrics {
         self.devices_evicted += other.devices_evicted;
         self.affinity_fallbacks += other.affinity_fallbacks;
         self.lifecycle_fallbacks += other.lifecycle_fallbacks;
+        self.mem_clock_fallbacks += other.mem_clock_fallbacks;
+        self.power_cap_fallbacks += other.power_cap_fallbacks;
     }
 }
 
@@ -307,6 +320,8 @@ mod tests {
             devices_evicted: 10,
             affinity_fallbacks: 11,
             lifecycle_fallbacks: 12,
+            mem_clock_fallbacks: 13,
+            power_cap_fallbacks: 14,
         };
         let b = a;
         a.merge(&b);
@@ -322,6 +337,8 @@ mod tests {
         assert_eq!(a.devices_evicted, 20);
         assert_eq!(a.affinity_fallbacks, 22);
         assert_eq!(a.lifecycle_fallbacks, 24);
+        assert_eq!(a.mem_clock_fallbacks, 26);
+        assert_eq!(a.power_cap_fallbacks, 28);
         // Merging a clean record is a no-op.
         let before = a;
         a.merge(&DegradationMetrics::default());

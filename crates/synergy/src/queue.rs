@@ -289,6 +289,76 @@ impl SynergyQueue {
         self.backend.default_config()
     }
 
+    /// Supported memory frequencies, ascending (MHz). Empty when the
+    /// backend exposes no controllable memory domain.
+    pub fn supported_memory_frequencies(&self) -> Vec<f64> {
+        self.backend.supported_memory_frequencies()
+    }
+
+    /// Sets the device memory clock (`None` = vendor default, the top of
+    /// the table), riding out transient rejections under the retry policy.
+    /// When the requested clock keeps failing and the policy allows
+    /// fallback, the queue restores the default memory clock instead —
+    /// degraded but measurable — and records it in
+    /// [`DegradationMetrics::mem_clock_fallbacks`].
+    pub fn set_memory_frequency(&mut self, mem_mhz: Option<f64>) -> Result<f64, BackendError> {
+        let mut failures = 0u32;
+        loop {
+            match self.backend.set_memory_frequency(mem_mhz) {
+                Ok(m) => return Ok(m),
+                Err(e) => {
+                    self.note_error(&e);
+                    if e.is_transient() && failures < self.retry.max_retries {
+                        self.backoff(failures);
+                        failures += 1;
+                        self.degradation.retries += 1;
+                    } else if self.retry.fallback_to_default && mem_mhz.is_some() {
+                        // Restoring the default is idempotent when the
+                        // rejected request never moved the clock, so this
+                        // succeeds without consuming a management op.
+                        let m = self.backend.set_memory_frequency(None)?;
+                        self.degradation.mem_clock_fallbacks += 1;
+                        return Ok(m);
+                    } else {
+                        return Err(e);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Sets (or clears, with `None`) the operator power cap, riding out
+    /// transient rejections under the retry policy. An unreachable cap
+    /// degrades to the uncapped (TDP-only) configuration when fallback is
+    /// allowed, recorded in [`DegradationMetrics::power_cap_fallbacks`].
+    pub fn set_power_cap(&mut self, cap_w: Option<f64>) -> Result<Option<f64>, BackendError> {
+        let mut failures = 0u32;
+        loop {
+            match self.backend.set_power_cap(cap_w) {
+                Ok(c) => return Ok(c),
+                Err(e) => {
+                    self.note_error(&e);
+                    if e.is_transient() && failures < self.retry.max_retries {
+                        self.backoff(failures);
+                        failures += 1;
+                        self.degradation.retries += 1;
+                    } else if self.retry.fallback_to_default && cap_w.is_some() {
+                        let c = self.backend.set_power_cap(None)?;
+                        self.degradation.power_cap_fallbacks += 1;
+                        return Ok(c);
+                    } else {
+                        return Err(e);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The operator power cap currently in force, if any.
+    pub fn power_cap_w(&self) -> Option<f64> {
+        self.backend.power_cap()
+    }
+
     /// Submits a kernel under the active policy and returns its profile.
     ///
     /// # Panics
@@ -449,7 +519,7 @@ impl SynergyQueue {
                         if round > 0 {
                             self.degradation.default_clock_fallbacks += 1;
                         }
-                        if rec.throttled {
+                        if rec.fault_throttled {
                             self.degradation.throttled_launches += 1;
                         }
                         self.submissions += 1;
@@ -686,6 +756,50 @@ mod tests {
         q.reset_counters();
         assert_eq!(q.submission_count(), 0);
         assert_eq!(q.total_energy_j(), 0.0);
+    }
+
+    #[test]
+    fn mem_clock_and_power_cap_actuators_round_trip() {
+        let mut q = v100_queue();
+        assert_eq!(
+            q.supported_memory_frequencies(),
+            vec![703.0, 810.0, 958.0, 1107.0]
+        );
+        assert_eq!(q.set_memory_frequency(Some(810.0)).unwrap(), 810.0);
+        assert_eq!(q.set_memory_frequency(None).unwrap(), 1107.0);
+        assert_eq!(q.set_power_cap(Some(100.0)).unwrap(), Some(100.0));
+        assert_eq!(q.power_cap_w(), Some(100.0));
+        let k = KernelProfile::compute_bound("k", 1_000_000, 100.0);
+        let capped = q.submit(&k);
+        assert!(capped.throttled, "a 100 W cap binds at the default clock");
+        assert_eq!(q.set_power_cap(None).unwrap(), None);
+        assert_eq!(q.power_cap_w(), None);
+    }
+
+    #[test]
+    fn rejected_mem_clock_set_falls_back_to_default() {
+        use gpu_sim::{FaultPlan, Schedule};
+        let plan = FaultPlan::seeded(7).reject_set_frequency(Schedule::Prob(1.0));
+        let mut q = SynergyQueue::nvidia(Device::with_faults(DeviceSpec::v100(), plan));
+        // Every mem-clock change is rejected; restoring the default is
+        // idempotent (the clock never moved) and therefore succeeds.
+        let m = q.set_memory_frequency(Some(703.0)).unwrap();
+        assert_eq!(m, 1107.0, "fell back to the default memory clock");
+        let d = q.degradation();
+        assert_eq!(d.mem_clock_fallbacks, 1);
+        assert!(d.retries >= 1);
+        assert!(d.frequency_rejections >= 1);
+        assert!(!d.is_clean());
+    }
+
+    #[test]
+    fn rejected_power_cap_set_falls_back_to_uncapped() {
+        use gpu_sim::{FaultPlan, Schedule};
+        let plan = FaultPlan::seeded(11).reject_set_frequency(Schedule::Prob(1.0));
+        let mut q = SynergyQueue::nvidia(Device::with_faults(DeviceSpec::v100(), plan));
+        assert_eq!(q.set_power_cap(Some(150.0)).unwrap(), None);
+        assert_eq!(q.degradation().power_cap_fallbacks, 1);
+        assert_eq!(q.power_cap_w(), None);
     }
 
     #[test]

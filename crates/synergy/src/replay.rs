@@ -247,12 +247,25 @@ impl Backend for RecordingBackend {
             core_mhz: 0.0,
             mem_mhz: 0.0,
             throttled: false,
+            fault_throttled: false,
         })
     }
 
     fn set_frequency(&mut self, freq_mhz: Option<f64>) -> Result<f64, BackendError> {
         // The recorder executes nothing; report the clock that would apply.
         Ok(freq_mhz.unwrap_or(self.spec.default_core_mhz))
+    }
+
+    fn supported_memory_frequencies(&self) -> Vec<f64> {
+        self.spec.mem_freqs.iter().collect()
+    }
+
+    fn set_memory_frequency(&mut self, mem_mhz: Option<f64>) -> Result<f64, BackendError> {
+        Ok(mem_mhz.unwrap_or(self.spec.mem_freqs.max()))
+    }
+
+    fn set_power_cap(&mut self, cap_w: Option<f64>) -> Result<Option<f64>, BackendError> {
+        Ok(cap_w)
     }
 }
 

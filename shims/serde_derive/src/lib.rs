@@ -5,7 +5,10 @@
 //! Supported shapes — exactly what this workspace derives on:
 //!
 //! - structs with named fields (no generics),
-//! - enums whose variants are unit or single-field tuples.
+//! - enums whose variants are unit or single-field tuples,
+//! - `#[serde(default)]` / `#[serde(default = "path")]` on named fields
+//!   (missing keys deserialize to `Default::default()` / `path()` instead
+//!   of erroring — schema-evolution support for persisted artifacts).
 //!
 //! Anything else produces a `compile_error!` naming the limitation, so
 //! unsupported usage fails loudly at the definition site.
@@ -15,9 +18,17 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 /// The parsed shape of the deriving type.
 enum Shape {
     /// Named-field struct: (name, fields).
-    Struct(String, Vec<String>),
+    Struct(String, Vec<Field>),
     /// Enum: (name, variants), each variant unit or 1-tuple.
     Enum(String, Vec<Variant>),
+}
+
+/// One named struct field and its missing-key behaviour.
+struct Field {
+    name: String,
+    /// `None` — required; `Some(None)` — `Default::default()`;
+    /// `Some(Some(path))` — call `path()`.
+    default: Option<Option<String>>,
 }
 
 struct Variant {
@@ -30,7 +41,7 @@ enum VariantKind {
     /// Single-field tuple variant.
     Tuple1,
     /// Struct variant with named fields.
-    Struct(Vec<String>),
+    Struct(Vec<Field>),
 }
 
 fn compile_error(msg: &str) -> TokenStream {
@@ -98,14 +109,54 @@ fn parse_input(input: TokenStream) -> Result<Shape, String> {
     }
 }
 
-fn parse_struct_fields(body: TokenStream) -> Result<Vec<String>, String> {
+/// Parses a captured attribute body for `serde(default)` /
+/// `serde(default = "path")`. Returns the field-default behaviour it
+/// declares, if any.
+fn parse_serde_default(attr: &TokenStream) -> Option<Option<String>> {
+    let mut iter = attr.clone().into_iter();
+    match iter.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let inner = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        _ => return None,
+    };
+    let mut inner = inner.into_iter();
+    match inner.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "default" => {}
+        _ => return None,
+    }
+    match inner.next() {
+        None => Some(None),
+        Some(TokenTree::Punct(p)) if p.as_char() == '=' => match inner.next() {
+            Some(TokenTree::Literal(lit)) => {
+                let path = lit.to_string();
+                Some(Some(path.trim_matches('"').to_string()))
+            }
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+fn parse_struct_fields(body: TokenStream) -> Result<Vec<Field>, String> {
     let mut fields = Vec::new();
     let mut iter = body.into_iter();
     loop {
-        // Field name (after attrs / visibility).
+        // Field name (after attrs / visibility), capturing any
+        // `#[serde(default...)]` attribute on the way.
+        let mut default = None;
         let field = loop {
-            match next_skipping_attrs(&mut iter) {
+            match iter.next() {
                 None => return Ok(fields),
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    if let Some(TokenTree::Group(g)) = iter.next() {
+                        if let Some(d) = parse_serde_default(&g.stream()) {
+                            default = Some(d);
+                        }
+                    }
+                }
                 Some(TokenTree::Ident(id)) if id.to_string() == "pub" => continue,
                 Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => continue,
                 Some(TokenTree::Ident(id)) => break id.to_string(),
@@ -126,7 +177,10 @@ fn parse_struct_fields(body: TokenStream) -> Result<Vec<String>, String> {
                 _ => {}
             }
         }
-        fields.push(field);
+        fields.push(Field {
+            name: field,
+            default,
+        });
     }
 }
 
@@ -183,7 +237,7 @@ fn parse_enum_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
     }
 }
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let shape = match parse_input(input) {
         Ok(s) => s,
@@ -193,7 +247,10 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         Shape::Struct(name, fields) => {
             let entries: String = fields
                 .iter()
-                .map(|f| format!("(String::from({f:?}), serde::Serialize::to_value(&self.{f})),"))
+                .map(|f| {
+                    let f = &f.name;
+                    format!("(String::from({f:?}), serde::Serialize::to_value(&self.{f})),")
+                })
                 .collect();
             format!(
                 "impl serde::Serialize for {name} {{
@@ -216,10 +273,15 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                             "{name}::{vn}(inner) => serde::Value::Map(vec![(String::from({vn:?}), serde::Serialize::to_value(inner))]),"
                         ),
                         VariantKind::Struct(fields) => {
-                            let bindings = fields.join(", ");
+                            let bindings = fields
+                                .iter()
+                                .map(|f| f.name.as_str())
+                                .collect::<Vec<_>>()
+                                .join(", ");
                             let entries: String = fields
                                 .iter()
                                 .map(|f| {
+                                    let f = &f.name;
                                     format!("(String::from({f:?}), serde::Serialize::to_value({f})),")
                                 })
                                 .collect();
@@ -242,7 +304,32 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     code.parse().unwrap()
 }
 
-#[proc_macro_derive(Deserialize)]
+/// Generates one struct-field initializer for deserialization, honouring
+/// the field's `#[serde(default)]` behaviour when the key is missing.
+fn field_init(owner: &str, source: &str, f: &Field) -> String {
+    let name = &f.name;
+    match &f.default {
+        None => format!(
+            "{name}: serde::Deserialize::from_value(
+                 {source}.get({name:?}).ok_or_else(|| serde::DeError::custom(
+                     concat!(\"missing field `\", {name:?}, \"` in {owner}\")))?)?,"
+        ),
+        Some(None) => format!(
+            "{name}: match {source}.get({name:?}) {{
+                 Some(val) => serde::Deserialize::from_value(val)?,
+                 None => std::default::Default::default(),
+             }},"
+        ),
+        Some(Some(path)) => format!(
+            "{name}: match {source}.get({name:?}) {{
+                 Some(val) => serde::Deserialize::from_value(val)?,
+                 None => {path}(),
+             }},"
+        ),
+    }
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let shape = match parse_input(input) {
         Ok(s) => s,
@@ -250,16 +337,7 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     };
     let code = match shape {
         Shape::Struct(name, fields) => {
-            let inits: String = fields
-                .iter()
-                .map(|f| {
-                    format!(
-                        "{f}: serde::Deserialize::from_value(
-                             v.get({f:?}).ok_or_else(|| serde::DeError::custom(
-                                 concat!(\"missing field `\", {f:?}, \"` in {name}\")))?)?,"
-                    )
-                })
-                .collect();
+            let inits: String = fields.iter().map(|f| field_init(&name, "v", f)).collect();
             format!(
                 "impl serde::Deserialize for {name} {{
                      fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {{
@@ -290,19 +368,12 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                             "{vn:?} => Ok({name}::{vn}(serde::Deserialize::from_value(_inner)?)),"
                         )),
                         VariantKind::Struct(fields) => {
+                            let owner = format!("{name}::{vn}");
                             let inits: String = fields
                                 .iter()
-                                .map(|f| {
-                                    format!(
-                                        "{f}: serde::Deserialize::from_value(
-                                             _inner.get({f:?}).ok_or_else(|| serde::DeError::custom(
-                                                 concat!(\"missing field `\", {f:?}, \"` in {name}::{vn}\")))?)?,"
-                                    )
-                                })
+                                .map(|f| field_init(&owner, "_inner", f))
                                 .collect();
-                            Some(format!(
-                                "{vn:?} => Ok({name}::{vn} {{ {inits} }}),"
-                            ))
+                            Some(format!("{vn:?} => Ok({name}::{vn} {{ {inits} }}),"))
                         }
                     }
                 })

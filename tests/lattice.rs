@@ -1,0 +1,217 @@
+//! Configuration-lattice integration suite.
+//!
+//! Two contracts, pinned end to end through the umbrella crate:
+//!
+//! * **Golden bit-identity** — a lattice whose memory and power-cap axes
+//!   are degenerate (default memory clock, uncapped) is the plain
+//!   frequency sweep wearing a bigger type: every measured number must
+//!   match [`energy_model::characterize`] *byte for byte* after JSON
+//!   serialization, not merely within a tolerance. This is what makes the
+//!   lattice a safe drop-in: enabling the new axes cannot move any
+//!   number that existed before them.
+//! * **Chaos** — a device that rejects memory-clock requests degrades
+//!   gracefully: the sweep completes, every point is measured, the
+//!   fallback to the default memory clock is audited in
+//!   [`DegradationMetrics::mem_clock_fallbacks`], and the affected points
+//!   are flagged rather than silently kept.
+
+use energy_model::{characterize, characterize_lattice, LatticeAxes, SweepOptions};
+use gpu_sim::{DeviceSpec, FaultPlan, Schedule};
+use serde::Serialize;
+
+const SEED: u64 = 20231112;
+
+fn small_cronos() -> cronos::GpuCronos {
+    cronos::GpuCronos::new(cronos::Grid::cubic(16, 8, 8), 3)
+}
+
+fn small_ligen() -> ligen::GpuLigen {
+    ligen::GpuLigen::new(256, 63, 8)
+}
+
+/// The measured numbers of one operating point, in a shape both the
+/// frequency sweep and the lattice can be projected onto. Serialized to
+/// JSON for the byte-level comparison: two f64 values serialize to the
+/// same bytes iff they are bit-identical (modulo -0.0, which never
+/// occurs in a measurement).
+#[derive(Serialize)]
+struct GoldenPoint {
+    freq_mhz: f64,
+    time_s: f64,
+    energy_j: f64,
+    speedup: f64,
+    norm_energy: f64,
+}
+
+#[derive(Serialize)]
+struct Golden {
+    baseline_time_s: f64,
+    baseline_energy_j: f64,
+    points: Vec<GoldenPoint>,
+}
+
+fn golden_json(g: &Golden) -> String {
+    serde_json::to_string(g).expect("golden serialization")
+}
+
+fn assert_degenerate_lattice_matches_sweep(axes: &LatticeAxes, label: &str) {
+    let spec = DeviceSpec::v100();
+    let freqs = axes.core_mhz.clone();
+    let opts = SweepOptions {
+        reps: 3,
+        noise_seed: Some(SEED),
+        ..SweepOptions::default()
+    };
+    for (name, w) in [
+        ("cronos", &small_cronos() as &dyn energy_model::Workload),
+        ("ligen", &small_ligen() as &dyn energy_model::Workload),
+    ] {
+        let sweep = characterize(&spec, w, &freqs, opts.reps, opts.noise_seed);
+        let (lat, diag) = characterize_lattice(&spec, w, axes, &opts);
+
+        let from_sweep = Golden {
+            baseline_time_s: sweep.baseline_time_s,
+            baseline_energy_j: sweep.baseline_energy_j,
+            points: sweep
+                .points
+                .iter()
+                .map(|p| GoldenPoint {
+                    freq_mhz: p.freq_mhz,
+                    time_s: p.time_s,
+                    energy_j: p.energy_j,
+                    speedup: p.speedup,
+                    norm_energy: p.norm_energy,
+                })
+                .collect(),
+        };
+        let from_lattice = Golden {
+            baseline_time_s: lat.baseline_time_s,
+            baseline_energy_j: lat.baseline_energy_j,
+            points: lat
+                .points
+                .iter()
+                .map(|p| {
+                    assert_eq!(p.mem_mhz, spec.mem_freqs.max());
+                    assert_eq!(p.cap_w, None);
+                    GoldenPoint {
+                        freq_mhz: p.core_mhz,
+                        time_s: p.time_s,
+                        energy_j: p.energy_j,
+                        speedup: p.speedup,
+                        norm_energy: p.norm_energy,
+                    }
+                })
+                .collect(),
+        };
+        assert_eq!(
+            golden_json(&from_sweep),
+            golden_json(&from_lattice),
+            "degenerate lattice ({label}) diverged from the frequency sweep on {name}"
+        );
+        assert!(diag.is_clean(), "fault-free lattice must be clean ({name})");
+    }
+}
+
+#[test]
+fn degenerate_lattice_json_is_byte_identical_to_the_frequency_sweep() {
+    // Empty memory/cap axes: the sweep never issues a memory-clock or
+    // power-cap management call at all.
+    let freqs = vec![405.0, 810.0, 1140.0, 1312.1, 1597.0];
+    assert_degenerate_lattice_matches_sweep(&LatticeAxes::core_only(freqs), "implicit axes");
+}
+
+#[test]
+fn explicit_default_configuration_axes_are_still_bit_identical() {
+    // The *explicit* spelling of the default configuration — one memory
+    // point on the device's top clock, one uncapped cap point — must take
+    // the same skip paths as the empty axes: requesting the configuration
+    // the device is already in is not a new configuration.
+    let spec = DeviceSpec::v100();
+    let axes = LatticeAxes {
+        core_mhz: vec![405.0, 810.0, 1140.0, 1312.1, 1597.0],
+        mem_mhz: vec![spec.mem_freqs.max()],
+        power_caps_w: vec![None],
+    };
+    assert_degenerate_lattice_matches_sweep(&axes, "explicit default axes");
+}
+
+#[test]
+fn lattice_survives_memory_clock_rejection_and_audits_the_fallback() {
+    // Every memory-clock request is rejected (NVML_ERROR_NO_PERMISSION
+    // style). The queue retries, then falls back to the default memory
+    // clock; the lattice must complete with every point measured, record
+    // the fallback in the degradation counters, and flag the affected
+    // points — a measurement taken at the wrong configuration is never
+    // silently presented as the requested one.
+    let spec = DeviceSpec::v100();
+    let axes = LatticeAxes::full(vec![900.0, 1312.1], vec![703.0, 810.0], &[250.0]);
+    let opts = SweepOptions {
+        reps: 2,
+        noise_seed: Some(SEED),
+        faults: FaultPlan::seeded(11).reject_set_frequency(Schedule::Prob(1.0)),
+        remeasure_limit: 1,
+        ..SweepOptions::default()
+    };
+    let (lat, diag) = characterize_lattice(&spec, &small_cronos(), &axes, &opts);
+
+    // Graceful degradation: the full lattice came back, every point
+    // physically measured.
+    assert_eq!(lat.points.len(), axes.len());
+    for p in &lat.points {
+        assert!(p.time_s > 0.0 && p.time_s.is_finite());
+        assert!(p.energy_j > 0.0 && p.energy_j.is_finite());
+    }
+
+    // The audit trail: requested configurations preserved, fallbacks
+    // counted, dirty points flagged, the sweep as a whole not clean.
+    assert_eq!(diag.points.len(), axes.len());
+    for (p, d) in lat.points.iter().zip(&diag.points) {
+        assert_eq!(p.core_mhz, d.core_mhz);
+        assert_eq!(
+            p.mem_mhz, d.mem_mhz,
+            "diagnostics keep the requested config"
+        );
+        assert_eq!(p.cap_w, d.cap_w);
+    }
+    let total = diag.total_degradation();
+    assert!(
+        total.mem_clock_fallbacks > 0,
+        "memory-clock fallback must be audited: {total:?}"
+    );
+    assert!(!diag.is_clean());
+    assert!(
+        !diag.flagged_points().is_empty(),
+        "points measured at the wrong memory clock must be flagged"
+    );
+}
+
+#[test]
+fn healthy_full_lattice_is_clean_and_its_surface_is_coherent() {
+    // The closed-loop sanity check the governor relies on: a healthy
+    // device sweeping a genuine (core × mem × cap) lattice reports a
+    // clean audit, a non-trivial Pareto surface, and a min-energy point
+    // that actually minimizes energy.
+    let spec = DeviceSpec::v100();
+    let axes = LatticeAxes::full(
+        vec![810.0, 1140.0, 1312.1],
+        vec![810.0, spec.mem_freqs.max()],
+        &[250.0],
+    );
+    let opts = SweepOptions {
+        reps: 2,
+        noise_seed: Some(SEED),
+        ..SweepOptions::default()
+    };
+    let (lat, diag) = characterize_lattice(&spec, &small_ligen(), &axes, &opts);
+    assert!(diag.is_clean(), "healthy lattice must audit clean");
+    assert_eq!(lat.points.len(), axes.len());
+
+    let best = lat.min_energy();
+    assert!(lat.points.iter().all(|p| p.energy_j >= best.energy_j));
+    let surface = lat.pareto_surface();
+    assert!(!surface.is_empty() && surface.len() <= lat.points.len());
+    // The surface contains the min-energy point by construction.
+    assert!(surface
+        .iter()
+        .any(|p| p.energy_j.to_bits() == best.energy_j.to_bits()));
+}

@@ -37,3 +37,29 @@ fn readme_quickstart_flow() {
     let front = pareto_front_indices(&ch.objective_points());
     assert!(!front.is_empty());
 }
+
+#[test]
+fn readme_lattice_quickstart() {
+    // The "Configuration lattice" quickstart, at test-friendly resolution
+    // (coarser core axis, fewer reps — same code shape).
+    use energy_repro::energy_model::{characterize_lattice, LatticeAxes, SweepOptions};
+
+    let spec = DeviceSpec::v100();
+    let axes = LatticeAxes::full(
+        spec.core_freqs.strided(48),
+        spec.mem_freqs.as_slice().to_vec(),
+        &[250.0, 200.0],
+    );
+    let workload =
+        energy_repro::cronos::GpuCronos::new(energy_repro::cronos::Grid::cubic(16, 8, 8), 3);
+    let opts = SweepOptions {
+        reps: 2,
+        noise_seed: Some(20231112),
+        ..Default::default()
+    };
+    let (lattice, audit) = characterize_lattice(&spec, &workload, &axes, &opts);
+    assert_eq!(lattice.points.len(), axes.len());
+    let surface = lattice.pareto_surface();
+    assert!(!surface.is_empty() && surface.len() <= lattice.points.len());
+    assert!(audit.is_clean());
+}
