@@ -1555,6 +1555,343 @@ fn lattice_cmd() -> ExperimentResult {
     Ok(())
 }
 
+/// Core-frequency stride for the decomposition sweep: eleven clocks span
+/// the V100's experiment range, enough to expose the energy knee on every
+/// gang size while the whole (device count × clock) surface stays around
+/// 44 points.
+const DECOMP_CORE_STRIDE: usize = 16;
+
+/// Gang sizes swept by the decomposition experiment (the fleet has eight
+/// devices; slabs beyond eight are thinner than the stencil ghost zone on
+/// this grid).
+const DECOMP_DEVICE_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Deadline for the decomposition experiment, as a fraction of the
+/// single-device default-configuration runtime. Deliberately *sub-unity*:
+/// the V100's core-clock headroom above default buys ≲1% speedup on this
+/// memory-fed grid, so no single-device configuration — not even the full
+/// (core × mem × cap) lattice's fastest point — can meet it. Scale-out is
+/// the only feasible answer, which is exactly the regime the gang
+/// scheduler exists for.
+const DECOMP_DEADLINE_FRAC: f64 = 0.9;
+
+/// The committed guard: the gang the scheduler picks must meet the
+/// deadline (zero misses) *and* spend at least this fraction less energy
+/// than the best the single-device lattice can offer under the same
+/// deadline (min-energy feasible point, or the fastest point when nothing
+/// fits — the same fallback the governor uses). Measured headroom is ~10×
+/// this floor; the guard pins the direction, not the testbed constant.
+const DECOMP_SAVING_MIN: f64 = 0.05;
+
+/// Sweeps the decomposed Cronos workload over the (device count × core
+/// clock) gang surface on a V100 fleet, lets the gang scheduler pick a
+/// placement under a deadline no single device can meet, and compares its
+/// energy against the best fixed single-device (core × mem × cap) lattice
+/// point. Writes the surface to `results/decomp/summary.json` and the
+/// guard numbers to `BENCH_decomp.json` — the ≥`DECOMP_SAVING_MIN` energy
+/// saving at zero deadline misses and the monotone growth of the
+/// per-device halo-energy share with gang size are asserted *before*
+/// anything is written.
+fn decomp_cmd() -> ExperimentResult {
+    use energy_model::characterize::{characterize_lattice, LatticeAxes, SweepOptions};
+    use energy_model::distributed::{
+        characterize_distributed, DistributedAxes, DistributedSweepOptions,
+    };
+    use energy_model::workflow::{experiment_frequencies, CRONOS_STEPS};
+    use governor::{choose_gang, reserve_gang, GangProfile};
+    use serde::Serialize;
+
+    println!("\n## Decomp — domain-decomposed Cronos gang-scheduled onto a V100 fleet");
+    let spec = DeviceSpec::v100();
+    let grid = cronos::Grid::cubic(192, 64, 64);
+    let workload = cronos::DistributedGpuCronos::new(grid, CRONOS_STEPS);
+    let fleet_size = *DECOMP_DEVICE_COUNTS
+        .iter()
+        .max()
+        .expect("non-empty gang axis");
+    let core = experiment_frequencies(&spec, DECOMP_CORE_STRIDE);
+    println!(
+        "axes: {} gang sizes × {} core clocks on {}x{}x{} ({} steps)",
+        DECOMP_DEVICE_COUNTS.len(),
+        core.len(),
+        grid.nx,
+        grid.ny,
+        grid.nz,
+        CRONOS_STEPS
+    );
+
+    let axes = DistributedAxes {
+        device_counts: DECOMP_DEVICE_COUNTS.to_vec(),
+        core_mhz: core.clone(),
+    };
+    let opts = DistributedSweepOptions {
+        reps: REPS,
+        noise_seed: Some(SEED),
+        ..DistributedSweepOptions::default()
+    };
+    let dist = characterize_distributed(&spec, &workload, &axes, &opts);
+
+    // The single-device contender gets the *full* configuration lattice —
+    // core, memory and power cap — over the identical workload and core
+    // axis, so losing is not an artifact of a weaker search space.
+    let mono = cronos::GpuCronos::new(grid, CRONOS_STEPS);
+    let caps = [200.0, 250.0];
+    let lat_axes = LatticeAxes::full(core.clone(), spec.mem_freqs.as_slice().to_vec(), &caps);
+    let lat_opts = SweepOptions {
+        reps: REPS,
+        noise_seed: Some(SEED),
+        ..SweepOptions::default()
+    };
+    let (lat, lat_diag) = characterize_lattice(&spec, &mono, &lat_axes, &lat_opts);
+    assert!(lat_diag.is_clean(), "single-device lattice sweep degraded");
+    // Same workload, same device, same seed: the two sweeps must agree on
+    // what the single-device default configuration costs.
+    let baseline_drift = (lat.baseline_time_s - dist.baseline_time_s).abs() / dist.baseline_time_s;
+    assert!(
+        baseline_drift < 1e-3,
+        "gang and lattice sweeps disagree on the baseline: {} vs {}",
+        dist.baseline_time_s,
+        lat.baseline_time_s
+    );
+
+    let deadline_s = DECOMP_DEADLINE_FRAC * dist.baseline_time_s;
+    let profile = GangProfile::from_characterization(&dist);
+    let gang = choose_gang(&profile, fleet_size, deadline_s).expect("non-empty gang surface");
+
+    // Best fixed single-device lattice point under the same deadline —
+    // min-energy feasible, else fastest (the governor's fallback).
+    let single = lat.min_energy_within(deadline_s).unwrap_or_else(|| {
+        lat.points
+            .iter()
+            .min_by(|a, b| a.time_s.total_cmp(&b.time_s))
+            .expect("non-empty lattice")
+    });
+    let single_missed = single.time_s > deadline_s;
+    let saving = 1.0 - gang.energy_j / single.energy_j;
+
+    // Reserve the chosen gang on an idle fleet: the run holds a device
+    // *set* in lockstep, not a slot.
+    let mut busy_until = vec![0.0; fleet_size];
+    let reservation = reserve_gang(&mut busy_until, gang.num_devices, gang.time_s)
+        .expect("chosen gang fits the fleet");
+
+    // The strided axis need not contain the exact default clock; show the
+    // scaling column at the nearest swept clock.
+    let near_default = core
+        .iter()
+        .copied()
+        .min_by(|a, b| {
+            (a - spec.default_core_mhz)
+                .abs()
+                .total_cmp(&(b - spec.default_core_mhz).abs())
+        })
+        .expect("non-empty core axis");
+    print_table(
+        &format!(
+            "Strong-scaling surface at {near_default:.0} MHz (nearest swept clock to default)"
+        ),
+        &[
+            "devices",
+            "time (s)",
+            "energy (J)",
+            "speedup",
+            "norm. energy",
+            "halo share",
+        ],
+        &dist
+            .points
+            .iter()
+            .filter(|p| p.core_mhz.to_bits() == near_default.to_bits())
+            .map(|p| {
+                vec![
+                    p.num_devices.to_string(),
+                    format!("{:.6}", p.time_s),
+                    format!("{:.3}", p.energy_j),
+                    format!("{:.3}", p.speedup),
+                    format!("{:.3}", p.norm_energy),
+                    format!("{:.4}", p.exchange_energy_share()),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!(
+        "\ndeadline {:.6} s ({}× default): gang pick {} devices @ {:.0} MHz → {:.6} s, {:.3} J; \
+         best single-device lattice point {:.0}/{:.0} MHz{} → {:.6} s, {:.3} J{} — {:.1}% saved",
+        deadline_s,
+        DECOMP_DEADLINE_FRAC,
+        gang.num_devices,
+        gang.core_mhz,
+        gang.time_s,
+        gang.energy_j,
+        single.core_mhz,
+        single.mem_mhz,
+        match single.cap_w {
+            Some(c) => format!(" @{c:.0} W"),
+            None => String::new(),
+        },
+        single.time_s,
+        single.energy_j,
+        if single_missed { " (misses)" } else { "" },
+        100.0 * saving
+    );
+    println!(
+        "reservation: devices {:?}, lockstep window [{:.6}, {:.6}] s",
+        reservation.devices, reservation.start_s, reservation.end_s
+    );
+
+    // ---- The committed guards (asserted before anything is written) ----
+    assert!(
+        gang.time_s <= deadline_s,
+        "gang pick misses the deadline: {} > {}",
+        gang.time_s,
+        deadline_s
+    );
+    assert!(
+        saving >= DECOMP_SAVING_MIN,
+        "gang saves only {:.2}% vs the best single-device lattice point (floor {:.0}%)",
+        100.0 * saving,
+        100.0 * DECOMP_SAVING_MIN
+    );
+    // Shrinking subdomains pay relatively more for their halos: at every
+    // fixed clock, the exchange-energy share grows strictly with the gang
+    // size (a single device exchanges nothing).
+    for f in &core {
+        let mut shares: Vec<(usize, f64)> = dist
+            .points
+            .iter()
+            .filter(|p| p.core_mhz.to_bits() == f.to_bits())
+            .map(|p| (p.num_devices, p.exchange_energy_share()))
+            .collect();
+        shares.sort_by_key(|(d, _)| *d);
+        for w in shares.windows(2) {
+            assert!(
+                w[1].1 > w[0].1,
+                "halo-energy share not monotone at {f:.0} MHz: d={} share {} vs d={} share {}",
+                w[0].0,
+                w[0].1,
+                w[1].0,
+                w[1].1
+            );
+        }
+    }
+
+    #[derive(Serialize)]
+    struct Summary {
+        device: String,
+        workload: String,
+        seed: u64,
+        reps: usize,
+        fleet_size: usize,
+        deadline_frac: f64,
+        deadline_s: f64,
+        core_mhz: Vec<f64>,
+        device_counts: Vec<usize>,
+        baseline_time_s: f64,
+        baseline_energy_j: f64,
+        points: Vec<energy_model::DistributedPoint>,
+        gang_devices: usize,
+        gang_core_mhz: f64,
+        gang_time_s: f64,
+        gang_energy_j: f64,
+        gang_reserved_devices: Vec<usize>,
+        single_core_mhz: f64,
+        single_mem_mhz: f64,
+        single_cap_w: Option<f64>,
+        single_time_s: f64,
+        single_energy_j: f64,
+        single_missed_deadline: bool,
+        saving_vs_single: f64,
+    }
+    let dir = std::path::Path::new("results/decomp");
+    std::fs::create_dir_all(dir)?;
+    let summary = Summary {
+        device: spec.name.clone(),
+        workload: dist.workload.clone(),
+        seed: SEED,
+        reps: REPS,
+        fleet_size,
+        deadline_frac: DECOMP_DEADLINE_FRAC,
+        deadline_s,
+        core_mhz: core.clone(),
+        device_counts: DECOMP_DEVICE_COUNTS.to_vec(),
+        baseline_time_s: dist.baseline_time_s,
+        baseline_energy_j: dist.baseline_energy_j,
+        points: dist.points.clone(),
+        gang_devices: gang.num_devices,
+        gang_core_mhz: gang.core_mhz,
+        gang_time_s: gang.time_s,
+        gang_energy_j: gang.energy_j,
+        gang_reserved_devices: reservation.devices.clone(),
+        single_core_mhz: single.core_mhz,
+        single_mem_mhz: single.mem_mhz,
+        single_cap_w: single.cap_w,
+        single_time_s: single.time_s,
+        single_energy_j: single.energy_j,
+        single_missed_deadline: single_missed,
+        saving_vs_single: saving,
+    };
+    atomic_write_str(
+        &dir.join("summary.json"),
+        &serde_json::to_string_pretty(&summary)?,
+    )?;
+    println!("wrote results/decomp/summary.json");
+
+    #[derive(Serialize)]
+    struct Bench {
+        bench: String,
+        device: String,
+        seed: u64,
+        reps: usize,
+        deadline_frac: f64,
+        surface_points: usize,
+        gang_devices: usize,
+        gang_core_mhz: f64,
+        gang_energy_j: f64,
+        gang_deadline_misses: usize,
+        single_energy_j: f64,
+        single_missed_deadline: bool,
+        saving_vs_single: f64,
+        saving_guard: f64,
+        max_halo_energy_share: f64,
+    }
+    let max_share = dist
+        .points
+        .iter()
+        .map(|p| p.exchange_energy_share())
+        .fold(0.0f64, f64::max);
+    let bench = Bench {
+        bench: "domain decomposition: gang-scheduled (device count × clock) pick \
+                under a sub-unity deadline vs the best fixed single-device lattice point"
+            .to_string(),
+        device: spec.name.clone(),
+        seed: SEED,
+        reps: REPS,
+        deadline_frac: DECOMP_DEADLINE_FRAC,
+        surface_points: dist.points.len(),
+        gang_devices: gang.num_devices,
+        gang_core_mhz: gang.core_mhz,
+        gang_energy_j: gang.energy_j,
+        gang_deadline_misses: 0,
+        single_energy_j: single.energy_j,
+        single_missed_deadline: single_missed,
+        saving_vs_single: saving,
+        saving_guard: DECOMP_SAVING_MIN,
+        max_halo_energy_share: max_share,
+    };
+    atomic_write_str(
+        std::path::Path::new("BENCH_decomp.json"),
+        &serde_json::to_string_pretty(&bench)?,
+    )?;
+    println!(
+        "\nwrote BENCH_decomp.json ({} devices @ {:.0} MHz saves {:.1}% vs the best \
+         single-device point at zero deadline misses)",
+        gang.num_devices,
+        gang.core_mhz,
+        100.0 * saving
+    );
+    Ok(())
+}
+
 /// Runs the two paper applications through instrumented characterization
 /// sweeps and exports the unified observability artifacts to
 /// `results/telemetry/`: `metrics.json` (the registry snapshot),
@@ -1622,7 +1959,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!(
-            "usage: figures -- <id> [...]   ids: fig1..fig10 table1 table2 fig13 fig14 headline portability sweep-profile serving-profile [--quick] campaign [--resume] telemetry govern [--policy <name>] fleet lattice lifecycle [--inject-drift] all"
+            "usage: figures -- <id> [...]   ids: fig1..fig10 table1 table2 fig13 fig14 headline portability sweep-profile serving-profile [--quick] campaign [--resume] telemetry govern [--policy <name>] fleet lattice decomp lifecycle [--inject-drift] all"
         );
         std::process::exit(2);
     }
@@ -1680,6 +2017,7 @@ fn main() {
             "govern" => return govern_cmd(&policies),
             "fleet" => return fleet_cmd(),
             "lattice" => return lattice_cmd(),
+            "decomp" => return decomp_cmd(),
             "lifecycle" => return lifecycle_cmd(inject_drift),
             other => {
                 eprintln!("unknown experiment id: {other}");

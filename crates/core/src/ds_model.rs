@@ -70,6 +70,31 @@ pub struct LatticeSample {
     pub energy_j: f64,
 }
 
+/// One distributed training sample: input features plus the full gang
+/// configuration `(core, mem, cap, num_devices)` — the four-column
+/// generalization of [`LatticeSample`] produced by
+/// [`crate::distributed::characterize_distributed`].
+///
+/// `num_devices` is carried as `f64` so the design matrix stays one
+/// homogeneous float block; it is always an exact small integer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DistributedSample {
+    /// Domain-specific input features `f⃗` (Table 2).
+    pub features: Arc<Vec<f64>>,
+    /// Core frequency (MHz).
+    pub core_mhz: f64,
+    /// Memory frequency (MHz).
+    pub mem_mhz: f64,
+    /// Effective power cap (W); the device TDP when uncapped.
+    pub cap_w: f64,
+    /// Gang size the sample was measured on.
+    pub num_devices: f64,
+    /// Measured makespan `t` (s).
+    pub time_s: f64,
+    /// Measured gang energy `e` (J).
+    pub energy_j: f64,
+}
+
 /// One predicted lattice operating point, normalized to the model's
 /// default configuration (the lattice sibling of
 /// [`PredictedPoint`]).
@@ -97,6 +122,36 @@ pub struct LatticeCurvePrediction {
     pub default_energy_j: f64,
     /// Normalized predictions over the requested lattice points.
     pub curve: Vec<LatticePredictedPoint>,
+}
+
+/// One predicted distributed operating point, normalized to the model's
+/// default configuration (the gang sibling of [`LatticePredictedPoint`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DistributedPredictedPoint {
+    /// Core frequency (MHz).
+    pub core_mhz: f64,
+    /// Memory frequency (MHz).
+    pub mem_mhz: f64,
+    /// Effective power cap (W); the device TDP when uncapped.
+    pub cap_w: f64,
+    /// Gang size.
+    pub num_devices: f64,
+    /// Predicted `t_default / t`.
+    pub speedup: f64,
+    /// Predicted `e / e_default`.
+    pub norm_energy: f64,
+}
+
+/// One input's predicted distributed surface: the default-configuration
+/// anchors plus the normalized gang points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistributedCurvePrediction {
+    /// Predicted makespan at the default configuration (s).
+    pub default_time_s: f64,
+    /// Predicted energy at the default configuration (J).
+    pub default_energy_j: f64,
+    /// Normalized predictions over the requested gang points.
+    pub curve: Vec<DistributedPredictedPoint>,
 }
 
 /// The regression algorithms the paper compares.
@@ -206,7 +261,8 @@ pub struct DomainSpecificModel {
     default_freq_mhz: f64,
     /// How many configuration columns follow the input features in the
     /// design matrix: 1 for the legacy frequency-only models, 3 for
-    /// lattice models (`core_mhz`, `mem_mhz`, `cap_w`). Serde-defaulted to
+    /// lattice models (`core_mhz`, `mem_mhz`, `cap_w`), 4 for distributed
+    /// models (the lattice columns plus `num_devices`). Serde-defaulted to
     /// 1 so pre-lattice JSON artifacts deserialize unchanged.
     #[serde(default = "one_config_col")]
     config_cols: usize,
@@ -347,6 +403,64 @@ impl DomainSpecificModel {
             n_features,
             default_freq_mhz: default_config[0],
             config_cols: 3,
+            default_config: default_config.to_vec(),
+            time_flat,
+            energy_flat,
+        }
+    }
+
+    /// Trains the Random Forest model pair on distributed gang samples:
+    /// the design matrix carries **four** configuration columns
+    /// (`core_mhz`, `mem_mhz`, `cap_w`, `num_devices`) after the input
+    /// features, so one model prices the compute/communication trade-off —
+    /// bigger gangs finish sooner but pay halo-exchange and barrier
+    /// energy. Normalization anchors on `default_config` (conventionally
+    /// the 1-device default clock point). Lattice and legacy training
+    /// paths are untouched.
+    ///
+    /// # Panics
+    /// Panics on an empty sample set or inconsistent feature widths.
+    pub fn train_distributed(
+        samples: &[DistributedSample],
+        default_config: [f64; 4],
+        seed: u64,
+    ) -> Self {
+        assert!(!samples.is_empty(), "empty training set");
+        let n_features = samples[0].features.len();
+        let mut x = Matrix::with_cols(n_features + 4);
+        let mut y_time = Vec::with_capacity(samples.len());
+        let mut y_energy = Vec::with_capacity(samples.len());
+        let mut row = Vec::with_capacity(n_features + 4);
+        for s in samples {
+            assert_eq!(s.features.len(), n_features, "ragged feature vectors");
+            assert!(
+                s.time_s > 0.0 && s.energy_j > 0.0,
+                "times and energies must be positive"
+            );
+            assert!(s.num_devices >= 1.0, "gangs need at least one device");
+            row.clear();
+            row.extend_from_slice(&s.features);
+            row.push(s.core_mhz);
+            row.push(s.mem_mhz);
+            row.push(s.cap_w);
+            row.push(s.num_devices);
+            x.push_row(&row);
+            y_time.push(s.time_s.ln());
+            y_energy.push(s.energy_j.ln());
+        }
+        let mut time_model = Algorithm::RandomForest.build(seed);
+        time_model.fit(&x, &y_time);
+        let mut energy_model = Algorithm::RandomForest.build(seed ^ 0xE);
+        energy_model.fit(&x, &y_energy);
+        let time_flat = time_model.compile_flat();
+        let energy_flat = energy_model.compile_flat();
+        DomainSpecificModel {
+            time_model,
+            energy_model,
+            algorithm: Algorithm::RandomForest,
+            n_features,
+            default_freq_mhz: default_config[0],
+            config_cols: 4,
             default_config: default_config.to_vec(),
             time_flat,
             energy_flat,
@@ -708,9 +822,72 @@ impl DomainSpecificModel {
         }
     }
 
+    /// The distributed prediction phase: speedup and normalized energy
+    /// over explicit `(core, mem, cap, num_devices)` gang points,
+    /// normalized by the *predicted* default-configuration values — the
+    /// four-axis Figure-12. The anchor row and every point row go through
+    /// one batched model pass per target.
+    ///
+    /// # Panics
+    /// Panics unless the model was trained by
+    /// [`DomainSpecificModel::train_distributed`], or on a feature-width
+    /// mismatch.
+    pub fn predict_distributed_curve(
+        &self,
+        features: &[f64],
+        points: &[[f64; 4]],
+    ) -> DistributedCurvePrediction {
+        assert_eq!(features.len(), self.n_features, "feature width mismatch");
+        assert_eq!(
+            self.config_cols, 4,
+            "only a distributed model can price a gang surface"
+        );
+        let mut x = Matrix::with_cols(self.n_features + 4);
+        let mut row = Vec::with_capacity(self.n_features + 4);
+        row.extend_from_slice(features);
+        row.extend_from_slice(&self.default_config);
+        x.push_row(&row);
+        for p in points {
+            row.truncate(self.n_features);
+            row.extend_from_slice(p);
+            x.push_row(&row);
+        }
+        let mut t_log = Vec::with_capacity(x.rows());
+        let mut e_log = Vec::with_capacity(x.rows());
+        match (&self.time_flat, &self.energy_flat) {
+            (Some(tf), Some(ef)) => {
+                tf.predict_batch_into(&x, &mut t_log);
+                ef.predict_batch_into(&x, &mut e_log);
+            }
+            _ => {
+                self.time_model.predict_batch(&x, &mut t_log);
+                self.energy_model.predict_batch(&x, &mut e_log);
+            }
+        }
+        let t_def = t_log[0].exp();
+        let e_def = e_log[0].exp();
+        let curve = points
+            .iter()
+            .enumerate()
+            .map(|(j, p)| DistributedPredictedPoint {
+                core_mhz: p[0],
+                mem_mhz: p[1],
+                cap_w: p[2],
+                num_devices: p[3],
+                speedup: t_def / t_log[1 + j].exp(),
+                norm_energy: e_log[1 + j].exp() / e_def,
+            })
+            .collect();
+        DistributedCurvePrediction {
+            default_time_s: t_def,
+            default_energy_j: e_def,
+            curve,
+        }
+    }
+
     /// How many configuration columns the design matrix carries after the
     /// input features: 1 (frequency) for legacy models, 3 for lattice
-    /// models.
+    /// models, 4 for distributed models.
     pub fn config_cols(&self) -> usize {
         self.config_cols
     }
@@ -1098,5 +1275,103 @@ mod tests {
         let samples = synth_samples(&[(2.0, 3.0), (4.0, 5.0)], &freqs());
         let model = DomainSpecificModel::train(&samples, 855.0, 0);
         let _ = model.predict_lattice_curve(&[2.0, 3.0], &[[900.0, 800.0, 150.0]]);
+    }
+
+    // ---- Distributed (gang) models ----
+
+    /// Synthetic strong-scaling app: compute shrinks as `1/d`, the halo
+    /// exchange cost is fixed per device — the qualitative surface the
+    /// decomposed Cronos driver measures.
+    fn synth_distributed_samples(inputs: &[(f64, f64)]) -> Vec<DistributedSample> {
+        let mut out = Vec::new();
+        for &(a, b) in inputs {
+            let work = a * b * 1e6;
+            for &f in &[600.0f64, 900.0, 1200.0, 1500.0] {
+                for &d in &[1.0f64, 2.0, 4.0, 8.0] {
+                    let eff = f.min(900.0);
+                    let exchange = if d > 1.0 { 6.0e-5 } else { 0.0 };
+                    let time = work / (d * eff * 1e6) + 4.0e-5 + exchange;
+                    let power = 50.0 + 0.1 * f;
+                    out.push(DistributedSample {
+                        features: Arc::new(vec![a, b]),
+                        core_mhz: f,
+                        mem_mhz: 1100.0,
+                        cap_w: 300.0,
+                        num_devices: d,
+                        time_s: time,
+                        energy_j: time * power * d,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    const DIST_DEFAULT: [f64; 4] = [1500.0, 1100.0, 300.0, 1.0];
+
+    #[test]
+    fn distributed_model_fits_training_configurations() {
+        let samples =
+            synth_distributed_samples(&[(2.0, 3.0), (4.0, 5.0), (8.0, 2.0), (10.0, 10.0)]);
+        let model = DomainSpecificModel::train_distributed(&samples, DIST_DEFAULT, 0);
+        assert_eq!(model.config_cols(), 4);
+        assert_eq!(model.default_config(), DIST_DEFAULT.to_vec());
+        for s in samples.iter().step_by(5) {
+            let cfg = [s.core_mhz, s.mem_mhz, s.cap_w, s.num_devices];
+            let (t, e) = model.predict_time_energy_config(&s.features, &cfg);
+            assert!((t - s.time_s).abs() / s.time_s < 0.2, "time");
+            assert!((e - s.energy_j).abs() / s.energy_j < 0.2, "energy");
+        }
+    }
+
+    #[test]
+    fn distributed_curve_normalizes_to_default_config() {
+        let samples = synth_distributed_samples(&[(2.0, 3.0), (4.0, 5.0), (8.0, 2.0)]);
+        let model = DomainSpecificModel::train_distributed(&samples, DIST_DEFAULT, 0);
+        let pred = model.predict_distributed_curve(&[4.0, 5.0], &[DIST_DEFAULT]);
+        assert!((pred.curve[0].speedup - 1.0).abs() < 1e-9);
+        assert!((pred.curve[0].norm_energy - 1.0).abs() < 1e-9);
+        // And the surface rows agree with the row-at-a-time config path.
+        let pts = [[900.0, 1100.0, 300.0, 2.0], [1200.0, 1100.0, 300.0, 4.0]];
+        let pred = model.predict_distributed_curve(&[4.0, 5.0], &pts);
+        let (t_def, e_def) = model.predict_time_energy_config(&[4.0, 5.0], &DIST_DEFAULT);
+        for (p, cfg) in pred.curve.iter().zip(&pts) {
+            let (t, e) = model.predict_time_energy_config(&[4.0, 5.0], cfg);
+            assert_eq!(p.speedup.to_bits(), (t_def / t).to_bits());
+            assert_eq!(p.norm_energy.to_bits(), (e / e_def).to_bits());
+        }
+        assert_eq!(pred.default_time_s.to_bits(), t_def.to_bits());
+        assert_eq!(pred.default_energy_j.to_bits(), e_def.to_bits());
+    }
+
+    #[test]
+    fn distributed_model_json_round_trip_keeps_config_cols() {
+        let samples = synth_distributed_samples(&[(2.0, 3.0), (4.0, 5.0), (8.0, 2.0)]);
+        let model = DomainSpecificModel::train_distributed(&samples, DIST_DEFAULT, 4);
+        let back = DomainSpecificModel::from_json(&model.to_json()).unwrap();
+        assert_eq!(back.config_cols(), 4);
+        assert_eq!(back.default_config(), model.default_config());
+        assert!(back.has_flat());
+        let cfg = [900.0, 1100.0, 300.0, 4.0];
+        let (t0, e0) = model.predict_time_energy_config(&[4.0, 5.0], &cfg);
+        let (t1, e1) = back.predict_time_energy_config(&[4.0, 5.0], &cfg);
+        assert!(((t1 - t0) / t0).abs() < 1e-12);
+        assert!(((e1 - e0) / e0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "only a distributed model can price a gang surface")]
+    fn lattice_model_rejects_gang_surface() {
+        let samples = synth_lattice_samples(&[(2.0, 3.0), (4.0, 5.0)]);
+        let model = DomainSpecificModel::train_lattice(&samples, [1500.0, 1100.0, 300.0], 0);
+        let _ = model.predict_distributed_curve(&[2.0, 3.0], &[[900.0, 800.0, 150.0, 2.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "configuration width mismatch")]
+    fn distributed_model_rejects_lattice_width_config() {
+        let samples = synth_distributed_samples(&[(2.0, 3.0), (4.0, 5.0)]);
+        let model = DomainSpecificModel::train_distributed(&samples, DIST_DEFAULT, 0);
+        let _ = model.predict_time_energy_config(&[2.0, 3.0], &[900.0, 1100.0, 300.0]);
     }
 }

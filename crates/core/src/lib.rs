@@ -23,6 +23,11 @@
 //!   Forests over (input features ‖ frequency) predicting time and energy,
 //!   normalized into speedup / normalized energy at prediction time
 //!   (Figures 11–12);
+//! * [`mod@distributed`] — the strong-scaling sibling of the lattice
+//!   sweep: gangs of identical devices run the domain-decomposed Cronos
+//!   driver over a (device count × core clock) lattice, pricing halo
+//!   exchanges and lockstep barriers so the compute/communication energy
+//!   trade-off is a first-class model input;
 //! * [`artifact`] — versioned, checksummed model artifacts: the envelope
 //!   (schema version, content digest, training fingerprint) that lets a
 //!   runtime loader reject corrupt or stale models with typed errors
@@ -51,6 +56,7 @@
 pub mod artifact;
 pub mod campaign;
 pub mod characterize;
+pub mod distributed;
 pub mod ds_model;
 pub mod eval;
 pub mod features;
@@ -76,9 +82,13 @@ pub use characterize::{
     LatticeDiagnostics, LatticePoint, LatticePointDiagnostics, PointDiagnostics, SweepDiagnostics,
     SweepOptions, Workload,
 };
+pub use distributed::{
+    characterize_distributed, DistributedAxes, DistributedCharacterization, DistributedPoint,
+    DistributedSweepOptions,
+};
 pub use ds_model::{
-    CurvePrediction, DomainSpecificModel, LatticeCurvePrediction, LatticePredictedPoint,
-    LatticeSample,
+    CurvePrediction, DistributedCurvePrediction, DistributedPredictedPoint, DistributedSample,
+    DomainSpecificModel, LatticeCurvePrediction, LatticePredictedPoint, LatticeSample,
 };
 pub use features::{CronosInput, LigenInput};
 pub use gp_model::GeneralPurposeModel;

@@ -529,6 +529,9 @@ const DEFAULT_TRACE_CAPACITY: usize = 65_536;
 /// Histogram bounds for per-point simulated run times (s).
 pub const POINT_TIME_BOUNDS: [f64; 7] = [1e-3, 1e-2, 0.1, 1.0, 10.0, 100.0, 1000.0];
 
+/// Histogram bounds for per-point halo-exchange energies (J).
+pub const EXCHANGE_ENERGY_BOUNDS: [f64; 7] = [0.1, 1.0, 10.0, 100.0, 1e3, 1e4, 1e5];
+
 /// A shareable telemetry sink: one [`Registry`] + one trace ring.
 ///
 /// Create with [`Telemetry::new`], hand the `Arc` to
@@ -668,6 +671,30 @@ impl Telemetry {
                 r.counter(name).add(v);
             }
         }
+    }
+
+    /// Mirrors one accepted distributed measurement's halo-exchange costs
+    /// into the `synergy.exchange.*` metrics: bytes moved across links,
+    /// time and energy burned by the exchange machinery, and barrier idle
+    /// waits. Purely observational — the distributed sweep is bit-identical
+    /// with or without an armed sink.
+    pub fn record_exchange(
+        &self,
+        halo_bytes: u64,
+        exchange_time_s: f64,
+        exchange_energy_j: f64,
+        barrier_wait_s: f64,
+    ) {
+        let r = &self.registry;
+        if halo_bytes > 0 {
+            r.counter("synergy.exchange.halo_bytes").add(halo_bytes);
+        }
+        r.histogram("synergy.exchange.time_s", &POINT_TIME_BOUNDS)
+            .observe(exchange_time_s);
+        r.histogram("synergy.exchange.energy_j", &EXCHANGE_ENERGY_BOUNDS)
+            .observe(exchange_energy_j);
+        r.histogram("synergy.exchange.barrier_wait_s", &POINT_TIME_BOUNDS)
+            .observe(barrier_wait_s);
     }
 
     /// Mirrors a [`gpu_sim::pricing::PriceTable`]'s lookup statistics into

@@ -33,12 +33,23 @@ pub enum BoundaryKind {
 /// Fills all ghost layers of `state` according to `kind`.
 ///
 /// The sweep order is x, then y, then z; later sweeps read the ghosts the
-/// earlier sweeps wrote, which fills edges and corners correctly.
+/// earlier sweeps wrote, which fills edges and corners correctly. The
+/// per-axis sweeps are exposed separately ([`sweep_x`], [`sweep_y`],
+/// [`sweep_z`]) because the slab decomposition in [`crate::decomp`]
+/// replaces the x sweep with a halo exchange on interior cuts while
+/// running the y/z sweeps locally, unchanged.
 pub fn apply_boundary(state: &mut State, kind: BoundaryKind) {
+    sweep_x(state, kind);
+    sweep_y(state, kind);
+    sweep_z(state, kind);
+}
+
+/// The x-face sweep of [`apply_boundary`]: fills the two ghost columns on
+/// each x side of every `(j, k)` storage row (ghost rows included) from
+/// this state's own interior columns, per `kind`.
+pub fn sweep_x(state: &mut State, kind: BoundaryKind) {
     let g = state.grid;
     let (sx, sy, sz) = (g.sx(), g.sy(), g.sz());
-
-    // X faces.
     for k in 0..sz {
         for j in 0..sy {
             for layer in 0..NGHOST {
@@ -63,7 +74,13 @@ pub fn apply_boundary(state: &mut State, kind: BoundaryKind) {
             }
         }
     }
-    // Y faces.
+}
+
+/// The y-face sweep of [`apply_boundary`] (covers every x column,
+/// including the x ghosts the x phase just filled).
+pub fn sweep_y(state: &mut State, kind: BoundaryKind) {
+    let g = state.grid;
+    let (sx, sy, sz) = (g.sx(), g.sy(), g.sz());
     for k in 0..sz {
         for i in 0..sx {
             for layer in 0..NGHOST {
@@ -86,7 +103,12 @@ pub fn apply_boundary(state: &mut State, kind: BoundaryKind) {
             }
         }
     }
-    // Z faces.
+}
+
+/// The z-face sweep of [`apply_boundary`].
+pub fn sweep_z(state: &mut State, kind: BoundaryKind) {
+    let g = state.grid;
+    let (sx, sy, sz) = (g.sx(), g.sy(), g.sz());
     for j in 0..sy {
         for i in 0..sx {
             for layer in 0..NGHOST {

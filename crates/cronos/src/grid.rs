@@ -24,6 +24,14 @@ pub struct Grid {
     pub ly: f64,
     /// Physical domain length along z.
     pub lz: f64,
+    /// Spacing override carried by subdomain grids. `lx/nx` does not
+    /// round-trip through a slab cut (`(lx·k/n)/k ≠ lx/n` bitwise), so a
+    /// subgrid must inherit its parent's *exact* spacing for the stencil's
+    /// `1/Δx` factors — and therefore the decomposed solve — to stay
+    /// bit-identical to the monolithic one. `None` (the default, and what
+    /// legacy serialized grids deserialize to) means the derived spacing.
+    #[serde(default)]
+    spacing: Option<[f64; 3]>,
 }
 
 impl Grid {
@@ -52,22 +60,55 @@ impl Grid {
             lx,
             ly,
             lz,
+            spacing: None,
+        }
+    }
+
+    /// An x-slab subgrid of `nx_local` interior cells that keeps this
+    /// grid's exact cell spacing (see the `spacing` field). The y/z extents
+    /// and lengths are inherited unchanged; the x length is the consistent
+    /// `nx_local · dx`.
+    ///
+    /// # Panics
+    /// Panics if `nx_local` is zero or exceeds `self.nx`.
+    pub fn subgrid_x(&self, nx_local: usize) -> Grid {
+        assert!(
+            nx_local > 0 && nx_local <= self.nx,
+            "slab extent must be in 1..=nx"
+        );
+        Grid {
+            nx: nx_local,
+            ny: self.ny,
+            nz: self.nz,
+            lx: self.dx() * nx_local as f64,
+            ly: self.ly,
+            lz: self.lz,
+            spacing: Some([self.dx(), self.dy(), self.dz()]),
         }
     }
 
     /// Cell spacing along x.
     pub fn dx(&self) -> f64 {
-        self.lx / self.nx as f64
+        match self.spacing {
+            Some(s) => s[0],
+            None => self.lx / self.nx as f64,
+        }
     }
 
     /// Cell spacing along y.
     pub fn dy(&self) -> f64 {
-        self.ly / self.ny as f64
+        match self.spacing {
+            Some(s) => s[1],
+            None => self.ly / self.ny as f64,
+        }
     }
 
     /// Cell spacing along z.
     pub fn dz(&self) -> f64 {
-        self.lz / self.nz as f64
+        match self.spacing {
+            Some(s) => s[2],
+            None => self.lz / self.nz as f64,
+        }
     }
 
     /// Interior cell count.
@@ -193,5 +234,47 @@ mod tests {
     #[should_panic(expected = "extents must be positive")]
     fn zero_extent_rejected() {
         let _ = Grid::cubic(0, 4, 4);
+    }
+
+    #[test]
+    fn subgrid_carries_parent_spacing_bitwise() {
+        // 160/7 does not round-trip: (lx·k/n)/k ≠ lx/n in general. The
+        // spacing override must make the slab's dx the parent's, bit for
+        // bit, along with dy/dz.
+        let g = Grid::new(160, 64, 64, 1.0, 0.7, 1.3);
+        for nx_local in [1, 7, 23, 160] {
+            let sub = g.subgrid_x(nx_local);
+            assert_eq!(sub.dx().to_bits(), g.dx().to_bits());
+            assert_eq!(sub.dy().to_bits(), g.dy().to_bits());
+            assert_eq!(sub.dz().to_bits(), g.dz().to_bits());
+            assert_eq!(sub.nx, nx_local);
+            assert_eq!((sub.ny, sub.nz), (g.ny, g.nz));
+        }
+    }
+
+    #[test]
+    fn subgrid_of_subgrid_keeps_root_spacing() {
+        let g = Grid::new(100, 8, 8, 2.0, 1.0, 1.0);
+        let sub = g.subgrid_x(33).subgrid_x(11);
+        assert_eq!(sub.dx().to_bits(), g.dx().to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "slab extent")]
+    fn oversized_subgrid_rejected() {
+        let _ = Grid::cubic(8, 4, 4).subgrid_x(9);
+    }
+
+    #[test]
+    fn grid_without_override_deserializes_with_derived_spacing() {
+        let g = Grid::new(10, 4, 4, 1.0, 1.0, 1.0);
+        let json = serde_json::to_string(&g).unwrap();
+        let back: Grid = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, g);
+        assert_eq!(back.dx().to_bits(), g.dx().to_bits());
+        // A legacy payload with no `spacing` key still loads.
+        let legacy = r#"{"nx":10,"ny":4,"nz":4,"lx":1.0,"ly":1.0,"lz":1.0}"#;
+        let old: Grid = serde_json::from_str(legacy).unwrap();
+        assert_eq!(old, g);
     }
 }

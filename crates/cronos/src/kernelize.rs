@@ -35,6 +35,12 @@ pub mod names {
     pub const INTEGRATE_TIME: &str = "cronos::integrate_time";
     /// The ghost-layer boundary kernel.
     pub const APPLY_BOUNDARY: &str = "cronos::apply_boundary";
+    /// The halo pack kernel (stages outgoing x-face planes).
+    pub const PACK_HALO: &str = "cronos::pack_halo";
+    /// The halo exchange transfer (the link-transfer label, not a kernel).
+    pub const EXCHANGE_HALO: &str = "cronos::exchange_halo";
+    /// The halo unpack kernel (scatters received planes into ghosts).
+    pub const UNPACK_HALO: &str = "cronos::unpack_halo";
 }
 
 /// Profile of the `computeChanges` stencil kernel for a grid.
@@ -94,6 +100,47 @@ pub fn apply_boundary_kernel(grid: &Grid) -> KernelProfile {
         ..OpMix::default()
     };
     KernelProfile::new(names::APPLY_BOUNDARY, surface.max(1), mix)
+}
+
+/// Cells in one directed x-halo message: `NGHOST` full `(j, k)` storage
+/// planes (the decomposition exchanges ghost rows too — that is what keeps
+/// it bit-identical to the monolithic sweep).
+fn halo_cells(grid: &Grid, sends: usize) -> u64 {
+    (sends * NGHOST * grid.sy() * grid.sz()).max(1) as u64
+}
+
+/// Profile of the halo *pack* kernel: gathers the outgoing x-face planes
+/// into a contiguous send buffer. Pure streaming — one 64 B cell read from
+/// the strided grid layout, one 64 B write to the dense buffer — so its
+/// cost comes from the face area and the memory path, exactly how the
+/// decomposition's exchange bytes are priced.
+pub fn pack_halo_kernel(grid: &Grid, sends: usize) -> KernelProfile {
+    let mix = OpMix {
+        int_add: 8.0, // gather index arithmetic
+        global_access: 16.0,
+        ..OpMix::default()
+    };
+    KernelProfile::new(names::PACK_HALO, halo_cells(grid, sends), mix)
+}
+
+/// Profile of the halo *unpack* kernel: scatters received planes into the
+/// ghost columns. Same streaming shape as [`pack_halo_kernel`].
+pub fn unpack_halo_kernel(grid: &Grid, sends: usize) -> KernelProfile {
+    let mix = OpMix {
+        int_add: 8.0, // scatter index arithmetic
+        global_access: 16.0,
+        ..OpMix::default()
+    };
+    KernelProfile::new(names::UNPACK_HALO, halo_cells(grid, sends), mix)
+}
+
+/// The pack/unpack kernel pair for a slab that sends (and receives) on
+/// `sends` remote cuts.
+pub fn halo_kernels(grid: &Grid, sends: usize) -> (KernelProfile, KernelProfile) {
+    (
+        pack_halo_kernel(grid, sends),
+        unpack_halo_kernel(grid, sends),
+    )
 }
 
 /// The *source-level* (static-analysis) view of the four kernels.
@@ -182,6 +229,23 @@ mod tests {
         let big = apply_boundary_kernel(&Grid::cubic(20, 8, 8));
         // Surface grows ×4 when linear dims double.
         assert_eq!(big.work_items, small.work_items * 4);
+    }
+
+    #[test]
+    fn halo_kernels_scale_with_face_area_and_stream() {
+        let g = Grid::cubic(64, 16, 16);
+        let (pack, unpack) = halo_kernels(&g, 2);
+        assert_eq!(pack.work_items, (2 * NGHOST * g.sy() * g.sz()) as u64);
+        assert_eq!(pack.work_items, unpack.work_items);
+        assert_eq!(halo_kernels(&g, 1).0.work_items * 2, pack.work_items);
+        // Halo work is independent of the slab's x extent — it is a face
+        // quantity.
+        let thin = g.subgrid_x(4);
+        assert_eq!(pack_halo_kernel(&thin, 2).work_items, pack.work_items);
+        // Streaming: far below one issue-cycle per DRAM byte.
+        let cyc = pack.mix.issue_cycles();
+        let bytes = pack.mix.global_bytes();
+        assert!(cyc / bytes < 0.5, "halo copies must be bandwidth-limited");
     }
 
     #[test]

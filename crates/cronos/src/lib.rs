@@ -30,6 +30,7 @@
 //! CRONOS submits its kernels.
 
 pub mod boundary;
+pub mod decomp;
 pub mod diagnostics;
 pub mod eos;
 pub mod flux;
@@ -42,6 +43,9 @@ pub mod sim;
 pub mod state;
 pub mod stencil;
 
+pub use decomp::{
+    Decomposition, DistributedGpuCronos, DistributedRunReport, DistributedSimulation,
+};
 pub use grid::Grid;
 pub use sim::{GpuCronos, Simulation};
 pub use state::{Cons, State};

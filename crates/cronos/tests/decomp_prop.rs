@@ -1,0 +1,138 @@
+//! Property tests of the slab decomposition: on random grids and slab
+//! counts, the decomposed CPU solver is **bit-identical** to the
+//! monolithic one on both canonical problems, and the decomposition
+//! geometry tiles the grid exactly.
+
+use cronos::boundary::BoundaryKind;
+use cronos::decomp::DistributedSimulation;
+use cronos::eos::GAMMA;
+use cronos::grid::NGHOST;
+use cronos::problems::{self, Problem};
+use cronos::sim::Simulation;
+use cronos::state::NCOMP;
+use cronos::{Decomposition, Grid};
+use proptest::prelude::*;
+
+fn assert_bitwise_equal(dist: &DistributedSimulation, mono: &Simulation) -> Result<(), String> {
+    prop_assert_eq!(dist.dt.to_bits(), mono.dt.to_bits(), "dt diverged");
+    prop_assert_eq!(dist.time.to_bits(), mono.time.to_bits(), "time diverged");
+    let gathered = dist.gather();
+    prop_assert_eq!(gathered.cells.len(), mono.state.cells.len());
+    for (i, (ca, cb)) in gathered.cells.iter().zip(&mono.state.cells).enumerate() {
+        for c in 0..NCOMP {
+            prop_assert_eq!(
+                ca[c].to_bits(),
+                cb[c].to_bits(),
+                "cell {} component {} diverged",
+                i,
+                c
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Runs both solvers `steps` steps and checks bit-identity.
+fn check_problem(
+    problem_fn: fn(Grid) -> Problem,
+    grid: Grid,
+    slabs: usize,
+    steps: u64,
+) -> Result<(), String> {
+    let mut mono = Simulation::new(problem_fn(grid), GAMMA, 0.4);
+    let mut dist = DistributedSimulation::new(problem_fn(grid), GAMMA, 0.4, slabs);
+    mono.run_steps(steps);
+    dist.run_steps(steps);
+    assert_bitwise_equal(&dist, &mono)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Orszag–Tang (periodic) on a random grid, decomposed onto a random
+    /// admissible slab count, is bit-identical to the monolithic run.
+    #[test]
+    fn orszag_tang_decomposition_is_bit_identical(
+        nx in 8usize..24,
+        ny in 4usize..8,
+        nz in 4usize..8,
+        slab_sel in 0usize..64,
+        steps in 1u64..4,
+    ) {
+        let g = Grid::cubic(nx, ny, nz);
+        let max = Decomposition::max_slabs(&g);
+        let slabs = 1 + slab_sel % max;
+        check_problem(problems::orszag_tang, g, slabs, steps)?;
+    }
+
+    /// MHD blast (outflow boundaries — the wrap cut drops) stays
+    /// bit-identical under the same randomization.
+    #[test]
+    fn mhd_blast_decomposition_is_bit_identical(
+        nx in 8usize..24,
+        ny in 4usize..8,
+        nz in 4usize..8,
+        slab_sel in 0usize..64,
+        steps in 1u64..4,
+    ) {
+        let g = Grid::cubic(nx, ny, nz);
+        let max = Decomposition::max_slabs(&g);
+        let slabs = 1 + slab_sel % max;
+        check_problem(problems::mhd_blast, g, slabs, steps)?;
+    }
+
+    /// Decomposition geometry: slab widths tile the grid exactly, every
+    /// slab is at least NGHOST wide, and starts are the prefix sums.
+    #[test]
+    fn slab_geometry_tiles_the_grid(
+        nx in NGHOST..64usize,
+        ny in 4usize..10,
+        nz in 4usize..10,
+        slab_sel in 0usize..64,
+    ) {
+        let g = Grid::cubic(nx, ny, nz);
+        let max = Decomposition::max_slabs(&g);
+        prop_assert!(max >= 1);
+        let slabs = 1 + slab_sel % max;
+        let d = Decomposition::slabs(&g, slabs);
+        prop_assert_eq!(d.num_slabs(), slabs);
+        let total: usize = (0..d.num_slabs()).map(|i| d.width(i)).sum();
+        prop_assert_eq!(total, g.nx, "slab widths must sum to nx");
+        let mut expect_start = 0;
+        for i in 0..d.num_slabs() {
+            prop_assert!(d.width(i) >= NGHOST);
+            prop_assert_eq!(d.start(i), expect_start);
+            expect_start += d.width(i);
+            let sub = d.slab_grid(&g, i);
+            prop_assert_eq!(sub.nx, d.width(i));
+            prop_assert_eq!((sub.ny, sub.nz), (g.ny, g.nz));
+        }
+    }
+
+    /// Halo accounting is pure geometry: periodic rings cut `n` times
+    /// (none when n = 1), outflow drops the wrap, and each cut moves two
+    /// ghost planes per exchange.
+    #[test]
+    fn halo_bytes_match_cut_geometry(
+        nx in 8usize..32,
+        ny in 4usize..8,
+        nz in 4usize..8,
+        slab_sel in 0usize..64,
+    ) {
+        let g = Grid::cubic(nx, ny, nz);
+        let max = Decomposition::max_slabs(&g);
+        let slabs = 1 + slab_sel % max;
+        let d = Decomposition::slabs(&g, slabs);
+        let plane = Decomposition::plane_bytes(&g);
+        let periodic_cuts = if slabs == 1 { 0 } else { slabs };
+        prop_assert_eq!(
+            d.halo_bytes_per_exchange(&g, BoundaryKind::Periodic),
+            periodic_cuts as u64 * 2 * plane
+        );
+        let outflow_cuts = slabs - 1;
+        prop_assert_eq!(
+            d.halo_bytes_per_exchange(&g, BoundaryKind::Outflow),
+            outflow_cuts as u64 * 2 * plane
+        );
+    }
+}

@@ -26,6 +26,11 @@
 //!   failure mode (model missing, stale artifact, rejected clock request,
 //!   admission overflow) degrades to the default clock instead of
 //!   stopping the fleet;
+//! * [`gang`] — gang placement for domain-decomposed jobs: pick the
+//!   energy-optimal `(device count, core clock)` point from a
+//!   strong-scaling profile under a deadline, then reserve that many
+//!   devices for a lockstep window — one decomposed Cronos run holds a
+//!   device *set*, not a slot;
 //! * [`fleet`] — the multi-device scale-out of [`sim`]: heterogeneous
 //!   device classes (V100s + MI100s) with per-class model artifacts,
 //!   per-device FIFO queues with work stealing, energy-aware placement,
@@ -37,6 +42,7 @@
 //! the same contracts the sweep engine and campaign layers already hold.
 
 pub mod fleet;
+pub mod gang;
 pub mod lifecycle;
 pub mod policy;
 pub mod registry;
@@ -47,6 +53,7 @@ pub use fleet::{
     class_slug, fleet_model_name, run_fleet, train_and_publish_fleet, DeviceReport, FleetConfig,
     FleetDecision, FleetDevice, FleetEvent, FleetReport, Placement, StealPolicy, FLEET_SEED,
 };
+pub use gang::{choose_gang, reserve_gang, GangChoice, GangPoint, GangProfile, GangReservation};
 pub use lifecycle::{
     efficiency_drift, residual_ape, run_lifecycle, DriftConfig, DriftDetector, DriftScenario,
     DriftSummary, ForcedTrip, LifecycleConfig, LifecycleDecision, LifecycleError, LifecycleEvent,

@@ -12,6 +12,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::faults::{FaultError, FaultPlan, FaultState};
 use crate::kernel::KernelProfile;
+use crate::link::{transfer_power_w, TransferRecord};
 use crate::noise::NoiseModel;
 use crate::power::{energy_from_parts, resolve_power_cap, CapResolution, PowerBreakdown};
 use crate::pricing::PriceTable;
@@ -428,6 +429,54 @@ impl Device {
         self.last_power_w = self.spec.idle_power_w;
     }
 
+    /// Moves `bytes` over the device's peer-to-peer interconnect port,
+    /// advancing the device clock and energy counter.
+    ///
+    /// Time follows the alpha-beta model of [`crate::link::LinkSpec`];
+    /// energy flows through the *memory* power path (a DMA engine streams
+    /// DRAM while the compute pipes idle, see
+    /// [`crate::link::transfer_power_w`]), so a lower memory clock cheapens
+    /// the transfer like it cheapens a streaming kernel. The fault plan may
+    /// degrade the link (the transfer completes at a fraction of nominal
+    /// bandwidth, [`TransferRecord::degraded`] set) or drop it entirely
+    /// ([`FaultError::LinkLost`] — nothing runs, no counter moves).
+    pub fn transfer(&mut self, bytes: u64) -> Result<TransferRecord, FaultError> {
+        let fault = self.faults.on_transfer()?;
+        let factor = fault.unwrap_or(1.0);
+        let time_base_s = self.spec.link.transfer_time_s(bytes, factor);
+        // Achieved DRAM utilization: what the (possibly degraded) link can
+        // actually pull through the local memory system.
+        let util = if time_base_s > 0.0 {
+            (bytes as f64 / time_base_s / (self.spec.mem_bandwidth_gbs * 1e9)).min(1.0)
+        } else {
+            0.0
+        };
+        let power_w = transfer_power_w(&self.spec, self.mem_mhz, util);
+        let time_s = time_base_s * self.noise.time_factor();
+        let energy_j = power_w * time_base_s * self.noise.energy_factor();
+        if self.trace.is_recording() {
+            self.trace.push(TraceEvent {
+                kernel: "link::transfer".to_string(),
+                start_s: self.clock_s,
+                duration_s: time_s,
+                energy_j,
+                core_mhz: self.core_mhz,
+                mem_mhz: self.mem_mhz,
+                avg_power_w: energy_j / time_s,
+                work_items: bytes,
+            });
+        }
+        self.clock_s += time_s;
+        self.energy_counter_j += energy_j;
+        self.last_power_w = energy_j / time_s;
+        Ok(TransferRecord {
+            bytes,
+            time_s,
+            energy_j,
+            degraded: fault.is_some(),
+        })
+    }
+
     /// Cumulative energy counter (J) since creation — the
     /// `nvmlDeviceGetTotalEnergyConsumption` analogue (which reports mJ).
     pub fn energy_counter_j(&self) -> f64 {
@@ -836,6 +885,59 @@ mod tests {
         assert_eq!(seen, expected);
         assert_eq!(throttled, 2);
         assert_eq!(batched.energy_counter_j(), serial.energy_counter_j());
+    }
+
+    #[test]
+    fn transfer_advances_counters_and_prices_by_link() {
+        let mut d = Device::new(DeviceSpec::v100());
+        let bytes = 150_000_000; // 1 ms at 150 GB/s
+        let rec = d.transfer(bytes).unwrap();
+        assert!(!rec.degraded);
+        let expected_t = d.spec().link.transfer_time_s(bytes, 1.0);
+        assert_eq!(rec.time_s, expected_t);
+        assert_eq!(d.clock_s(), rec.time_s);
+        assert_eq!(d.energy_counter_j(), rec.energy_j);
+        // Power sits between the idle floor and idle + full memory power.
+        let p = rec.energy_j / rec.time_s;
+        assert!(p > d.spec().idle_power_w);
+        assert!(p < d.spec().idle_power_w + d.spec().mem_power_w);
+        assert_eq!(d.trace().events().len(), 1);
+        assert_eq!(d.trace().events()[0].work_items, bytes);
+    }
+
+    #[test]
+    fn low_mem_clock_cheapens_transfers() {
+        let mut top = Device::new(DeviceSpec::v100());
+        let mut low = Device::new(DeviceSpec::v100());
+        let floor = low.spec().mem_freqs.min();
+        low.set_mem_mhz(floor).unwrap();
+        let a = top.transfer(64_000_000).unwrap();
+        let b = low.transfer(64_000_000).unwrap();
+        assert_eq!(a.time_s, b.time_s, "link speed is mem-clock independent");
+        assert!(b.energy_j < a.energy_j, "mem down-clock cheapens the DMA");
+    }
+
+    #[test]
+    fn degraded_link_stretches_transfer_and_lost_link_moves_nothing() {
+        let plan = FaultPlan::none()
+            .degrade_link(Schedule::once(1), 0.25)
+            .fail_link(Schedule::once(2));
+        let mut d = Device::with_faults(DeviceSpec::v100(), plan);
+        let clean = d.transfer(150_000_000).unwrap();
+        let slow = d.transfer(150_000_000).unwrap();
+        assert!(slow.degraded);
+        assert!(
+            slow.time_s > 3.0 * clean.time_s,
+            "quarter bandwidth ≈ 4× the streaming time"
+        );
+        let before = (d.clock_s(), d.energy_counter_j());
+        let err = d.transfer(150_000_000).unwrap_err();
+        assert_eq!(err, FaultError::LinkLost);
+        assert_eq!(
+            (d.clock_s(), d.energy_counter_j()),
+            before,
+            "a lost link moves no counter"
+        );
     }
 
     #[test]

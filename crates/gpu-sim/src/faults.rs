@@ -46,6 +46,11 @@ pub enum FaultError {
         /// Name of the kernel whose launch was dropped.
         kernel: String,
     },
+    /// The peer-to-peer interconnect link dropped mid-transfer (NVLink
+    /// fatal error / xGMI link retrain failure). Unlike a dropped launch
+    /// this is *not* transient: the link stays down, so callers must fall
+    /// back to fewer devices rather than retry.
+    LinkLost,
 }
 
 impl std::fmt::Display for FaultError {
@@ -56,6 +61,9 @@ impl std::fmt::Display for FaultError {
             }
             FaultError::LaunchFailed { kernel } => {
                 write!(f, "transient launch failure of kernel '{kernel}'")
+            }
+            FaultError::LinkLost => {
+                write!(f, "interconnect link lost")
             }
         }
     }
@@ -129,14 +137,19 @@ pub struct FaultPlan {
     counter_resets: Schedule,
     throttle_onsets: Schedule,
     throttle_window: Option<ThrottleWindow>,
+    link_degrades: Schedule,
+    link_degrade_factor: Option<f64>,
+    link_failures: Schedule,
 }
 
-/// Stream discriminators keeping the probabilistic draws of the four fault
+/// Stream discriminators keeping the probabilistic draws of the fault
 /// classes independent of each other.
 const STREAM_FREQ_REJECT: u64 = 1;
 const STREAM_LAUNCH_FAIL: u64 = 2;
 const STREAM_COUNTER_RESET: u64 = 3;
 const STREAM_THROTTLE: u64 = 4;
+const STREAM_LINK_DEGRADE: u64 = 5;
+const STREAM_LINK_FAIL: u64 = 6;
 
 impl FaultPlan {
     /// The inert plan: no fault ever fires.
@@ -193,12 +206,36 @@ impl FaultPlan {
         self
     }
 
+    /// Degrades interconnect transfers per `schedule` (indexed by transfer
+    /// operation): an affected transfer still completes, but its effective
+    /// link bandwidth is multiplied by `factor` (0 < factor ≤ 1) — the
+    /// lane-retrain / width-downgrade failure mode of NVLink and xGMI.
+    pub fn degrade_link(mut self, schedule: Schedule, factor: f64) -> Self {
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "link degrade factor must be in (0, 1], got {factor}"
+        );
+        self.link_degrades = schedule;
+        self.link_degrade_factor = Some(factor);
+        self
+    }
+
+    /// Drops the interconnect link per `schedule` (indexed by transfer
+    /// operation). A fired transfer returns [`FaultError::LinkLost`] — a
+    /// non-transient error the caller must answer by shrinking the gang.
+    pub fn fail_link(mut self, schedule: Schedule) -> Self {
+        self.link_failures = schedule;
+        self
+    }
+
     /// Whether this plan can never inject anything.
     pub fn is_inert(&self) -> bool {
         self.freq_rejects.is_never()
             && self.launch_failures.is_never()
             && self.counter_resets.is_never()
             && (self.throttle_onsets.is_never() || self.throttle_window.is_none())
+            && (self.link_degrades.is_never() || self.link_degrade_factor.is_none())
+            && self.link_failures.is_never()
     }
 
     /// Splits this plan into a per-device sub-plan whose probabilistic
@@ -241,6 +278,7 @@ pub struct FaultState {
     set_freq_ops: u64,
     launch_attempts: u64,
     launches_done: u64,
+    transfer_ops: u64,
     throttle_remaining: u64,
     throttle_cap_mhz: f64,
 }
@@ -253,6 +291,7 @@ impl FaultState {
             set_freq_ops: 0,
             launch_attempts: 0,
             launches_done: 0,
+            transfer_ops: 0,
             throttle_remaining: 0,
             throttle_cap_mhz: f64::INFINITY,
         }
@@ -334,9 +373,41 @@ impl FaultState {
             .fires(self.plan.seed, STREAM_COUNTER_RESET, idx)
     }
 
+    /// Consumes one interconnect transfer operation. `Err(LinkLost)` means
+    /// the link dropped and the transfer never completed;
+    /// `Ok(Some(factor))` means the transfer completes but at `factor` of
+    /// the link's nominal bandwidth; `Ok(None)` is a clean transfer.
+    pub fn on_transfer(&mut self) -> Result<Option<f64>, FaultError> {
+        let idx = self.transfer_ops;
+        self.transfer_ops += 1;
+        if self
+            .plan
+            .link_failures
+            .fires(self.plan.seed, STREAM_LINK_FAIL, idx)
+        {
+            return Err(FaultError::LinkLost);
+        }
+        if let Some(factor) = self.plan.link_degrade_factor {
+            if self
+                .plan
+                .link_degrades
+                .fires(self.plan.seed, STREAM_LINK_DEGRADE, idx)
+            {
+                return Ok(Some(factor));
+            }
+        }
+        Ok(None)
+    }
+
     /// Launch attempts consumed so far (including failed ones).
     pub fn launch_attempts(&self) -> u64 {
         self.launch_attempts
+    }
+
+    /// Interconnect transfer operations consumed so far (including lost
+    /// ones).
+    pub fn transfer_ops(&self) -> u64 {
+        self.transfer_ops
     }
 
     /// Set-frequency operations consumed so far (including rejected ones).
@@ -427,6 +498,23 @@ mod tests {
             assert!(never.on_launch_attempt("k").is_ok());
             assert!(always.on_launch_attempt("k").is_err());
         }
+    }
+
+    #[test]
+    fn link_schedules_fire_on_the_transfer_stream() {
+        let plan = FaultPlan::none()
+            .degrade_link(Schedule::at([1]), 0.5)
+            .fail_link(Schedule::at([3]));
+        assert!(!plan.is_inert());
+        let mut s = FaultState::new(plan);
+        assert_eq!(s.on_transfer().unwrap(), None);
+        assert_eq!(s.on_transfer().unwrap(), Some(0.5));
+        assert_eq!(s.on_transfer().unwrap(), None);
+        assert_eq!(s.on_transfer().unwrap_err(), FaultError::LinkLost);
+        assert_eq!(s.transfer_ops(), 4);
+        // Transfers share no stream with launches: the launch cursor is
+        // untouched.
+        assert_eq!(s.on_launch_attempt("k").unwrap(), None);
     }
 
     #[test]

@@ -37,6 +37,9 @@ pub enum ZeError {
     /// The device dropped off mid-operation
     /// (`ZE_RESULT_ERROR_DEVICE_LOST`); the launch did not execute.
     DeviceLost(String),
+    /// A Xe-Link fabric port went down; the transfer did not complete and
+    /// the link stays down.
+    LinkLost,
 }
 
 impl std::fmt::Display for ZeError {
@@ -53,6 +56,7 @@ impl std::fmt::Display for ZeError {
             ZeError::DeviceLost(kernel) => {
                 write!(f, "device lost (launching '{kernel}')")
             }
+            ZeError::LinkLost => write!(f, "Xe-Link fabric port down"),
         }
     }
 }
@@ -66,6 +70,7 @@ impl From<FaultError> for ZeError {
                 ZeError::NotAvailable { requested_mhz }
             }
             FaultError::LaunchFailed { kernel } => ZeError::DeviceLost(kernel),
+            FaultError::LinkLost => ZeError::LinkLost,
         }
     }
 }

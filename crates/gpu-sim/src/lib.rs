@@ -44,6 +44,7 @@ pub mod faults;
 pub mod freq;
 pub mod kernel;
 pub mod level_zero;
+pub mod link;
 pub mod noise;
 pub mod nvml;
 pub mod power;
@@ -58,6 +59,7 @@ pub mod voltage;
 pub use device::{Device, LaunchRecord};
 pub use faults::{substream_seed, FaultError, FaultPlan, FaultState, Schedule, ThrottleWindow};
 pub use kernel::{KernelProfile, OpMix};
+pub use link::{LinkSpec, TransferRecord};
 pub use pricing::PriceTable;
 pub use spec::{DeviceSpec, Vendor};
 

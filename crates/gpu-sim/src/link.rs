@@ -1,0 +1,147 @@
+//! Peer-to-peer interconnect link model.
+//!
+//! Domain-decomposed solvers exchange halo planes between devices every
+//! substep; the cost of those transfers is what turns "more devices" from a
+//! free lunch into an energy trade-off. A [`LinkSpec`] describes the
+//! per-device interconnect port with the two numbers a bandwidth-latency
+//! (alpha-beta) model needs:
+//!
+//! * **peak bandwidth** (GB/s) — the beta term; a message of `b` bytes
+//!   streams for `b / peak` seconds,
+//! * **per-message latency** (s) — the alpha term; protocol, routing and
+//!   DMA-descriptor setup paid once per message regardless of size.
+//!
+//! The energy of a transfer flows through the *memory* power path of
+//! [`crate::power`]: a DMA engine reads/writes DRAM on both endpoints while
+//! the compute pipes idle, so the power during a transfer is the idle floor
+//! plus the memory subsystem at the utilization the link can actually
+//! sustain. Down-clocking memory therefore cheapens halo exchange exactly
+//! like it cheapens a streaming kernel — which is what lets the lattice
+//! sweep price communication and computation in one currency.
+//!
+//! Defaults are NVLink2-class, so device specs serialized before this field
+//! existed deserialize to the bandwidth class of the paper's pinned V100s.
+
+use serde::{Deserialize, Serialize};
+
+use crate::power::MEM_FLOOR_CLOCK_SENSITIVITY;
+use crate::spec::DeviceSpec;
+
+/// Static description of a device's peer-to-peer interconnect port.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// Peak unidirectional link bandwidth (GB/s).
+    pub peak_gbs: f64,
+    /// Fixed per-message latency (seconds).
+    pub latency_s: f64,
+}
+
+impl LinkSpec {
+    /// NVLink 2.0 port bundle of an SXM2 V100: six 25 GB/s sub-links,
+    /// 150 GB/s per direction, ~1.3 µs end-to-end message latency.
+    pub fn nvlink2() -> Self {
+        LinkSpec {
+            peak_gbs: 150.0,
+            latency_s: 1.3e-6,
+        }
+    }
+
+    /// Infinity Fabric (xGMI) bridge of an MI100 hive: ~100 GB/s per
+    /// direction across the 3-link bridge, slightly higher latency.
+    pub fn xgmi() -> Self {
+        LinkSpec {
+            peak_gbs: 100.0,
+            latency_s: 1.5e-6,
+        }
+    }
+
+    /// Xe-Link port of a Max-series (Ponte Vecchio) part: ~106 GB/s per
+    /// direction.
+    pub fn xelink() -> Self {
+        LinkSpec {
+            peak_gbs: 106.0,
+            latency_s: 1.5e-6,
+        }
+    }
+
+    /// Time to move `bytes` over this link at `bandwidth_factor` of its
+    /// nominal peak (1.0 = healthy link; a degraded link retrains to a
+    /// fraction of its lane width).
+    pub fn transfer_time_s(&self, bytes: u64, bandwidth_factor: f64) -> f64 {
+        self.latency_s + bytes as f64 / (self.peak_gbs * 1e9 * bandwidth_factor)
+    }
+}
+
+impl Default for LinkSpec {
+    fn default() -> Self {
+        LinkSpec::nvlink2()
+    }
+}
+
+/// Board power while a DMA transfer is in flight, at memory clock
+/// `mem_mhz` and achieved DRAM-bandwidth utilization `util` ∈ [0, 1].
+///
+/// Same memory-activity shape as [`crate::power::kernel_power`]: the
+/// always-on floor scales weakly with the memory clock
+/// ([`MEM_FLOOR_CLOCK_SENSITIVITY`]), the dynamic part scales with
+/// utilization and clock. The compute domain contributes only its idle
+/// floor — the SMs are stalled, not gated off.
+pub fn transfer_power_w(spec: &DeviceSpec, mem_mhz: f64, util: f64) -> f64 {
+    let s = mem_mhz / spec.mem_freqs.max();
+    let floor_scale = 1.0 - MEM_FLOOR_CLOCK_SENSITIVITY * (1.0 - s);
+    let mf = spec.mem_power_floor;
+    let mem_activity = mf * floor_scale + (1.0 - mf) * util.clamp(0.0, 1.0) * s;
+    spec.idle_power_w + spec.mem_power_w * mem_activity
+}
+
+/// One completed interconnect transfer, as measured on the device clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransferRecord {
+    /// Bytes moved.
+    pub bytes: u64,
+    /// Wall time of the transfer (s).
+    pub time_s: f64,
+    /// Energy charged to this device for the transfer (J).
+    pub energy_j: f64,
+    /// Whether a link-degradation fault slowed this transfer.
+    pub degraded: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_nvlink2_class() {
+        assert_eq!(LinkSpec::default(), LinkSpec::nvlink2());
+        assert!(LinkSpec::nvlink2().peak_gbs > LinkSpec::xgmi().peak_gbs);
+    }
+
+    #[test]
+    fn transfer_time_is_alpha_beta() {
+        let l = LinkSpec::nvlink2();
+        let small = l.transfer_time_s(0, 1.0);
+        assert_eq!(small, l.latency_s, "zero bytes pay only latency");
+        let big = l.transfer_time_s(150_000_000_000, 1.0);
+        assert!((big - (l.latency_s + 1.0)).abs() < 1e-12, "150 GB ≈ 1 s");
+        // Degradation stretches only the bandwidth term.
+        let degraded = l.transfer_time_s(150_000_000_000, 0.5);
+        assert!((degraded - (l.latency_s + 2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transfer_power_scales_with_utilization_and_mem_clock() {
+        let spec = DeviceSpec::v100();
+        let top = spec.mem_freqs.max();
+        let idle_link = transfer_power_w(&spec, top, 0.0);
+        let busy_link = transfer_power_w(&spec, top, 1.0);
+        assert!(busy_link > idle_link, "utilization must cost power");
+        assert!(
+            busy_link <= spec.idle_power_w + spec.mem_power_w + 1e-9,
+            "transfer power is bounded by idle + full memory subsystem"
+        );
+        // A lower memory clock cheapens the same transfer.
+        let low = transfer_power_w(&spec, spec.mem_freqs.min(), 1.0);
+        assert!(low < busy_link);
+    }
+}

@@ -30,6 +30,10 @@ pub enum NvmlError {
     /// The device fell off the bus mid-operation
     /// (`NVML_ERROR_GPU_IS_LOST`); the launch did not execute.
     GpuLost(String),
+    /// An NVLink port reported a fatal error (the
+    /// `NVML_NVLINK_ERROR_DL_*` counter family); the transfer did not
+    /// complete and the link stays down.
+    LinkLost,
 }
 
 impl std::fmt::Display for NvmlError {
@@ -51,6 +55,7 @@ impl std::fmt::Display for NvmlError {
             NvmlError::GpuLost(kernel) => {
                 write!(f, "GPU is lost (launching '{kernel}')")
             }
+            NvmlError::LinkLost => write!(f, "NVLink fatal error, link down"),
         }
     }
 }
@@ -64,6 +69,7 @@ impl From<FaultError> for NvmlError {
                 NvmlError::NoPermission { requested_mhz }
             }
             FaultError::LaunchFailed { kernel } => NvmlError::GpuLost(kernel),
+            FaultError::LinkLost => NvmlError::LinkLost,
         }
     }
 }

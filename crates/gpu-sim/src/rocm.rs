@@ -47,6 +47,9 @@ pub enum RsmiError {
     /// An unexpected device-side failure (`RSMI_STATUS_UNKNOWN_ERROR`);
     /// the launch did not execute.
     UnknownError(String),
+    /// An xGMI link failed to retrain; the transfer did not complete and
+    /// the link stays down.
+    LinkLost,
 }
 
 impl std::fmt::Display for RsmiError {
@@ -61,6 +64,7 @@ impl std::fmt::Display for RsmiError {
             RsmiError::UnknownError(kernel) => {
                 write!(f, "unknown device error (launching '{kernel}')")
             }
+            RsmiError::LinkLost => write!(f, "xGMI link retrain failed, link down"),
         }
     }
 }
@@ -72,6 +76,7 @@ impl From<FaultError> for RsmiError {
         match e {
             FaultError::FrequencyRejected { requested_mhz } => RsmiError::Busy { requested_mhz },
             FaultError::LaunchFailed { kernel } => RsmiError::UnknownError(kernel),
+            FaultError::LinkLost => RsmiError::LinkLost,
         }
     }
 }

@@ -10,6 +10,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::freq::FrequencyTable;
+use crate::link::LinkSpec;
 
 /// GPU vendor, which selects the management API shape (NVML vs ROCm-SMI)
 /// and the meaning of the "default" frequency configuration.
@@ -108,6 +109,11 @@ pub struct DeviceSpec {
     /// Fraction of `min(T_comp, T_mem)` that fails to overlap with the
     /// dominant phase (0 = perfect overlap).
     pub overlap_penalty: f64,
+    /// Peer-to-peer interconnect port (see [`crate::link`]). Defaults to
+    /// an NVLink2-class link so specs serialized before this field existed
+    /// keep loading.
+    #[serde(default)]
+    pub link: LinkSpec,
 }
 
 impl DeviceSpec {
@@ -153,6 +159,7 @@ impl DeviceSpec {
             occ_amplitude: 0.65,
             mem_power_floor: 0.25,
             overlap_penalty: 0.15,
+            link: LinkSpec::nvlink2(),
         }
     }
 
@@ -195,6 +202,7 @@ impl DeviceSpec {
             occ_amplitude: 0.65,
             mem_power_floor: 0.25,
             overlap_penalty: 0.18,
+            link: LinkSpec::xgmi(),
         }
     }
 
@@ -235,6 +243,7 @@ impl DeviceSpec {
             occ_amplitude: 0.65,
             mem_power_floor: 0.25,
             overlap_penalty: 0.16,
+            link: LinkSpec::xelink(),
         }
     }
 
@@ -328,5 +337,23 @@ mod tests {
     fn vendors_differ() {
         assert_eq!(DeviceSpec::v100().vendor, Vendor::Nvidia);
         assert_eq!(DeviceSpec::mi100().vendor, Vendor::Amd);
+    }
+
+    #[test]
+    fn every_vendor_has_an_interconnect_port() {
+        for spec in [
+            DeviceSpec::v100(),
+            DeviceSpec::mi100(),
+            DeviceSpec::max1100(),
+        ] {
+            assert!(spec.link.peak_gbs > 0.0, "{} has no link", spec.name);
+            assert!(spec.link.latency_s > 0.0);
+            assert!(
+                spec.link.peak_gbs < spec.mem_bandwidth_gbs,
+                "interconnect must be slower than local DRAM"
+            );
+        }
+        assert_eq!(DeviceSpec::v100().link, LinkSpec::nvlink2());
+        assert_eq!(DeviceSpec::mi100().link, LinkSpec::xgmi());
     }
 }

@@ -11,6 +11,7 @@ use gpu_sim::device::LaunchRecord;
 use gpu_sim::faults::FaultError;
 use gpu_sim::kernel::KernelProfile;
 use gpu_sim::level_zero::{ZeDevice, ZeError};
+use gpu_sim::link::TransferRecord;
 use gpu_sim::nvml::{NvmlDevice, NvmlError};
 use gpu_sim::rocm::{PerfLevel, RocmDevice, RsmiError};
 use gpu_sim::Vendor;
@@ -42,6 +43,10 @@ pub enum BackendError {
         /// Name of the kernel that failed to launch.
         kernel: String,
     },
+    /// The peer-to-peer interconnect dropped mid-transfer (NVLink fatal
+    /// error / xGMI retrain failure). Not retryable: the link stays down,
+    /// so distributed drivers must shrink the gang instead.
+    LinkLost,
     /// Any other vendor-layer management error (invalid index/clock, …) —
     /// not retryable.
     Management(String),
@@ -56,6 +61,7 @@ impl std::fmt::Display for BackendError {
             BackendError::LaunchFailed { kernel } => {
                 write!(f, "transient failure launching '{kernel}'")
             }
+            BackendError::LinkLost => write!(f, "interconnect link lost"),
             BackendError::Management(msg) => write!(f, "management error: {msg}"),
         }
     }
@@ -66,7 +72,7 @@ impl std::error::Error for BackendError {}
 impl BackendError {
     /// Whether retrying the same operation can plausibly succeed.
     pub fn is_transient(&self) -> bool {
-        !matches!(self, BackendError::Management(_))
+        !matches!(self, BackendError::Management(_) | BackendError::LinkLost)
     }
 }
 
@@ -77,6 +83,7 @@ impl From<FaultError> for BackendError {
                 BackendError::FrequencyRejected { requested_mhz }
             }
             FaultError::LaunchFailed { kernel } => BackendError::LaunchFailed { kernel },
+            FaultError::LinkLost => BackendError::LinkLost,
         }
     }
 }
@@ -88,6 +95,7 @@ impl From<NvmlError> for BackendError {
                 BackendError::FrequencyRejected { requested_mhz }
             }
             NvmlError::GpuLost(kernel) => BackendError::LaunchFailed { kernel },
+            NvmlError::LinkLost => BackendError::LinkLost,
             other => BackendError::Management(other.to_string()),
         }
     }
@@ -98,6 +106,7 @@ impl From<RsmiError> for BackendError {
         match e {
             RsmiError::Busy { requested_mhz } => BackendError::FrequencyRejected { requested_mhz },
             RsmiError::UnknownError(kernel) => BackendError::LaunchFailed { kernel },
+            RsmiError::LinkLost => BackendError::LinkLost,
             other => BackendError::Management(other.to_string()),
         }
     }
@@ -110,6 +119,7 @@ impl From<ZeError> for BackendError {
                 BackendError::FrequencyRejected { requested_mhz }
             }
             ZeError::DeviceLost(kernel) => BackendError::LaunchFailed { kernel },
+            ZeError::LinkLost => BackendError::LinkLost,
             other => BackendError::Management(other.to_string()),
         }
     }
@@ -174,6 +184,19 @@ pub trait Backend: Send {
     /// backoff waits here so they show up as idle energy, like a real pause
     /// between NVML calls would.
     fn idle_wait(&mut self, _dt_s: f64) {}
+
+    /// Moves `bytes` over the device's peer-to-peer interconnect port
+    /// (halo exchange of a domain-decomposed solver). Time and energy are
+    /// charged to this device's counters through its memory-power path. A
+    /// backend without an interconnect reports a non-transient
+    /// [`BackendError::Management`]; a dropped link is the non-transient
+    /// [`BackendError::LinkLost`].
+    fn transfer(&mut self, bytes: u64) -> Result<TransferRecord, BackendError> {
+        let _ = bytes;
+        Err(BackendError::Management(
+            "interconnect transfers not supported".into(),
+        ))
+    }
 
     /// Runs `n` back-to-back launches of `kernel` at `freq` (`None` = the
     /// vendor default configuration), reporting each launch's
@@ -309,6 +332,13 @@ impl Backend for NvmlBackend {
         self.device.lock_device().idle_advance(dt_s);
     }
 
+    fn transfer(&mut self, bytes: u64) -> Result<TransferRecord, BackendError> {
+        self.device
+            .lock_device()
+            .transfer(bytes)
+            .map_err(BackendError::from)
+    }
+
     fn launch_batch(
         &mut self,
         kernel: &KernelProfile,
@@ -409,6 +439,13 @@ impl Backend for RocmBackend {
 
     fn idle_wait(&mut self, dt_s: f64) {
         self.device.lock_device().idle_advance(dt_s);
+    }
+
+    fn transfer(&mut self, bytes: u64) -> Result<TransferRecord, BackendError> {
+        self.device
+            .lock_device()
+            .transfer(bytes)
+            .map_err(BackendError::from)
     }
 
     fn launch_batch(
@@ -517,6 +554,13 @@ impl Backend for LevelZeroBackend {
 
     fn idle_wait(&mut self, dt_s: f64) {
         self.device.lock_device().idle_advance(dt_s);
+    }
+
+    fn transfer(&mut self, bytes: u64) -> Result<TransferRecord, BackendError> {
+        self.device
+            .lock_device()
+            .transfer(bytes)
+            .map_err(BackendError::from)
     }
 
     fn launch_batch(

@@ -125,6 +125,18 @@ pub struct DegradationMetrics {
     /// Power-cap requests that kept failing and were degraded to the
     /// uncapped (TDP-only) configuration.
     pub power_cap_fallbacks: u64,
+    /// Interconnect transfers that completed at degraded link bandwidth
+    /// (lane retrain / width downgrade). The data arrived — slower and
+    /// costlier than a healthy link — so distributed runs carrying this
+    /// counter are correct but not clean. Serde-defaulted so audit records
+    /// serialized before the link model existed still load.
+    #[serde(default)]
+    pub link_degradations: u64,
+    /// Distributed runs that lost an interconnect link outright and fell
+    /// back to fewer devices (ultimately a single device). Only a
+    /// distributed driver raises this.
+    #[serde(default)]
+    pub link_fallbacks: u64,
 }
 
 impl DegradationMetrics {
@@ -157,6 +169,8 @@ impl DegradationMetrics {
         self.lifecycle_fallbacks += other.lifecycle_fallbacks;
         self.mem_clock_fallbacks += other.mem_clock_fallbacks;
         self.power_cap_fallbacks += other.power_cap_fallbacks;
+        self.link_degradations += other.link_degradations;
+        self.link_fallbacks += other.link_fallbacks;
     }
 }
 
@@ -322,6 +336,8 @@ mod tests {
             lifecycle_fallbacks: 12,
             mem_clock_fallbacks: 13,
             power_cap_fallbacks: 14,
+            link_degradations: 15,
+            link_fallbacks: 16,
         };
         let b = a;
         a.merge(&b);
@@ -339,6 +355,8 @@ mod tests {
         assert_eq!(a.lifecycle_fallbacks, 24);
         assert_eq!(a.mem_clock_fallbacks, 26);
         assert_eq!(a.power_cap_fallbacks, 28);
+        assert_eq!(a.link_degradations, 30);
+        assert_eq!(a.link_fallbacks, 32);
         // Merging a clean record is a no-op.
         let before = a;
         a.merge(&DegradationMetrics::default());

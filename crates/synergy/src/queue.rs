@@ -133,6 +133,10 @@ pub struct SynergyQueue {
     submissions: u64,
     total_time_s: f64,
     total_energy_j: f64,
+    transfer_count: u64,
+    transfer_bytes: u64,
+    transfer_time_s: f64,
+    transfer_energy_j: f64,
     watchdog_deadline_s: Option<f64>,
 }
 
@@ -148,6 +152,10 @@ impl SynergyQueue {
             submissions: 0,
             total_time_s: 0.0,
             total_energy_j: 0.0,
+            transfer_count: 0,
+            transfer_bytes: 0,
+            transfer_time_s: 0.0,
+            transfer_energy_j: 0.0,
             watchdog_deadline_s: None,
         }
     }
@@ -259,6 +267,15 @@ impl SynergyQueue {
     /// machinery had to paper over so far.
     pub fn degradation(&self) -> DegradationMetrics {
         self.degradation
+    }
+
+    /// Audits one gang-shrink event in
+    /// [`DegradationMetrics::link_fallbacks`]. A lost link is not healed
+    /// per transfer attempt (it is non-transient), so the distributed
+    /// driver that degrades to fewer devices records the fallback here on
+    /// the queue that absorbed the work.
+    pub fn note_link_fallback(&mut self) {
+        self.degradation.link_fallbacks += 1;
     }
 
     /// The device's cumulative energy (J) with counter rewinds healed away
@@ -560,6 +577,10 @@ impl SynergyQueue {
         match e {
             BackendError::FrequencyRejected { .. } => self.degradation.frequency_rejections += 1,
             BackendError::LaunchFailed { .. } => self.degradation.launch_failures += 1,
+            // A lost link is accounted by the distributed driver that
+            // falls back (DegradationMetrics::link_fallbacks), not per
+            // failed transfer attempt.
+            BackendError::LinkLost => {}
             BackendError::Management(_) => {}
         }
     }
@@ -578,6 +599,97 @@ impl SynergyQueue {
             self.backend.idle_wait(dt);
             self.degradation.backoff_ns += (dt * 1e9).round() as u64;
         }
+    }
+
+    /// Lets device time pass without work, accumulating it (and the idle
+    /// energy the device charges for it) into the queue's totals. A
+    /// distributed driver parks laggard devices here at its lockstep
+    /// barriers so barrier waits show up as honest idle energy.
+    ///
+    /// # Panics
+    /// Panics on negative `dt_s`.
+    pub fn idle_wait(&mut self, dt_s: f64) {
+        assert!(dt_s >= 0.0, "time cannot run backwards");
+        if dt_s == 0.0 {
+            return;
+        }
+        let before = self.device_energy_j();
+        self.backend.idle_wait(dt_s);
+        let after = self.device_energy_j();
+        self.total_time_s += dt_s;
+        self.total_energy_j += (after - before).max(0.0);
+    }
+
+    /// Moves `bytes` over the device's peer-to-peer interconnect port (one
+    /// directed halo message of a domain-decomposed solver), accumulating
+    /// the transfer's time and energy into the queue's totals.
+    ///
+    /// A degraded transfer (link retrained to a fraction of its lanes)
+    /// still completes and is recorded in
+    /// [`DegradationMetrics::link_degradations`]; a *lost* link is
+    /// non-transient, so the retry policy does not loop — the error is
+    /// returned at once for the distributed driver to shrink the gang.
+    pub fn try_submit_transfer(&mut self, bytes: u64) -> Result<Measurement, SubmitError> {
+        match self.backend.transfer(bytes) {
+            Ok(rec) => {
+                if rec.degraded {
+                    self.degradation.link_degradations += 1;
+                }
+                self.transfer_count += 1;
+                self.transfer_bytes += bytes;
+                self.transfer_time_s += rec.time_s;
+                self.transfer_energy_j += rec.energy_j;
+                self.total_time_s += rec.time_s;
+                self.total_energy_j += rec.energy_j;
+                self.observe_counter();
+                Ok(Measurement {
+                    time_s: rec.time_s,
+                    energy_j: rec.energy_j,
+                })
+            }
+            Err(e) => {
+                self.note_error(&e);
+                self.observe_counter();
+                Err(SubmitError {
+                    kernel: "link::transfer".to_string(),
+                    attempts: 1,
+                    last_error: e,
+                })
+            }
+        }
+    }
+
+    /// Infallible [`SynergyQueue::try_submit_transfer`].
+    ///
+    /// # Panics
+    /// Panics when the transfer fails (lost link / no interconnect) — use
+    /// [`SynergyQueue::try_submit_transfer`] to handle that without
+    /// unwinding.
+    pub fn submit_transfer(&mut self, bytes: u64) -> Measurement {
+        self.try_submit_transfer(bytes)
+            .unwrap_or_else(|e| panic!("{e} (use try_submit_transfer to handle this)"))
+    }
+
+    /// Interconnect transfers completed so far.
+    pub fn transfer_count(&self) -> u64 {
+        self.transfer_count
+    }
+
+    /// Bytes moved over the interconnect so far.
+    pub fn transfer_bytes(&self) -> u64 {
+        self.transfer_bytes
+    }
+
+    /// Time spent in interconnect transfers (s), a subset of
+    /// [`SynergyQueue::total_time_s`].
+    pub fn transfer_time_s(&self) -> f64 {
+        self.transfer_time_s
+    }
+
+    /// Energy spent in interconnect transfers (J), a subset of
+    /// [`SynergyQueue::total_energy_j`].
+    pub fn transfer_energy_j(&self) -> f64 {
+        self.transfer_energy_j
     }
 
     /// Number of kernels submitted so far.
@@ -600,6 +712,10 @@ impl SynergyQueue {
         self.submissions = 0;
         self.total_time_s = 0.0;
         self.total_energy_j = 0.0;
+        self.transfer_count = 0;
+        self.transfer_bytes = 0;
+        self.transfer_time_s = 0.0;
+        self.transfer_energy_j = 0.0;
     }
 }
 
@@ -800,6 +916,55 @@ mod tests {
         assert_eq!(q.set_power_cap(Some(150.0)).unwrap(), None);
         assert_eq!(q.degradation().power_cap_fallbacks, 1);
         assert_eq!(q.power_cap_w(), None);
+    }
+
+    #[test]
+    fn transfer_accumulates_totals_and_telemetry() {
+        let mut q = v100_queue();
+        let m = q.submit_transfer(150_000_000);
+        assert!(m.time_s > 0.0 && m.energy_j > 0.0);
+        assert_eq!(q.transfer_count(), 1);
+        assert_eq!(q.transfer_bytes(), 150_000_000);
+        assert_eq!(q.transfer_time_s(), m.time_s);
+        assert_eq!(q.transfer_energy_j(), m.energy_j);
+        assert_eq!(q.total_time_s(), m.time_s);
+        assert_eq!(q.total_energy_j(), m.energy_j);
+        assert_eq!(q.submission_count(), 0, "a transfer is not a kernel");
+        assert!(q.degradation().is_clean());
+        q.reset_counters();
+        assert_eq!(q.transfer_count(), 0);
+        assert_eq!(q.transfer_bytes(), 0);
+    }
+
+    #[test]
+    fn degraded_transfer_is_audited_and_lost_link_is_fatal() {
+        use gpu_sim::{FaultPlan, Schedule};
+        let plan = FaultPlan::none()
+            .degrade_link(Schedule::once(0), 0.5)
+            .fail_link(Schedule::once(1));
+        let mut q = SynergyQueue::nvidia(Device::with_faults(DeviceSpec::v100(), plan));
+        let slow = q.try_submit_transfer(150_000_000).unwrap();
+        assert_eq!(q.degradation().link_degradations, 1);
+        let healthy_t = DeviceSpec::v100().link.transfer_time_s(150_000_000, 1.0);
+        assert!(slow.time_s > 1.5 * healthy_t);
+        let err = q.try_submit_transfer(150_000_000).unwrap_err();
+        assert_eq!(err.last_error, BackendError::LinkLost);
+        assert!(!err.last_error.is_transient(), "lost links are not retried");
+        assert_eq!(err.attempts, 1);
+        // The failed transfer left the totals untouched.
+        assert_eq!(q.transfer_count(), 1);
+        assert_eq!(q.total_time_s(), slow.time_s);
+    }
+
+    #[test]
+    fn idle_wait_charges_idle_power_to_the_totals() {
+        let mut q = v100_queue();
+        q.idle_wait(2.0);
+        assert_eq!(q.total_time_s(), 2.0);
+        let expected = DeviceSpec::v100().idle_power_w * 2.0;
+        assert!((q.total_energy_j() - expected).abs() < 1e-9);
+        q.idle_wait(0.0);
+        assert_eq!(q.total_time_s(), 2.0);
     }
 
     #[test]

@@ -1,0 +1,131 @@
+//! Distributed-decomposition chaos suite: the interconnect fault classes
+//! end to end.
+//!
+//! * **link degradation** — lane retrain / width downgrade: transfers
+//!   still complete at a fraction of the bandwidth. The run finishes with
+//!   the slowdown priced in and the degradation audited; never a panic.
+//! * **link loss** — a dead peer-to-peer port: non-transient, so no retry
+//!   loop. [`DistributedGpuCronos::run_resilient`] degrades to the
+//!   single-device stream, keeps the partially-spent distributed work on
+//!   the books, and audits the fallback in both the run report and the
+//!   absorbing queue's [`DegradationMetrics`].
+//! * **inert plans** — a fault-free plan on every gang member changes
+//!   nothing: bit-identical reports, clean counters.
+
+use cronos::{DistributedGpuCronos, GpuCronos, Grid};
+use gpu_sim::{Device, DeviceSpec, FaultPlan, Schedule};
+use synergy::SynergyQueue;
+
+fn gang(n: usize, faulty: Option<(usize, FaultPlan)>) -> Vec<SynergyQueue> {
+    (0..n)
+        .map(|i| {
+            let spec = DeviceSpec::v100();
+            let dev = match &faulty {
+                Some((idx, plan)) if *idx == i => Device::with_faults(spec, plan.clone()),
+                _ => Device::new(spec),
+            };
+            SynergyQueue::nvidia(dev)
+        })
+        .collect()
+}
+
+fn wl() -> DistributedGpuCronos {
+    DistributedGpuCronos::new(Grid::cubic(24, 8, 8), 3)
+}
+
+#[test]
+fn degraded_link_completes_slower_with_audit() {
+    let mut clean = gang(3, None);
+    let clean_report = wl().run(&mut clean);
+
+    // Every transfer on device 1 runs at a quarter of the link bandwidth.
+    let plan = FaultPlan::seeded(11).degrade_link(Schedule::Prob(1.0), 0.25);
+    let mut degraded = gang(3, Some((1, plan)));
+    let report = wl()
+        .try_run(&mut degraded)
+        .expect("a degraded link still completes");
+
+    assert_eq!(report.devices_used, 3);
+    assert_eq!(report.link_fallbacks, 0);
+    assert!(
+        report.total.time_s > clean_report.total.time_s,
+        "quarter-bandwidth halos must stretch the makespan: {} !> {}",
+        report.total.time_s,
+        clean_report.total.time_s
+    );
+    let audited: u64 = degraded
+        .iter()
+        .map(|q| q.degradation().link_degradations)
+        .sum();
+    assert_eq!(
+        audited,
+        degraded[1].transfer_count(),
+        "every transfer on the degraded device must be audited"
+    );
+    assert!(audited > 0);
+}
+
+#[test]
+fn lost_link_mid_run_degrades_to_single_device() {
+    // The link on device 1 dies on its third transfer — mid-run, after
+    // real distributed work was spent.
+    let plan = FaultPlan::none().fail_link(Schedule::once(2));
+    let mut queues = gang(3, Some((1, plan)));
+    let report = wl().run_resilient(&mut queues); // must not panic
+
+    assert_eq!(report.devices_used, 1, "the gang must shrink to one device");
+    assert_eq!(report.link_fallbacks, 1);
+    assert_eq!(
+        queues[0].degradation().link_fallbacks,
+        1,
+        "the absorbing queue must audit the fallback"
+    );
+    assert!(report.total.time_s.is_finite() && report.total.time_s > 0.0);
+    assert!(report.total.energy_j.is_finite() && report.total.energy_j > 0.0);
+
+    // The answer is not silently wrong: the monolithic fallback redid the
+    // whole job, so the degraded run costs at least a clean single-device
+    // run — the partial distributed work stays on the books.
+    let mut solo = [SynergyQueue::nvidia(Device::new(DeviceSpec::v100()))];
+    let m = GpuCronos::new(Grid::cubic(24, 8, 8), 3).run(&mut solo[0]);
+    assert!(report.total.time_s >= m.time_s);
+    assert!(report.total.energy_j > m.energy_j);
+}
+
+#[test]
+fn lost_link_without_resilience_is_a_typed_error_not_a_panic() {
+    let plan = FaultPlan::none().fail_link(Schedule::once(0));
+    let mut queues = gang(2, Some((0, plan)));
+    let err = wl()
+        .try_run(&mut queues)
+        .expect_err("the first transfer kills the link");
+    assert_eq!(err.kernel, "link::transfer");
+    assert!(matches!(err.last_error, synergy::BackendError::LinkLost));
+}
+
+#[test]
+fn fault_free_plans_are_invisible_to_the_distributed_run() {
+    let mut plain = gang(4, None);
+    let expect = wl().run(&mut plain);
+
+    let mut chaos: Vec<SynergyQueue> = (0..4)
+        .map(|_| SynergyQueue::nvidia(Device::with_faults(DeviceSpec::v100(), FaultPlan::none())))
+        .collect();
+    let got = wl().run(&mut chaos);
+
+    assert_eq!(expect, got, "inert fault plans changed a distributed run");
+    for q in &chaos {
+        assert!(q.degradation().is_clean());
+    }
+}
+
+#[test]
+fn run_resilient_on_a_healthy_gang_matches_try_run_bitwise() {
+    let mut a = gang(3, None);
+    let ra = wl().run_resilient(&mut a);
+    let mut b = gang(3, None);
+    let rb = wl().try_run(&mut b).expect("healthy gang");
+    assert_eq!(ra, rb);
+    assert_eq!(ra.link_fallbacks, 0);
+    assert_eq!(ra.devices_used, 3);
+}
